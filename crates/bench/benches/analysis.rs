@@ -1,0 +1,154 @@
+//! Benchmarks of the analytical models.
+//!
+//! The headline measurement behind §3.4.5: the M-S-approach completes in
+//! well under the paper's "1 minute" budget, while the paper-faithful
+//! S-approach enumeration grows by a constant factor per unit of `G`
+//! (extrapolating to days at the `G` that matches the M-S accuracy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbd_core::accuracy::required_caps;
+use gbd_core::exact;
+use gbd_core::ms_approach::{self, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_core::s_approach::{self, SOptions};
+use std::hint::black_box;
+
+fn bench_ms_approach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ms_approach");
+    for n in [60usize, 240] {
+        for v in [4.0, 10.0] {
+            let params = SystemParams::paper_defaults()
+                .with_n_sensors(n)
+                .with_speed(v);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_v{v}")),
+                &params,
+                |b, p| {
+                    b.iter(|| {
+                        ms_approach::analyze(black_box(p), &MsOptions::default()).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ms_approach_caps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ms_approach_caps");
+    let params = SystemParams::paper_defaults();
+    for caps in [1usize, 3, 6, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(caps), &caps, |b, &g| {
+            b.iter(|| {
+                ms_approach::analyze(black_box(&params), &MsOptions { g, gh: g }).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_s_approach_enumeration(c: &mut Criterion) {
+    // The exponential: each +1 in G multiplies the time by ~Σ(i+1) ≈ 20.
+    let mut group = c.benchmark_group("s_approach_enumeration");
+    group.sample_size(10);
+    let params = SystemParams::paper_defaults();
+    for g in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
+            b.iter(|| {
+                s_approach::analyze_enumeration(
+                    black_box(&params),
+                    &SOptions { cap_sensors: g },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_s_approach_factorized(c: &mut Criterion) {
+    let params = SystemParams::paper_defaults();
+    c.bench_function("s_approach_factorized_g13", |b| {
+        b.iter(|| {
+            s_approach::analyze(black_box(&params), &SOptions { cap_sensors: 13 }).unwrap()
+        })
+    });
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let params = SystemParams::paper_defaults();
+    c.bench_function("exact_detection_probability", |b| {
+        b.iter(|| exact::detection_probability(black_box(&params), 5))
+    });
+}
+
+fn bench_required_caps(c: &mut Criterion) {
+    let params = SystemParams::paper_defaults();
+    c.bench_function("fig8_required_caps", |b| {
+        b.iter(|| required_caps(black_box(&params), 0.99))
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let params = SystemParams::paper_defaults();
+    c.bench_function("poisson_model", |b| {
+        b.iter(|| gbd_core::poisson_model::analyze(black_box(&params)).unwrap())
+    });
+    c.bench_function("extension_h_cap5", |b| {
+        b.iter(|| {
+            gbd_core::extension_h::analyze(black_box(&params), 5, &MsOptions::default())
+                .unwrap()
+        })
+    });
+    c.bench_function("time_to_detection_fast", |b| {
+        b.iter(|| {
+            gbd_core::time_to_detection::analyze(black_box(&params), &MsOptions::default())
+                .unwrap()
+        })
+    });
+    let hetero = [
+        gbd_core::exact::SensorClass {
+            count: 150,
+            sensing_range: 700.0,
+            pd: 0.9,
+        },
+        gbd_core::exact::SensorClass {
+            count: 30,
+            sensing_range: 2_500.0,
+            pd: 0.85,
+        },
+    ];
+    c.bench_function("exact_heterogeneous_two_classes", |b| {
+        b.iter(|| {
+            gbd_core::exact::detection_probability_classes(black_box(&params), &hetero, 5)
+        })
+    });
+    let small = SystemParams::paper_defaults()
+        .with_m_periods(6)
+        .with_n_sensors(120);
+    c.bench_function("t_approach_m6", |b| {
+        b.iter(|| {
+            gbd_core::t_approach::analyze(
+                black_box(&small),
+                &MsOptions { g: 2, gh: 2 },
+                10_000_000,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("design_required_sensors", |b| {
+        b.iter(|| gbd_core::design::required_sensors(black_box(&params), 0.9, 1_000).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ms_approach,
+    bench_ms_approach_caps,
+    bench_s_approach_enumeration,
+    bench_s_approach_factorized,
+    bench_exact,
+    bench_required_caps,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the Monte Carlo simulator: per-trial cost and campaign
+//! throughput (what makes the paper's 10 000-trial validation cheap here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbd_core::params::SystemParams;
+use gbd_sim::config::{BoundaryPolicy, SimConfig};
+use gbd_sim::engine::run_trial;
+use gbd_sim::runner::run;
+use std::hint::black_box;
+
+fn bench_single_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_trial");
+    for n in [60usize, 240] {
+        let config = SimConfig::new(SystemParams::paper_defaults().with_n_sensors(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, cfg| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                run_trial(black_box(cfg), trial)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_boundary_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trial_boundary");
+    for (name, policy) in [
+        ("torus", BoundaryPolicy::Torus),
+        ("bounded", BoundaryPolicy::Bounded),
+    ] {
+        let config = SimConfig::new(SystemParams::paper_defaults()).with_boundary(policy);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                run_trial(black_box(cfg), trial)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_500_trials");
+    group.sample_size(10);
+    let config = SimConfig::new(SystemParams::paper_defaults()).with_trials(500);
+    group.bench_function("parallel", |b| b.iter(|| run(black_box(&config))));
+    let serial = config.clone().with_threads(1);
+    group.bench_function("serial", |b| b.iter(|| run(black_box(&serial))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_trial,
+    bench_boundary_policies,
+    bench_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: how large is the border effect the analysis ignores?
+//!
+//! The analytical model implicitly assumes the target's Aggregate Region
+//! sees full sensor density everywhere. A torus-wrapped simulation
+//! realizes exactly that; a bounded field loses the part of the ARegion
+//! that sticks out past the border. This experiment measures the gap.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin ablation_boundary -- --trials 4000
+//! ```
+
+use gbd_bench::{f, figure9_n_values, Csv, ExpOptions};
+use gbd_core::ms_approach::{analyze, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_sim::config::{BoundaryPolicy, SimConfig};
+use gbd_sim::runner::run;
+
+fn main() {
+    let opts = ExpOptions::from_args(4_000);
+    println!(
+        "Boundary ablation — torus (analysis assumption) vs bounded field ({} trials)\n",
+        opts.trials
+    );
+    println!("   N  |  V  | analysis | sim torus | sim bounded | border loss");
+    println!(" -----+-----+----------+-----------+-------------+------------");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "ablation_boundary.csv",
+        &[
+            "n",
+            "v",
+            "analysis",
+            "sim_torus",
+            "sim_bounded",
+            "border_loss",
+        ],
+    );
+    for v in [4.0, 10.0] {
+        for n in figure9_n_values().into_iter().step_by(2) {
+            let params = SystemParams::paper_defaults()
+                .with_n_sensors(n)
+                .with_speed(v);
+            let ana = analyze(&params, &MsOptions::default())
+                .unwrap()
+                .detection_probability(params.k());
+            let torus = run(&SimConfig::new(params)
+                .with_trials(opts.trials)
+                .with_seed(opts.seed));
+            let bounded = run(&SimConfig::new(params)
+                .with_trials(opts.trials)
+                .with_seed(opts.seed)
+                .with_boundary(BoundaryPolicy::Bounded));
+            let loss = torus.detection_probability - bounded.detection_probability;
+            println!(
+                "  {n:3} | {v:3} |  {ana:.4}  |  {:.4}   |   {:.4}    |   {loss:+.4}",
+                torus.detection_probability, bounded.detection_probability
+            );
+            csv.row(&[
+                n.to_string(),
+                v.to_string(),
+                f(ana),
+                f(torus.detection_probability),
+                f(bounded.detection_probability),
+                f(loss),
+            ]);
+        }
+    }
+    csv.finish();
+    println!("\nThe border effect grows with V (longer tracks leave the field more");
+    println!("often). The paper's simulator evidently avoids it (its analysis matches");
+    println!("simulation at V = 10, N = 240 to ~1%); our torus policy reproduces that,");
+    println!("and the bounded policy shows what a finite field would actually do.");
+}

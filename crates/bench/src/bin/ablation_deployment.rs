@@ -1,0 +1,68 @@
+//! Ablation: how sensitive is the analysis to the uniform-deployment
+//! assumption (§2)?
+//!
+//! The analytical model assumes i.i.d. uniform sensor positions. Real
+//! deployments are often *more regular* (planned drops). This experiment
+//! simulates grid and jittered-grid deployments against the same analysis.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin ablation_deployment -- --trials 4000
+//! ```
+
+use gbd_bench::{f, Csv, ExpOptions};
+use gbd_core::ms_approach::{analyze, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_sim::config::{DeploymentSpec, SimConfig};
+use gbd_sim::runner::run;
+
+fn main() {
+    let opts = ExpOptions::from_args(4_000);
+    println!(
+        "Deployment ablation — analysis assumes uniform random ({} trials)\n",
+        opts.trials
+    );
+    println!("   N  | analysis | sim uniform | sim grid | sim jittered(0.5)");
+    println!(" -----+----------+-------------+----------+------------------");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "ablation_deployment.csv",
+        &["n", "analysis", "uniform", "grid", "jittered"],
+    );
+    for n in [60usize, 120, 180, 240] {
+        let params = SystemParams::paper_defaults().with_n_sensors(n);
+        let ana = analyze(&params, &MsOptions::default())
+            .unwrap()
+            .detection_probability(5);
+        let base = SimConfig::new(params)
+            .with_trials(opts.trials)
+            .with_seed(opts.seed);
+        let uniform = run(&base.clone());
+        let grid = run(&base
+            .clone()
+            .with_deployment(DeploymentSpec::Grid { jitter: 0.0 }));
+        let jittered = run(&base
+            .clone()
+            .with_deployment(DeploymentSpec::Grid { jitter: 0.5 }));
+        println!(
+            "  {n:3} |  {ana:.4}  |   {:.4}    |  {:.4}  |      {:.4}",
+            uniform.detection_probability,
+            grid.detection_probability,
+            jittered.detection_probability
+        );
+        csv.row(&[
+            n.to_string(),
+            f(ana),
+            f(uniform.detection_probability),
+            f(grid.detection_probability),
+            f(jittered.detection_probability),
+        ]);
+    }
+    csv.finish();
+    println!("\nShape: a regular grid spreads coverage more evenly than random");
+    println!("placement — no clumps, no double-covered strips — which *changes* the");
+    println!("detection probability relative to the uniform-deployment analysis");
+    println!("(typically raising it at low N where random voids dominate). The");
+    println!("uniform assumption is load-bearing: apply the analysis to planned");
+    println!("deployments with care.");
+}

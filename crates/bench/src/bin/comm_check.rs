@@ -1,0 +1,128 @@
+//! §4 premise check: "6-hop end-to-end communication can be easily
+//! finished within a single sensing period". Routes every sensor to the
+//! base station over the unit-disk graph (GF with GPSR perimeter
+//! fallback) and checks latency against the 60 s deadline, for both radio
+//! and undersea-acoustic link models, across densities and comm ranges.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin comm_check
+//! ```
+
+use gbd_bench::{f, Csv, ExpOptions};
+use gbd_core::params::SystemParams;
+use gbd_field::deployment::{Deployer, UniformRandom};
+use gbd_geometry::point::{Aabb, Point};
+use gbd_net::graph::UnitDiskGraph;
+use gbd_net::latency::LatencyModel;
+use gbd_net::mac::{simulate_burst, MacConfig};
+use gbd_sim::comm_check::check_deployment;
+use gbd_stats::rng::rng_stream;
+use rand::Rng as _;
+
+fn main() {
+    let opts = ExpOptions::from_args(0);
+    println!("Communication premise — GF/GPSR to the base station, 60 s deadline\n");
+    println!("   N  | range | link     | delivered | greedy-only | mean hops | max lat (s) | meet deadline");
+    println!(" -----+-------+----------+-----------+-------------+-----------+-------------+--------------");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "comm_check.csv",
+        &[
+            "n",
+            "range",
+            "link",
+            "delivered",
+            "greedy",
+            "mean_hops",
+            "max_latency_s",
+            "deadline_frac",
+        ],
+    );
+    for n in [60usize, 120, 240] {
+        for range in [4_000.0, 6_000.0] {
+            for (name, model) in [
+                ("radio", LatencyModel::long_range_radio()),
+                ("acoustic", LatencyModel::undersea_acoustic()),
+            ] {
+                let params = SystemParams::paper_defaults().with_n_sensors(n);
+                let r = check_deployment(&params, range, &model, opts.seed);
+                println!(
+                    "  {n:3} | {range:5.0} | {name:8} | {:4}/{:3}  |    {:4}     |   {:5.2}   |   {:7.2}   |   {:5.1} %",
+                    r.delivered,
+                    r.sensors,
+                    r.delivered_greedy,
+                    r.hops.mean(),
+                    r.latency_s.max(),
+                    100.0 * r.deadline_fraction()
+                );
+                csv.row(&[
+                    n.to_string(),
+                    range.to_string(),
+                    name.to_string(),
+                    r.delivered.to_string(),
+                    r.delivered_greedy.to_string(),
+                    f(r.hops.mean()),
+                    f(r.latency_s.max()),
+                    f(r.deadline_fraction()),
+                ]);
+            }
+        }
+    }
+    csv.finish();
+
+    // Burst stress: k near-simultaneous reports under a slotted MAC.
+    println!("\nBurst stress — k = 5 simultaneous reports, slotted acoustic MAC (1 s slots):");
+    println!("   N  | delivered | worst latency (s) | within 60 s | collisions");
+    let mut csv2 = Csv::create(
+        &opts.out_dir,
+        "comm_burst.csv",
+        &[
+            "n",
+            "delivery_ratio",
+            "max_latency_s",
+            "deadline_frac",
+            "collisions",
+        ],
+    );
+    for n in [60usize, 120, 240] {
+        let params = SystemParams::paper_defaults().with_n_sensors(n);
+        let extent = Aabb::from_extent(params.field_width(), params.field_height());
+        let mut rng = rng_stream(opts.seed, n as u64);
+        let mut positions = UniformRandom.deploy(n, &extent, &mut rng);
+        let base = Point::new(16_000.0, 16_000.0);
+        positions.push(base);
+        let graph = UnitDiskGraph::new(positions.clone(), 6_000.0);
+        let dst = graph.len() - 1;
+        // Five sensors nearest a random point report together.
+        let hot = Point::new(rng.gen_range(0.0..32_000.0), rng.gen_range(0.0..32_000.0));
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            positions[a]
+                .distance(hot)
+                .total_cmp(&positions[b].distance(hot))
+        });
+        let sources: Vec<usize> = idx[..5.min(n)].to_vec();
+        let out = simulate_burst(&graph, &sources, dst, &MacConfig::acoustic(), &mut rng);
+        println!(
+            "  {n:3} |   {:4.0} %   |      {:6.1}       |   {:5.1} %   |   {:4}",
+            100.0 * out.delivery_ratio(),
+            out.max_latency_s().unwrap_or(f64::NAN),
+            100.0 * out.deadline_fraction(60.0),
+            out.collisions
+        );
+        csv2.row(&[
+            n.to_string(),
+            f(out.delivery_ratio()),
+            f(out.max_latency_s().unwrap_or(f64::NAN)),
+            f(out.deadline_fraction(60.0)),
+            out.collisions.to_string(),
+        ]);
+    }
+    csv2.finish();
+    println!("\nShape: at the paper's 6 km comm range the network is connected and");
+    println!("every delivered report meets the one-minute deadline even on acoustic");
+    println!("links — the premise behind ignoring the communication stack holds.");
+    println!("At 4 km and low density, delivery fails for part of the field: the");
+    println!("'communication coverage is available' assumption is not free.");
+}

@@ -1,0 +1,148 @@
+//! Design-space exploration: the model as the design tool the paper's
+//! conclusion promises.
+//!
+//! Three tables: (1) parameter sensitivities around the paper's operating
+//! point, (2) inverse solves (sensors / range / area for a target
+//! probability), (3) fleet-mix comparisons only the heterogeneous exact
+//! model can answer.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin design_space
+//! ```
+
+use gbd_bench::{f, Csv, ExpOptions};
+use gbd_core::design::{max_field_side, required_sensing_range, required_sensors};
+use gbd_core::exact::{self, SensorClass};
+use gbd_core::params::SystemParams;
+
+fn main() {
+    let opts = ExpOptions::from_args(0);
+    let base = SystemParams::paper_defaults().with_n_sensors(150);
+    let p0 = exact::detection_probability(&base, base.k());
+
+    println!("Operating point: N = 150, V = 10 m/s, Rs = 1 km, k = 5, M = 20");
+    println!("  P(detect) = {p0:.4}\n");
+
+    println!("== Sensitivities: change one parameter ±20% ==");
+    println!("  parameter      |  −20%   |  base   |  +20%");
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "design_sensitivity.csv",
+        &["param", "lo", "base", "hi"],
+    );
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "sensors N",
+            exact::detection_probability(&base.with_n_sensors(120), 5),
+            exact::detection_probability(&base.with_n_sensors(180), 5),
+        ),
+        (
+            "range Rs",
+            exact::detection_probability(&base.with_sensing_range(800.0), 5),
+            exact::detection_probability(&base.with_sensing_range(1200.0), 5),
+        ),
+        (
+            "speed V",
+            exact::detection_probability(&base.with_speed(8.0), 5),
+            exact::detection_probability(&base.with_speed(12.0), 5),
+        ),
+        (
+            "pd",
+            exact::detection_probability(&base.with_pd(0.72), 5),
+            exact::detection_probability(&base.with_pd(1.0), 5),
+        ),
+        (
+            "window M",
+            exact::detection_probability(&base.with_m_periods(16), 5),
+            exact::detection_probability(&base.with_m_periods(24), 5),
+        ),
+        (
+            "threshold k",
+            exact::detection_probability(&base, 4),
+            exact::detection_probability(&base, 6),
+        ),
+    ];
+    for (name, lo, hi) in rows {
+        println!("  {name:14} | {lo:.4}  | {p0:.4}  | {hi:.4}");
+        csv.row(&[name.to_string(), f(lo), f(p0), f(hi)]);
+    }
+    csv.finish();
+
+    println!("\n== Inverse solves for a 0.95 target ==");
+    if let Ok(Some(pt)) = required_sensors(&base, 0.95, 2_000) {
+        println!(
+            "  sensors needed at Rs = 1 km       : N = {:.0} ({:.4})",
+            pt.value, pt.achieved
+        );
+    }
+    if let Ok(Some(pt)) = required_sensing_range(&base, 0.95, 200.0, 5_000.0) {
+        println!(
+            "  range needed at N = 150           : Rs = {:.0} m ({:.4})",
+            pt.value, pt.achieved
+        );
+    }
+    if let Ok(Some(pt)) = max_field_side(&base, 0.95, 10_000.0, 64_000.0) {
+        println!(
+            "  max field side at N = 150         : {:.0} m ({:.4})",
+            pt.value, pt.achieved
+        );
+    }
+
+    println!("\n== Fleet mixes at a fixed 'hardware budget' (Σ N·Rs constant) ==");
+    println!("  (swept area per period is proportional to Σ N·Rs, so these fleets");
+    println!("   generate the same mean report rate; the distribution still differs)");
+    println!("  fleet                                   | P(detect)");
+    let mut csv2 = Csv::create(&opts.out_dir, "design_fleets.csv", &["fleet", "p"]);
+    let fleets: Vec<(&str, Vec<SensorClass>)> = vec![
+        (
+            "300 x 500 m",
+            vec![SensorClass {
+                count: 300,
+                sensing_range: 500.0,
+                pd: 0.9,
+            }],
+        ),
+        (
+            "150 x 1000 m",
+            vec![SensorClass {
+                count: 150,
+                sensing_range: 1000.0,
+                pd: 0.9,
+            }],
+        ),
+        (
+            "75 x 2000 m",
+            vec![SensorClass {
+                count: 75,
+                sensing_range: 2000.0,
+                pd: 0.9,
+            }],
+        ),
+        (
+            "100 x 1000 m + 100 x 500 m",
+            vec![
+                SensorClass {
+                    count: 100,
+                    sensing_range: 1000.0,
+                    pd: 0.9,
+                },
+                SensorClass {
+                    count: 100,
+                    sensing_range: 500.0,
+                    pd: 0.9,
+                },
+            ],
+        ),
+    ];
+    for (name, classes) in fleets {
+        let p = exact::detection_probability_classes(&base, &classes, base.k());
+        println!("  {name:39} |  {p:.4}");
+        csv2.row(&[name.to_string(), f(p)]);
+    }
+    csv2.finish();
+    println!("\nShape: at equal Σ N·Rs, FEWER LARGER sensors win decisively: the");
+    println!("static π·Rs² term of each Detectable Region scales quadratically with");
+    println!("range, and one long-range sensor can supply several of the k = 5");
+    println!("reports by covering the target across ms+1 periods. The closed-form");
+    println!("model resolves this procurement trade-off without simulation.");
+}

@@ -1,0 +1,44 @@
+//! Figure 8: required `g`, `gh` (M-S-approach) and `G` (S-approach) to
+//! reach 99 % analysis accuracy, versus the number of deployed nodes.
+//!
+//! Paper settings: S = 32 km × 32 km, Rs = 1 km, t = 1 min, M = 20,
+//! V = 10 m/s, N swept 60..260.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin fig8
+//! ```
+
+use gbd_bench::{figure8_n_values, Csv, ExpOptions};
+use gbd_core::accuracy::required_caps;
+use gbd_core::params::SystemParams;
+
+fn main() {
+    let opts = ExpOptions::from_args(0);
+    let eta = 0.99;
+    let base = SystemParams::paper_defaults().with_speed(10.0);
+
+    println!(
+        "Figure 8 — required caps for {:.0}% analysis accuracy",
+        eta * 100.0
+    );
+    println!("(S = 32x32 km, Rs = 1 km, t = 60 s, M = 20, V = 10 m/s)\n");
+    println!("  N   | g (M-S) | gh (M-S) | G (S-approach)");
+    println!(" -----+---------+----------+---------------");
+
+    let mut csv = Csv::create(&opts.out_dir, "fig8.csv", &["n", "g", "gh", "g_s"]);
+    for n in figure8_n_values() {
+        let caps = required_caps(&base.with_n_sensors(n), eta);
+        println!(
+            "  {n:3} |    {:2}   |    {:2}    |      {:2}",
+            caps.g, caps.gh, caps.g_s_approach
+        );
+        csv.row(&[
+            n.to_string(),
+            caps.g.to_string(),
+            caps.gh.to_string(),
+            caps.g_s_approach.to_string(),
+        ]);
+    }
+    csv.finish();
+    println!("\nPaper shape: G >> gh >= g across the sweep; all grow slowly with N.");
+}

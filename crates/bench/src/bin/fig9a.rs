@@ -1,0 +1,71 @@
+//! Figure 9(a): detection probability vs number of deployed nodes,
+//! analysis (M-S-approach, normalized) against simulation, for a target
+//! moving in a straight line at V = 4 and 10 m/s.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin fig9a            # 10 000 trials/point
+//! cargo run --release -p gbd-bench --bin fig9a -- --trials 2000
+//! ```
+
+use gbd_bench::{f, figure9_n_values, Csv, ExpOptions};
+use gbd_core::ms_approach::{analyze, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_sim::config::SimConfig;
+use gbd_sim::runner::run;
+
+fn main() {
+    let opts = ExpOptions::from_args(10_000);
+    println!(
+        "Figure 9(a) — detection probability, straight-line target ({} trials/point)\n",
+        opts.trials
+    );
+    println!("   N  |  V  | analysis | simulation | 95% CI          | |err|");
+    println!(" -----+-----+----------+------------+-----------------+------");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "fig9a.csv",
+        &[
+            "n",
+            "v",
+            "analysis",
+            "simulation",
+            "ci_lo",
+            "ci_hi",
+            "abs_err",
+        ],
+    );
+    let mut max_err = 0.0f64;
+    for v in [4.0, 10.0] {
+        for n in figure9_n_values() {
+            let params = SystemParams::paper_defaults()
+                .with_n_sensors(n)
+                .with_speed(v);
+            let ana = analyze(&params, &MsOptions::default())
+                .expect("valid paper params")
+                .detection_probability(params.k());
+            let sim = run(&SimConfig::new(params)
+                .with_trials(opts.trials)
+                .with_seed(opts.seed));
+            let err = (ana - sim.detection_probability).abs();
+            max_err = max_err.max(err);
+            println!(
+                "  {n:3} | {v:3} |  {ana:.4}  |   {:.4}   | [{:.4},{:.4}] | {err:.4}",
+                sim.detection_probability, sim.confidence.lo, sim.confidence.hi
+            );
+            csv.row(&[
+                n.to_string(),
+                v.to_string(),
+                f(ana),
+                f(sim.detection_probability),
+                f(sim.confidence.lo),
+                f(sim.confidence.hi),
+                f(err),
+            ]);
+        }
+    }
+    csv.finish();
+    println!("\nmax |analysis − simulation| = {max_err:.4}");
+    println!("Paper shape: curves rise with N; V = 10 m/s above V = 4 m/s; analysis");
+    println!("coincides with simulation (the paper calls it 'extremely accurate').");
+}

@@ -1,0 +1,62 @@
+//! Figure 9(c): a target that changes direction (Random Walk: heading
+//! perturbed uniformly in ±π/4 every period) simulated against the
+//! straight-line analysis. The paper reports a maximum error of 2.4 %,
+//! with the analysis slightly *above* the walk (a shrinking ARegion).
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin fig9c -- --trials 10000
+//! ```
+
+use gbd_bench::{f, figure9_n_values, Csv, ExpOptions};
+use gbd_core::ms_approach::{analyze, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_sim::config::SimConfig;
+use gbd_sim::runner::run;
+
+fn main() {
+    let opts = ExpOptions::from_args(10_000);
+    println!(
+        "Figure 9(c) — random-walk target vs straight-line analysis ({} trials/point)\n",
+        opts.trials
+    );
+    println!("   N  |  V  | analysis (straight) | simulation (walk) | analysis − walk");
+    println!(" -----+-----+---------------------+-------------------+----------------");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "fig9c.csv",
+        &["n", "v", "analysis_straight", "sim_random_walk", "gap"],
+    );
+    let mut max_err = 0.0f64;
+    for v in [4.0, 10.0] {
+        for n in figure9_n_values() {
+            let params = SystemParams::paper_defaults()
+                .with_n_sensors(n)
+                .with_speed(v);
+            let ana = analyze(&params, &MsOptions::default())
+                .expect("valid paper params")
+                .detection_probability(params.k());
+            let sim = run(&SimConfig::new(params)
+                .with_trials(opts.trials)
+                .with_seed(opts.seed)
+                .with_paper_random_walk());
+            let gap = ana - sim.detection_probability;
+            max_err = max_err.max(gap.abs());
+            println!(
+                "  {n:3} | {v:3} |        {ana:.4}       |      {:.4}       |     {gap:+.4}",
+                sim.detection_probability
+            );
+            csv.row(&[
+                n.to_string(),
+                v.to_string(),
+                f(ana),
+                f(sim.detection_probability),
+                f(gap),
+            ]);
+        }
+    }
+    csv.finish();
+    println!("\nmax |error| = {max_err:.4} (paper: 2.4 %)");
+    println!("Paper shape: the straight-line analysis upper-bounds the random walk");
+    println!("slightly — direction changes shrink the explored region.");
+}

@@ -1,0 +1,62 @@
+//! §6 future work: the lower bound of `k` for a specified false alarm
+//! model, plus the resulting detection/false-alarm operating curve.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin k_bound
+//! ```
+
+use gbd_bench::{f, Csv, ExpOptions};
+use gbd_core::false_alarm::{operating_curve, required_k, FalseAlarmModel};
+use gbd_core::ms_approach::MsOptions;
+use gbd_core::params::SystemParams;
+
+fn main() {
+    let opts = ExpOptions::from_args(0);
+    let params = SystemParams::paper_defaults().with_n_sensors(150);
+
+    println!("Lower bound of k (count-based guarantee, N = 150, M = 20):\n");
+    println!("   node FA rate pf | E[noise/window] | k for eps=1% | k for eps=0.1%");
+    println!(" -----------------+-----------------+--------------+----------------");
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "k_bound.csv",
+        &["pf", "mean_noise", "k_1pct", "k_01pct"],
+    );
+    for pf in [1e-5, 1e-4, 5e-4, 1e-3, 2e-3] {
+        let model = FalseAlarmModel::new(pf).unwrap();
+        let k1 = required_k(&params, &model, 0.01).unwrap();
+        let k01 = required_k(&params, &model, 0.001).unwrap();
+        let mean = model.expected_noise_reports(&params);
+        println!("      {pf:8.5}   |      {mean:6.2}     |      {k1:2}      |      {k01:2}");
+        csv.row(&[format!("{pf}"), f(mean), k1.to_string(), k01.to_string()]);
+    }
+    csv.finish();
+
+    println!("\nOperating curve at pf = 5e-4 (detection from the M-S-approach,");
+    println!("false alarm from the count-based bound):\n");
+    println!("   k | P(detect target) | P(window false alarm) <=");
+    let model = FalseAlarmModel::new(5e-4).unwrap();
+    let curve = operating_curve(&params, &model, 10, &MsOptions::default()).unwrap();
+    let mut csv2 = Csv::create(
+        &opts.out_dir,
+        "operating_curve.csv",
+        &["k", "p_detect", "p_false_alarm"],
+    );
+    for pt in &curve {
+        println!(
+            "  {:2} |      {:.4}      |      {:.2e}",
+            pt.k, pt.p_detect, pt.p_false_alarm
+        );
+        csv2.row(&[
+            pt.k.to_string(),
+            f(pt.p_detect),
+            format!("{:.3e}", pt.p_false_alarm),
+        ]);
+    }
+    csv2.finish();
+    println!("\nShape: the paper's k = 5 at its parameters bounds the count-based");
+    println!("window false alarm rate below ~1% for pf <= ~2e-4 while giving up");
+    println!("little detection probability — matching '§2: k is given based on");
+    println!("empirically obtained false alarm patterns'. Track filtering only");
+    println!("lowers the false-alarm side further (see false_alarm_study).");
+}

@@ -1,0 +1,67 @@
+//! Extension: the detection-vs-lifetime frontier of duty-cycled sensing.
+//!
+//! The §5 related work argues that "sacrificing a little coverage can
+//! substantially increase network lifetime". With duty cycling equivalent
+//! to scaling `Pd` (validated in `tests/extensions.rs`) and an energy
+//! model for acoustic nodes, the paper's own analytical machinery computes
+//! that frontier directly.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin lifetime_tradeoff
+//! ```
+
+use gbd_bench::{f, Csv, ExpOptions};
+use gbd_core::ms_approach::MsOptions;
+use gbd_core::params::SystemParams;
+use gbd_net::latency::LatencyModel;
+use gbd_sim::comm_check::check_deployment;
+use gbd_sim::energy::{duty_cycle_tradeoff, EnergyModel};
+
+fn main() {
+    let opts = ExpOptions::from_args(0);
+    let energy = EnergyModel::undersea_acoustic();
+
+    println!("Duty-cycled sensing: detection probability vs node lifetime");
+    println!("(acoustic energy model: sense 1 J/period, sleep 0.01 J, 200 kJ battery)\n");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "lifetime_tradeoff.csv",
+        &["n", "duty", "p_detect", "lifetime_days"],
+    );
+    for n in [150usize, 240] {
+        let params = SystemParams::paper_defaults().with_n_sensors(n);
+        // Mean hop count from an actual routed deployment.
+        let comm = check_deployment(&params, 6_000.0, &LatencyModel::undersea_acoustic(), 11);
+        let mean_hops = comm.hops.mean();
+        println!("N = {n} (mean route length {mean_hops:.1} hops):");
+        println!("   duty | P(detect) | lifetime (days) | vs always-on");
+        let duties = [0.2, 0.4, 0.6, 0.8, 1.0];
+        let pts =
+            duty_cycle_tradeoff(&params, &energy, mean_hops, &duties, &MsOptions::default())
+                .expect("valid tradeoff inputs");
+        let full_life = pts.last().expect("nonempty").lifetime_periods;
+        for pt in &pts {
+            let days = pt.lifetime_periods * params.period_s() / 86_400.0;
+            println!(
+                "   {:.1}  |   {:.3}   |     {days:7.1}     |   x{:.2}",
+                pt.duty,
+                pt.detection_probability,
+                pt.lifetime_periods / full_life
+            );
+            csv.row(&[
+                n.to_string(),
+                f(pt.duty),
+                f(pt.detection_probability),
+                f(days),
+            ]);
+        }
+        println!();
+    }
+    csv.finish();
+    println!("Shape: at N = 240, cutting duty to 60% keeps P(detect) within a few");
+    println!("points of the always-on fleet while extending lifetime ~1.6x — the");
+    println!("related-work claim, now derivable from this paper's model instead of");
+    println!("per-protocol simulation. At lower density the same cut costs far more");
+    println!("detection: density buys the right to sleep.");
+}

@@ -1,0 +1,82 @@
+//! §3.2 made measurable: the T-approach's state explosion.
+//!
+//! The paper rejects the Temporal approach because tracking temporally
+//! correlated coverage "requires a huge number of states… millions or
+//! more". This experiment runs our exact T-approach implementation —
+//! whose result provably equals the M-S-approach's — and reports the peak
+//! live state count next to the M-S chain's state count, sweeping the
+//! window length and the target speed (which controls `ms`).
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin t_approach_explosion
+//! ```
+
+use gbd_bench::{Csv, ExpOptions};
+use gbd_core::ms_approach::{self, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_core::t_approach;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOptions::from_args(0);
+    let caps = MsOptions { g: 2, gh: 2 };
+    println!("T-approach state explosion (g = gh = 2, N = 120)\n");
+    println!("   M  |  V  | ms | T states (peak) | M-S states | T time     | result gap");
+    println!(" -----+-----+----+-----------------+------------+------------+-----------");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "t_approach.csv",
+        &["m", "v", "ms", "t_states", "ms_states", "t_seconds", "gap"],
+    );
+    for v in [10.0, 20.0] {
+        for m in [4usize, 6, 8, 10, 12] {
+            let params = SystemParams::paper_defaults()
+                .with_n_sensors(120)
+                .with_speed(v)
+                .with_m_periods(m);
+            let started = Instant::now();
+            let t = match t_approach::analyze(&params, &caps, 50_000_000) {
+                Ok(t) => t,
+                Err(e) => {
+                    println!("  {m:3} | {v:3} | {:2} | {e}", params.ms());
+                    continue;
+                }
+            };
+            let dt = started.elapsed().as_secs_f64();
+            let ms_r = ms_approach::analyze(&params, &caps).unwrap();
+            let ms_states = ms_r.raw_distribution().support_max() + 1;
+            let gap = t.raw.max_abs_diff(ms_r.raw_distribution());
+            println!(
+                "  {m:3} | {v:3} | {:2} |    {:>10}   |   {ms_states:>5}    | {dt:>8.3} s | {gap:.1e}",
+                params.ms(),
+                t.peak_states
+            );
+            csv.row(&[
+                m.to_string(),
+                v.to_string(),
+                params.ms().to_string(),
+                t.peak_states.to_string(),
+                ms_states.to_string(),
+                format!("{dt:.4}"),
+                format!("{gap:.2e}"),
+            ]);
+        }
+    }
+    csv.finish();
+
+    // The combinatorial bound at the paper's full configuration.
+    let full = SystemParams::paper_defaults().with_speed(4.0);
+    println!(
+        "\nCombinatorial state bound at the paper's V = 4 m/s (ms = 9), M = 20, g = gh = 3:"
+    );
+    println!(
+        "  ~{:.1e} states  (§3.2: 'millions or more')",
+        t_approach::state_space_bound(&full, &MsOptions::default()) as f64
+    );
+    println!("\nBoth approaches produce the same distribution (gap column ~1e-16):");
+    println!("the T-approach pays a combinatorial state set for information the");
+    println!("M-S-approach shows is unnecessary for window detection probability —");
+    println!("though it is exactly what exact time-to-detection needs (see the");
+    println!("time_to_detection experiment).");
+}

@@ -1,0 +1,81 @@
+//! Extension: time-to-detection curves — `P[detected by period m]` from
+//! the arrival-attributed chain, the exact T-approach and simulation.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin time_to_detection -- --trials 4000
+//! ```
+
+use gbd_bench::{f, Csv, ExpOptions};
+use gbd_core::ms_approach::MsOptions;
+use gbd_core::params::SystemParams;
+use gbd_core::time_to_detection;
+use gbd_sim::config::SimConfig;
+use gbd_sim::engine::run_trial;
+
+fn main() {
+    let opts = ExpOptions::from_args(4_000);
+    // Reduced window/caps keep the exact (T-approach) computation light.
+    let params = SystemParams::paper_defaults()
+        .with_m_periods(10)
+        .with_n_sensors(240)
+        .with_k(3);
+    let chain_opts = MsOptions { g: 3, gh: 3 };
+
+    let fast = time_to_detection::analyze(&params, &chain_opts).unwrap();
+    let exact = time_to_detection::analyze_exact(&params, &chain_opts, 50_000_000).unwrap();
+
+    let config = SimConfig::new(params)
+        .with_trials(opts.trials)
+        .with_seed(opts.seed);
+    let m = params.m_periods();
+    let mut sim_counts = vec![0u64; m];
+    for trial in 0..opts.trials {
+        let out = run_trial(&config, trial);
+        if let Some(p) = out.first_detection_period(params.k()) {
+            for slot in sim_counts.iter_mut().skip(p - 1) {
+                *slot += 1;
+            }
+        }
+    }
+    let sim: Vec<f64> = sim_counts
+        .iter()
+        .map(|&c| c as f64 / opts.trials as f64)
+        .collect();
+
+    println!(
+        "Time to detection (N = 240, k = 3, M = 10, {} trials): P[detected by period m]\n",
+        opts.trials
+    );
+    println!("   m | arrival-attributed | exact (T-approach) | simulation");
+    println!(" ----+--------------------+--------------------+-----------");
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "time_to_detection.csv",
+        &["period", "arrival_attributed", "exact", "simulation"],
+    );
+    for (i, &sim_p) in sim.iter().enumerate().take(m) {
+        println!(
+            "  {:2} |       {:.4}       |       {:.4}       |   {:.4}",
+            i + 1,
+            fast.by_period[i],
+            exact.by_period[i],
+            sim_p
+        );
+        csv.row(&[
+            (i + 1).to_string(),
+            f(fast.by_period[i]),
+            f(exact.by_period[i]),
+            f(sim_p),
+        ]);
+    }
+    csv.finish();
+    println!(
+        "\nmean detection period (given detected): arrival-attributed {:.2}, exact {:.2}",
+        fast.mean_period_given_detected().unwrap_or(f64::NAN),
+        exact.mean_period_given_detected().unwrap_or(f64::NAN)
+    );
+    println!("\nShape: the exact curve lies on the simulation; the fast curve is the");
+    println!("same endpoint shifted early by up to ms periods (reports are credited");
+    println!("to their sensor's arrival period). Use the fast curve for window");
+    println!("probabilities, the exact curve when timing matters.");
+}

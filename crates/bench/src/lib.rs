@@ -1,0 +1,138 @@
+#![warn(missing_docs)]
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure (or ablation) of the
+//! paper: it prints the series to stdout in a paper-comparable layout and
+//! writes a CSV under `results/` for plotting. Trial counts default to the
+//! paper's 10 000 and can be lowered with `--trials <n>` for smoke runs.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Monte Carlo trials per point.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl ExpOptions {
+    /// Parses `--trials <n>`, `--seed <n>` and `--out <dir>` from the
+    /// process arguments; everything else is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed values.
+    pub fn from_args(default_trials: u64) -> Self {
+        let mut opts = ExpOptions {
+            trials: default_trials,
+            seed: 2008,
+            out_dir: PathBuf::from("results"),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trials" => {
+                    opts.trials = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--trials needs a positive integer");
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                    i += 2;
+                }
+                "--out" => {
+                    opts.out_dir =
+                        PathBuf::from(args.get(i + 1).expect("--out needs a directory"));
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        opts
+    }
+}
+
+/// A minimal CSV writer (no quoting needed for numeric experiment output).
+pub struct Csv {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Csv {
+    /// Creates `<dir>/<name>` (and the directory), writing the header row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created.
+    pub fn create(dir: &Path, name: &str, header: &[&str]) -> Self {
+        std::fs::create_dir_all(dir).expect("cannot create results directory");
+        let path = dir.join(name);
+        let mut writer = BufWriter::new(File::create(&path).expect("cannot create csv"));
+        writeln!(writer, "{}", header.join(",")).expect("csv write failed");
+        Csv { writer, path }
+    }
+
+    /// Writes one row of values.
+    pub fn row(&mut self, values: &[String]) {
+        writeln!(self.writer, "{}", values.join(",")).expect("csv write failed");
+    }
+
+    /// Flushes and reports the path written.
+    pub fn finish(mut self) {
+        self.writer.flush().expect("csv flush failed");
+        println!("\n[written] {}", self.path.display());
+    }
+}
+
+/// Formats a float with 4 decimals for CSV rows.
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// The paper's Figure 9 sensor-count sweep: 60 to 240 in steps of 30.
+pub fn figure9_n_values() -> Vec<usize> {
+    (60..=240).step_by(30).collect()
+}
+
+/// The paper's Figure 8 sensor-count sweep: 60 to 260 in steps of 20.
+pub fn figure8_n_values() -> Vec<usize> {
+    (60..=260).step_by(20).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper_axes() {
+        let f9 = figure9_n_values();
+        assert_eq!(f9.first(), Some(&60));
+        assert_eq!(f9.last(), Some(&240));
+        assert_eq!(f9.len(), 7);
+        let f8 = figure8_n_values();
+        assert_eq!(f8.first(), Some(&60));
+        assert_eq!(f8.last(), Some(&260));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("gbd_bench_test_csv");
+        let mut csv = Csv::create(&dir, "t.csv", &["a", "b"]);
+        csv.row(&[f(1.0), f(2.5)]);
+        csv.finish();
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "a,b\n1.0000,2.5000\n");
+    }
+}

@@ -1,0 +1,346 @@
+//! `groupdet` — command-line front end for the group based detection
+//! analysis and simulator.
+//!
+//! ```text
+//! groupdet analyze  [options]          analytical detection probability
+//! groupdet simulate [options]          Monte Carlo detection probability
+//! groupdet sweep    [options]          analysis + simulation over N
+//! groupdet caps     [options]          required g/gh/G for an accuracy target
+//! groupdet design   [options]          sensors/range needed for a target probability
+//! groupdet help                        option reference
+//! ```
+
+use gbd_core::accuracy::required_caps;
+use gbd_core::design::{required_sensing_range, required_sensors};
+use gbd_core::exact;
+use gbd_core::ms_approach::{analyze, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_sim::config::SimConfig;
+use gbd_sim::runner::run;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+/// Parsed command-line options with paper defaults.
+#[derive(Debug, Clone)]
+struct Cli {
+    n: usize,
+    speed: f64,
+    rs: f64,
+    field: f64,
+    pd: f64,
+    m: usize,
+    k: usize,
+    g: usize,
+    gh: usize,
+    trials: u64,
+    seed: u64,
+    walk: bool,
+    eta: f64,
+    target: f64,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            n: 240,
+            speed: 10.0,
+            rs: 1000.0,
+            field: 32_000.0,
+            pd: 0.9,
+            m: 20,
+            k: 5,
+            g: 3,
+            gh: 3,
+            trials: 10_000,
+            seed: 2008,
+            walk: false,
+            eta: 0.99,
+            target: 0.95,
+        }
+    }
+}
+
+fn value<T: FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+    let raw = args
+        .get(i + 1)
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value for {flag}: {raw}"))
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cli = Cli::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--n" => cli.n = value(args, i, flag)?,
+                "--speed" => cli.speed = value(args, i, flag)?,
+                "--rs" => cli.rs = value(args, i, flag)?,
+                "--field" => cli.field = value(args, i, flag)?,
+                "--pd" => cli.pd = value(args, i, flag)?,
+                "--m" => cli.m = value(args, i, flag)?,
+                "--k" => cli.k = value(args, i, flag)?,
+                "--g" => cli.g = value(args, i, flag)?,
+                "--gh" => cli.gh = value(args, i, flag)?,
+                "--trials" => cli.trials = value(args, i, flag)?,
+                "--seed" => cli.seed = value(args, i, flag)?,
+                "--eta" => cli.eta = value(args, i, flag)?,
+                "--target" => cli.target = value(args, i, flag)?,
+                "--walk" => {
+                    cli.walk = true;
+                    i += 1;
+                    continue;
+                }
+                other => return Err(format!("unknown option: {other}")),
+            }
+            i += 2;
+        }
+        Ok(cli)
+    }
+
+    fn params(&self) -> Result<SystemParams, String> {
+        SystemParams::new(
+            self.field, self.field, self.n, self.rs, self.speed, 60.0, self.pd, self.m, self.k,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    fn sim_config(&self, params: SystemParams) -> SimConfig {
+        let cfg = SimConfig::new(params)
+            .with_trials(self.trials)
+            .with_seed(self.seed);
+        if self.walk {
+            cfg.with_paper_random_walk()
+        } else {
+            cfg
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("usage: groupdet <analyze|simulate|sweep|caps|help> [options]");
+        return ExitCode::FAILURE;
+    };
+    if matches!(command, "help" | "--help" | "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let cli = match Cli::parse(&args[1..]) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "analyze" => cmd_analyze(&cli),
+        "simulate" => cmd_simulate(&cli),
+        "sweep" => cmd_sweep(&cli),
+        "caps" => cmd_caps(&cli),
+        "design" => cmd_design(&cli),
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "groupdet — group based detection for sparse sensor networks\n\
+         \n\
+         commands: analyze | simulate | sweep | caps | design | help\n\
+         \n\
+         options (paper defaults in parentheses):\n\
+         \x20 --n <int>       sensors deployed (240)\n\
+         \x20 --speed <m/s>   target speed (10)\n\
+         \x20 --rs <m>        sensing range (1000)\n\
+         \x20 --field <m>     square field side (32000)\n\
+         \x20 --pd <p>        per-period detection probability (0.9)\n\
+         \x20 --m <int>       window periods M (20)\n\
+         \x20 --k <int>       report threshold k (5)\n\
+         \x20 --g/--gh <int>  M-S truncation caps (3/3)\n\
+         \x20 --trials <int>  simulation trials (10000)\n\
+         \x20 --seed <int>    master seed (2008)\n\
+         \x20 --walk          random-walk target (simulate/sweep)\n\
+         \x20 --eta <p>       accuracy target for caps (0.99)\n\
+         \x20 --target <p>    detection-probability target for design (0.95)\n\
+         \n\
+         examples:\n\
+         \x20 groupdet analyze --n 120 --speed 4\n\
+         \x20 groupdet simulate --n 120 --trials 2000 --walk\n\
+         \x20 groupdet sweep --k 5\n\
+         \x20 groupdet caps --eta 0.995"
+    );
+}
+
+fn cmd_analyze(cli: &Cli) -> Result<(), String> {
+    let params = cli.params()?;
+    let r = analyze(
+        &params,
+        &MsOptions {
+            g: cli.g,
+            gh: cli.gh,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "M-S-approach   P[X >= {}] = {:.4}",
+        params.k(),
+        r.detection_probability(params.k())
+    );
+    println!(
+        "unnormalized              = {:.4}",
+        r.detection_probability_unnormalized(params.k())
+    );
+    println!("retained mass             = {:.4}", r.retained_mass());
+    println!(
+        "exact reference           = {:.4}",
+        exact::detection_probability(&params, params.k())
+    );
+    Ok(())
+}
+
+fn cmd_simulate(cli: &Cli) -> Result<(), String> {
+    let params = cli.params()?;
+    let r = run(&cli.sim_config(params));
+    println!(
+        "simulation     P[X >= {}] = {:.4}  (95% CI [{:.4}, {:.4}], {} trials{})",
+        params.k(),
+        r.detection_probability,
+        r.confidence.lo,
+        r.confidence.hi,
+        r.trials,
+        if cli.walk { ", random walk" } else { "" }
+    );
+    println!("mean reports per window   = {:.2}", r.report_counts.mean());
+    Ok(())
+}
+
+fn cmd_sweep(cli: &Cli) -> Result<(), String> {
+    println!("   N  | analysis | simulation");
+    for n in (60..=240).step_by(30) {
+        let params = cli.params()?.with_n_sensors(n);
+        let ana = analyze(
+            &params,
+            &MsOptions {
+                g: cli.g,
+                gh: cli.gh,
+            },
+        )
+        .map_err(|e| e.to_string())?
+        .detection_probability(params.k());
+        let sim = run(&cli.sim_config(params));
+        println!("  {n:3} |  {ana:.4}  |  {:.4}", sim.detection_probability);
+    }
+    Ok(())
+}
+
+fn cmd_design(cli: &Cli) -> Result<(), String> {
+    let params = cli.params()?;
+    match required_sensors(&params, cli.target, 10 * params.n_sensors().max(100))
+        .map_err(|e| e.to_string())?
+    {
+        Some(pt) => println!(
+            "sensors needed at Rs = {:.0} m : N = {:.0}  (P = {:.4})",
+            params.sensing_range(),
+            pt.value,
+            pt.achieved
+        ),
+        None => println!("target unreachable by adding sensors (within 10x the current fleet)"),
+    }
+    match required_sensing_range(&params, cli.target, 10.0, 10.0 * params.sensing_range())
+        .map_err(|e| e.to_string())?
+    {
+        Some(pt) => println!(
+            "range needed at N = {}     : Rs = {:.0} m  (P = {:.4})",
+            params.n_sensors(),
+            pt.value,
+            pt.achieved
+        ),
+        None => println!("target unreachable by extending range (within 10x the current Rs)"),
+    }
+    Ok(())
+}
+
+fn cmd_caps(cli: &Cli) -> Result<(), String> {
+    let params = cli.params()?;
+    let caps = required_caps(&params, cli.eta);
+    println!(
+        "for {:.1}% accuracy: g = {}, gh = {}, G (S-approach) = {}",
+        cli.eta * 100.0,
+        caps.g,
+        caps.gh,
+        caps.g_s_approach
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_are_paper_settings() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.n, 240);
+        assert_eq!(cli.speed, 10.0);
+        assert_eq!(cli.k, 5);
+        assert_eq!(cli.m, 20);
+        assert_eq!(cli.trials, 10_000);
+        assert!(!cli.walk);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let cli = parse(&[
+            "--n", "60", "--speed", "4", "--k", "3", "--m", "10", "--trials", "500", "--walk",
+            "--eta", "0.95", "--g", "2", "--gh", "4", "--seed", "7",
+        ])
+        .unwrap();
+        assert_eq!(cli.n, 60);
+        assert_eq!(cli.speed, 4.0);
+        assert_eq!(cli.k, 3);
+        assert_eq!(cli.m, 10);
+        assert_eq!(cli.trials, 500);
+        assert!(cli.walk);
+        assert_eq!(cli.eta, 0.95);
+        assert_eq!(cli.g, 2);
+        assert_eq!(cli.gh, 4);
+        assert_eq!(cli.seed, 7);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--n"]).is_err());
+        assert!(parse(&["--n", "abc"]).is_err());
+        assert!(parse(&["--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn params_reflect_cli() {
+        let cli = parse(&["--n", "100", "--field", "10000", "--rs", "500"]).unwrap();
+        let p = cli.params().unwrap();
+        assert_eq!(p.n_sensors(), 100);
+        assert_eq!(p.field_area(), 1e8);
+        assert_eq!(p.sensing_range(), 500.0);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let cli = parse(&["--pd", "1.4"]).unwrap();
+        assert!(cli.params().is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Design-space solvers: the paper's model, inverted.
+//!
+//! The conclusion of the paper sells the analysis as a design tool: "The
+//! analysis helps a system designer understand the impact of various
+//! system parameters in an easy way, without running extensive simulations
+//! or deploying real systems." This module turns the forward model into
+//! the questions designers actually ask:
+//!
+//! * how many sensors buy a target detection probability?
+//! * what sensing range would the existing fleet need?
+//! * how large an area can a fixed budget patrol?
+//!
+//! All solvers exploit the detection probability's monotonicity in the
+//! designed parameter (each is asserted by the test suite) and bisect the
+//! exact model, so no truncation caps leak into design decisions.
+
+use crate::exact;
+use crate::params::SystemParams;
+use crate::CoreError;
+
+/// Result of a design solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// The solved parameter value.
+    pub value: f64,
+    /// Detection probability achieved at that value.
+    pub achieved: f64,
+}
+
+fn validate_target(target: f64) -> Result<(), CoreError> {
+    if !(0.0 < target && target < 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "target",
+            constraint: "must lie strictly between 0 and 1",
+        });
+    }
+    Ok(())
+}
+
+/// Smallest sensor count `N` whose exact detection probability reaches
+/// `target`, up to `n_max`.
+///
+/// Returns `None` if even `n_max` sensors are insufficient.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `target` is not in `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use gbd_core::design::required_sensors;
+/// use gbd_core::params::SystemParams;
+///
+/// # fn main() -> Result<(), gbd_core::CoreError> {
+/// let params = SystemParams::paper_defaults();
+/// let point = required_sensors(&params, 0.90, 1_000)?.expect("reachable");
+/// // Figure 9(a): ~0.93 at N = 180, so the 0.90 threshold falls just below.
+/// assert!(point.value >= 150.0 && point.value <= 180.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn required_sensors(
+    params: &SystemParams,
+    target: f64,
+    n_max: usize,
+) -> Result<Option<DesignPoint>, CoreError> {
+    validate_target(target)?;
+    let k = params.k();
+    let p_of = |n: usize| exact::detection_probability(&params.with_n_sensors(n), k);
+    if p_of(n_max) < target {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (0usize, n_max);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if p_of(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(DesignPoint {
+        value: hi as f64,
+        achieved: p_of(hi),
+    }))
+}
+
+/// Smallest sensing range `Rs` (meters) reaching `target`, searched within
+/// `[rs_lo, rs_hi]` by bisection to a 1 m tolerance.
+///
+/// Returns `None` if `rs_hi` is insufficient.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `target` is not in `(0, 1)`
+/// or the bracket is invalid.
+pub fn required_sensing_range(
+    params: &SystemParams,
+    target: f64,
+    rs_lo: f64,
+    rs_hi: f64,
+) -> Result<Option<DesignPoint>, CoreError> {
+    validate_target(target)?;
+    if !(rs_lo > 0.0 && rs_hi > rs_lo && rs_hi.is_finite()) {
+        return Err(CoreError::InvalidParameter {
+            name: "rs_lo/rs_hi",
+            constraint: "must satisfy 0 < rs_lo < rs_hi",
+        });
+    }
+    let k = params.k();
+    let p_of = |rs: f64| exact::detection_probability(&params.with_sensing_range(rs), k);
+    if p_of(rs_hi) < target {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (rs_lo, rs_hi);
+    if p_of(lo) >= target {
+        return Ok(Some(DesignPoint {
+            value: lo,
+            achieved: p_of(lo),
+        }));
+    }
+    while hi - lo > 1.0 {
+        let mid = (lo + hi) / 2.0;
+        if p_of(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(DesignPoint {
+        value: hi,
+        achieved: p_of(hi),
+    }))
+}
+
+/// Largest square field side (meters) a fixed fleet can patrol while
+/// keeping detection probability at least `target`, searched within
+/// `[side_lo, side_hi]` to a 10 m tolerance.
+///
+/// Detection probability falls as the field grows (the same sensors spread
+/// thinner), so this bisects the decreasing direction. Returns `None` if
+/// even `side_lo` cannot reach the target.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `target` is not in `(0, 1)`
+/// or the bracket is invalid.
+pub fn max_field_side(
+    params: &SystemParams,
+    target: f64,
+    side_lo: f64,
+    side_hi: f64,
+) -> Result<Option<DesignPoint>, CoreError> {
+    validate_target(target)?;
+    if !(side_lo > 0.0 && side_hi > side_lo && side_hi.is_finite()) {
+        return Err(CoreError::InvalidParameter {
+            name: "side_lo/side_hi",
+            constraint: "must satisfy 0 < side_lo < side_hi",
+        });
+    }
+    // The sparse-network model assumes the target's Aggregate Region fits
+    // inside the field; below that the analysis premise is void.
+    if side_lo * side_lo < params.aregion_area() {
+        return Err(CoreError::InvalidParameter {
+            name: "side_lo",
+            constraint: "field must be large enough to contain the Aggregate Region",
+        });
+    }
+    let k = params.k();
+    let p_of = |side: f64| {
+        let p = SystemParams::new(
+            side,
+            side,
+            params.n_sensors(),
+            params.sensing_range(),
+            params.speed(),
+            params.period_s(),
+            params.pd(),
+            params.m_periods(),
+            k,
+        )
+        .expect("scaled params remain valid");
+        exact::detection_probability(&p, k)
+    };
+    if p_of(side_lo) < target {
+        return Ok(None);
+    }
+    if p_of(side_hi) >= target {
+        return Ok(Some(DesignPoint {
+            value: side_hi,
+            achieved: p_of(side_hi),
+        }));
+    }
+    let (mut lo, mut hi) = (side_lo, side_hi);
+    while hi - lo > 10.0 {
+        let mid = (lo + hi) / 2.0;
+        if p_of(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(DesignPoint {
+        value: lo,
+        achieved: p_of(lo),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn required_sensors_is_tight() {
+        let p = paper();
+        let point = required_sensors(&p, 0.9, 500).unwrap().unwrap();
+        let n = point.value as usize;
+        assert!(point.achieved >= 0.9);
+        let below = exact::detection_probability(&p.with_n_sensors(n - 1), 5);
+        assert!(below < 0.9, "n−1 already reaches the target: {below}");
+    }
+
+    #[test]
+    fn required_sensors_unreachable_returns_none() {
+        // Asking 99.9% detection with at most 30 sensors: hopeless.
+        assert!(required_sensors(&paper(), 0.999, 30).unwrap().is_none());
+    }
+
+    #[test]
+    fn required_range_bracket_behaviour() {
+        let p = paper().with_n_sensors(120);
+        let point = required_sensing_range(&p, 0.9, 100.0, 5_000.0)
+            .unwrap()
+            .unwrap();
+        assert!(point.achieved >= 0.9);
+        assert!(
+            point.value > 1_000.0,
+            "paper Rs=1km gives only ~0.78 at N=120"
+        );
+        // Tightness within the 1 m tolerance.
+        let below = exact::detection_probability(&p.with_sensing_range(point.value - 2.0), 5);
+        assert!(below < 0.9 + 1e-9);
+        // Out-of-reach bracket.
+        assert!(required_sensing_range(&p, 0.999999, 100.0, 1_100.0)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn max_field_shrinks_with_stricter_targets() {
+        let p = paper();
+        let loose = max_field_side(&p, 0.8, 8_000.0, 200_000.0)
+            .unwrap()
+            .unwrap();
+        let strict = max_field_side(&p, 0.95, 8_000.0, 200_000.0)
+            .unwrap()
+            .unwrap();
+        assert!(loose.value > strict.value);
+        assert!(strict.achieved >= 0.95);
+        // The paper's own operating point: 240 sensors at 32 km reach ~0.98,
+        // so a 0.95 target must allow at least a 32 km field.
+        assert!(strict.value >= 32_000.0, "{}", strict.value);
+    }
+
+    #[test]
+    fn max_field_none_when_infeasible() {
+        let p = paper().with_n_sensors(5);
+        assert!(max_field_side(&p, 0.99, 32_000.0, 64_000.0)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(required_sensors(&paper(), 0.0, 100).is_err());
+        assert!(required_sensors(&paper(), 1.0, 100).is_err());
+        assert!(required_sensing_range(&paper(), 0.9, 0.0, 100.0).is_err());
+        assert!(max_field_side(&paper(), 0.9, 100.0, 50.0).is_err());
+        // Bracket below the Aggregate-Region footprint is rejected.
+        assert!(max_field_side(&paper(), 0.9, 2_000.0, 50_000.0).is_err());
+    }
+
+    #[test]
+    fn design_round_trip() {
+        // Solve for N at a target, then verify the forward model at the
+        // solved N meets it — across several targets.
+        for target in [0.5, 0.7, 0.9, 0.97] {
+            let point = required_sensors(&paper(), target, 1_000).unwrap().unwrap();
+            assert!(point.achieved >= target, "target {target}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by the analytical models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A system parameter failed validation.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A lower-level numeric operation failed (propagated from `gbd-stats`).
+    Numeric(gbd_stats::StatsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            CoreError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<gbd_stats::StatsError> for CoreError {
+    fn from(e: gbd_stats::StatsError) -> Self {
+        CoreError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidParameter {
+            name: "pd",
+            constraint: "must be in [0, 1]",
+        };
+        assert!(e.to_string().contains("pd"));
+        let n: CoreError = gbd_stats::StatsError::InvalidPmf { reason: "x" }.into();
+        assert!(std::error::Error::source(&n).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

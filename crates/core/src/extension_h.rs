@@ -1,0 +1,332 @@
+//! The §4 extension: "at least `k` reports from at least `h` distinct
+//! nodes".
+//!
+//! The paper sketches the change: enlarge the Markov state space from
+//! report counts to `(reports, nodes)` pairs (`hMZ + 1` states). This
+//! module implements that enlarged chain as a two-dimensional saturating
+//! counting distribution: each stage contributes a joint increment
+//! `(m reports, d distinct reporting sensors)`, where a sensor counts
+//! toward `d` iff it generated at least one report.
+
+use crate::params::SystemParams;
+use crate::report_dist::per_sensor_distribution;
+use crate::CoreError;
+use gbd_geometry::subarea::SubareaTable;
+use gbd_stats::binomial::Binomial;
+
+pub use crate::ms_approach::MsOptions;
+
+/// A joint distribution over `(reports, reporting nodes)` with both axes
+/// saturating at their caps (merged top states).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointDist {
+    cap_r: usize,
+    cap_n: usize,
+    /// Row-major: `data[r * (cap_n + 1) + n]`.
+    data: Vec<f64>,
+}
+
+impl JointDist {
+    /// The point mass at `(0, 0)`.
+    pub fn point_mass_zero(cap_r: usize, cap_n: usize) -> Self {
+        let mut data = vec![0.0; (cap_r + 1) * (cap_n + 1)];
+        data[0] = 1.0;
+        JointDist { cap_r, cap_n, data }
+    }
+
+    fn zero(cap_r: usize, cap_n: usize) -> Self {
+        JointDist {
+            cap_r,
+            cap_n,
+            data: vec![0.0; (cap_r + 1) * (cap_n + 1)],
+        }
+    }
+
+    /// Report-axis cap.
+    pub fn cap_reports(&self) -> usize {
+        self.cap_r
+    }
+
+    /// Node-axis cap.
+    pub fn cap_nodes(&self) -> usize {
+        self.cap_n
+    }
+
+    /// Probability mass at `(reports, nodes)` (saturated coordinates).
+    pub fn pmf(&self, reports: usize, nodes: usize) -> f64 {
+        if reports > self.cap_r || nodes > self.cap_n {
+            return 0.0;
+        }
+        self.data[reports * (self.cap_n + 1) + nodes]
+    }
+
+    fn add(&mut self, reports: usize, nodes: usize, mass: f64) {
+        let r = reports.min(self.cap_r);
+        let n = nodes.min(self.cap_n);
+        self.data[r * (self.cap_n + 1) + n] += mass;
+    }
+
+    /// Total retained mass.
+    pub fn total_mass(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// `P[reports >= k AND nodes >= h]` over the retained mass.
+    pub fn tail(&self, k: usize, h: usize) -> f64 {
+        if k > self.cap_r || h > self.cap_n {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for r in k..=self.cap_r {
+            for n in h..=self.cap_n {
+                total += self.pmf(r, n);
+            }
+        }
+        total
+    }
+
+    /// Saturating 2-D convolution (independent sum on both axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caps differ.
+    pub fn convolve_saturating(&self, other: &JointDist) -> JointDist {
+        assert_eq!(self.cap_r, other.cap_r, "report caps must match");
+        assert_eq!(self.cap_n, other.cap_n, "node caps must match");
+        let mut out = JointDist::zero(self.cap_r, self.cap_n);
+        for r1 in 0..=self.cap_r {
+            for n1 in 0..=self.cap_n {
+                let a = self.pmf(r1, n1);
+                if a == 0.0 {
+                    continue;
+                }
+                for r2 in 0..=other.cap_r {
+                    for n2 in 0..=other.cap_n {
+                        let b = other.pmf(r2, n2);
+                        if b != 0.0 {
+                            out.add(r1 + r2, n1 + n2, a * b);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Result of the h-node analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HAnalysisResult {
+    joint: JointDist,
+}
+
+impl HAnalysisResult {
+    /// Normalized `P[>= k reports from >= h nodes within M periods]`.
+    pub fn detection_probability(&self, k: usize, h: usize) -> f64 {
+        self.joint.tail(k, h) / self.joint.total_mass()
+    }
+
+    /// Unnormalized tail (the truncated-mass analogue of Figure 9(b)).
+    pub fn detection_probability_unnormalized(&self, k: usize, h: usize) -> f64 {
+        self.joint.tail(k, h)
+    }
+
+    /// Retained probability mass.
+    pub fn retained_mass(&self) -> f64 {
+        self.joint.total_mass()
+    }
+
+    /// The final joint distribution.
+    pub fn joint(&self) -> &JointDist {
+        &self.joint
+    }
+}
+
+/// Runs the M-S-approach with the enlarged `(reports, nodes)` state space.
+///
+/// `h_cap` is the node-axis cap; choose it equal to the decision rule's `h`
+/// (states with more nodes merge into it, exactly like the paper's merged
+/// report state).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `h_cap == 0` or a truncation
+/// cap is zero.
+///
+/// # Example
+///
+/// ```
+/// use gbd_core::extension_h::{analyze, MsOptions};
+/// use gbd_core::params::SystemParams;
+///
+/// # fn main() -> Result<(), gbd_core::CoreError> {
+/// let params = SystemParams::paper_defaults();
+/// let joint = analyze(&params, 3, &MsOptions::default())?;
+/// // Requiring distinct witnesses can only lower the probability.
+/// assert!(joint.detection_probability(5, 3) <= joint.detection_probability(5, 1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(
+    params: &SystemParams,
+    h_cap: usize,
+    opts: &MsOptions,
+) -> Result<HAnalysisResult, CoreError> {
+    if h_cap == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "h_cap",
+            constraint: "must be at least 1",
+        });
+    }
+    if opts.g == 0 || opts.gh == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "g/gh",
+            constraint: "truncation caps must be at least 1",
+        });
+    }
+    let m = params.m_periods();
+    let table = SubareaTable::constant_speed(params.sensing_range(), params.step(), m);
+    let n = params.n_sensors();
+    let field_area = params.field_area();
+
+    // Support bound on the report axis (same as the scalar M-S chain).
+    let mut stage_inputs = Vec::with_capacity(m);
+    let mut cap_r = 0usize;
+    for l in 1..=m {
+        let mut areas = table.subareas(l);
+        while areas.len() > 1 && *areas.last().unwrap() == 0.0 {
+            areas.pop();
+        }
+        let cap = if l == 1 { opts.gh } else { opts.g }.min(n);
+        cap_r += cap * areas.len();
+        stage_inputs.push((areas, cap));
+    }
+    cap_r = cap_r.max(1);
+
+    let mut chain = JointDist::point_mass_zero(cap_r, h_cap);
+    for (areas, cap) in &stage_inputs {
+        let stage = stage_joint(areas, field_area, n, params.pd(), *cap, cap_r, h_cap);
+        chain = chain.convolve_saturating(&stage);
+    }
+    Ok(HAnalysisResult { joint: chain })
+}
+
+/// Joint increment distribution of one stage: mixture over the (truncated)
+/// number of sensors in the NEDR of the n-fold convolution of the
+/// per-sensor joint `(m, 1_{m >= 1})`.
+fn stage_joint(
+    areas: &[f64],
+    field_area: f64,
+    n_sensors: usize,
+    pd: f64,
+    cap_sensors: usize,
+    cap_r: usize,
+    cap_n: usize,
+) -> JointDist {
+    let region_area: f64 = areas.iter().sum();
+    if region_area <= 0.0 {
+        return JointDist::point_mass_zero(cap_r, cap_n);
+    }
+    let placement =
+        Binomial::new(n_sensors as u64, region_area / field_area).expect("valid fraction");
+    let q = per_sensor_distribution(areas, pd);
+    let mut per_sensor = JointDist::zero(cap_r, cap_n);
+    for (m, &p) in q.as_slice().iter().enumerate() {
+        per_sensor.add(m, usize::from(m >= 1), p);
+    }
+    let cap = cap_sensors.min(n_sensors);
+    let mut acc = JointDist::zero(cap_r, cap_n);
+    let mut q_n = JointDist::point_mass_zero(cap_r, cap_n);
+    for n in 0..=cap {
+        let w = placement.pmf(n as u64);
+        if w > 0.0 {
+            for r in 0..=cap_r {
+                for d in 0..=cap_n {
+                    let p = q_n.pmf(r, d);
+                    if p != 0.0 {
+                        acc.add(r, d, w * p);
+                    }
+                }
+            }
+        }
+        if n < cap {
+            q_n = q_n.convolve_saturating(&per_sensor);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms_approach;
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn h_one_matches_scalar_ms_approach() {
+        // "at least k reports from at least 1 node" == "at least k reports".
+        let p = paper();
+        let opts = MsOptions::default();
+        let scalar = ms_approach::analyze(&p, &opts).unwrap();
+        let joint = analyze(&p, 1, &opts).unwrap();
+        for k in 1..=8 {
+            let a = scalar.detection_probability(k);
+            let b = joint.detection_probability(k, 1);
+            assert!((a - b).abs() < 1e-9, "k={k}: {a} vs {b}");
+        }
+        assert!((scalar.retained_mass() - joint.retained_mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_decreases_in_h() {
+        let p = paper();
+        let opts = MsOptions::default();
+        let r = analyze(&p, 6, &opts).unwrap();
+        let mut prev = 1.1;
+        for h in 1..=6 {
+            let prob = r.detection_probability(5, h);
+            assert!(prob <= prev + 1e-12, "h={h}");
+            prev = prob;
+        }
+    }
+
+    #[test]
+    fn h_requirement_bites_in_sparse_networks() {
+        // In a sparse network one sensor often generates several of the k
+        // reports; requiring k distinct nodes is substantially harder.
+        let p = paper();
+        let r = analyze(&p, 5, &MsOptions::default()).unwrap();
+        let loose = r.detection_probability(5, 1);
+        let strict = r.detection_probability(5, 5);
+        assert!(strict < loose - 0.05, "loose={loose} strict={strict}");
+    }
+
+    #[test]
+    fn tail_is_zero_beyond_caps() {
+        let r = analyze(&paper(), 3, &MsOptions::default()).unwrap();
+        assert_eq!(r.joint().tail(usize::MAX, 1), 0.0);
+        assert_eq!(r.joint().tail(1, 4), 0.0);
+    }
+
+    #[test]
+    fn nodes_never_exceed_reports() {
+        // P[nodes >= h AND reports < h] must be zero: every reporting node
+        // contributes at least one report.
+        let r = analyze(&paper(), 3, &MsOptions::default()).unwrap();
+        let j = r.joint();
+        for reports in 0..3usize {
+            for nodes in (reports + 1)..=3 {
+                assert!(j.pmf(reports, nodes) < 1e-15, "({reports},{nodes})");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_caps() {
+        assert!(analyze(&paper(), 0, &MsOptions::default()).is_err());
+        assert!(analyze(&paper(), 2, &MsOptions { g: 0, gh: 1 }).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! Per-stage report-count distributions.
+//!
+//! Every stage of the spatial approaches (the Head NEDR, each Body/Tail
+//! NEDR, or the whole Aggregate Region in the S-approach) is described by
+//! the sizes of its coverage subareas: `areas[i − 1]` is the size of the
+//! region where a sensor covers the target for exactly `i` periods. The
+//! stage's *report distribution* is the probability of `m` detection
+//! reports being generated from the stage, considering at most
+//! `cap_sensors` sensors inside it (the paper's `g`/`gh`/`G` truncation).
+//!
+//! Two equivalent computations are provided:
+//!
+//! * [`stage_distribution`] — the fast path. The paper's ordered placement
+//!   enumeration factorizes: summing `∏ Region(r_j)/S` over ordered tuples
+//!   gives `(A/S)^n`, so the stage distribution is a binomial mixture of
+//!   n-fold convolutions of the per-sensor mixture
+//!   `q(m) = Σ_i (areas[i]/A)·Binom(m; i, Pd)`;
+//! * [`stage_distribution_enumeration`] — the paper-faithful Algorithm 1:
+//!   explicit recursion over each considered sensor's (region, report
+//!   count) pair. Exponential in `cap_sensors`; kept for fidelity and for
+//!   the S-approach runtime experiments.
+//!
+//! Both are property-tested to agree to 1e-12.
+
+use gbd_stats::binomial::Binomial;
+use gbd_stats::discrete::DiscreteDist;
+
+/// Per-sensor report distribution for a sensor placed uniformly inside the
+/// stage region: `q(m) = Σ_i (areas[i−1]/A) · Binom(m; i, pd)`.
+///
+/// Returns a point mass at 0 if the region is empty.
+///
+/// # Panics
+///
+/// Panics if any area is negative or `pd` is outside `[0, 1]`.
+pub fn per_sensor_distribution(areas: &[f64], pd: f64) -> DiscreteDist {
+    assert!((0.0..=1.0).contains(&pd), "pd must be in [0, 1]");
+    assert!(
+        areas.iter().all(|&a| a >= 0.0 && a.is_finite()),
+        "areas must be non-negative"
+    );
+    let total: f64 = areas.iter().sum();
+    if total <= 0.0 {
+        return DiscreteDist::point_mass(0);
+    }
+    let max_cov = areas.len();
+    let mut pmf = vec![0.0; max_cov + 1];
+    for (idx, &area) in areas.iter().enumerate() {
+        if area == 0.0 {
+            continue;
+        }
+        let periods = idx + 1;
+        let w = area / total;
+        let b = Binomial::new(periods as u64, pd).expect("validated pd");
+        for (m, slot) in pmf.iter_mut().enumerate().take(periods + 1) {
+            *slot += w * b.pmf(m as u64);
+        }
+    }
+    DiscreteDist::new(pmf).expect("mixture of binomials is a valid pmf")
+}
+
+/// Truncation accuracy `ξ` of a stage (Eqs (5), (7), (9)): the probability
+/// that at most `cap_sensors` of the `N` sensors fall inside the stage
+/// region, `Σ_{i≤cap} C(N,i)·(A/S)^i·(1−A/S)^{N−i}`.
+///
+/// # Panics
+///
+/// Panics if `field_area <= 0` or `region_area` is negative or exceeds the
+/// field area.
+pub fn stage_accuracy(
+    region_area: f64,
+    field_area: f64,
+    n_sensors: usize,
+    cap_sensors: usize,
+) -> f64 {
+    assert!(field_area > 0.0, "field area must be positive");
+    assert!(
+        (0.0..=field_area).contains(&region_area),
+        "region area must lie in [0, field area]"
+    );
+    let b = Binomial::new(n_sensors as u64, region_area / field_area).expect("valid fraction");
+    b.cdf(cap_sensors as u64)
+}
+
+/// Report distribution of a stage, truncated at `cap_sensors` sensors —
+/// the fast (convolution) path.
+///
+/// The returned distribution is sub-stochastic: its total mass equals the
+/// stage accuracy `ξ` from [`stage_accuracy`].
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`per_sensor_distribution`] and
+/// [`stage_accuracy`].
+pub fn stage_distribution(
+    areas: &[f64],
+    field_area: f64,
+    n_sensors: usize,
+    pd: f64,
+    cap_sensors: usize,
+) -> DiscreteDist {
+    let region_area: f64 = areas.iter().sum();
+    if region_area <= 0.0 {
+        return DiscreteDist::point_mass(0);
+    }
+    let placement =
+        Binomial::new(n_sensors as u64, region_area / field_area).expect("valid fraction");
+    let q = per_sensor_distribution(areas, pd);
+    let cap = cap_sensors.min(n_sensors);
+    let mut acc = vec![0.0; cap * q.support_max() + 1];
+    let mut q_n = DiscreteDist::point_mass(0); // q^{*0}
+    for n in 0..=cap {
+        let w = placement.pmf(n as u64);
+        if w > 0.0 {
+            for (m, &p) in q_n.as_slice().iter().enumerate() {
+                acc[m] += w * p;
+            }
+        }
+        if n < cap {
+            q_n = q_n.convolve(&q);
+        }
+    }
+    DiscreteDist::new(acc).expect("binomial mixture of convolutions is sub-stochastic")
+}
+
+/// Report distribution of a stage via the paper's Algorithm 1: explicit
+/// recursion over ordered sensor placements `(Region(r_1), …, Region(r_n))`
+/// and per-sensor report counts.
+///
+/// Runtime grows as `(Σ_i (i + 1))^{cap_sensors}` — this is the
+/// computational-explosion behavior §3.3 describes for the S-approach, kept
+/// deliberately unfactored. Use [`stage_distribution`] everywhere except
+/// fidelity tests and the runtime experiments.
+///
+/// # Panics
+///
+/// Same conditions as [`stage_distribution`].
+pub fn stage_distribution_enumeration(
+    areas: &[f64],
+    field_area: f64,
+    n_sensors: usize,
+    pd: f64,
+    cap_sensors: usize,
+) -> DiscreteDist {
+    assert!(field_area > 0.0, "field area must be positive");
+    assert!((0.0..=1.0).contains(&pd), "pd must be in [0, 1]");
+    let region_area: f64 = areas.iter().sum();
+    if region_area <= 0.0 {
+        return DiscreteDist::point_mass(0);
+    }
+    let cap = cap_sensors.min(n_sensors);
+    let max_reports: usize = areas.len();
+    let mut acc = vec![0.0; cap * max_reports + 1];
+
+    // Per-sensor elementary events: (reports m, weight (area_r/S)·p(m, r)).
+    // Precomputed once; the recursion multiplies them out per placement.
+    let mut events: Vec<(usize, f64)> = Vec::new();
+    for (idx, &area) in areas.iter().enumerate() {
+        let periods = idx + 1;
+        let b = Binomial::new(periods as u64, pd).expect("validated pd");
+        for m in 0..=periods {
+            events.push((m, (area / field_area) * b.pmf(m as u64)));
+        }
+    }
+
+    // n = 0 term: probability of no sensor in the region.
+    let none = Binomial::new(n_sensors as u64, region_area / field_area)
+        .expect("valid fraction")
+        .pmf(0);
+    acc[0] += none;
+
+    for n in 1..=cap {
+        let base = gbd_stats::gamma::binomial_coef(n_sensors as u64, n as u64)
+            * (1.0 - region_area / field_area).powi((n_sensors - n) as i32);
+        // Depth-first enumeration of the n-tuple of per-sensor events.
+        enumerate_tuples(&events, n, 0, base, &mut acc);
+    }
+    DiscreteDist::new(acc).expect("enumeration yields a sub-stochastic pmf")
+}
+
+fn enumerate_tuples(
+    events: &[(usize, f64)],
+    remaining: usize,
+    reports_so_far: usize,
+    weight: f64,
+    acc: &mut [f64],
+) {
+    if remaining == 0 {
+        acc[reports_so_far] += weight;
+        return;
+    }
+    for &(m, w) in events {
+        if w == 0.0 {
+            continue;
+        }
+        enumerate_tuples(events, remaining - 1, reports_so_far + m, weight * w, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIELD: f64 = 1_000_000.0;
+
+    #[test]
+    fn per_sensor_distribution_is_proper() {
+        let q = per_sensor_distribution(&[30.0, 20.0, 10.0], 0.9);
+        assert!((q.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(q.support_max(), 3);
+    }
+
+    #[test]
+    fn per_sensor_single_region_is_binomial() {
+        let q = per_sensor_distribution(&[0.0, 0.0, 42.0], 0.7);
+        let b = Binomial::new(3, 0.7).unwrap();
+        for m in 0..=3usize {
+            assert!((q.pmf(m) - b.pmf(m as u64)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn per_sensor_empty_region_is_point_mass() {
+        let q = per_sensor_distribution(&[0.0, 0.0], 0.9);
+        assert_eq!(q.pmf(0), 1.0);
+    }
+
+    #[test]
+    fn per_sensor_pd_zero_never_reports() {
+        let q = per_sensor_distribution(&[10.0, 10.0], 0.0);
+        assert_eq!(q.pmf(0), 1.0);
+        assert_eq!(q.tail_sum(1), 0.0);
+    }
+
+    #[test]
+    fn stage_mass_equals_xi() {
+        let areas = [900.0, 600.0, 300.0];
+        for cap in [0usize, 1, 2, 3, 5] {
+            let d = stage_distribution(&areas, FIELD, 240, 0.9, cap);
+            let xi = stage_accuracy(1800.0, FIELD, 240, cap);
+            assert!((d.total_mass() - xi).abs() < 1e-12, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn stage_accuracy_increases_with_cap_to_one() {
+        let mut prev = 0.0;
+        for cap in 0..10 {
+            let xi = stage_accuracy(1800.0, FIELD, 240, cap);
+            assert!(xi >= prev);
+            prev = xi;
+        }
+        assert!((stage_accuracy(1800.0, FIELD, 240, 240) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_matches_convolution_small() {
+        let areas = [500.0, 250.0, 125.0];
+        for cap in [0usize, 1, 2, 3] {
+            let fast = stage_distribution(&areas, FIELD, 60, 0.9, cap);
+            let slow = stage_distribution_enumeration(&areas, FIELD, 60, 0.9, cap);
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_convolution_many_regions() {
+        // A slow target: 10 coverage classes (ms = 9).
+        let areas: Vec<f64> = (1..=10).map(|i| 100.0 / i as f64).collect();
+        let fast = stage_distribution(&areas, FIELD, 120, 0.8, 2);
+        let slow = stage_distribution_enumeration(&areas, FIELD, 120, 0.8, 2);
+        assert!(fast.max_abs_diff(&slow) < 1e-12);
+    }
+
+    #[test]
+    fn cap_is_clamped_to_n() {
+        let areas = [100_000.0];
+        let a = stage_distribution(&areas, FIELD, 3, 0.9, 50);
+        let b = stage_distribution(&areas, FIELD, 3, 0.9, 3);
+        assert!(a.max_abs_diff(&b) < 1e-15);
+        assert!((a.total_mass() - 1.0).abs() < 1e-12); // cap >= N: no truncation
+    }
+
+    #[test]
+    fn empty_region_stage_is_point_mass() {
+        let d = stage_distribution(&[0.0], FIELD, 240, 0.9, 3);
+        assert_eq!(d.pmf(0), 1.0);
+        assert!((d.total_mass() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_sensors_shift_mass_upward() {
+        let areas = [900.0, 600.0, 300.0];
+        let few = stage_distribution(&areas, FIELD, 60, 0.9, 6).normalized();
+        let many = stage_distribution(&areas, FIELD, 240, 0.9, 6).normalized();
+        assert!(many.tail_sum(1) > few.tail_sum(1));
+        assert!(many.mean() > few.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "pd")]
+    fn bad_pd_panics() {
+        per_sensor_distribution(&[1.0], 1.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn enumeration_equals_convolution(
+            areas in proptest::collection::vec(0.0f64..5_000.0, 1..5),
+            n_sensors in 1usize..100,
+            pd in 0.0f64..=1.0,
+            cap in 0usize..3,
+        ) {
+            let field = 1_000_000.0;
+            let fast = stage_distribution(&areas, field, n_sensors, pd, cap);
+            let slow = stage_distribution_enumeration(&areas, field, n_sensors, pd, cap);
+            prop_assert!(fast.max_abs_diff(&slow) < 1e-11);
+        }
+
+        #[test]
+        fn mass_never_exceeds_one(
+            areas in proptest::collection::vec(0.0f64..5_000.0, 1..6),
+            n_sensors in 0usize..300,
+            pd in 0.0f64..=1.0,
+            cap in 0usize..6,
+        ) {
+            let d = stage_distribution(&areas, 1_000_000.0, n_sensors, pd, cap);
+            prop_assert!(d.total_mass() <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The `M = 1` preliminary model (paper §3.1, Eqs (1)–(2)).
+//!
+//! When the system decision uses a single sensing period, the number of
+//! reports is binomial: each of the `N` sensors independently lies in the
+//! target's Detectable Region with probability `(2·Rs·V·t + π·Rs²)/S` and,
+//! if so, reports with probability `Pd`.
+
+use crate::params::SystemParams;
+use gbd_stats::binomial::Binomial;
+
+/// `p_indi`: probability that one uniformly placed sensor detects the
+/// target during a single sensing period,
+/// `Pd · (2·Rs·V·t + π·Rs²) / S`.
+pub fn p_indi(params: &SystemParams) -> f64 {
+    params.pd() * params.dr_area() / params.field_area()
+}
+
+/// The report-count distribution of a single period,
+/// `X ~ B(N, p_indi)` — Eq (1).
+pub fn report_distribution(params: &SystemParams) -> Binomial {
+    Binomial::new(params.n_sensors() as u64, p_indi(params))
+        .expect("p_indi is a valid probability by construction")
+}
+
+/// `P1[X = k]` — Eq (1).
+pub fn probability_exactly(params: &SystemParams, k: usize) -> f64 {
+    report_distribution(params).pmf(k as u64)
+}
+
+/// `P1[X >= k]` — Eq (2).
+pub fn probability_at_least(params: &SystemParams, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    report_distribution(params).sf(k as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn p_indi_matches_formula() {
+        let p = params();
+        let expect =
+            0.9 * (2.0 * 1000.0 * 600.0 + std::f64::consts::PI * 1e6) / (32_000.0 * 32_000.0);
+        assert!((p_indi(&p) - expect).abs() < 1e-15);
+        // Sparse network: a single sensor very rarely sees the target.
+        assert!(p_indi(&p) < 0.005);
+    }
+
+    #[test]
+    fn at_least_zero_is_certain() {
+        assert_eq!(probability_at_least(&params(), 0), 1.0);
+    }
+
+    #[test]
+    fn eq2_is_complement_of_eq1_sum() {
+        let p = params();
+        let k = 3;
+        let direct = probability_at_least(&p, k);
+        let complement: f64 = 1.0 - (0..k).map(|i| probability_exactly(&p, i)).sum::<f64>();
+        assert!((direct - complement).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_motivation_m1_with_k5_is_hopeless_in_sparse_network() {
+        // §3.1: "in sparse deployments, the probability of having more than
+        // one report in one sensing period is very low" — with k = 5 and
+        // M = 1, detection is essentially impossible, motivating M > 1.
+        let p = params().with_n_sensors(240);
+        assert!(probability_at_least(&p, 5) < 0.01);
+        // Even a single report in one period is far from certain.
+        assert!(probability_at_least(&p, 1) < 0.65);
+    }
+
+    #[test]
+    fn monotone_in_n_and_speed() {
+        let base = params().with_n_sensors(60);
+        let more = params().with_n_sensors(240);
+        assert!(probability_at_least(&more, 1) > probability_at_least(&base, 1));
+        let slow = params().with_speed(4.0);
+        let fast = params().with_speed(10.0);
+        assert!(probability_at_least(&fast, 1) > probability_at_least(&slow, 1));
+    }
+}

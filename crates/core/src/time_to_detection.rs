@@ -1,0 +1,275 @@
+//! Time-to-detection analysis.
+//!
+//! The paper computes only `P_M[X >= k]` — detection *somewhere* in the
+//! window. For an operator, *when* detection happens matters too: a border
+//! crosser found in minute 3 and one found in minute 19 are different
+//! outcomes.
+//!
+//! Two estimators are provided:
+//!
+//! * [`analyze`] — fast, **arrival-attributed**: runs the M-S chain with
+//!   the threshold state absorbing and reads the tail after every period.
+//!   Because the M-S-approach marginalizes each sensor's per-period coins
+//!   into its arrival period's stage, a report is credited up to `ms`
+//!   periods early; the curve is therefore an *early-shifted* (stochastic
+//!   upper) bound whose endpoint is the correct window probability.
+//! * [`analyze_exact`] — exact, via the [`crate::t_approach`]: the
+//!   Temporal approach carries enough state to place every report in the
+//!   period it actually fires, so its per-period tail is the true
+//!   first-passage curve. This is the one computation where the §3.2
+//!   approach the paper rejects earns its state-space cost.
+
+use crate::ms_approach::MsOptions;
+use crate::params::SystemParams;
+use crate::report_dist::stage_distribution;
+use crate::CoreError;
+use gbd_geometry::subarea::SubareaTable;
+use gbd_markov::counting::CountingChain;
+
+/// First-passage results: when the cumulative report count first reaches
+/// `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeToDetection {
+    /// `by_period[m − 1]` = normalized `P[detected by end of period m]`.
+    /// The last entry equals the window detection probability.
+    pub by_period: Vec<f64>,
+    /// Normalized pmf of the detection period (index `m − 1`); sums to
+    /// the window detection probability.
+    pub period_pmf: Vec<f64>,
+}
+
+impl TimeToDetection {
+    /// The window detection probability `P_M[X >= k]`.
+    pub fn detection_probability(&self) -> f64 {
+        *self.by_period.last().expect("at least one period")
+    }
+
+    /// Mean detection period conditioned on detection happening within the
+    /// window; `None` when detection is impossible.
+    pub fn mean_period_given_detected(&self) -> Option<f64> {
+        let total: f64 = self.period_pmf.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(
+            self.period_pmf
+                .iter()
+                .enumerate()
+                .map(|(idx, &p)| (idx + 1) as f64 * p)
+                .sum::<f64>()
+                / total,
+        )
+    }
+
+    /// Smallest period by which the detection probability reaches `target`
+    /// (e.g. the 90th percentile of detection time); `None` if never.
+    pub fn period_quantile(&self, target: f64) -> Option<usize> {
+        self.by_period
+            .iter()
+            .position(|&p| p >= target)
+            .map(|idx| idx + 1)
+    }
+}
+
+/// Computes the first-passage curve with the M-S-approach machinery: the
+/// counting chain saturates at `k` (state `k` = "detected", absorbing),
+/// and the tail at `k` is recorded after every period.
+///
+/// # Example
+///
+/// ```
+/// use gbd_core::ms_approach::MsOptions;
+/// use gbd_core::params::SystemParams;
+/// use gbd_core::time_to_detection::analyze;
+///
+/// # fn main() -> Result<(), gbd_core::CoreError> {
+/// let curve = analyze(&SystemParams::paper_defaults(), &MsOptions::default())?;
+/// // The curve is a CDF over periods, ending at the window probability.
+/// assert_eq!(curve.by_period.len(), 20);
+/// assert!(curve.detection_probability() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Normalization mirrors Eq (13): each period's probability is divided by
+/// the mass retained *up to that period* so the curve is comparable to
+/// simulation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] on zero caps (see
+/// [`crate::ms_approach::analyze`]).
+pub fn analyze(params: &SystemParams, opts: &MsOptions) -> Result<TimeToDetection, CoreError> {
+    if opts.g == 0 || opts.gh == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "g/gh",
+            constraint: "truncation caps must be at least 1",
+        });
+    }
+    let m = params.m_periods();
+    let k = params.k();
+    let table = SubareaTable::constant_speed(params.sensing_range(), params.step(), m);
+    let mut chain = CountingChain::new(k);
+    let mut by_period = Vec::with_capacity(m);
+    for l in 1..=m {
+        let mut areas = table.subareas(l);
+        while areas.len() > 1 && *areas.last().unwrap() == 0.0 {
+            areas.pop();
+        }
+        let cap = if l == 1 { opts.gh } else { opts.g }.min(params.n_sensors());
+        let dist = stage_distribution(
+            &areas,
+            params.field_area(),
+            params.n_sensors(),
+            params.pd(),
+            cap,
+        );
+        chain.step(&dist);
+        let d = chain.distribution();
+        by_period.push(d.tail_sum(k) / d.total_mass());
+    }
+    let mut period_pmf = Vec::with_capacity(m);
+    let mut prev = 0.0;
+    for &p in &by_period {
+        period_pmf.push((p - prev).max(0.0));
+        prev = p;
+    }
+    Ok(TimeToDetection {
+        by_period,
+        period_pmf,
+    })
+}
+
+/// Computes the **exact** first-passage curve via the Temporal approach.
+///
+/// `max_states` bounds the T-approach's state set (see
+/// [`crate::t_approach::analyze`]); the paper's parameters at `g = gh = 3`
+/// typically need a budget in the hundreds of thousands.
+///
+/// # Errors
+///
+/// Propagates cap/state-budget errors from
+/// [`crate::t_approach::analyze`].
+pub fn analyze_exact(
+    params: &SystemParams,
+    opts: &MsOptions,
+    max_states: usize,
+) -> Result<TimeToDetection, CoreError> {
+    let t = crate::t_approach::analyze(params, opts, max_states)?;
+    let by_period = t.by_period;
+    let mut period_pmf = Vec::with_capacity(by_period.len());
+    let mut prev = 0.0;
+    for &p in &by_period {
+        period_pmf.push((p - prev).max(0.0));
+        prev = p;
+    }
+    Ok(TimeToDetection {
+        by_period,
+        period_pmf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms_approach;
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_window_probability() {
+        let params = paper();
+        let t = analyze(&params, &MsOptions::default()).unwrap();
+        assert_eq!(t.by_period.len(), 20);
+        let mut prev = 0.0;
+        for &p in &t.by_period {
+            assert!(p >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        let window = ms_approach::analyze(&params, &MsOptions::default())
+            .unwrap()
+            .detection_probability(5);
+        // Same machinery, same caps: the endpoints agree tightly.
+        assert!(
+            (t.detection_probability() - window).abs() < 5e-3,
+            "{} vs {window}",
+            t.detection_probability()
+        );
+    }
+
+    #[test]
+    fn early_periods_rarely_detect() {
+        // Arrival attribution credits a covering sensor's whole report
+        // budget to period 1, so the fast curve starts visibly above zero;
+        // the exact (temporal) curve cannot reach k = 5 in one period when
+        // at most gh = 2 sensors are active.
+        let t = analyze(&paper(), &MsOptions::default()).unwrap();
+        assert!(t.by_period[0] < 0.25, "{}", t.by_period[0]);
+        assert!(t.by_period[10] > 0.3);
+        let params = paper().with_m_periods(8).with_n_sensors(120);
+        let exact = analyze_exact(&params, &MsOptions { g: 2, gh: 2 }, 5_000_000).unwrap();
+        assert_eq!(exact.by_period[0], 0.0);
+        assert!(exact.by_period[1] < 0.01);
+    }
+
+    #[test]
+    fn exact_curve_lags_arrival_attributed_curve() {
+        // Arrival attribution credits a sensor's future reports to its
+        // arrival period, so the fast curve stochastically dominates the
+        // exact (T-approach) curve, and both share the window endpoint.
+        let params = paper().with_m_periods(8).with_n_sensors(120);
+        let opts = MsOptions { g: 2, gh: 2 };
+        let fast = analyze(&params, &opts).unwrap();
+        let exact = analyze_exact(&params, &opts, 5_000_000).unwrap();
+        for (m, (f, e)) in fast.by_period.iter().zip(&exact.by_period).enumerate() {
+            assert!(f + 1e-9 >= *e, "period {}: fast {f} < exact {e}", m + 1);
+        }
+        assert!((fast.detection_probability() - exact.detection_probability()).abs() < 1e-9);
+        // And the lag is real: somewhere in the middle the curves differ.
+        let max_gap = fast
+            .by_period
+            .iter()
+            .zip(&exact.by_period)
+            .map(|(f, e)| f - e)
+            .fold(0.0f64, f64::max);
+        assert!(max_gap > 0.01, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn mean_and_quantile_are_consistent() {
+        let t = analyze(&paper(), &MsOptions::default()).unwrap();
+        let mean = t.mean_period_given_detected().unwrap();
+        assert!(mean > 5.0 && mean < 20.0, "mean {mean}");
+        let q50 = t.period_quantile(t.detection_probability() * 0.5).unwrap();
+        assert!(q50 as f64 <= mean + 4.0);
+        assert!(t.period_quantile(1.1).is_none());
+    }
+
+    #[test]
+    fn faster_target_more_likely_detected_by_mid_window() {
+        // Unconditionally, a faster target accumulates covered area sooner:
+        // P[detected by period 10] is higher at V = 10 than at V = 4.
+        let slow = analyze(&paper().with_speed(4.0), &MsOptions::default()).unwrap();
+        let fast = analyze(&paper().with_speed(10.0), &MsOptions::default()).unwrap();
+        assert!(fast.by_period[9] > slow.by_period[9]);
+    }
+
+    #[test]
+    fn impossible_detection_yields_none() {
+        // pd = 0: no reports ever.
+        let params = paper().with_pd(0.0);
+        let t = analyze(&params, &MsOptions::default()).unwrap();
+        assert_eq!(t.detection_probability(), 0.0);
+        assert!(t.mean_period_given_detected().is_none());
+    }
+
+    #[test]
+    fn pmf_sums_to_curve_endpoint() {
+        let t = analyze(&paper(), &MsOptions::default()).unwrap();
+        let total: f64 = t.period_pmf.iter().sum();
+        assert!((total - t.detection_probability()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! The §6 future-work extension: targets traveling at varying speeds.
+//!
+//! The generalized M-S staging in [`crate::ms_approach::analyze_steps`]
+//! already accepts arbitrary per-period step lengths; this module adds the
+//! speed-sequence plumbing and a conservative band: for a speed known only
+//! to lie in `[v_min, v_max]`, the constant-speed analyses at the extremes
+//! bracket the detection probability (the ARegion grows monotonically with
+//! every step length).
+
+use crate::ms_approach::{analyze_steps, AnalysisResult, MsOptions};
+use crate::params::SystemParams;
+use crate::CoreError;
+
+/// Converts a per-period speed sequence (m/s) into step lengths (m).
+///
+/// # Panics
+///
+/// Panics if any speed is negative or not finite.
+pub fn steps_from_speeds(speeds: &[f64], period_s: f64) -> Vec<f64> {
+    assert!(period_s > 0.0, "period must be positive");
+    speeds
+        .iter()
+        .map(|&v| {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "speeds must be finite and non-negative"
+            );
+            v * period_s
+        })
+        .collect()
+}
+
+/// Runs the M-S-approach for an explicit per-period speed sequence.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::InvalidParameter`] from
+/// [`analyze_steps`].
+///
+/// # Example
+///
+/// ```
+/// use gbd_core::ms_approach::MsOptions;
+/// use gbd_core::params::SystemParams;
+/// use gbd_core::varying_speed::analyze_speeds;
+///
+/// # fn main() -> Result<(), gbd_core::CoreError> {
+/// let params = SystemParams::paper_defaults();
+/// // Accelerate mid-window: 4 m/s for 10 periods, then 10 m/s.
+/// let speeds: Vec<f64> = (0..20).map(|i| if i < 10 { 4.0 } else { 10.0 }).collect();
+/// let r = analyze_speeds(&params, &speeds, &MsOptions::default())?;
+/// let p = r.detection_probability(5);
+/// assert!(p > 0.7 && p < 0.98); // between the constant-speed extremes
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_speeds(
+    params: &SystemParams,
+    speeds: &[f64],
+    opts: &MsOptions,
+) -> Result<AnalysisResult, CoreError> {
+    let steps = steps_from_speeds(speeds, params.period_s());
+    analyze_steps(params, &steps, opts)
+}
+
+/// Detection-probability band for a target whose (unknown) per-period speed
+/// lies in `[v_min, v_max]`: the constant-speed analyses at the two
+/// extremes.
+///
+/// Returns `(lower, upper)` probabilities for threshold `k`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if the bounds are invalid.
+pub fn detection_probability_band(
+    params: &SystemParams,
+    v_min: f64,
+    v_max: f64,
+    k: usize,
+    opts: &MsOptions,
+) -> Result<(f64, f64), CoreError> {
+    if !(v_min.is_finite() && v_max.is_finite() && v_min > 0.0 && v_max >= v_min) {
+        return Err(CoreError::InvalidParameter {
+            name: "v_min/v_max",
+            constraint: "must satisfy 0 < v_min <= v_max",
+        });
+    }
+    let lo = crate::ms_approach::analyze(&params.with_speed(v_min), opts)?;
+    let hi = crate::ms_approach::analyze(&params.with_speed(v_max), opts)?;
+    Ok((lo.detection_probability(k), hi.detection_probability(k)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn steps_from_speeds_scales_by_period() {
+        assert_eq!(steps_from_speeds(&[4.0, 10.0], 60.0), vec![240.0, 600.0]);
+    }
+
+    #[test]
+    fn constant_speed_sequence_matches_constant_analysis() {
+        let p = paper();
+        let constant = crate::ms_approach::analyze(&p, &MsOptions::default()).unwrap();
+        let via_speeds = analyze_speeds(&p, &[10.0; 20], &MsOptions::default()).unwrap();
+        assert!(
+            constant
+                .raw_distribution()
+                .max_abs_diff(via_speeds.raw_distribution())
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn mixed_speeds_fall_inside_band() {
+        let p = paper();
+        let opts = MsOptions::default();
+        // Alternating 4 and 10 m/s.
+        let speeds: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 4.0 } else { 10.0 })
+            .collect();
+        let mixed = analyze_speeds(&p, &speeds, &opts)
+            .unwrap()
+            .detection_probability(5);
+        let (lo, hi) = detection_probability_band(&p, 4.0, 10.0, 5, &opts).unwrap();
+        assert!(lo < hi);
+        assert!(
+            mixed >= lo - 1e-9 && mixed <= hi + 1e-9,
+            "mixed={mixed} band=({lo},{hi})"
+        );
+    }
+
+    #[test]
+    fn pausing_target_detected_less_often() {
+        let p = paper();
+        let opts = MsOptions::default();
+        let moving = analyze_speeds(&p, &[10.0; 20], &opts)
+            .unwrap()
+            .detection_probability(5);
+        let mut speeds = vec![10.0; 20];
+        for s in speeds.iter_mut().skip(10) {
+            *s = 0.0; // target stops halfway
+        }
+        let pausing = analyze_speeds(&p, &speeds, &opts)
+            .unwrap()
+            .detection_probability(5);
+        assert!(pausing < moving);
+    }
+
+    #[test]
+    fn band_rejects_bad_bounds() {
+        let p = paper();
+        assert!(detection_probability_band(&p, 10.0, 4.0, 5, &MsOptions::default()).is_err());
+        assert!(detection_probability_band(&p, 0.0, 4.0, 5, &MsOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Coverage statistics of a deployment.
+//!
+//! A *sparse* sensor network is one whose sensing disks only partially
+//! cover the field, leaving void areas. These statistics quantify that:
+//! the paper's default deployment (60–240 sensors with `Rs` = 1 km in a
+//! 32 km × 32 km field) covers between ~17 % and ~52 % of the field, so a
+//! large void fraction remains at every density the paper evaluates.
+
+use crate::field::SensorField;
+use gbd_geometry::montecarlo::sample_point;
+use rand::Rng;
+
+/// Coverage statistics estimated by Monte Carlo point sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageStats {
+    /// Fraction of the field covered by at least one sensing disk.
+    pub covered_fraction: f64,
+    /// `k_coverage[k]`: fraction of the field covered by exactly `k`
+    /// sensing disks (index 0 = void area fraction). The last bin
+    /// aggregates "k or more".
+    pub k_coverage: Vec<f64>,
+    /// Number of sample points used.
+    pub samples: u64,
+}
+
+impl CoverageStats {
+    /// Fraction of the field with no sensing coverage (the void area the
+    /// paper's introduction motivates).
+    pub fn void_fraction(&self) -> f64 {
+        self.k_coverage[0]
+    }
+}
+
+/// Estimates coverage of the field by disks of radius `rs` centered on the
+/// sensors, honoring the field's boundary policy.
+///
+/// `max_k` bounds the k-coverage histogram (the last bin saturates).
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `max_k == 0`.
+pub fn estimate_coverage<R: Rng + ?Sized>(
+    field: &SensorField,
+    rs: f64,
+    samples: u64,
+    max_k: usize,
+    rng: &mut R,
+) -> CoverageStats {
+    assert!(samples > 0, "need at least one sample");
+    assert!(max_k > 0, "need at least one k-coverage bin");
+    let extent = field.extent();
+    let mut k_counts = vec![0u64; max_k + 1];
+    for _ in 0..samples {
+        let p = sample_point(&extent, rng);
+        let k = field.query_circle(p, rs).len().min(max_k);
+        k_counts[k] += 1;
+    }
+    let k_coverage: Vec<f64> = k_counts
+        .iter()
+        .map(|&c| c as f64 / samples as f64)
+        .collect();
+    CoverageStats {
+        covered_fraction: 1.0 - k_coverage[0],
+        k_coverage,
+        samples,
+    }
+}
+
+/// The Boolean-model (Poisson) approximation of the covered fraction for a
+/// uniform deployment of `n` sensors: `1 − (1 − π rs² / S)^n ≈ 1 − e^{−λ π rs²}`.
+///
+/// Exact for a toroidal field in expectation; slightly optimistic near the
+/// borders of a bounded field. Used as the analytic reference in tests.
+pub fn expected_covered_fraction(n: usize, rs: f64, field_area: f64) -> f64 {
+    assert!(field_area > 0.0, "field area must be positive");
+    let disk = std::f64::consts::PI * rs * rs;
+    1.0 - (1.0 - (disk / field_area).min(1.0)).powi(n as i32)
+}
+
+/// Classification of a deployment's sparseness.
+///
+/// The paper defines a sparse network as one where sensing coverage is
+/// partial but multi-hop communication coverage is available; as a
+/// practical proxy we call a deployment *sparse* when less than the given
+/// fraction of the field is covered.
+pub fn is_sparse(n: usize, rs: f64, field_area: f64, threshold: f64) -> bool {
+    expected_covered_fraction(n, rs, field_area) < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{Deployer, UniformRandom};
+    use crate::field::BoundaryPolicy;
+    use gbd_geometry::point::Aabb;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn paper_deployment_is_sparse() {
+        let s = 32_000.0 * 32_000.0;
+        // 240 sensors, 1 km range: ~52% union coverage — void areas remain.
+        let f240 = expected_covered_fraction(240, 1000.0, s);
+        assert!(f240 > 0.45 && f240 < 0.60, "f240={f240}");
+        // 60 sensors: ~17%.
+        let f60 = expected_covered_fraction(60, 1000.0, s);
+        assert!(f60 > 0.12 && f60 < 0.22, "f60={f60}");
+        assert!(is_sparse(240, 1000.0, s, 0.90));
+        assert!(!is_sparse(24_000, 1000.0, s, 0.90));
+    }
+
+    #[test]
+    fn montecarlo_matches_poisson_prediction_on_torus() {
+        let extent = Aabb::from_extent(1000.0, 1000.0);
+        let mut r = rng(42);
+        let positions = UniformRandom.deploy(120, &extent, &mut r);
+        let field = SensorField::new(extent, positions, BoundaryPolicy::Torus);
+        let rs = 40.0;
+        let stats = estimate_coverage(&field, rs, 40_000, 5, &mut r);
+        let expect = expected_covered_fraction(120, rs, extent.area());
+        // Single deployment: expect agreement within a few percentage points.
+        assert!(
+            (stats.covered_fraction - expect).abs() < 0.05,
+            "mc={} analytic={expect}",
+            stats.covered_fraction
+        );
+    }
+
+    #[test]
+    fn k_coverage_sums_to_one_and_matches_fraction() {
+        let extent = Aabb::from_extent(500.0, 500.0);
+        let mut r = rng(3);
+        let positions = UniformRandom.deploy(60, &extent, &mut r);
+        let field = SensorField::new(extent, positions, BoundaryPolicy::Bounded);
+        let stats = estimate_coverage(&field, 50.0, 20_000, 4, &mut r);
+        let total: f64 = stats.k_coverage.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((stats.void_fraction() + stats.covered_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_deployment_has_zero_coverage() {
+        let extent = Aabb::from_extent(100.0, 100.0);
+        let field = SensorField::new(extent, vec![], BoundaryPolicy::Bounded);
+        let stats = estimate_coverage(&field, 10.0, 1000, 3, &mut rng(0));
+        assert_eq!(stats.covered_fraction, 0.0);
+        assert_eq!(stats.void_fraction(), 1.0);
+    }
+
+    #[test]
+    fn covered_fraction_monotone_in_n() {
+        let s = 1_000_000.0;
+        let mut prev = 0.0;
+        for n in [0usize, 10, 50, 200] {
+            let f = expected_covered_fraction(n, 30.0, s);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Deployment strategies.
+//!
+//! The paper assumes a uniform random deployment ("we assume that sensor
+//! deployment conforms to a uniform random distribution"); the grid and
+//! jittered-grid strategies are comparators used by ablation experiments to
+//! show how the analytical model degrades when the uniformity assumption is
+//! violated.
+
+use gbd_geometry::point::{Aabb, Point};
+use rand::Rng;
+
+/// A strategy for placing `n` sensors inside a field extent.
+pub trait Deployer {
+    /// Produces `n` sensor positions inside `extent`.
+    fn deploy<R: Rng + ?Sized>(&self, n: usize, extent: &Aabb, rng: &mut R) -> Vec<Point>;
+}
+
+/// Independent uniform random placement — the paper's assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniformRandom;
+
+impl Deployer for UniformRandom {
+    fn deploy<R: Rng + ?Sized>(&self, n: usize, extent: &Aabb, rng: &mut R) -> Vec<Point> {
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(extent.min.x..extent.max.x),
+                    rng.gen_range(extent.min.y..extent.max.y),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Near-square grid placement with optional uniform jitter.
+///
+/// `jitter` is the half-width of the per-axis uniform displacement as a
+/// fraction of the grid pitch (`0.0` = perfect grid, `0.5` = each sensor
+/// may move up to half a cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitteredGrid {
+    /// Jitter half-width as a fraction of the grid pitch, in `[0, 0.5]`.
+    pub jitter: f64,
+}
+
+impl JitteredGrid {
+    /// A perfect grid (no jitter).
+    pub fn regular() -> Self {
+        JitteredGrid { jitter: 0.0 }
+    }
+
+    /// Creates a grid with the given jitter fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not in `[0, 0.5]`.
+    pub fn new(jitter: f64) -> Self {
+        assert!((0.0..=0.5).contains(&jitter), "jitter must be in [0, 0.5]");
+        JitteredGrid { jitter }
+    }
+}
+
+impl Deployer for JitteredGrid {
+    fn deploy<R: Rng + ?Sized>(&self, n: usize, extent: &Aabb, rng: &mut R) -> Vec<Point> {
+        if n == 0 {
+            return Vec::new();
+        }
+        // Choose rows x cols covering n with near-square cells.
+        let aspect = extent.width() / extent.height();
+        let rows = ((n as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let cols = n.div_ceil(rows);
+        let dx = extent.width() / cols as f64;
+        let dy = extent.height() / rows as f64;
+        let mut out = Vec::with_capacity(n);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if out.len() == n {
+                    break 'outer;
+                }
+                let cx = extent.min.x + (c as f64 + 0.5) * dx;
+                let cy = extent.min.y + (r as f64 + 0.5) * dy;
+                let jx = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..self.jitter) * dx
+                } else {
+                    0.0
+                };
+                let jy = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..self.jitter) * dy
+                } else {
+                    0.0
+                };
+                out.push(Point::new(
+                    (cx + jx).clamp(extent.min.x, extent.max.x),
+                    (cy + jy).clamp(extent.min.y, extent.max.y),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_stays_inside_and_counts() {
+        let extent = Aabb::from_extent(100.0, 50.0);
+        let pts = UniformRandom.deploy(500, &extent, &mut rng(1));
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| extent.contains(*p)));
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let extent = Aabb::from_extent(10.0, 10.0);
+        let a = UniformRandom.deploy(10, &extent, &mut rng(7));
+        let b = UniformRandom.deploy(10, &extent, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_covers_quadrants_evenly() {
+        let extent = Aabb::from_extent(2.0, 2.0);
+        let pts = UniformRandom.deploy(8000, &extent, &mut rng(3));
+        let q1 = pts.iter().filter(|p| p.x < 1.0 && p.y < 1.0).count();
+        // Expect 2000 ± 5 sigma (~sqrt(8000*0.25*0.75) ≈ 39)
+        assert!((q1 as f64 - 2000.0).abs() < 200.0, "q1={q1}");
+    }
+
+    #[test]
+    fn grid_counts_and_containment() {
+        let extent = Aabb::from_extent(100.0, 100.0);
+        for n in [1usize, 2, 9, 10, 17, 100] {
+            let pts = JitteredGrid::regular().deploy(n, &extent, &mut rng(4));
+            assert_eq!(pts.len(), n, "n={n}");
+            assert!(pts.iter().all(|p| extent.contains(*p)));
+        }
+    }
+
+    #[test]
+    fn regular_grid_is_deterministic() {
+        let extent = Aabb::from_extent(100.0, 100.0);
+        let a = JitteredGrid::regular().deploy(25, &extent, &mut rng(1));
+        let b = JitteredGrid::regular().deploy(25, &extent, &mut rng(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_displaces_but_contains() {
+        let extent = Aabb::from_extent(100.0, 100.0);
+        let grid = JitteredGrid::regular().deploy(25, &extent, &mut rng(5));
+        let jit = JitteredGrid::new(0.5).deploy(25, &extent, &mut rng(5));
+        assert_eq!(jit.len(), 25);
+        assert!(jit.iter().all(|p| extent.contains(*p)));
+        assert_ne!(grid, jit);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn jitter_out_of_range_panics() {
+        JitteredGrid::new(0.9);
+    }
+
+    #[test]
+    fn zero_sensors_is_empty() {
+        let extent = Aabb::from_extent(1.0, 1.0);
+        assert!(UniformRandom.deploy(0, &extent, &mut rng(0)).is_empty());
+        assert!(JitteredGrid::regular()
+            .deploy(0, &extent, &mut rng(0))
+            .is_empty());
+    }
+}

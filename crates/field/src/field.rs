@@ -1,0 +1,438 @@
+//! The indexed sensor field with range queries and boundary policies.
+
+use crate::sensor::{Sensor, SensorId};
+use gbd_geometry::point::{Aabb, Point};
+use gbd_geometry::stadium::Stadium;
+
+/// How the field treats its borders during range queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryPolicy {
+    /// The field ends at its borders; a query region reaching beyond simply
+    /// finds fewer sensors there (real deployments behave this way).
+    Bounded,
+    /// The field wraps around (a torus): queries see periodic images of the
+    /// sensors. This reproduces the analytical model's implicit assumption
+    /// that the target's Aggregate Region sees full sensor density
+    /// everywhere.
+    Torus,
+}
+
+/// A set of deployed sensors indexed by a uniform spatial hash grid.
+///
+/// Queries return sensors whose position lies inside a disk or stadium.
+/// Under [`BoundaryPolicy::Torus`], a sensor matches if **any** of its
+/// periodic images does; each sensor is reported at most once per query.
+///
+/// # Example
+///
+/// ```
+/// use gbd_field::field::{BoundaryPolicy, SensorField};
+/// use gbd_geometry::point::{Aabb, Point};
+///
+/// let extent = Aabb::from_extent(100.0, 100.0);
+/// let field = SensorField::new(
+///     extent,
+///     vec![Point::new(5.0, 5.0), Point::new(95.0, 5.0)],
+///     BoundaryPolicy::Torus,
+/// );
+/// // Under the torus policy, the sensor at x = 95 is only 10 m away from
+/// // the one at x = 5 (wrapping the border).
+/// let hits = field.query_circle(Point::new(0.0, 5.0), 6.0);
+/// assert_eq!(hits.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorField {
+    extent: Aabb,
+    sensors: Vec<Sensor>,
+    boundary: BoundaryPolicy,
+    // Spatial hash: cells[cy * nx + cx] holds sensor indices.
+    cells: Vec<Vec<u32>>,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl SensorField {
+    /// Builds a field from sensor positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent has zero area or a sensor lies outside it.
+    pub fn new(extent: Aabb, positions: Vec<Point>, boundary: BoundaryPolicy) -> Self {
+        assert!(extent.area() > 0.0, "field extent must have positive area");
+        // Aim for a handful of sensors per cell; clamp grid dimensions.
+        let n = positions.len().max(1);
+        let target = (n as f64).sqrt().ceil() as usize;
+        let nx = target.clamp(1, 256);
+        let ny = target.clamp(1, 256);
+        let cell_w = extent.width() / nx as f64;
+        let cell_h = extent.height() / ny as f64;
+        let mut cells = vec![Vec::new(); nx * ny];
+        let sensors: Vec<Sensor> = positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, pos)| {
+                assert!(
+                    extent.contains(pos),
+                    "sensor {i} lies outside the field extent"
+                );
+                Sensor::new(SensorId(i), pos)
+            })
+            .collect();
+        for s in &sensors {
+            let (cx, cy) = cell_of(&extent, cell_w, cell_h, nx, ny, s.pos);
+            cells[cy * nx + cx].push(s.id.0 as u32);
+        }
+        SensorField {
+            extent,
+            sensors,
+            boundary,
+            cells,
+            nx,
+            ny,
+            cell_w,
+            cell_h,
+        }
+    }
+
+    /// Field extent.
+    pub fn extent(&self) -> Aabb {
+        self.extent
+    }
+
+    /// Boundary policy used by queries.
+    pub fn boundary(&self) -> BoundaryPolicy {
+        self.boundary
+    }
+
+    /// Number of deployed sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether the field has no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// All sensors, ordered by id.
+    pub fn sensors(&self) -> &[Sensor] {
+        &self.sensors
+    }
+
+    /// The sensor with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn sensor(&self, id: SensorId) -> Sensor {
+        self.sensors[id.0]
+    }
+
+    /// Sensors within distance `radius` of `center` (inclusive).
+    pub fn query_circle(&self, center: Point, radius: f64) -> Vec<SensorId> {
+        // A disk is a degenerate stadium.
+        self.query_stadium(&Stadium::new(center, center, radius))
+    }
+
+    /// Sensors inside the stadium (the Detectable Region query used every
+    /// sensing period by the simulator), sorted by id.
+    pub fn query_stadium(&self, region: &Stadium) -> Vec<SensorId> {
+        let mut out = Vec::new();
+        match self.boundary {
+            BoundaryPolicy::Bounded => {
+                self.collect_in_stadium(region, &mut out);
+                out.sort_unstable();
+            }
+            BoundaryPolicy::Torus => {
+                // A sensor image s + (dx, dy) lies in `region` iff s lies in
+                // the region translated by (−dx, −dy); test the 9 translates.
+                let w = self.extent.width();
+                let h = self.extent.height();
+                let seg = region.segment();
+                for ix in -1..=1i32 {
+                    for iy in -1..=1i32 {
+                        let off_x = -(ix as f64) * w;
+                        let off_y = -(iy as f64) * h;
+                        let shifted = Stadium::new(
+                            Point::new(seg.a.x + off_x, seg.a.y + off_y),
+                            Point::new(seg.b.x + off_x, seg.b.y + off_y),
+                            region.radius(),
+                        );
+                        self.collect_in_stadium(&shifted, &mut out);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+        out
+    }
+
+    /// Number of sensors inside the stadium (avoids the allocation when
+    /// only the count is needed).
+    pub fn count_in_stadium(&self, region: &Stadium) -> usize {
+        self.query_stadium(region).len()
+    }
+
+    fn collect_in_stadium(&self, region: &Stadium, out: &mut Vec<SensorId>) {
+        let bbox = region.bounding_box();
+        // Intersect the query bbox with the field extent in cell space.
+        if bbox.max.x < self.extent.min.x
+            || bbox.min.x > self.extent.max.x
+            || bbox.max.y < self.extent.min.y
+            || bbox.min.y > self.extent.max.y
+        {
+            return;
+        }
+        let cx0 = self.clamp_cx(bbox.min.x);
+        let cx1 = self.clamp_cx(bbox.max.x);
+        let cy0 = self.clamp_cy(bbox.min.y);
+        let cy1 = self.clamp_cy(bbox.max.y);
+        let r_sq = region.radius() * region.radius();
+        let seg = region.segment();
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &idx in &self.cells[cy * self.nx + cx] {
+                    let s = &self.sensors[idx as usize];
+                    if seg.distance_sq_to(s.pos) <= r_sq {
+                        out.push(s.id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn clamp_cx(&self, x: f64) -> usize {
+        (((x - self.extent.min.x) / self.cell_w).floor() as i64).clamp(0, self.nx as i64 - 1)
+            as usize
+    }
+
+    fn clamp_cy(&self, y: f64) -> usize {
+        (((y - self.extent.min.y) / self.cell_h).floor() as i64).clamp(0, self.ny as i64 - 1)
+            as usize
+    }
+}
+
+fn cell_of(
+    extent: &Aabb,
+    cell_w: f64,
+    cell_h: f64,
+    nx: usize,
+    ny: usize,
+    p: Point,
+) -> (usize, usize) {
+    let cx = (((p.x - extent.min.x) / cell_w) as usize).min(nx - 1);
+    let cy = (((p.y - extent.min.y) / cell_h) as usize).min(ny - 1);
+    (cx, cy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_field(boundary: BoundaryPolicy) -> SensorField {
+        SensorField::new(
+            Aabb::from_extent(100.0, 100.0),
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(50.0, 50.0),
+                Point::new(90.0, 90.0),
+                Point::new(99.0, 50.0),
+            ],
+            boundary,
+        )
+    }
+
+    #[test]
+    fn circle_query_bounded() {
+        let f = small_field(BoundaryPolicy::Bounded);
+        let hits = f.query_circle(Point::new(50.0, 50.0), 10.0);
+        assert_eq!(hits, vec![SensorId(1)]);
+        let all = f.query_circle(Point::new(50.0, 50.0), 1000.0);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn circle_query_boundary_inclusive() {
+        let f = small_field(BoundaryPolicy::Bounded);
+        let hits = f.query_circle(Point::new(10.0, 20.0), 10.0);
+        assert_eq!(hits, vec![SensorId(0)]);
+    }
+
+    #[test]
+    fn stadium_query_matches_brute_force() {
+        let extent = Aabb::from_extent(100.0, 100.0);
+        use rand::{Rng as _, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(11);
+        let positions: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let f = SensorField::new(extent, positions.clone(), BoundaryPolicy::Bounded);
+        for trial in 0..20 {
+            let a = Point::new(rng.gen_range(-20.0..120.0), rng.gen_range(-20.0..120.0));
+            let b = Point::new(
+                a.x + rng.gen_range(-30.0..30.0),
+                a.y + rng.gen_range(-30.0..30.0),
+            );
+            let st = Stadium::new(a, b, rng.gen_range(1.0..15.0));
+            let mut expect: Vec<SensorId> = positions
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| st.contains(**p))
+                .map(|(i, _)| SensorId(i))
+                .collect();
+            let mut got = f.query_stadium(&st);
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn torus_query_wraps_borders() {
+        let f = small_field(BoundaryPolicy::Torus);
+        // Query centered just outside the left edge: sensor at x=99 is 2 m
+        // away through the wrap (99 -> -1).
+        let hits = f.query_circle(Point::new(1.0, 50.0), 3.0);
+        assert_eq!(hits, vec![SensorId(3)]);
+        // Bounded query does not see it.
+        let fb = small_field(BoundaryPolicy::Bounded);
+        assert!(fb.query_circle(Point::new(1.0, 50.0), 3.0).is_empty());
+    }
+
+    #[test]
+    fn torus_query_does_not_duplicate() {
+        let f = small_field(BoundaryPolicy::Torus);
+        // A huge query region sees each sensor once.
+        let hits = f.query_circle(Point::new(50.0, 50.0), 75.0);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn torus_matches_brute_force_images() {
+        use rand::{Rng as _, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(5);
+        let extent = Aabb::from_extent(50.0, 50.0);
+        let positions: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)))
+            .collect();
+        let f = SensorField::new(extent, positions.clone(), BoundaryPolicy::Torus);
+        for trial in 0..20 {
+            let a = Point::new(rng.gen_range(-30.0..80.0), rng.gen_range(-30.0..80.0));
+            let b = Point::new(
+                a.x + rng.gen_range(-20.0..20.0),
+                a.y + rng.gen_range(-20.0..20.0),
+            );
+            let st = Stadium::new(a, b, rng.gen_range(1.0..10.0));
+            let mut expect: Vec<SensorId> = positions
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    (-1..=1).any(|ix| {
+                        (-1..=1).any(|iy| {
+                            st.contains(Point::new(
+                                p.x + ix as f64 * 50.0,
+                                p.y + iy as f64 * 50.0,
+                            ))
+                        })
+                    })
+                })
+                .map(|(i, _)| SensorId(i))
+                .collect();
+            expect.sort_unstable();
+            let got = f.query_stadium(&st);
+            assert_eq!(got, expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn query_outside_bounded_field_is_empty() {
+        let f = small_field(BoundaryPolicy::Bounded);
+        assert!(f.query_circle(Point::new(500.0, 500.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn empty_field() {
+        let f = SensorField::new(
+            Aabb::from_extent(10.0, 10.0),
+            vec![],
+            BoundaryPolicy::Bounded,
+        );
+        assert!(f.is_empty());
+        assert!(f.query_circle(Point::new(5.0, 5.0), 100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the field")]
+    fn sensor_outside_extent_panics() {
+        SensorField::new(
+            Aabb::from_extent(10.0, 10.0),
+            vec![Point::new(11.0, 5.0)],
+            BoundaryPolicy::Bounded,
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng as _;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn torus_equals_bounded_away_from_borders(
+            seed in 0u64..1000,
+            cx in 30.0f64..70.0,
+            cy in 30.0f64..70.0,
+            r in 1.0f64..10.0,
+        ) {
+            // A query region well inside the field sees identical results
+            // under both boundary policies.
+            use rand::Rng as _;
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+            let extent = Aabb::from_extent(100.0, 100.0);
+            let positions: Vec<Point> = (0..100)
+                .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let bounded = SensorField::new(extent, positions.clone(), BoundaryPolicy::Bounded);
+            let torus = SensorField::new(extent, positions, BoundaryPolicy::Torus);
+            let hits_b = bounded.query_circle(Point::new(cx, cy), r);
+            let hits_t = torus.query_circle(Point::new(cx, cy), r);
+            prop_assert_eq!(hits_b, hits_t);
+        }
+
+        #[test]
+        fn torus_query_is_translation_invariant(
+            seed in 0u64..500,
+            shift_x in 0.0f64..100.0,
+            shift_y in 0.0f64..100.0,
+        ) {
+            // Shifting all sensors and the query by the same offset
+            // (mod field size) leaves a torus count unchanged.
+            use rand::Rng as _;
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+            let extent = Aabb::from_extent(100.0, 100.0);
+            let positions: Vec<Point> = (0..60)
+                .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let shifted: Vec<Point> = positions
+                .iter()
+                .map(|p| Point::new((p.x + shift_x) % 100.0, (p.y + shift_y) % 100.0))
+                .collect();
+            let base = SensorField::new(extent, positions, BoundaryPolicy::Torus);
+            let moved = SensorField::new(extent, shifted, BoundaryPolicy::Torus);
+            let q = Point::new(20.0, 30.0);
+            let q_shift = Point::new((20.0 + shift_x) % 100.0, (30.0 + shift_y) % 100.0);
+            let r = 12.5;
+            prop_assert_eq!(
+                base.query_circle(q, r).len(),
+                moved.query_circle(q_shift, r).len()
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Sensor identities and positions.
+
+use gbd_geometry::point::Point;
+
+/// Stable identifier of a sensor within one deployment (its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SensorId(pub usize);
+
+impl std::fmt::Display for SensorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sensor#{}", self.0)
+    }
+}
+
+/// A deployed sensor: an identifier and a position.
+///
+/// All sensors share the same sensing range in this model (a paper
+/// assumption), so the range lives on the query, not the sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensor {
+    /// Identifier (index into the deployment).
+    pub id: SensorId,
+    /// Position in field coordinates.
+    pub pos: Point,
+}
+
+impl Sensor {
+    /// Creates a sensor.
+    pub const fn new(id: SensorId, pos: Point) -> Self {
+        Sensor { id, pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(SensorId(7).to_string(), "sensor#7");
+        assert!(SensorId(1) < SensorId(2));
+    }
+
+    #[test]
+    fn sensor_holds_position() {
+        let s = Sensor::new(SensorId(0), Point::new(1.0, 2.0));
+        assert_eq!(s.pos, Point::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Planar geometry substrate for the `sparse-groupdet` workspace.
+//!
+//! Everything the analytical model of Zhang et al. (ICDCS 2008) needs from
+//! geometry lives here:
+//!
+//! * [`point`] — points, vectors, segments and axis-aligned boxes;
+//! * [`circle`] — circles and the circle–circle intersection ("lens") area
+//!   that underlies the paper's Eq (6);
+//! * [`stadium`] — the stadium (capsule) shape: the Detectable Region (DR)
+//!   of a target moving in a straight line during one sensing period;
+//! * [`subarea`] — closed-form sizes of the Head/Body/Tail subareas
+//!   (Eqs (6), (8), (10)) plus a generalized version for per-period varying
+//!   step lengths (the paper's "future work" extension);
+//! * [`montecarlo`] — Monte Carlo area estimation used by the test suite to
+//!   cross-validate every closed form against the raw stadium definitions.
+//!
+//! # Example
+//!
+//! ```
+//! use gbd_geometry::stadium::Stadium;
+//! use gbd_geometry::point::Point;
+//!
+//! // The DR of a target that moved 600 m during one period, sensed at 1 km.
+//! let dr = Stadium::new(Point::new(0.0, 0.0), Point::new(600.0, 0.0), 1000.0);
+//! let expect = 2.0 * 1000.0 * 600.0 + std::f64::consts::PI * 1000.0 * 1000.0;
+//! assert!((dr.area() - expect).abs() < 1e-6);
+//! ```
+
+pub mod circle;
+pub mod montecarlo;
+pub mod point;
+pub mod stadium;
+pub mod subarea;

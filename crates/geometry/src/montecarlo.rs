@@ -1,0 +1,255 @@
+//! Monte Carlo area estimation.
+//!
+//! Used throughout the test suite to validate the closed-form subarea
+//! equations against the raw stadium definitions, and by the coverage
+//! statistics in `gbd-field` to estimate union-of-disks areas that have no
+//! convenient closed form.
+
+use crate::point::{Aabb, Point};
+use rand::Rng;
+
+/// Result of a Monte Carlo area estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEstimate {
+    /// Estimated area.
+    pub area: f64,
+    /// One standard error of the estimate.
+    pub std_error: f64,
+    /// Number of sample points used.
+    pub samples: u64,
+}
+
+impl AreaEstimate {
+    /// Whether a hypothesized true area lies within `z` standard errors.
+    pub fn consistent_with(&self, truth: f64, z: f64) -> bool {
+        (self.area - truth).abs() <= z * self.std_error
+    }
+}
+
+/// Estimates the area of `{p ∈ bounds : predicate(p)}` by uniform sampling.
+///
+/// The standard error follows the binomial proportion:
+/// `|bounds| · sqrt(p̂(1−p̂)/n)`.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the bounding box has zero area.
+///
+/// # Example
+///
+/// ```
+/// use gbd_geometry::montecarlo::estimate_area;
+/// use gbd_geometry::point::{Aabb, Point};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+/// let bounds = Aabb::from_extent(2.0, 2.0);
+/// let disk = |p: Point| (p.x - 1.0).powi(2) + (p.y - 1.0).powi(2) <= 1.0;
+/// let est = estimate_area(&bounds, disk, 200_000, &mut rng);
+/// assert!(est.consistent_with(std::f64::consts::PI, 4.0));
+/// ```
+pub fn estimate_area<F, R>(
+    bounds: &Aabb,
+    predicate: F,
+    samples: u64,
+    rng: &mut R,
+) -> AreaEstimate
+where
+    F: Fn(Point) -> bool,
+    R: Rng + ?Sized,
+{
+    assert!(samples > 0, "need at least one sample");
+    let box_area = bounds.area();
+    assert!(box_area > 0.0, "bounding box must have positive area");
+    let mut hits: u64 = 0;
+    for _ in 0..samples {
+        let p = sample_point(bounds, rng);
+        if predicate(p) {
+            hits += 1;
+        }
+    }
+    let p_hat = hits as f64 / samples as f64;
+    AreaEstimate {
+        area: box_area * p_hat,
+        std_error: box_area * (p_hat * (1.0 - p_hat) / samples as f64).sqrt(),
+        samples,
+    }
+}
+
+/// Draws a uniform point inside an axis-aligned box.
+pub fn sample_point<R: Rng + ?Sized>(bounds: &Aabb, rng: &mut R) -> Point {
+    Point::new(
+        rng.gen_range(bounds.min.x..bounds.max.x),
+        rng.gen_range(bounds.min.y..bounds.max.y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circle::lens_area;
+    use crate::stadium::Stadium;
+    use crate::subarea::SubareaTable;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn estimates_unit_square_exactly() {
+        let bounds = Aabb::from_extent(1.0, 1.0);
+        let est = estimate_area(&bounds, |_| true, 1000, &mut rng(1));
+        assert_eq!(est.area, 1.0);
+        assert_eq!(est.std_error, 0.0);
+    }
+
+    #[test]
+    fn estimates_disk_area() {
+        let bounds = Aabb::from_extent(2.0, 2.0);
+        let est = estimate_area(
+            &bounds,
+            |p| p.distance_sq(Point::new(1.0, 1.0)) <= 1.0,
+            300_000,
+            &mut rng(2),
+        );
+        assert!(est.consistent_with(std::f64::consts::PI, 4.0), "{est:?}");
+    }
+
+    #[test]
+    fn lens_area_matches_sampling() {
+        let r = 1.0;
+        let d = 0.8;
+        let c1 = Point::new(0.0, 0.0);
+        let c2 = Point::new(d, 0.0);
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(d + 1.0, 1.0));
+        let est = estimate_area(
+            &bounds,
+            |p| p.distance_sq(c1) <= r * r && p.distance_sq(c2) <= r * r,
+            400_000,
+            &mut rng(3),
+        );
+        assert!(est.consistent_with(lens_area(r, d), 4.0), "{est:?}");
+    }
+
+    /// Builds the per-period stadium DRs for a straight track with the
+    /// given steps.
+    fn track_stadiums(rs: f64, steps: &[f64]) -> Vec<Stadium> {
+        let mut out = Vec::new();
+        let mut x = 0.0;
+        for &s in steps {
+            out.push(Stadium::new(Point::new(x, 0.0), Point::new(x + s, 0.0), rs));
+            x += s;
+        }
+        out
+    }
+
+    /// Coverage count of point `p`: in how many period DRs it lies.
+    fn coverage(stadiums: &[Stadium], p: Point) -> usize {
+        stadiums.iter().filter(|s| s.contains(p)).count()
+    }
+
+    #[test]
+    fn subarea_table_head_matches_stadium_sampling() {
+        // Validate the Eq (6) closed forms against the raw definition:
+        // AreaH(i) = area in DR(1) covered in exactly i periods.
+        let rs = 1.0;
+        let step = 0.6; // ms = 4, mirrors the paper's V = 10 m/s geometry
+        let m = 8;
+        let table = SubareaTable::constant_speed(rs, step, m);
+        let stadiums = track_stadiums(rs, &vec![step; m]);
+        let bounds = stadiums[0].bounding_box();
+        let expected = table.subareas(1);
+        for (idx, &area) in expected.iter().enumerate().take(5) {
+            let i = idx + 1;
+            let est = estimate_area(
+                &bounds,
+                |p| {
+                    stadiums[0].contains(p)
+                        && stadiums.iter().take_while(|s| s.contains(p)).count() >= 1
+                        && coverage_prefix(&stadiums, p) == i
+                },
+                400_000,
+                &mut rng(10 + idx as u64),
+            );
+            assert!(
+                est.consistent_with(area, 4.5),
+                "i={i} est={est:?} expect={area}"
+            );
+        }
+    }
+
+    /// Number of consecutive DRs containing `p`, starting from the first DR
+    /// that contains it (for points in DR(1) this is the coverage count).
+    fn coverage_prefix(stadiums: &[Stadium], p: Point) -> usize {
+        coverage(stadiums, p)
+    }
+
+    #[test]
+    fn subarea_table_body_matches_stadium_sampling() {
+        let rs = 1.0;
+        let step = 0.6;
+        let m = 10;
+        let l = 4; // a body period
+        let table = SubareaTable::constant_speed(rs, step, m);
+        let stadiums = track_stadiums(rs, &vec![step; m]);
+        let bounds = stadiums[l - 1].bounding_box();
+        let expected = table.subareas(l);
+        for (idx, &area) in expected.iter().enumerate().take(5) {
+            let i = idx + 1;
+            let est = estimate_area(
+                &bounds,
+                |p| {
+                    stadiums[l - 1].contains(p)
+                        && !stadiums[l - 2].contains(p) // NEDR: not in previous DR
+                        && stadiums[l - 1..].iter().filter(|s| s.contains(p)).count() == i
+                },
+                400_000,
+                &mut rng(30 + idx as u64),
+            );
+            assert!(
+                est.consistent_with(area, 4.5),
+                "i={i} est={est:?} expect={area}"
+            );
+        }
+    }
+
+    #[test]
+    fn varying_speed_subareas_match_stadium_sampling() {
+        // The generalized table against raw stadium geometry with uneven steps.
+        let rs = 1.0;
+        let steps = [0.6, 0.25, 0.9, 0.4, 0.6, 0.7];
+        let table = SubareaTable::from_steps(rs, &steps);
+        let stadiums = track_stadiums(rs, &steps);
+        let l = 3;
+        let bounds = stadiums[l - 1].bounding_box();
+        let expected = table.subareas(l);
+        for (idx, &area) in expected.iter().enumerate() {
+            let i = idx + 1;
+            if area == 0.0 {
+                continue;
+            }
+            let est = estimate_area(
+                &bounds,
+                |p| {
+                    stadiums[l - 1].contains(p)
+                        && !stadiums[l - 2].contains(p)
+                        && stadiums[l - 1..].iter().filter(|s| s.contains(p)).count() == i
+                },
+                400_000,
+                &mut rng(50 + idx as u64),
+            );
+            assert!(
+                est.consistent_with(area, 4.5),
+                "i={i} est={est:?} expect={area}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        estimate_area(&Aabb::from_extent(1.0, 1.0), |_| true, 0, &mut rng(0));
+    }
+}

@@ -1,0 +1,268 @@
+//! The stadium (capsule) shape: a segment dilated by a radius.
+//!
+//! The **Detectable Region** (DR) of a target during one sensing period is
+//! exactly a stadium: the set of points within sensing range `Rs` of the
+//! segment the target traversed. Its area is `2·Rs·L + π·Rs²` where `L` is
+//! the distance traveled — the `2RsVt + πRs²` of the paper's Figure 1.
+
+use crate::point::{Aabb, Point, Segment};
+
+/// A stadium: all points within `radius` of the segment `[a, b]`.
+///
+/// Degenerates to a disk when `a == b` (a stationary target).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Stadium {
+    segment: Segment,
+    radius: f64,
+}
+
+impl Stadium {
+    /// Creates the stadium around segment `[a, b]` with the given radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(a: Point, b: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be finite and >= 0"
+        );
+        Stadium {
+            segment: Segment::new(a, b),
+            radius,
+        }
+    }
+
+    /// The core segment.
+    pub fn segment(&self) -> Segment {
+        self.segment
+    }
+
+    /// The dilation radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Area `2·r·L + π·r²`.
+    pub fn area(&self) -> f64 {
+        2.0 * self.radius * self.segment.length()
+            + std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Whether a point lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        self.segment.distance_sq_to(p) <= self.radius * self.radius
+    }
+
+    /// Distance from a point to the stadium boundary (zero inside).
+    pub fn distance_to(&self, p: Point) -> f64 {
+        (self.segment.distance_to(p) - self.radius).max(0.0)
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::new(self.segment.a, self.segment.b).inflated(self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn area_formula() {
+        let s = Stadium::new(Point::new(0.0, 0.0), Point::new(600.0, 0.0), 1000.0);
+        let expect = 2.0 * 1000.0 * 600.0 + PI * 1e6;
+        assert!((s.area() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_stadium_is_disk() {
+        let s = Stadium::new(Point::new(3.0, 4.0), Point::new(3.0, 4.0), 2.0);
+        assert!((s.area() - 4.0 * PI).abs() < 1e-12);
+        assert!(s.contains(Point::new(5.0, 4.0)));
+        assert!(!s.contains(Point::new(5.1, 4.0)));
+    }
+
+    #[test]
+    fn containment_sides_and_caps() {
+        let s = Stadium::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 1.0);
+        assert!(s.contains(Point::new(5.0, 1.0))); // on the side wall
+        assert!(!s.contains(Point::new(5.0, 1.01)));
+        assert!(s.contains(Point::new(-0.7, 0.7))); // inside the left cap
+        assert!(!s.contains(Point::new(-0.8, 0.8)));
+        assert!(s.contains(Point::new(11.0, 0.0))); // right cap apex
+    }
+
+    #[test]
+    fn distance_to_boundary() {
+        let s = Stadium::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 1.0);
+        assert_eq!(s.distance_to(Point::new(5.0, 0.5)), 0.0);
+        assert!((s.distance_to(Point::new(5.0, 3.0)) - 2.0).abs() < 1e-12);
+        assert!((s.distance_to(Point::new(14.0, 0.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_covers_caps() {
+        let s = Stadium::new(Point::new(1.0, 2.0), Point::new(4.0, 2.0), 0.5);
+        let b = s.bounding_box();
+        assert_eq!(b.min, Point::new(0.5, 1.5));
+        assert_eq!(b.max, Point::new(4.5, 2.5));
+    }
+
+    #[test]
+    fn stadium_orientation_invariance() {
+        // Same segment rotated: containment decisions follow rotation.
+        let s = Stadium::new(Point::new(0.0, 0.0), Point::new(0.0, 10.0), 1.0);
+        assert!(s.contains(Point::new(1.0, 5.0)));
+        assert!(!s.contains(Point::new(1.01, 5.0)));
+    }
+}
+
+/// Length of the part of segment `[a, b]` lying inside the disk of the
+/// given center and radius — the *exposure length*: how far the target
+/// travels through a sensor's sensing disk during one period.
+///
+/// The paper's footnote 1 assumes `Pd` is independent of this quantity
+/// ("primarily for ease of analysis... revisited in future work"); the
+/// exposure-dependent sensing model uses it directly.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use gbd_geometry::point::Point;
+/// use gbd_geometry::stadium::segment_disk_overlap;
+///
+/// // A 10 m segment passing straight through a unit disk at the origin.
+/// let len = segment_disk_overlap(
+///     Point::new(-5.0, 0.0),
+///     Point::new(5.0, 0.0),
+///     Point::new(0.0, 0.0),
+///     1.0,
+/// );
+/// assert!((len - 2.0).abs() < 1e-12);
+/// ```
+pub fn segment_disk_overlap(a: Point, b: Point, center: Point, radius: f64) -> f64 {
+    assert!(
+        radius.is_finite() && radius >= 0.0,
+        "radius must be finite and >= 0"
+    );
+    let d = b - a;
+    let len_sq = d.norm_sq();
+    if len_sq == 0.0 {
+        return 0.0; // a point has no path length
+    }
+    // Solve |a + t d − c|² = r² for t.
+    let f = a - center;
+    let qa = len_sq;
+    let qb = 2.0 * f.dot(d);
+    let qc = f.norm_sq() - radius * radius;
+    let disc = qb * qb - 4.0 * qa * qc;
+    if disc <= 0.0 {
+        return 0.0;
+    }
+    let sqrt_disc = disc.sqrt();
+    let t0 = ((-qb - sqrt_disc) / (2.0 * qa)).clamp(0.0, 1.0);
+    let t1 = ((-qb + sqrt_disc) / (2.0 * qa)).clamp(0.0, 1.0);
+    (t1 - t0) * len_sq.sqrt()
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::*;
+
+    #[test]
+    fn full_diameter_crossing() {
+        let len = segment_disk_overlap(
+            Point::new(-10.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::ORIGIN,
+            3.0,
+        );
+        assert!((len - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chord_at_offset() {
+        // Line y = 4 through a radius-5 disk: chord 2·sqrt(25−16) = 6.
+        let len = segment_disk_overlap(
+            Point::new(-10.0, 4.0),
+            Point::new(10.0, 4.0),
+            Point::ORIGIN,
+            5.0,
+        );
+        assert!((len - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_and_tangent() {
+        assert_eq!(
+            segment_disk_overlap(
+                Point::new(-1.0, 2.0),
+                Point::new(1.0, 2.0),
+                Point::ORIGIN,
+                1.0
+            ),
+            0.0
+        );
+        // Tangent line: zero-length intersection.
+        let t = segment_disk_overlap(
+            Point::new(-1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::ORIGIN,
+            1.0,
+        );
+        assert!(t.abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_ends_inside_disk() {
+        // Segment starts at the center and leaves: overlap = radius.
+        let len =
+            segment_disk_overlap(Point::ORIGIN, Point::new(10.0, 0.0), Point::ORIGIN, 2.0);
+        assert!((len - 2.0).abs() < 1e-12);
+        // Fully inside: overlap = its own length.
+        let len = segment_disk_overlap(
+            Point::new(-0.5, 0.0),
+            Point::new(0.5, 0.0),
+            Point::ORIGIN,
+            2.0,
+        );
+        assert!((len - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_has_zero_exposure() {
+        assert_eq!(
+            segment_disk_overlap(
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::ORIGIN,
+                5.0
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn overlap_bounded_by_segment_and_diameter() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(8);
+        for _ in 0..500 {
+            let a = Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            let b = Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            let c = Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            let r = rng.gen_range(0.1..5.0);
+            let len = segment_disk_overlap(a, b, c, r);
+            assert!(len >= 0.0);
+            assert!(len <= a.distance(b) + 1e-9);
+            assert!(len <= 2.0 * r + 1e-9);
+        }
+    }
+}

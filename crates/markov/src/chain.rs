@@ -1,0 +1,173 @@
+//! Generic discrete-time Markov chain evolution.
+
+use crate::matrix::TransitionMatrix;
+use gbd_stats::StatsError;
+
+/// A DTMC: a current state distribution plus the machinery to push it
+/// through (possibly time-inhomogeneous) transition matrices.
+///
+/// The paper's Eq (12) is exactly an inhomogeneous evolution:
+/// `Result = u · T_H · T_B^{M−ms−1} · Π_j T_{T_j}`.
+///
+/// # Example
+///
+/// ```
+/// use gbd_markov::chain::MarkovChain;
+/// use gbd_markov::matrix::TransitionMatrix;
+///
+/// # fn main() -> Result<(), gbd_stats::StatsError> {
+/// let t = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.0, 1.0]])?;
+/// let mut chain = MarkovChain::with_initial_state(2, 0)?;
+/// chain.step(&t);
+/// chain.step(&t);
+/// assert!((chain.distribution()[1] - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    dist: Vec<f64>,
+    steps: usize,
+}
+
+impl MarkovChain {
+    /// Creates a chain whose distribution is a point mass on `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidPmf`] if `dim == 0` or
+    /// `state >= dim`.
+    pub fn with_initial_state(dim: usize, state: usize) -> Result<Self, StatsError> {
+        if dim == 0 {
+            return Err(StatsError::InvalidPmf {
+                reason: "chain needs at least one state",
+            });
+        }
+        if state >= dim {
+            return Err(StatsError::InvalidPmf {
+                reason: "initial state out of range",
+            });
+        }
+        let mut dist = vec![0.0; dim];
+        dist[state] = 1.0;
+        Ok(MarkovChain { dist, steps: 0 })
+    }
+
+    /// Creates a chain from an explicit initial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidPmf`] if the vector is empty, has
+    /// negative/non-finite entries, or sums to more than 1.
+    pub fn with_initial_distribution(dist: Vec<f64>) -> Result<Self, StatsError> {
+        if dist.is_empty() {
+            return Err(StatsError::InvalidPmf {
+                reason: "chain needs at least one state",
+            });
+        }
+        let mut total = 0.0;
+        for &x in &dist {
+            if !x.is_finite() || x < 0.0 {
+                return Err(StatsError::InvalidPmf {
+                    reason: "distribution entries must be finite and non-negative",
+                });
+            }
+            total += x;
+        }
+        if total > 1.0 + 1e-9 {
+            return Err(StatsError::InvalidPmf {
+                reason: "distribution mass exceeds 1",
+            });
+        }
+        Ok(MarkovChain { dist, steps: 0 })
+    }
+
+    /// Number of states.
+    pub fn dim(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps
+    }
+
+    /// Current state distribution.
+    pub fn distribution(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Advances one step: `u ← u·T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension does not match the chain.
+    pub fn step(&mut self, t: &TransitionMatrix) {
+        self.dist = t.apply_left(&self.dist);
+        self.steps += 1;
+    }
+
+    /// Advances `n` steps under the same matrix.
+    pub fn run(&mut self, t: &TransitionMatrix, n: usize) {
+        for _ in 0..n {
+            self.step(t);
+        }
+    }
+
+    /// Probability currently in states `k ..` (tail mass).
+    pub fn tail_mass(&self, k: usize) -> f64 {
+        if k >= self.dist.len() {
+            return 0.0;
+        }
+        self.dist[k..].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn absorbing_pair() -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![vec![0.7, 0.3], vec![0.0, 1.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(MarkovChain::with_initial_state(0, 0).is_err());
+        assert!(MarkovChain::with_initial_state(2, 2).is_err());
+        assert!(MarkovChain::with_initial_distribution(vec![]).is_err());
+        assert!(MarkovChain::with_initial_distribution(vec![0.6, 0.6]).is_err());
+        assert!(MarkovChain::with_initial_distribution(vec![0.6, 0.4]).is_ok());
+    }
+
+    #[test]
+    fn absorption_accumulates_geometrically() {
+        let t = absorbing_pair();
+        let mut c = MarkovChain::with_initial_state(2, 0).unwrap();
+        c.run(&t, 3);
+        // P[absorbed within 3 steps] = 1 - 0.7^3
+        assert!((c.distribution()[1] - (1.0 - 0.7f64.powi(3))).abs() < 1e-12);
+        assert_eq!(c.steps_taken(), 3);
+    }
+
+    #[test]
+    fn tail_mass() {
+        let c = MarkovChain::with_initial_distribution(vec![0.2, 0.3, 0.5]).unwrap();
+        assert!((c.tail_mass(1) - 0.8).abs() < 1e-15);
+        assert_eq!(c.tail_mass(3), 0.0);
+    }
+
+    #[test]
+    fn inhomogeneous_evolution_order_matters() {
+        let a = TransitionMatrix::from_rows(vec![vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        let b = TransitionMatrix::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let mut ab = MarkovChain::with_initial_state(2, 0).unwrap();
+        ab.step(&a);
+        ab.step(&b);
+        assert_eq!(ab.distribution(), &[1.0, 0.0]);
+        let mut ba = MarkovChain::with_initial_state(2, 0).unwrap();
+        ba.step(&b);
+        ba.step(&a);
+        assert_eq!(ba.distribution(), &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The paper's counting Markov chain (Figures 5–7).
+//!
+//! States `0 ..= cap` count detection reports accumulated so far. Each
+//! stage (Head, one per Body period, one per Tail period) contributes an
+//! *increment distribution* — the probability of `m` new reports being
+//! generated from that period's NEDR — and the chain transitions
+//! `s → min(s + m, cap)`: the top state is the paper's merged
+//! "at least `cap` reports" state.
+//!
+//! Because every transition matrix built this way is a saturating
+//! shift-by-increment matrix, evolving the chain is equivalent to a
+//! saturating convolution of the state distribution with the increment
+//! distribution. [`CountingChain`] uses the fast convolution;
+//! [`increment_matrix`] materializes the explicit matrix so the
+//! paper-faithful matrix evolution is also available (and is tested to
+//! agree with the fast path).
+
+use crate::matrix::TransitionMatrix;
+use gbd_stats::discrete::DiscreteDist;
+
+/// Builds the explicit saturating transition matrix of a counting step:
+/// `T[s][min(s + m, cap)] += increment.pmf(m)`.
+///
+/// This is exactly the transition matrix sketched in the paper's Figures
+/// 5–7 (with the merged top state).
+///
+/// # Panics
+///
+/// Panics if the increment distribution carries mass greater than 1.
+pub fn increment_matrix(increment: &DiscreteDist, cap: usize) -> TransitionMatrix {
+    let dim = cap + 1;
+    let mut rows = vec![vec![0.0; dim]; dim];
+    for s in 0..dim {
+        for (m, &p) in increment.as_slice().iter().enumerate() {
+            rows[s][(s + m).min(cap)] += p;
+        }
+    }
+    TransitionMatrix::from_rows(rows).expect("increment distribution must be sub-stochastic")
+}
+
+/// A report-counting chain over states `0 ..= cap`, evolved by saturating
+/// convolution.
+///
+/// # Example
+///
+/// ```
+/// use gbd_markov::counting::CountingChain;
+/// use gbd_stats::discrete::DiscreteDist;
+///
+/// # fn main() -> Result<(), gbd_stats::StatsError> {
+/// let inc = DiscreteDist::new(vec![0.8, 0.2])?; // 0 or 1 report per period
+/// let mut chain = CountingChain::new(3);
+/// for _ in 0..10 {
+///     chain.step(&inc);
+/// }
+/// // P[>= 1 report in 10 periods] = 1 − 0.8^10
+/// assert!((chain.distribution().tail_sum(1) - (1.0 - 0.8f64.powi(10))).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingChain {
+    dist: DiscreteDist,
+    cap: usize,
+}
+
+impl CountingChain {
+    /// Creates a chain with states `0 ..= cap`, starting at 0 reports
+    /// (the paper's initial vector `u = [1 0 … 0]`, Eq (11)).
+    pub fn new(cap: usize) -> Self {
+        CountingChain {
+            dist: DiscreteDist::point_mass(0),
+            cap,
+        }
+    }
+
+    /// The merged top state index.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Applies one stage: saturating-convolves the state distribution with
+    /// the stage's increment distribution.
+    pub fn step(&mut self, increment: &DiscreteDist) {
+        self.dist = self.dist.convolve_saturating(increment, self.cap);
+    }
+
+    /// Applies the same stage `n` times (the Body stage runs `M − ms − 1`
+    /// identical steps).
+    pub fn run(&mut self, increment: &DiscreteDist, n: usize) {
+        for _ in 0..n {
+            self.step(increment);
+        }
+    }
+
+    /// The current distribution of accumulated report counts.
+    ///
+    /// Its total mass is the product of the stage masses — less than 1 when
+    /// stages were truncated; Eq (13)'s normalization is
+    /// `self.distribution().normalized()`.
+    pub fn distribution(&self) -> &DiscreteDist {
+        &self.dist
+    }
+
+    /// Consumes the chain and returns the final distribution.
+    pub fn into_distribution(self) -> DiscreteDist {
+        self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::MarkovChain;
+
+    fn dist(v: &[f64]) -> DiscreteDist {
+        DiscreteDist::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matrix_rows_are_saturating_shifts() {
+        let inc = dist(&[0.5, 0.3, 0.2]);
+        let t = increment_matrix(&inc, 3);
+        // From state 0: land on 0,1,2.
+        assert_eq!(t.row(0), &[0.5, 0.3, 0.2, 0.0]);
+        // From state 2: increments 1 and 2 both saturate at 3.
+        assert_eq!(t.row(2), &[0.0, 0.0, 0.5, 0.5]);
+        // Top state absorbs.
+        assert_eq!(t.row(3), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn chain_matches_explicit_matrix_evolution() {
+        let inc_a = dist(&[0.6, 0.25, 0.15]);
+        let inc_b = dist(&[0.3, 0.5, 0.1, 0.1]);
+        let cap = 6;
+
+        let mut fast = CountingChain::new(cap);
+        fast.step(&inc_a);
+        fast.run(&inc_b, 3);
+        fast.step(&inc_a);
+
+        let mut slow = MarkovChain::with_initial_state(cap + 1, 0).unwrap();
+        let ta = increment_matrix(&inc_a, cap);
+        let tb = increment_matrix(&inc_b, cap);
+        slow.step(&ta);
+        slow.run(&tb, 3);
+        slow.step(&ta);
+
+        for (k, &p) in slow.distribution().iter().enumerate() {
+            assert!((fast.distribution().pmf(k) - p).abs() < 1e-12, "state {k}");
+        }
+    }
+
+    #[test]
+    fn substochastic_increments_track_truncation_mass() {
+        // A truncated stage with mass 0.9 applied 3 times leaves 0.9^3.
+        let inc = dist(&[0.7, 0.2]);
+        let mut chain = CountingChain::new(4);
+        chain.run(&inc, 3);
+        assert!((chain.distribution().total_mass() - 0.9f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_zero_collapses_to_single_state() {
+        let inc = dist(&[0.5, 0.5]);
+        let mut chain = CountingChain::new(0);
+        chain.run(&inc, 5);
+        assert!((chain.distribution().pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_probability_unaffected_by_cap_above_threshold() {
+        // P[>= k] is identical for any cap >= k: merging states beyond k
+        // never changes the tail at k (the paper's merged-state argument).
+        let inc = dist(&[0.4, 0.3, 0.2, 0.1]);
+        let k = 4;
+        let mut small = CountingChain::new(k);
+        let mut large = CountingChain::new(40);
+        for _ in 0..6 {
+            small.step(&inc);
+            large.step(&inc);
+        }
+        assert!(
+            (small.distribution().tail_sum(k) - large.distribution().tail_sum(k)).abs() < 1e-12
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::chain::MarkovChain;
+    use proptest::prelude::*;
+
+    fn arb_increment() -> impl Strategy<Value = DiscreteDist> {
+        proptest::collection::vec(0.0f64..1.0, 1..6).prop_map(|raw| {
+            let total: f64 = raw.iter().sum();
+            let scale = if total > 0.0 { 1.0 / total } else { 0.0 };
+            let mut v: Vec<f64> = raw.iter().map(|x| x * scale).collect();
+            if total == 0.0 {
+                v[0] = 1.0;
+            }
+            DiscreteDist::new(v).unwrap()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn convolution_and_matrix_agree(
+            incs in proptest::collection::vec(arb_increment(), 1..5),
+            cap in 1usize..10,
+        ) {
+            let mut fast = CountingChain::new(cap);
+            let mut slow = MarkovChain::with_initial_state(cap + 1, 0).unwrap();
+            for inc in &incs {
+                fast.step(inc);
+                slow.step(&increment_matrix(inc, cap));
+            }
+            for k in 0..=cap {
+                prop_assert!((fast.distribution().pmf(k) - slow.distribution()[k]).abs() < 1e-10);
+            }
+        }
+
+        #[test]
+        fn mass_is_preserved_by_proper_increments(
+            incs in proptest::collection::vec(arb_increment(), 1..6),
+            cap in 1usize..8,
+        ) {
+            let mut chain = CountingChain::new(cap);
+            for inc in &incs {
+                chain.step(inc);
+            }
+            prop_assert!((chain.distribution().total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+}

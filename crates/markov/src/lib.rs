@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Discrete-time Markov chain substrate for the `sparse-groupdet` workspace.
+//!
+//! The M-S-approach of Zhang et al. (ICDCS 2008) assembles per-period
+//! report-count distributions with a Markov chain whose states count the
+//! detection reports accumulated so far (Figures 5–7 of the paper). This
+//! crate provides:
+//!
+//! * [`matrix`] — row-stochastic transition matrices with validation;
+//! * [`chain`] — generic DTMC distribution evolution `u ← u·T`;
+//! * [`counting`] — the paper's *counting chain*: states `0 ..= cap` where a
+//!   step adds an increment drawn from a per-stage distribution, saturating
+//!   at the merged top state. Both an explicit-matrix evolution and an
+//!   equivalent fast saturating-convolution evolution are provided and
+//!   property-tested against each other;
+//! * [`absorbing`] — absorbing-chain analysis (hitting probabilities and
+//!   expected absorption time) used by the time-to-detection extension
+//!   experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use gbd_markov::counting::CountingChain;
+//! use gbd_stats::discrete::DiscreteDist;
+//!
+//! # fn main() -> Result<(), gbd_stats::StatsError> {
+//! // Each period produces 0 or 1 report with probability 1/2 each; after
+//! // 4 periods, P[>= 2 reports] = 11/16.
+//! let per_period = DiscreteDist::new(vec![0.5, 0.5])?;
+//! let mut chain = CountingChain::new(8);
+//! for _ in 0..4 {
+//!     chain.step(&per_period);
+//! }
+//! assert!((chain.distribution().tail_sum(2) - 11.0 / 16.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod absorbing;
+pub mod chain;
+pub mod counting;
+pub mod matrix;

@@ -1,0 +1,233 @@
+//! Row-(sub)stochastic transition matrices.
+
+use gbd_stats::StatsError;
+
+/// A dense square transition matrix whose rows are sub-stochastic
+/// (non-negative, each summing to at most 1).
+///
+/// Sub-stochastic rows are allowed because the paper's truncated per-stage
+/// distributions discard tail mass; a proper chain has rows summing to 1.
+///
+/// # Example
+///
+/// ```
+/// use gbd_markov::matrix::TransitionMatrix;
+///
+/// # fn main() -> Result<(), gbd_stats::StatsError> {
+/// let t = TransitionMatrix::from_rows(vec![
+///     vec![0.9, 0.1],
+///     vec![0.0, 1.0],
+/// ])?;
+/// assert_eq!(t.dim(), 2);
+/// assert_eq!(t.get(0, 1), 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    dim: usize,
+    /// Row-major entries.
+    data: Vec<f64>,
+}
+
+impl TransitionMatrix {
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidPmf`] if the matrix is empty, not
+    /// square, contains negative or non-finite entries, or a row sums to
+    /// more than 1 (beyond floating point tolerance).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, StatsError> {
+        let dim = rows.len();
+        if dim == 0 {
+            return Err(StatsError::InvalidPmf {
+                reason: "empty transition matrix",
+            });
+        }
+        let mut data = Vec::with_capacity(dim * dim);
+        for row in &rows {
+            if row.len() != dim {
+                return Err(StatsError::InvalidPmf {
+                    reason: "transition matrix must be square",
+                });
+            }
+            let mut total = 0.0;
+            for &x in row {
+                if !x.is_finite() || x < 0.0 {
+                    return Err(StatsError::InvalidPmf {
+                        reason: "transition entries must be finite and non-negative",
+                    });
+                }
+                total += x;
+            }
+            if total > 1.0 + 1e-9 {
+                return Err(StatsError::InvalidPmf {
+                    reason: "row mass exceeds 1",
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(TransitionMatrix { dim, data })
+    }
+
+    /// The identity matrix of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn identity(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let mut data = vec![0.0; dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = 1.0;
+        }
+        TransitionMatrix { dim, data }
+    }
+
+    /// Matrix dimension (number of states).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry `T[from][to]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, from: usize, to: usize) -> f64 {
+        assert!(from < self.dim && to < self.dim, "state index out of range");
+        self.data[from * self.dim + to]
+    }
+
+    /// Row `from` as a slice.
+    pub fn row(&self, from: usize) -> &[f64] {
+        &self.data[from * self.dim..(from + 1) * self.dim]
+    }
+
+    /// Left-multiplies a distribution vector: returns `u · T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != dim`.
+    pub fn apply_left(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            u.len(),
+            self.dim,
+            "vector length must match matrix dimension"
+        );
+        let mut out = vec![0.0; self.dim];
+        for (i, &ui) in u.iter().enumerate() {
+            if ui == 0.0 {
+                continue;
+            }
+            for (j, &tij) in self.row(i).iter().enumerate() {
+                out[j] += ui * tij;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn multiply(&self, other: &TransitionMatrix) -> TransitionMatrix {
+        assert_eq!(self.dim, other.dim, "matrix dimensions must match");
+        let dim = self.dim;
+        let mut data = vec![0.0; dim * dim];
+        for i in 0..dim {
+            for k in 0..dim {
+                let aik = self.data[i * dim + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..dim {
+                    data[i * dim + j] += aik * other.data[k * dim + j];
+                }
+            }
+        }
+        TransitionMatrix { dim, data }
+    }
+
+    /// Matrix power `self^n` by binary exponentiation.
+    pub fn pow(&self, n: usize) -> TransitionMatrix {
+        let mut result = TransitionMatrix::identity(self.dim);
+        let mut base = self.clone();
+        let mut exp = n;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result.multiply(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.multiply(&base);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(TransitionMatrix::from_rows(vec![]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![1.0, 0.0]]).is_err()); // not square
+        assert!(TransitionMatrix::from_rows(vec![vec![-0.1]]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![0.7, 0.7], vec![0.0, 1.0]]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![0.5, 0.4], vec![0.0, 1.0]]).is_ok());
+    }
+
+    #[test]
+    fn identity_fixes_vectors() {
+        let id = TransitionMatrix::identity(3);
+        let u = vec![0.2, 0.3, 0.5];
+        assert_eq!(id.apply_left(&u), u);
+    }
+
+    #[test]
+    fn apply_left_two_state_chain() {
+        let t = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        let u = t.apply_left(&[1.0, 0.0]);
+        assert_eq!(u, vec![0.9, 0.1]);
+        let u2 = t.apply_left(&u);
+        assert!((u2[0] - (0.9 * 0.9 + 0.1 * 0.2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pow_matches_repeated_apply() {
+        let t = TransitionMatrix::from_rows(vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.6, 0.3],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let u0 = vec![1.0, 0.0, 0.0];
+        let mut u = u0.clone();
+        for _ in 0..7 {
+            u = t.apply_left(&u);
+        }
+        let via_pow = t.pow(7).apply_left(&u0);
+        for (a, b) in u.iter().zip(&via_pow) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stochastic_rows_preserve_mass() {
+        let t = TransitionMatrix::from_rows(vec![vec![0.25, 0.75], vec![0.6, 0.4]]).unwrap();
+        let u = t.apply_left(&[0.5, 0.5]);
+        assert!((u.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substochastic_rows_leak_mass() {
+        let t = TransitionMatrix::from_rows(vec![vec![0.5, 0.3], vec![0.0, 0.9]]).unwrap();
+        let u = t.apply_left(&[1.0, 0.0]);
+        assert!(u.iter().sum::<f64>() < 1.0);
+    }
+}

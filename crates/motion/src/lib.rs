@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Target motion substrate for the `sparse-groupdet` workspace.
+//!
+//! A trajectory is the sequence of target positions at sensing-period
+//! boundaries; the Detectable Region of period `l` is the stadium around
+//! the `l`-th segment. Models provided:
+//!
+//! * [`straight::StraightLine`] — constant speed and heading (the paper's
+//!   primary assumption);
+//! * [`random_walk::RandomWalk`] — heading perturbed uniformly within
+//!   `±max_turn` each period (the paper's §4 "Random Walk", `±π/4`);
+//! * [`waypoint::RandomWaypoint`] — classic random-waypoint mobility;
+//! * [`varying_speed::VaryingSpeed`] — straight line with per-period speeds
+//!   drawn from a range (the paper's §6 future-work case).
+//!
+//! # Example
+//!
+//! ```
+//! use gbd_motion::straight::StraightLine;
+//! use gbd_motion::trajectory::MotionModel;
+//! use gbd_geometry::point::Point;
+//! use rand::SeedableRng;
+//!
+//! let model = StraightLine::new(10.0); // 10 m/s
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(9);
+//! let start = Point::new(0.0, 0.0);
+//! let traj = model.generate(start, 0.0, 60.0, 20, &mut rng);
+//! assert_eq!(traj.periods(), 20);
+//! assert!((traj.total_length() - 12_000.0).abs() < 1e-9);
+//! ```
+
+pub mod random_walk;
+pub mod straight;
+pub mod trajectory;
+pub mod varying_speed;
+pub mod waypoint;

@@ -1,0 +1,157 @@
+//! Random-walk motion: the paper's §4 robustness experiment.
+//!
+//! "the target randomly chooses a new direction within \[−π/4, π/4\] of
+//! its current direction, every 1 minute" — i.e. every sensing period the
+//! heading is perturbed by a uniform draw in `±max_turn`, while the speed
+//! stays constant.
+
+use crate::trajectory::{MotionModel, Trajectory};
+use gbd_geometry::point::{Point, Vector};
+use rand::Rng;
+
+/// Constant-speed motion with a bounded random heading change each period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalk {
+    speed: f64,
+    max_turn: f64,
+}
+
+impl RandomWalk {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is negative/not finite or `max_turn` is negative,
+    /// not finite, or larger than π.
+    pub fn new(speed: f64, max_turn: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be finite and >= 0"
+        );
+        assert!(
+            max_turn.is_finite() && (0.0..=std::f64::consts::PI).contains(&max_turn),
+            "max_turn must be in [0, pi]"
+        );
+        RandomWalk { speed, max_turn }
+    }
+
+    /// The paper's configuration: given speed, turns bounded by π/4.
+    pub fn paper(speed: f64) -> Self {
+        RandomWalk::new(speed, std::f64::consts::FRAC_PI_4)
+    }
+
+    /// Target speed in m/s.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Maximum per-period heading change in radians.
+    pub fn max_turn(&self) -> f64 {
+        self.max_turn
+    }
+}
+
+impl MotionModel for RandomWalk {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        start: Point,
+        heading: f64,
+        period_s: f64,
+        periods: usize,
+        rng: &mut R,
+    ) -> Trajectory {
+        let mut positions = Vec::with_capacity(periods + 1);
+        let mut pos = start;
+        let mut theta = heading;
+        positions.push(pos);
+        for _ in 0..periods {
+            pos = pos + Vector::from_heading(theta) * (self.speed * period_s);
+            positions.push(pos);
+            if self.max_turn > 0.0 {
+                theta += rng.gen_range(-self.max_turn..self.max_turn);
+            }
+        }
+        Trajectory::new(positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn steps_have_constant_length() {
+        let model = RandomWalk::paper(10.0);
+        let t = model.generate(Point::ORIGIN, 0.3, 60.0, 20, &mut rng(1));
+        for s in t.step_lengths() {
+            assert!((s - 600.0).abs() < 1e-9);
+        }
+        assert!((t.total_length() - 12_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_turn_reduces_to_straight_line() {
+        let model = RandomWalk::new(10.0, 0.0);
+        let t = model.generate(Point::ORIGIN, 0.0, 60.0, 5, &mut rng(2));
+        let end = t.position(5);
+        assert!((end.x - 3000.0).abs() < 1e-9);
+        assert!(end.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn turns_are_bounded() {
+        let model = RandomWalk::paper(10.0);
+        let t = model.generate(Point::ORIGIN, 0.0, 60.0, 50, &mut rng(3));
+        for l in 2..=t.periods() {
+            let prev = t.segment(l - 1);
+            let cur = t.segment(l);
+            let h_prev = (prev.b - prev.a).heading();
+            let h_cur = (cur.b - cur.a).heading();
+            let mut d = (h_cur - h_prev).abs();
+            if d > std::f64::consts::PI {
+                d = 2.0 * std::f64::consts::PI - d;
+            }
+            assert!(
+                d <= std::f64::consts::FRAC_PI_4 + 1e-9,
+                "turn {d} too large"
+            );
+        }
+    }
+
+    #[test]
+    fn displacement_shrinks_relative_to_straight() {
+        // Averaged over many walks the net displacement is below the
+        // straight-line displacement — the mechanism behind Figure 9(c)'s
+        // slightly lower detection probability.
+        let model = RandomWalk::paper(10.0);
+        let mut total = 0.0;
+        let runs = 200;
+        for i in 0..runs {
+            let t = model.generate(Point::ORIGIN, 0.0, 60.0, 20, &mut rng(100 + i));
+            total += t.position(0).distance(t.position(20));
+        }
+        let mean = total / runs as f64;
+        assert!(mean < 12_000.0 * 0.98, "mean displacement {mean}");
+        assert!(mean > 12_000.0 * 0.5);
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let model = RandomWalk::paper(4.0);
+        let a = model.generate(Point::ORIGIN, 1.0, 60.0, 10, &mut rng(9));
+        let b = model.generate(Point::ORIGIN, 1.0, 60.0, 10, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_turn")]
+    fn oversized_turn_panics() {
+        RandomWalk::new(1.0, 4.0);
+    }
+}

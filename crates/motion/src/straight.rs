@@ -1,0 +1,97 @@
+//! Constant-speed straight-line motion — the paper's primary assumption.
+
+use crate::trajectory::{MotionModel, Trajectory};
+use gbd_geometry::point::{Point, Vector};
+use rand::Rng;
+
+/// A target moving in a straight line at constant speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StraightLine {
+    speed: f64,
+}
+
+impl StraightLine {
+    /// Creates the model with the given speed in m/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is negative or not finite.
+    pub fn new(speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be finite and >= 0"
+        );
+        StraightLine { speed }
+    }
+
+    /// Target speed in m/s.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+impl MotionModel for StraightLine {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        start: Point,
+        heading: f64,
+        period_s: f64,
+        periods: usize,
+        _rng: &mut R,
+    ) -> Trajectory {
+        let step = Vector::from_heading(heading) * (self.speed * period_s);
+        let mut positions = Vec::with_capacity(periods + 1);
+        let mut pos = start;
+        positions.push(pos);
+        for _ in 0..periods {
+            pos = pos + step;
+            positions.push(pos);
+        }
+        Trajectory::new(positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn straight_line_paper_settings() {
+        let model = StraightLine::new(10.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let t = model.generate(Point::ORIGIN, 0.0, 60.0, 20, &mut rng);
+        assert_eq!(t.periods(), 20);
+        assert!((t.total_length() - 12_000.0).abs() < 1e-9);
+        // Every step has the same length V·t = 600.
+        for s in t.step_lengths() {
+            assert!((s - 600.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heading_rotates_direction() {
+        let model = StraightLine::new(1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let t = model.generate(Point::ORIGIN, std::f64::consts::FRAC_PI_2, 1.0, 1, &mut rng);
+        let end = t.position(1);
+        assert!(end.x.abs() < 1e-12);
+        assert!((end.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_speed_stays_put() {
+        let model = StraightLine::new(0.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let t = model.generate(Point::new(5.0, 5.0), 1.0, 60.0, 3, &mut rng);
+        assert_eq!(t.total_length(), 0.0);
+        assert_eq!(t.position(3), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn negative_speed_panics() {
+        StraightLine::new(-1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Trajectories and the motion-model trait.
+
+use gbd_geometry::point::{Point, Segment};
+use gbd_geometry::stadium::Stadium;
+use rand::Rng;
+
+/// A target trajectory: positions at the boundaries of `M` sensing periods
+/// (`M + 1` points).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    positions: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from boundary positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two positions are given (a trajectory spans at
+    /// least one period).
+    pub fn new(positions: Vec<Point>) -> Self {
+        assert!(
+            positions.len() >= 2,
+            "a trajectory needs at least two positions"
+        );
+        Trajectory { positions }
+    }
+
+    /// Number of sensing periods `M`.
+    pub fn periods(&self) -> usize {
+        self.positions.len() - 1
+    }
+
+    /// Position at the end of period `l` (`position(0)` is the start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > M`.
+    pub fn position(&self, l: usize) -> Point {
+        self.positions[l]
+    }
+
+    /// All boundary positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The segment traversed during period `l` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is outside `1 ..= M`.
+    pub fn segment(&self, l: usize) -> Segment {
+        assert!((1..=self.periods()).contains(&l), "period {l} out of range");
+        Segment::new(self.positions[l - 1], self.positions[l])
+    }
+
+    /// The Detectable Region of period `l`: the stadium of radius `rs`
+    /// around the period's segment.
+    pub fn detectable_region(&self, l: usize, rs: f64) -> Stadium {
+        let seg = self.segment(l);
+        Stadium::new(seg.a, seg.b, rs)
+    }
+
+    /// Per-period step lengths.
+    pub fn step_lengths(&self) -> Vec<f64> {
+        (1..=self.periods())
+            .map(|l| self.segment(l).length())
+            .collect()
+    }
+
+    /// Total path length.
+    pub fn total_length(&self) -> f64 {
+        self.step_lengths().iter().sum()
+    }
+}
+
+/// A mobility model that generates trajectories.
+///
+/// `start` is the initial position, `heading` the initial heading in
+/// radians, `period_s` the sensing-period length in seconds and `periods`
+/// the number of periods `M`.
+pub trait MotionModel {
+    /// Generates one trajectory.
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        start: Point,
+        heading: f64,
+        period_s: f64,
+        periods: usize,
+        rng: &mut R,
+    ) -> Trajectory;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let t = Trajectory::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 10.0),
+        ]);
+        assert_eq!(t.periods(), 2);
+        assert_eq!(t.position(0), Point::new(0.0, 0.0));
+        assert_eq!(t.segment(2).a, Point::new(3.0, 4.0));
+        assert_eq!(t.step_lengths(), vec![5.0, 6.0]);
+        assert_eq!(t.total_length(), 11.0);
+    }
+
+    #[test]
+    fn detectable_region_geometry() {
+        let t = Trajectory::new(vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)]);
+        let dr = t.detectable_region(1, 2.0);
+        assert!(dr.contains(Point::new(3.0, 1.9)));
+        assert!(!dr.contains(Point::new(3.0, 2.1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two positions")]
+    fn too_short_panics() {
+        Trajectory::new(vec![Point::ORIGIN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_out_of_range_panics() {
+        Trajectory::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]).segment(2);
+    }
+}

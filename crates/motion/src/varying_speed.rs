@@ -1,0 +1,147 @@
+//! Straight-line motion with per-period varying speed.
+//!
+//! The paper's §6 lists "the case when the target travels in varying
+//! speeds" as future work; `gbd-core::varying_speed` implements the
+//! corresponding analysis and this model generates the matching
+//! trajectories: the heading is fixed, but each period's speed is drawn
+//! uniformly from `[v_min, v_max]`.
+
+use crate::trajectory::{MotionModel, Trajectory};
+use gbd_geometry::point::{Point, Vector};
+use rand::Rng;
+
+/// Straight-line motion whose speed is redrawn each sensing period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VaryingSpeed {
+    v_min: f64,
+    v_max: f64,
+}
+
+impl VaryingSpeed {
+    /// Creates the model with speeds drawn uniformly from `[v_min, v_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite, negative, or out of order.
+    pub fn new(v_min: f64, v_max: f64) -> Self {
+        assert!(
+            v_min.is_finite() && v_max.is_finite() && v_min >= 0.0 && v_max >= v_min,
+            "speed bounds must satisfy 0 <= v_min <= v_max"
+        );
+        VaryingSpeed { v_min, v_max }
+    }
+
+    /// Lower speed bound (m/s).
+    pub fn v_min(&self) -> f64 {
+        self.v_min
+    }
+
+    /// Upper speed bound (m/s).
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Draws the per-period speeds a trajectory will use; exposed so that
+    /// the analysis side can be built for the *same* speed sequence.
+    pub fn draw_speeds<R: Rng + ?Sized>(&self, periods: usize, rng: &mut R) -> Vec<f64> {
+        (0..periods)
+            .map(|_| {
+                if self.v_max > self.v_min {
+                    rng.gen_range(self.v_min..self.v_max)
+                } else {
+                    self.v_min
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the trajectory for an explicit speed sequence.
+    pub fn trajectory_for_speeds(
+        start: Point,
+        heading: f64,
+        period_s: f64,
+        speeds: &[f64],
+    ) -> Trajectory {
+        let dir = Vector::from_heading(heading);
+        let mut positions = Vec::with_capacity(speeds.len() + 1);
+        let mut pos = start;
+        positions.push(pos);
+        for &v in speeds {
+            pos = pos + dir * (v * period_s);
+            positions.push(pos);
+        }
+        Trajectory::new(positions)
+    }
+}
+
+impl MotionModel for VaryingSpeed {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        start: Point,
+        heading: f64,
+        period_s: f64,
+        periods: usize,
+        rng: &mut R,
+    ) -> Trajectory {
+        let speeds = self.draw_speeds(periods, rng);
+        Self::trajectory_for_speeds(start, heading, period_s, &speeds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn steps_within_speed_bounds() {
+        let model = VaryingSpeed::new(4.0, 10.0);
+        let t = model.generate(Point::ORIGIN, 0.5, 60.0, 25, &mut rng(1));
+        for s in t.step_lengths() {
+            assert!((4.0 * 60.0 - 1e-9..=10.0 * 60.0 + 1e-9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn collinear_motion() {
+        let model = VaryingSpeed::new(2.0, 8.0);
+        let t = model.generate(Point::ORIGIN, 0.0, 60.0, 10, &mut rng(2));
+        for p in t.positions() {
+            assert!(p.y.abs() < 1e-9);
+        }
+        // Positions are monotone along the heading.
+        for l in 1..=t.periods() {
+            assert!(t.position(l).x >= t.position(l - 1).x);
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_constant_speed() {
+        let model = VaryingSpeed::new(5.0, 5.0);
+        let t = model.generate(Point::ORIGIN, 0.0, 60.0, 4, &mut rng(3));
+        for s in t.step_lengths() {
+            assert!((s - 300.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trajectory_for_speeds_matches_drawn_sequence() {
+        let model = VaryingSpeed::new(1.0, 9.0);
+        let speeds = model.draw_speeds(6, &mut rng(4));
+        let t = VaryingSpeed::trajectory_for_speeds(Point::ORIGIN, 0.0, 60.0, &speeds);
+        for (l, &v) in speeds.iter().enumerate() {
+            assert!((t.segment(l + 1).length() - v * 60.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "speed bounds")]
+    fn reversed_bounds_panic() {
+        VaryingSpeed::new(5.0, 1.0);
+    }
+}

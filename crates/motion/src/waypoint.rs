@@ -1,0 +1,144 @@
+//! Random-waypoint mobility.
+//!
+//! The target repeatedly picks a waypoint uniformly inside a region and
+//! moves toward it at constant speed, picking a new waypoint on arrival.
+//! Not evaluated in the paper, but a standard mobility comparator for the
+//! robustness experiments (it produces sharper turns than the bounded
+//! random walk).
+
+use crate::trajectory::{MotionModel, Trajectory};
+use gbd_geometry::point::{Aabb, Point};
+use rand::Rng;
+
+/// Random-waypoint motion within a rectangular region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    speed: f64,
+    region: Aabb,
+}
+
+impl RandomWaypoint {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is negative/not finite or the region has zero
+    /// area.
+    pub fn new(speed: f64, region: Aabb) -> Self {
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be finite and >= 0"
+        );
+        assert!(
+            region.area() > 0.0,
+            "waypoint region must have positive area"
+        );
+        RandomWaypoint { speed, region }
+    }
+
+    /// Target speed in m/s.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Waypoint region.
+    pub fn region(&self) -> Aabb {
+        self.region
+    }
+}
+
+impl MotionModel for RandomWaypoint {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        start: Point,
+        _heading: f64,
+        period_s: f64,
+        periods: usize,
+        rng: &mut R,
+    ) -> Trajectory {
+        let mut positions = Vec::with_capacity(periods + 1);
+        let mut pos = start;
+        positions.push(pos);
+        let mut waypoint = sample_waypoint(&self.region, rng);
+        for _ in 0..periods {
+            let mut remaining = self.speed * period_s;
+            // Walk toward successive waypoints until the period's travel
+            // budget is exhausted.
+            while remaining > 0.0 {
+                let to_wp = waypoint - pos;
+                let dist = to_wp.norm();
+                if dist <= remaining {
+                    pos = waypoint;
+                    remaining -= dist;
+                    waypoint = sample_waypoint(&self.region, rng);
+                    if self.speed == 0.0 {
+                        break;
+                    }
+                } else {
+                    pos = pos + to_wp * (remaining / dist);
+                    remaining = 0.0;
+                }
+            }
+            positions.push(pos);
+        }
+        Trajectory::new(positions)
+    }
+}
+
+fn sample_waypoint<R: Rng + ?Sized>(region: &Aabb, rng: &mut R) -> Point {
+    Point::new(
+        rng.gen_range(region.min.x..region.max.x),
+        rng.gen_range(region.min.y..region.max.y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn period_displacement_never_exceeds_budget() {
+        let region = Aabb::from_extent(10_000.0, 10_000.0);
+        let model = RandomWaypoint::new(10.0, region);
+        let t = model.generate(Point::new(5000.0, 5000.0), 0.0, 60.0, 30, &mut rng(1));
+        for l in 1..=t.periods() {
+            // Straight-line displacement <= distance traveled <= V·t.
+            assert!(t.segment(l).length() <= 600.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stays_inside_region() {
+        let region = Aabb::from_extent(1000.0, 1000.0);
+        let model = RandomWaypoint::new(50.0, region);
+        let t = model.generate(Point::new(500.0, 500.0), 0.0, 60.0, 50, &mut rng(2));
+        // Positions interpolate between in-region waypoints starting from an
+        // in-region start, so they stay inside.
+        for p in t.positions() {
+            assert!(region.contains(*p), "{p:?} escaped");
+        }
+    }
+
+    #[test]
+    fn zero_speed_stays_put() {
+        let region = Aabb::from_extent(100.0, 100.0);
+        let model = RandomWaypoint::new(0.0, region);
+        let t = model.generate(Point::new(1.0, 2.0), 0.0, 60.0, 5, &mut rng(3));
+        assert_eq!(t.total_length(), 0.0);
+    }
+
+    #[test]
+    fn reproducible() {
+        let region = Aabb::from_extent(1000.0, 1000.0);
+        let model = RandomWaypoint::new(10.0, region);
+        let a = model.generate(Point::new(1.0, 1.0), 0.0, 60.0, 10, &mut rng(4));
+        let b = model.generate(Point::new(1.0, 1.0), 0.0, 60.0, 10, &mut rng(4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Connected components and hop-count distances.
+
+use crate::graph::UnitDiskGraph;
+use std::collections::VecDeque;
+
+/// Labels each node with a component id (`0 ..` in discovery order) and
+/// returns `(labels, component_count)`.
+pub fn connected_components(g: &UnitDiskGraph) -> (Vec<usize>, usize) {
+    let n = g.len();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// Whether the whole graph is one connected component (vacuously true for
+/// empty and single-node graphs).
+pub fn is_connected(g: &UnitDiskGraph) -> bool {
+    connected_components(g).1 <= 1
+}
+
+/// BFS hop distances from `source` to every node; `None` for unreachable
+/// nodes.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn hop_distances(g: &UnitDiskGraph, source: usize) -> Vec<Option<usize>> {
+    assert!(source < g.len(), "source out of range");
+    let mut dist = vec![None; g.len()];
+    dist[source] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].unwrap();
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The graph's hop diameter (longest shortest path over reachable pairs);
+/// `0` for graphs with fewer than two nodes.
+pub fn hop_diameter(g: &UnitDiskGraph) -> usize {
+    let mut best = 0;
+    for s in 0..g.len() {
+        for d in hop_distances(g, s).into_iter().flatten() {
+            best = best.max(d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_geometry::point::Point;
+
+    fn two_clusters() -> UnitDiskGraph {
+        UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(11.0, 0.0),
+            ],
+            1.5,
+        )
+    }
+
+    #[test]
+    fn components_of_two_clusters() {
+        let g = two_clusters();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn hop_distances_on_chain() {
+        let g = two_clusters();
+        let d = hop_distances(&g, 0);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn diameter() {
+        let g = two_clusters();
+        assert_eq!(hop_diameter(&g), 2);
+    }
+
+    #[test]
+    fn single_and_empty_graphs_are_connected() {
+        assert!(is_connected(&UnitDiskGraph::new(vec![], 1.0)));
+        assert!(is_connected(&UnitDiskGraph::new(vec![Point::ORIGIN], 1.0)));
+    }
+
+    #[test]
+    fn dense_paper_network_is_connected() {
+        // 240 nodes, 6 km comm range in 32 km field: the paper's claim that
+        // communication coverage is available. A fixed seed keeps this
+        // deterministic.
+        use rand::{Rng as _, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(20);
+        let pts: Vec<Point> = (0..240)
+            .map(|_| Point::new(rng.gen_range(0.0..32_000.0), rng.gen_range(0.0..32_000.0)))
+            .collect();
+        let g = UnitDiskGraph::new(pts, 6000.0);
+        assert!(is_connected(&g));
+        // End-to-end in a handful of hops (paper: "around 6 hops").
+        assert!(hop_diameter(&g) <= 12);
+    }
+}

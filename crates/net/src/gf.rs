@@ -1,0 +1,175 @@
+//! Greedy geographic forwarding (GF).
+//!
+//! Each hop forwards the packet to the neighbor geographically closest to
+//! the destination, provided that neighbor is strictly closer than the
+//! current node; otherwise the packet is stuck at a local minimum (a
+//! routing *void*) and GF fails — the case GPSR's perimeter mode recovers
+//! from.
+
+use crate::graph::UnitDiskGraph;
+
+/// A successfully computed route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Node indices from source to destination inclusive.
+    pub path: Vec<usize>,
+    /// Number of hops where the packet traveled in perimeter mode
+    /// (always 0 for pure greedy routes).
+    pub perimeter_hops: usize,
+}
+
+impl Route {
+    /// Number of hops (edges) in the route.
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// Why a route could not be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Greedy forwarding reached a node with no neighbor closer to the
+    /// destination (a void). Contains the stuck node.
+    Void(usize),
+    /// Routing exceeded the hop budget (possible loop).
+    HopBudgetExhausted,
+    /// A node index was out of range.
+    InvalidNode,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Void(n) => write!(f, "greedy forwarding stuck in a void at node {n}"),
+            RouteError::HopBudgetExhausted => write!(f, "hop budget exhausted"),
+            RouteError::InvalidNode => write!(f, "node index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Routes from `src` to `dst` by pure greedy geographic forwarding.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Void`] when stuck at a local minimum,
+/// [`RouteError::InvalidNode`] for bad indices, or
+/// [`RouteError::HopBudgetExhausted`] after `g.len()` hops (greedy cannot
+/// loop since distance strictly decreases, so this only guards degenerate
+/// inputs).
+pub fn greedy_route(g: &UnitDiskGraph, src: usize, dst: usize) -> Result<Route, RouteError> {
+    if src >= g.len() || dst >= g.len() {
+        return Err(RouteError::InvalidNode);
+    }
+    let dst_pos = g.position(dst);
+    let mut path = vec![src];
+    let mut current = src;
+    let budget = g.len() + 1;
+    for _ in 0..budget {
+        if current == dst {
+            return Ok(Route {
+                path,
+                perimeter_hops: 0,
+            });
+        }
+        let cur_d = g.position(current).distance_sq(dst_pos);
+        let next = g
+            .neighbors(current)
+            .iter()
+            .copied()
+            .map(|n| (n, g.position(n).distance_sq(dst_pos)))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        match next {
+            Some((n, d)) if d < cur_d => {
+                path.push(n);
+                current = n;
+            }
+            _ => return Err(RouteError::Void(current)),
+        }
+    }
+    Err(RouteError::HopBudgetExhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_geometry::point::Point;
+
+    #[test]
+    fn routes_along_chain() {
+        let g = UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.1),
+                Point::new(2.0, -0.1),
+                Point::new(3.0, 0.0),
+            ],
+            1.3,
+        );
+        let r = greedy_route(&g, 0, 3).unwrap();
+        assert_eq!(r.path, vec![0, 1, 2, 3]);
+        assert_eq!(r.hops(), 3);
+        assert_eq!(r.perimeter_hops, 0);
+    }
+
+    #[test]
+    fn trivial_route_to_self() {
+        let g = UnitDiskGraph::new(vec![Point::ORIGIN], 1.0);
+        let r = greedy_route(&g, 0, 0).unwrap();
+        assert_eq!(r.path, vec![0]);
+        assert_eq!(r.hops(), 0);
+    }
+
+    #[test]
+    fn stuck_in_void() {
+        // A "C" shape: node 1 is closest to the destination among 0's
+        // neighbors but has no neighbor closer than itself.
+        let g = UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0), // src
+                Point::new(1.0, 0.0), // dead end closer to dst
+                Point::new(5.0, 0.0), // dst, unreachable in one greedy step
+            ],
+            1.5,
+        );
+        match greedy_route(&g, 0, 2) {
+            Err(RouteError::Void(n)) => assert_eq!(n, 1),
+            other => panic!("expected void, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_node() {
+        let g = UnitDiskGraph::new(vec![Point::ORIGIN], 1.0);
+        assert_eq!(greedy_route(&g, 0, 5), Err(RouteError::InvalidNode));
+    }
+
+    #[test]
+    fn greedy_hops_bounded_by_bfs_times_constant() {
+        // On a random dense graph, greedy routes exist and take a small
+        // number of hops.
+        use rand::{Rng as _, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(77);
+        let pts: Vec<Point> = (0..240)
+            .map(|_| Point::new(rng.gen_range(0.0..32_000.0), rng.gen_range(0.0..32_000.0)))
+            .collect();
+        let g = UnitDiskGraph::new(pts, 6000.0);
+        let mut successes = 0;
+        for dst in [0usize, 40, 120] {
+            for src in (0..240).step_by(17) {
+                if let Ok(r) = greedy_route(&g, src, dst) {
+                    successes += 1;
+                    assert!(r.hops() <= 12, "suspiciously long greedy route");
+                }
+            }
+        }
+        // With this density, greedy should succeed most of the time.
+        assert!(successes >= 30, "only {successes} greedy successes");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RouteError::Void(3).to_string().contains("node 3"));
+    }
+}

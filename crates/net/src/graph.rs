@@ -1,0 +1,178 @@
+//! The unit-disk connectivity graph.
+
+use gbd_geometry::point::Point;
+
+/// An undirected unit-disk graph: nodes are points, and two nodes are
+/// adjacent iff their distance is at most the communication range.
+///
+/// Node indices are `0 .. len`. Adjacency lists are precomputed with a
+/// spatial sweep and kept sorted.
+#[derive(Debug, Clone)]
+pub struct UnitDiskGraph {
+    positions: Vec<Point>,
+    range: f64,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl UnitDiskGraph {
+    /// Builds the graph from node positions and a communication range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is negative or not finite.
+    pub fn new(positions: Vec<Point>, range: f64) -> Self {
+        assert!(
+            range.is_finite() && range >= 0.0,
+            "range must be finite and >= 0"
+        );
+        let n = positions.len();
+        let mut adjacency = vec![Vec::new(); n];
+        let r_sq = range * range;
+        // Sort indices by x to prune the pair sweep.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| positions[a].x.total_cmp(&positions[b].x));
+        for (oi, &i) in order.iter().enumerate() {
+            for &j in order.iter().skip(oi + 1) {
+                if positions[j].x - positions[i].x > range {
+                    break;
+                }
+                if positions[i].distance_sq(positions[j]) <= r_sq {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        UnitDiskGraph {
+            positions,
+            range,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Communication range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// All node positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Neighbors of node `i`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// Whether nodes `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Average node degree (0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> UnitDiskGraph {
+        UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(5.0, 0.0),
+            ],
+            1.2,
+        )
+    }
+
+    #[test]
+    fn adjacency_of_chain() {
+        let g = chain();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert!(g.neighbors(3).is_empty());
+        assert_eq!(g.edge_count(), 2);
+        assert!((g.average_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_edge_symmetry() {
+        let g = chain();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)], 2.0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn sweep_matches_brute_force() {
+        use rand::{Rng as _, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(8);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let range = 12.0;
+        let g = UnitDiskGraph::new(pts.clone(), range);
+        for i in 0..pts.len() {
+            let mut expect: Vec<usize> = (0..pts.len())
+                .filter(|&j| j != i && pts[i].distance(pts[j]) <= range)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(g.neighbors(i), expect.as_slice(), "node {i}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UnitDiskGraph::new(vec![], 5.0);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Multi-hop communication substrate for the `sparse-groupdet` workspace.
+//!
+//! The paper assumes that every detection report reaches the base station
+//! through multi-hop networking "within a single sensing period" and then
+//! ignores the communication stack. This crate makes that assumption
+//! checkable instead of waved-through:
+//!
+//! * [`graph`] — the unit-disk connectivity graph induced by the
+//!   communication range;
+//! * [`connectivity`] — connected components and hop-count (BFS) distances;
+//! * [`gf`] — greedy geographic forwarding (GF, Karp 2000);
+//! * [`gpsr`] — Gabriel-graph planarization and GPSR-style perimeter
+//!   routing used as the fallback when greedy forwarding hits a void;
+//! * [`latency`] — a per-hop latency model and the "delivered within one
+//!   sensing period" deadline check used by the `comm_check` experiment;
+//! * [`mac`] — a slotted protocol-model MAC simulation that stresses the
+//!   deadline under *burst* load: the k near-simultaneous reports a target
+//!   crossing actually generates.
+//!
+//! # Example
+//!
+//! ```
+//! use gbd_net::graph::UnitDiskGraph;
+//! use gbd_net::gf::greedy_route;
+//! use gbd_geometry::point::Point;
+//!
+//! // A 3-node relay chain: 0 -- 1 -- 2 with range 1.5.
+//! let g = UnitDiskGraph::new(
+//!     vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+//!     1.5,
+//! );
+//! let route = greedy_route(&g, 0, 2).expect("greedy succeeds on a chain");
+//! assert_eq!(route.path, vec![0, 1, 2]);
+//! ```
+
+pub mod connectivity;
+pub mod gf;
+pub mod gpsr;
+pub mod graph;
+pub mod latency;
+pub mod mac;

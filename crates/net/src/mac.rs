@@ -1,0 +1,336 @@
+//! Slotted MAC contention simulation.
+//!
+//! [`crate::latency`] prices a route with *uncontended* per-hop costs. But
+//! when a target crosses a neighborhood, several sensors report within the
+//! same sensing period and their packets interfere along shared routes —
+//! exactly when the paper's "delivered within one sensing period" premise
+//! is under the most stress. This module simulates that burst under a
+//! slotted protocol-model MAC:
+//!
+//! * time advances in fixed slots (one transmission per slot);
+//! * a transmission `u → v` succeeds iff no *other* node in range of `v`
+//!   transmits in the same slot (protocol interference model) — otherwise
+//!   every collided packet is retried with a random exponential backoff;
+//! * packets follow precomputed routes (GF with GPSR fallback) and are
+//!   forwarded FIFO hop by hop.
+//!
+//! The output is the delivery-latency profile of the whole burst, checked
+//! against the sensing-period deadline.
+
+use crate::gf::greedy_route;
+use crate::gpsr::gpsr_route;
+use crate::graph::UnitDiskGraph;
+use rand::Rng;
+
+/// MAC parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacConfig {
+    /// Slot length in seconds (one packet transmission incl. guard time).
+    pub slot_s: f64,
+    /// Initial backoff window in slots; doubles per collision.
+    pub backoff_window: u32,
+    /// Maximum backoff doublings.
+    pub max_backoff_exponent: u32,
+    /// Give-up limit on retransmissions of a single hop.
+    pub max_retries: u32,
+}
+
+impl MacConfig {
+    /// An acoustic-modem-like MAC: 1 s slots (long preambles, low rate),
+    /// small initial window.
+    pub fn acoustic() -> Self {
+        MacConfig {
+            slot_s: 1.0,
+            backoff_window: 4,
+            max_backoff_exponent: 5,
+            max_retries: 16,
+        }
+    }
+
+    /// A long-range radio MAC: 50 ms slots.
+    pub fn radio() -> Self {
+        MacConfig {
+            slot_s: 0.05,
+            backoff_window: 8,
+            max_backoff_exponent: 5,
+            max_retries: 16,
+        }
+    }
+}
+
+/// Outcome of one burst simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstOutcome {
+    /// Per-packet delivery latency in seconds (`None` = dropped: no route
+    /// or retry limit hit).
+    pub latencies_s: Vec<Option<f64>>,
+    /// Total slots simulated.
+    pub slots_elapsed: u64,
+    /// Total collision events observed.
+    pub collisions: u64,
+}
+
+impl BurstOutcome {
+    /// Fraction of packets delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 1.0;
+        }
+        self.latencies_s.iter().filter(|l| l.is_some()).count() as f64
+            / self.latencies_s.len() as f64
+    }
+
+    /// Worst delivered latency; `None` if nothing was delivered.
+    pub fn max_latency_s(&self) -> Option<f64> {
+        self.latencies_s
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l))))
+    }
+
+    /// Fraction of packets delivered within `deadline_s`.
+    pub fn deadline_fraction(&self, deadline_s: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 1.0;
+        }
+        self.latencies_s
+            .iter()
+            .filter(|l| matches!(l, Some(v) if *v <= deadline_s))
+            .count() as f64
+            / self.latencies_s.len() as f64
+    }
+}
+
+/// A packet in flight.
+struct Packet {
+    /// Remaining route (next hop first); empty = delivered.
+    route: Vec<usize>,
+    /// Node currently holding the packet.
+    holder: usize,
+    /// Slot at which the packet may next attempt transmission.
+    ready_at: u64,
+    /// Consecutive collisions on the current hop.
+    retries: u32,
+    /// Index into the outcome vector.
+    id: usize,
+    delivered_at: Option<u64>,
+    dropped: bool,
+}
+
+/// Simulates the delivery of one report burst: every node in `sources`
+/// originates one packet for `dst` in slot 0.
+///
+/// Deterministic given the RNG; routes are computed once per source with
+/// greedy forwarding and GPSR fallback (sources with no route are reported
+/// as dropped).
+pub fn simulate_burst<R: Rng + ?Sized>(
+    graph: &UnitDiskGraph,
+    sources: &[usize],
+    dst: usize,
+    mac: &MacConfig,
+    rng: &mut R,
+) -> BurstOutcome {
+    let mut packets: Vec<Packet> = Vec::with_capacity(sources.len());
+    for (id, &src) in sources.iter().enumerate() {
+        let route = greedy_route(graph, src, dst)
+            .or_else(|_| gpsr_route(graph, src, dst, 16 * graph.len()))
+            .map(|r| r.path[1..].to_vec())
+            .unwrap_or_default();
+        let dropped = src != dst && route.is_empty();
+        packets.push(Packet {
+            route,
+            holder: src,
+            ready_at: 0,
+            retries: 0,
+            id,
+            delivered_at: if src == dst { Some(0) } else { None },
+            dropped,
+        });
+    }
+
+    let mut collisions = 0u64;
+    let mut slot = 0u64;
+    let max_slots = 1_000_000u64;
+    while slot < max_slots {
+        let pending: Vec<usize> = packets
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.dropped && p.delivered_at.is_none() && p.ready_at <= slot)
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            if packets
+                .iter()
+                .all(|p| p.dropped || p.delivered_at.is_some())
+            {
+                break;
+            }
+            slot += 1;
+            continue;
+        }
+        // Transmitters this slot: one packet per holder (FIFO by id).
+        let mut transmitters: Vec<usize> = Vec::new();
+        let mut holders = std::collections::HashSet::new();
+        for &i in &pending {
+            if holders.insert(packets[i].holder) {
+                transmitters.push(i);
+            }
+        }
+        // Interference: a reception at v fails if any OTHER transmitter is
+        // within range of v (including v itself transmitting).
+        let tx_nodes: Vec<usize> = transmitters.iter().map(|&i| packets[i].holder).collect();
+        for &i in &transmitters {
+            let receiver = packets[i].route[0];
+            let jammed = tx_nodes.iter().any(|&other| {
+                other != packets[i].holder
+                    && (other == receiver || graph.has_edge(other, receiver))
+            });
+            if jammed {
+                collisions += 1;
+                let p = &mut packets[i];
+                p.retries += 1;
+                if p.retries > mac.max_retries {
+                    p.dropped = true;
+                    continue;
+                }
+                let exp = p.retries.min(mac.max_backoff_exponent);
+                let window = mac.backoff_window.saturating_mul(1 << exp).max(1);
+                p.ready_at = slot + 1 + rng.gen_range(0..window) as u64;
+            } else {
+                let p = &mut packets[i];
+                p.holder = p.route.remove(0);
+                p.retries = 0;
+                p.ready_at = slot + 1;
+                if p.route.is_empty() {
+                    p.delivered_at = Some(slot + 1);
+                }
+            }
+        }
+        slot += 1;
+    }
+
+    let mut latencies_s = vec![None; sources.len()];
+    for p in &packets {
+        if let Some(at) = p.delivered_at {
+            latencies_s[p.id] = Some(at as f64 * mac.slot_s);
+        }
+    }
+    BurstOutcome {
+        latencies_s,
+        slots_elapsed: slot,
+        collisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_geometry::point::Point;
+    use rand::SeedableRng as _;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    fn chain(n: usize, spacing: f64, range: f64) -> UnitDiskGraph {
+        UnitDiskGraph::new(
+            (0..n)
+                .map(|i| Point::new(i as f64 * spacing, 0.0))
+                .collect(),
+            range,
+        )
+    }
+
+    #[test]
+    fn lone_packet_takes_one_slot_per_hop() {
+        let g = chain(5, 1.0, 1.2);
+        let out = simulate_burst(&g, &[0], 4, &MacConfig::radio(), &mut rng(1));
+        assert_eq!(out.collisions, 0);
+        // 4 hops x 0.05 s.
+        assert!((out.latencies_s[0].unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(out.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn source_equal_destination_is_instant() {
+        let g = chain(3, 1.0, 1.2);
+        let out = simulate_burst(&g, &[2, 1], 2, &MacConfig::radio(), &mut rng(2));
+        assert_eq!(out.latencies_s[0], Some(0.0));
+        assert!(out.latencies_s[1].unwrap() > 0.0);
+    }
+
+    #[test]
+    fn burst_contention_costs_latency_but_delivers() {
+        // 8 sources funnel into one destination on a chain: heavy
+        // contention near the sink.
+        let g = chain(9, 1.0, 1.2);
+        let sources: Vec<usize> = (1..9).collect();
+        let out = simulate_burst(&g, &sources, 0, &MacConfig::radio(), &mut rng(3));
+        assert_eq!(out.delivery_ratio(), 1.0, "{out:?}");
+        assert!(out.collisions > 0, "expected contention");
+        // Worst latency exceeds the lone-packet time for the farthest node.
+        assert!(out.max_latency_s().unwrap() > 8.0 * 0.05);
+    }
+
+    #[test]
+    fn disconnected_source_is_dropped() {
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)], 1.0);
+        let out = simulate_burst(&g, &[1], 0, &MacConfig::radio(), &mut rng(4));
+        assert_eq!(out.latencies_s[0], None);
+        assert_eq!(out.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn deadline_fraction_counts_correctly() {
+        let g = chain(5, 1.0, 1.2);
+        let out = simulate_burst(&g, &[4, 1], 0, &MacConfig::radio(), &mut rng(5));
+        assert_eq!(out.deadline_fraction(60.0), 1.0);
+        assert!(out.deadline_fraction(1e-9) < 1.0);
+    }
+
+    #[test]
+    fn paper_burst_meets_the_one_minute_deadline() {
+        // The real question: a k = 5-report burst from one neighborhood of
+        // the paper's 240-node network, acoustic MAC, 60 s deadline.
+        use rand::Rng as _;
+        let mut r = rng(6);
+        let positions: Vec<Point> = (0..240)
+            .map(|_| Point::new(r.gen_range(0.0..32_000.0), r.gen_range(0.0..32_000.0)))
+            .collect();
+        let mut graph_positions = positions.clone();
+        graph_positions.push(Point::new(16_000.0, 16_000.0)); // base station
+        let g = UnitDiskGraph::new(graph_positions, 6_000.0);
+        let dst = g.len() - 1;
+        // Five sensors nearest to a random on-track point report at once.
+        let target = Point::new(9_000.0, 22_000.0);
+        let mut by_distance: Vec<usize> = (0..240).collect();
+        by_distance.sort_by(|&a, &b| {
+            positions[a]
+                .distance(target)
+                .total_cmp(&positions[b].distance(target))
+        });
+        let sources: Vec<usize> = by_distance[..5].to_vec();
+        let out = simulate_burst(&g, &sources, dst, &MacConfig::acoustic(), &mut r);
+        assert_eq!(out.delivery_ratio(), 1.0, "{out:?}");
+        assert!(
+            out.deadline_fraction(60.0) == 1.0,
+            "burst missed the period deadline: {:?}",
+            out.max_latency_s()
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_drops_packets() {
+        // Zero-retry MAC with guaranteed collisions: two sources one hop
+        // from the sink always jam each other on the first slot.
+        let g = chain(3, 1.0, 2.5); // fully connected triangle-ish chain
+        let strict = MacConfig {
+            max_retries: 0,
+            ..MacConfig::radio()
+        };
+        let out = simulate_burst(&g, &[1, 2], 0, &strict, &mut rng(7));
+        assert!(out.delivery_ratio() < 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Verifying the communication assumption.
+//!
+//! §4 of the paper: "As long as a sensor can send a packet to the base
+//! station through multi-hop networking within a single sensing period
+//! time (1 minute here) … our group detection performance analysis in this
+//! paper is still valid. For this reason, we ignore the communication
+//! stack in this simulation." This module checks that premise for concrete
+//! deployments: it routes every sensor to a base station with GF + GPSR
+//! fallback over the unit-disk graph and evaluates the latency model
+//! against the sensing-period deadline.
+
+use gbd_core::params::SystemParams;
+use gbd_field::deployment::{Deployer, UniformRandom};
+use gbd_geometry::point::{Aabb, Point};
+use gbd_net::gf::greedy_route;
+use gbd_net::gpsr::gpsr_route;
+use gbd_net::graph::UnitDiskGraph;
+use gbd_net::latency::{check_deadline, LatencyModel};
+use gbd_stats::rng::rng_stream;
+use gbd_stats::summary::Summary;
+
+/// Outcome of checking one deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommCheckResult {
+    /// Number of sensors checked.
+    pub sensors: usize,
+    /// Sensors with any route to the base station (GF or GPSR).
+    pub delivered: usize,
+    /// Sensors delivered by pure greedy forwarding (no perimeter mode).
+    pub delivered_greedy: usize,
+    /// Sensors whose delivery met the sensing-period deadline.
+    pub met_deadline: usize,
+    /// Hop-count summary over delivered sensors.
+    pub hops: Summary,
+    /// Latency summary (seconds) over delivered sensors.
+    pub latency_s: Summary,
+}
+
+impl CommCheckResult {
+    /// Fraction of sensors that both deliver and meet the deadline.
+    pub fn deadline_fraction(&self) -> f64 {
+        self.met_deadline as f64 / self.sensors.max(1) as f64
+    }
+}
+
+/// Deploys `params.n_sensors()` sensors (seeded), places the base station
+/// at the field center, and routes every sensor to it.
+pub fn check_deployment(
+    params: &SystemParams,
+    comm_range: f64,
+    model: &LatencyModel,
+    seed: u64,
+) -> CommCheckResult {
+    let extent = Aabb::from_extent(params.field_width(), params.field_height());
+    let mut rng = rng_stream(seed, 0);
+    let mut positions = UniformRandom.deploy(params.n_sensors(), &extent, &mut rng);
+    let base = Point::new(params.field_width() / 2.0, params.field_height() / 2.0);
+    positions.push(base);
+    let base_idx = positions.len() - 1;
+    let graph = UnitDiskGraph::new(positions, comm_range);
+
+    let mut delivered = 0;
+    let mut delivered_greedy = 0;
+    let mut met_deadline = 0;
+    let mut hops = Summary::new();
+    let mut latency_s = Summary::new();
+    for src in 0..base_idx {
+        let greedy = greedy_route(&graph, src, base_idx);
+        let route = match &greedy {
+            Ok(r) => Some(r.clone()),
+            Err(_) => gpsr_route(&graph, src, base_idx, 16 * graph.len()).ok(),
+        };
+        let Some(route) = route else { continue };
+        delivered += 1;
+        if greedy.is_ok() {
+            delivered_greedy += 1;
+        }
+        hops.push(route.hops() as f64);
+        let check = check_deadline(&route, graph.positions(), model, params.period_s());
+        latency_s.push(check.latency_s);
+        if check.meets_deadline {
+            met_deadline += 1;
+        }
+    }
+    CommCheckResult {
+        sensors: base_idx,
+        delivered,
+        delivered_greedy,
+        met_deadline,
+        hops,
+        latency_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_deployment_meets_deadline_with_radio() {
+        let params = SystemParams::paper_defaults();
+        let r = check_deployment(&params, 6000.0, &LatencyModel::long_range_radio(), 1);
+        assert_eq!(r.sensors, 240);
+        assert!(
+            r.delivered as f64 >= 0.97 * r.sensors as f64,
+            "delivered {}",
+            r.delivered
+        );
+        // Radio latency is negligible: everything delivered meets 60 s.
+        assert_eq!(r.met_deadline, r.delivered);
+        // Paper: "around 6 hops" across the field; mean is below that.
+        assert!(r.hops.mean() < 8.0, "mean hops {}", r.hops.mean());
+        assert!(r.hops.max() <= 40.0);
+    }
+
+    #[test]
+    fn undersea_acoustics_are_tighter_but_mostly_ok() {
+        let params = SystemParams::paper_defaults();
+        let r = check_deployment(&params, 6000.0, &LatencyModel::undersea_acoustic(), 1);
+        // Acoustic propagation makes the margin real but the deadline is
+        // still overwhelmingly met (the paper's premise holds).
+        assert!(
+            r.met_deadline as f64 >= 0.9 * r.delivered as f64,
+            "met {} of {}",
+            r.met_deadline,
+            r.delivered
+        );
+        assert!(
+            r.latency_s.max() > 5.0,
+            "acoustic latency should be non-trivial"
+        );
+    }
+
+    #[test]
+    fn sparse_comm_range_breaks_delivery() {
+        // Halving the communication range disconnects much of the network:
+        // the paper's sparse-sensing/dense-comm premise fails.
+        let params = SystemParams::paper_defaults().with_n_sensors(60);
+        let r = check_deployment(&params, 2500.0, &LatencyModel::long_range_radio(), 5);
+        assert!(r.delivered < r.sensors, "expected some undelivered sensors");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let params = SystemParams::paper_defaults().with_n_sensors(80);
+        let a = check_deployment(&params, 6000.0, &LatencyModel::long_range_radio(), 3);
+        let b = check_deployment(&params, 6000.0, &LatencyModel::long_range_radio(), 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,339 @@
+//! The per-trial simulation engine.
+//!
+//! One trial reproduces the paper's §4 procedure: "we randomly generate all
+//! nodes' locations and also randomly choose the starting location and
+//! moving direction of the target. For each sensing period, we compute the
+//! geographical region the moving target passes and compare that with the
+//! locations of all sensor nodes" — each covered sensor then reports with
+//! probability `Pd`.
+
+use crate::config::{DeploymentSpec, MotionSpec, SimConfig};
+use crate::reports::{DetectionReport, ReportKind};
+use gbd_field::deployment::{Deployer, JitteredGrid, UniformRandom};
+use gbd_field::field::SensorField;
+use gbd_geometry::point::{Aabb, Point};
+use gbd_motion::random_walk::RandomWalk;
+use gbd_motion::straight::StraightLine;
+use gbd_motion::trajectory::{MotionModel, Trajectory};
+use gbd_motion::varying_speed::VaryingSpeed;
+use gbd_stats::rng::{rng_stream, Rng};
+use rand::Rng as _;
+
+/// Everything observable from a single trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// All reports, true detections and false alarms, in period order.
+    pub reports: Vec<DetectionReport>,
+    /// Number of true-detection reports.
+    pub true_reports: usize,
+    /// Number of false-alarm reports.
+    pub false_reports: usize,
+    /// The target trajectory of this trial.
+    pub trajectory: Trajectory,
+}
+
+impl TrialOutcome {
+    /// The paper's detection criterion: at least `k` *true* reports within
+    /// the `M`-period window (false alarms excluded, as in the analysis).
+    pub fn detected(&self, k: usize) -> bool {
+        self.true_reports >= k
+    }
+
+    /// The first period (1-based) by whose end `k` true reports had been
+    /// generated; `None` if the window never reaches `k`. This is the
+    /// simulated first-passage time validated against
+    /// `gbd-core::time_to_detection`.
+    pub fn first_detection_period(&self, k: usize) -> Option<usize> {
+        if k == 0 {
+            return Some(0);
+        }
+        let mut count = 0usize;
+        for r in self.reports.iter().filter(|r| r.is_true_detection()) {
+            count += 1;
+            if count == k {
+                return Some(r.period);
+            }
+        }
+        None
+    }
+
+    /// Naive counting over all reports (true + false): what a base station
+    /// without track filtering would conclude.
+    pub fn detected_naive(&self, k: usize) -> bool {
+        self.true_reports + self.false_reports >= k
+    }
+}
+
+/// Runs a single trial. Deterministic in `(config.seed, trial_index)`.
+pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
+    let mut rng = rng_stream(config.seed, trial_index);
+    let params = &config.params;
+    let extent = Aabb::from_extent(params.field_width(), params.field_height());
+
+    // Deployment.
+    let positions = match config.deployment {
+        DeploymentSpec::UniformRandom => {
+            UniformRandom.deploy(params.n_sensors(), &extent, &mut rng)
+        }
+        DeploymentSpec::Grid { jitter } => {
+            JitteredGrid::new(jitter).deploy(params.n_sensors(), &extent, &mut rng)
+        }
+    };
+    let field = SensorField::new(extent, positions, config.boundary);
+
+    // Target track: uniform start, uniform heading.
+    let start = Point::new(
+        rng.gen_range(extent.min.x..extent.max.x),
+        rng.gen_range(extent.min.y..extent.max.y),
+    );
+    let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+    let trajectory = generate_trajectory(config, start, heading, &mut rng);
+
+    // Sensing: per period, every covered *awake* sensor flips a Pd coin.
+    // Duty cycling composes multiplicatively with Pd, which the tests
+    // exploit to validate against the analysis at pd' = pd * p_awake.
+    let mut reports = Vec::new();
+    let mut true_reports = 0;
+    for period in 1..=params.m_periods() {
+        let dr = trajectory.detectable_region(period, params.sensing_range());
+        for id in field.query_stadium(&dr) {
+            if config.awake_probability < 1.0 && !rng.gen_bool(config.awake_probability) {
+                continue;
+            }
+            if rng.gen_bool(params.pd()) {
+                reports.push(DetectionReport::new(
+                    id,
+                    period,
+                    field.sensor(id).pos,
+                    ReportKind::TrueDetection,
+                ));
+                true_reports += 1;
+            }
+        }
+    }
+
+    // Optional noise: node-level false alarms, independent per
+    // sensor-period.
+    let mut false_reports = 0;
+    if config.false_alarm_rate > 0.0 {
+        false_reports = inject_false_alarms(
+            &field,
+            params.m_periods(),
+            config.false_alarm_rate,
+            &mut rng,
+            &mut reports,
+        );
+        reports.sort_by_key(|r| r.period);
+    }
+
+    TrialOutcome {
+        reports,
+        true_reports,
+        false_reports,
+        trajectory,
+    }
+}
+
+fn generate_trajectory(
+    config: &SimConfig,
+    start: Point,
+    heading: f64,
+    rng: &mut Rng,
+) -> Trajectory {
+    let params = &config.params;
+    match config.motion {
+        MotionSpec::Straight => StraightLine::new(params.speed()).generate(
+            start,
+            heading,
+            params.period_s(),
+            params.m_periods(),
+            rng,
+        ),
+        MotionSpec::RandomWalk { max_turn } => RandomWalk::new(params.speed(), max_turn)
+            .generate(start, heading, params.period_s(), params.m_periods(), rng),
+        MotionSpec::VaryingSpeed { v_min, v_max } => VaryingSpeed::new(v_min, v_max).generate(
+            start,
+            heading,
+            params.period_s(),
+            params.m_periods(),
+            rng,
+        ),
+    }
+}
+
+/// Adds Bernoulli false alarms for every sensor-period pair; returns how
+/// many were injected.
+pub(crate) fn inject_false_alarms(
+    field: &SensorField,
+    m_periods: usize,
+    rate: f64,
+    rng: &mut Rng,
+    reports: &mut Vec<DetectionReport>,
+) -> usize {
+    let mut injected = 0;
+    for period in 1..=m_periods {
+        for s in field.sensors() {
+            if rng.gen_bool(rate) {
+                reports.push(DetectionReport::new(
+                    s.id,
+                    period,
+                    s.pos,
+                    ReportKind::FalseAlarm,
+                ));
+                injected += 1;
+            }
+        }
+    }
+    injected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_core::params::SystemParams;
+
+    fn config() -> SimConfig {
+        SimConfig::new(SystemParams::paper_defaults()).with_trials(10)
+    }
+
+    #[test]
+    fn trial_is_deterministic() {
+        let c = config();
+        let a = run_trial(&c, 3);
+        let b = run_trial(&c, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_trials_differ() {
+        let c = config();
+        let a = run_trial(&c, 0);
+        let b = run_trial(&c, 1);
+        assert_ne!(a.trajectory, b.trajectory);
+    }
+
+    #[test]
+    fn reports_lie_on_track() {
+        // Every true report's sensor must be within Rs of the period's
+        // segment (modulo the torus wrap).
+        let c = config().with_seed(11);
+        for trial in 0..5 {
+            let out = run_trial(&c, trial);
+            let rs = c.params.sensing_range();
+            let w = c.params.field_width();
+            let h = c.params.field_height();
+            for r in &out.reports {
+                let seg = out.trajectory.segment(r.period);
+                let mut min_d = f64::INFINITY;
+                for ix in -1..=1i32 {
+                    for iy in -1..=1i32 {
+                        let img = Point::new(
+                            r.position.x + ix as f64 * w,
+                            r.position.y + iy as f64 * h,
+                        );
+                        min_d = min_d.min(seg.distance_to(img));
+                    }
+                }
+                assert!(min_d <= rs + 1e-9, "report off-track: {min_d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pd_zero_produces_no_reports() {
+        let c = SimConfig::new(SystemParams::paper_defaults().with_pd(0.0)).with_trials(1);
+        let out = run_trial(&c, 0);
+        assert_eq!(out.true_reports, 0);
+        assert!(!out.detected(1));
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let c = config().with_false_alarm_rate(0.001).with_seed(5);
+        let out = run_trial(&c, 2);
+        assert_eq!(out.reports.len(), out.true_reports + out.false_reports);
+        let trues = out.reports.iter().filter(|r| r.is_true_detection()).count();
+        assert_eq!(trues, out.true_reports);
+    }
+
+    #[test]
+    fn naive_detection_includes_false_alarms() {
+        let c = config().with_false_alarm_rate(0.05).with_seed(6);
+        let out = run_trial(&c, 1);
+        assert!(out.false_reports > 0, "expected some false alarms at 5%");
+        assert!(out.detected_naive(1));
+    }
+
+    #[test]
+    fn varying_speed_trial_runs() {
+        let c = config().with_motion(MotionSpec::VaryingSpeed {
+            v_min: 4.0,
+            v_max: 10.0,
+        });
+        let out = run_trial(&c, 0);
+        assert_eq!(out.trajectory.periods(), 20);
+        for s in out.trajectory.step_lengths() {
+            assert!((240.0 - 1e-6..=600.0 + 1e-6).contains(&s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod deployment_tests {
+    use super::*;
+    use crate::config::DeploymentSpec;
+    use gbd_core::params::SystemParams;
+
+    #[test]
+    fn grid_deployment_runs_and_differs_from_uniform() {
+        let base = SimConfig::new(SystemParams::paper_defaults())
+            .with_trials(1)
+            .with_seed(4);
+        let uniform = run_trial(&base, 0);
+        let grid = run_trial(
+            &base
+                .clone()
+                .with_deployment(DeploymentSpec::Grid { jitter: 0.0 }),
+            0,
+        );
+        // Same trajectory stream position differs (grid consumes no RNG for
+        // placement when jitter = 0), so just assert both produce sane
+        // outcomes and different report patterns.
+        assert_eq!(uniform.trajectory.periods(), 20);
+        assert_eq!(grid.trajectory.periods(), 20);
+        assert_ne!(uniform.reports, grid.reports);
+    }
+
+    #[test]
+    fn first_detection_period_consistent_with_detection() {
+        let cfg = SimConfig::new(SystemParams::paper_defaults())
+            .with_trials(1)
+            .with_seed(8);
+        for trial in 0..30 {
+            let out = run_trial(&cfg, trial);
+            match out.first_detection_period(5) {
+                Some(p) => {
+                    assert!(out.detected(5));
+                    assert!((1..=20).contains(&p));
+                    // Exactly 5 reports had occurred by period p, at most 4 before.
+                    let before: usize = out
+                        .reports
+                        .iter()
+                        .filter(|r| r.is_true_detection() && r.period < p)
+                        .count();
+                    assert!(before < 5);
+                }
+                None => assert!(!out.detected(5)),
+            }
+        }
+    }
+
+    #[test]
+    fn first_detection_period_k_zero() {
+        let cfg = SimConfig::new(SystemParams::paper_defaults())
+            .with_trials(1)
+            .with_seed(8);
+        let out = run_trial(&cfg, 0);
+        assert_eq!(out.first_detection_period(0), Some(0));
+    }
+}

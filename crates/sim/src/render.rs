@@ -1,0 +1,239 @@
+//! SVG rendering of simulation scenarios.
+//!
+//! Produces a self-contained SVG of one trial: the field, sensor positions
+//! with sensing disks, the target track with per-period Detectable
+//! Regions, and the reports that fired — the picture behind Figures 1–4 of
+//! the paper, drawn from real simulation state. Pure `std`; no drawing
+//! dependencies.
+
+use crate::engine::TrialOutcome;
+use gbd_field::field::SensorField;
+use gbd_geometry::point::Point;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Output image width in pixels (height follows the field aspect).
+    pub width_px: f64,
+    /// Sensing range to draw around each sensor, in meters.
+    pub sensing_range: f64,
+    /// Whether to shade each period's Detectable Region stadium.
+    pub draw_detectable_regions: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 900.0,
+            sensing_range: 1_000.0,
+            draw_detectable_regions: true,
+        }
+    }
+}
+
+/// Renders one trial as an SVG document string.
+///
+/// # Example
+///
+/// ```
+/// use gbd_sim::config::SimConfig;
+/// use gbd_sim::engine::run_trial;
+/// use gbd_sim::render::{render_trial, RenderOptions};
+/// use gbd_field::field::{BoundaryPolicy, SensorField};
+/// use gbd_field::deployment::{Deployer, UniformRandom};
+/// use gbd_geometry::point::Aabb;
+/// use gbd_core::params::SystemParams;
+/// use rand::SeedableRng;
+///
+/// let params = SystemParams::paper_defaults().with_n_sensors(60);
+/// let config = SimConfig::new(params).with_trials(1).with_seed(3);
+/// let outcome = run_trial(&config, 0);
+/// let extent = Aabb::from_extent(params.field_width(), params.field_height());
+/// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(3);
+/// let field = SensorField::new(
+///     extent,
+///     UniformRandom.deploy(60, &extent, &mut rng),
+///     BoundaryPolicy::Torus,
+/// );
+/// let svg = render_trial(&field, &outcome, &RenderOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("</svg>"));
+/// ```
+pub fn render_trial(
+    field: &SensorField,
+    outcome: &TrialOutcome,
+    opts: &RenderOptions,
+) -> String {
+    let extent = field.extent();
+    let scale = opts.width_px / extent.width();
+    let height_px = extent.height() * scale;
+    let px = |p: Point| -> (f64, f64) {
+        ((p.x - extent.min.x) * scale, (extent.max.y - p.y) * scale)
+    };
+    let r_px = opts.sensing_range * scale;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.2} {h:.2}">"##,
+        w = opts.width_px,
+        h = height_px
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#f7f9fb" stroke="#333" stroke-width="1"/>"##
+    );
+
+    // Sensing disks, then sensor dots on top.
+    for s in field.sensors() {
+        let (cx, cy) = px(s.pos);
+        let _ = write!(
+            svg,
+            r##"<circle class="sensing" cx="{cx:.1}" cy="{cy:.1}" r="{r_px:.1}" fill="#4a90d9" fill-opacity="0.12" stroke="#4a90d9" stroke-opacity="0.35" stroke-width="0.5"/>"##
+        );
+    }
+    for s in field.sensors() {
+        let (cx, cy) = px(s.pos);
+        let _ = write!(
+            svg,
+            r##"<circle class="sensor" cx="{cx:.1}" cy="{cy:.1}" r="2.2" fill="#1b4a7a"/>"##
+        );
+    }
+
+    // Detectable Regions (stadiums) per period.
+    if opts.draw_detectable_regions {
+        for l in 1..=outcome.trajectory.periods() {
+            let seg = outcome.trajectory.segment(l);
+            let (x1, y1) = px(seg.a);
+            let (x2, y2) = px(seg.b);
+            let _ = write!(
+                svg,
+                r##"<line class="dr" x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#e0a13d" stroke-opacity="0.25" stroke-width="{:.1}" stroke-linecap="round"/>"##,
+                2.0 * r_px
+            );
+        }
+    }
+
+    // Track polyline.
+    let mut points = String::new();
+    for p in outcome.trajectory.positions() {
+        let (x, y) = px(*p);
+        let _ = write!(points, "{x:.1},{y:.1} ");
+    }
+    let _ = write!(
+        svg,
+        r##"<polyline class="track" points="{points}" fill="none" stroke="#c0392b" stroke-width="2"/>"##
+    );
+    // Start marker.
+    let (sx, sy) = px(outcome.trajectory.position(0));
+    let _ = write!(
+        svg,
+        r##"<circle class="start" cx="{sx:.1}" cy="{sy:.1}" r="4" fill="#c0392b"/>"##
+    );
+
+    // Reports: firing sensors ringed; false alarms drawn hollow.
+    for r in &outcome.reports {
+        let (cx, cy) = px(r.position);
+        let (class, color) = if r.is_true_detection() {
+            ("report", "#27ae60")
+        } else {
+            ("false-alarm", "#8e44ad")
+        };
+        let _ = write!(
+            svg,
+            r##"<circle class="{class}" cx="{cx:.1}" cy="{cy:.1}" r="5" fill="none" stroke="{color}" stroke-width="1.8"/>"##
+        );
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::run_trial;
+    use gbd_core::params::SystemParams;
+    use gbd_field::deployment::{Deployer, UniformRandom};
+    use gbd_field::field::BoundaryPolicy;
+    use gbd_geometry::point::Aabb;
+    use gbd_stats::rng::rng_stream;
+
+    fn scenario() -> (SensorField, TrialOutcome, SystemParams) {
+        let params = SystemParams::paper_defaults().with_n_sensors(80);
+        let config = SimConfig::new(params).with_trials(1).with_seed(42);
+        let outcome = run_trial(&config, 0);
+        // Rebuild the same deployment the engine used (same stream).
+        let extent = Aabb::from_extent(params.field_width(), params.field_height());
+        let mut rng = rng_stream(42, 0);
+        let field = SensorField::new(
+            extent,
+            UniformRandom.deploy(80, &extent, &mut rng),
+            BoundaryPolicy::Torus,
+        );
+        (field, outcome, params)
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let (field, outcome, params) = scenario();
+        let opts = RenderOptions {
+            sensing_range: params.sensing_range(),
+            ..RenderOptions::default()
+        };
+        let svg = render_trial(&field, &outcome, &opts);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One dot and one disk per sensor.
+        assert_eq!(svg.matches(r##"class="sensor""##).count(), 80);
+        assert_eq!(svg.matches(r##"class="sensing""##).count(), 80);
+        // One DR per period, one ring per report, one track.
+        assert_eq!(svg.matches(r##"class="dr""##).count(), 20);
+        assert_eq!(
+            svg.matches(r##"class="report""##).count(),
+            outcome.true_reports
+        );
+        assert_eq!(svg.matches(r##"class="track""##).count(), 1);
+    }
+
+    #[test]
+    fn false_alarms_render_distinctly() {
+        let params = SystemParams::paper_defaults().with_n_sensors(80);
+        let config = SimConfig::new(params)
+            .with_trials(1)
+            .with_seed(42)
+            .with_false_alarm_rate(0.01);
+        let outcome = run_trial(&config, 0);
+        let (field, _, _) = scenario();
+        let svg = render_trial(&field, &outcome, &RenderOptions::default());
+        assert_eq!(
+            svg.matches(r##"class="false-alarm""##).count(),
+            outcome.false_reports
+        );
+        assert!(outcome.false_reports > 0);
+    }
+
+    #[test]
+    fn drs_can_be_disabled() {
+        let (field, outcome, _) = scenario();
+        let opts = RenderOptions {
+            draw_detectable_regions: false,
+            ..RenderOptions::default()
+        };
+        let svg = render_trial(&field, &outcome, &opts);
+        assert_eq!(svg.matches(r##"class="dr""##).count(), 0);
+    }
+
+    #[test]
+    fn coordinates_stay_inside_the_viewbox() {
+        let (field, outcome, _) = scenario();
+        let svg = render_trial(&field, &outcome, &RenderOptions::default());
+        // Sensor dots must lie within [0, width] x [0, height].
+        for cap in svg.split(r##"class="sensor" cx=""##).skip(1) {
+            let cx: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=900.0).contains(&cx), "cx={cx}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Parallel trial execution.
+
+use crate::config::SimConfig;
+use crate::engine::run_trial;
+use gbd_stats::interval::{wilson, ProportionInterval};
+use gbd_stats::summary::Summary;
+
+/// Aggregated result of a simulation campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Number of trials executed.
+    pub trials: u64,
+    /// Trials in which at least `k` true reports were generated — the
+    /// paper's detection criterion.
+    pub detections: u64,
+    /// `detections / trials`.
+    pub detection_probability: f64,
+    /// 95 % Wilson interval around the detection probability.
+    pub confidence: ProportionInterval,
+    /// Summary of the per-trial true-report counts.
+    pub report_counts: Summary,
+    /// Summary of the per-trial false-alarm counts (all zero when the
+    /// false-alarm rate is zero).
+    pub false_alarm_counts: Summary,
+}
+
+/// Runs `config.trials` independent trials, in parallel, and aggregates.
+///
+/// Results are a pure function of `config` (trial `i` uses the derived
+/// stream `(seed, i)` regardless of which thread executes it).
+pub fn run(config: &SimConfig) -> SimResult {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let trials = config.trials;
+    let k = config.params.k();
+
+    // Each worker owns a disjoint contiguous range of trial indices.
+    let chunk = trials.div_ceil(threads as u64).max(1);
+    let partials: Vec<(u64, Summary, Summary)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads as u64 {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(trials);
+            if lo >= hi {
+                break;
+            }
+            let cfg = config.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut detections = 0u64;
+                let mut reports = Summary::new();
+                let mut false_alarms = Summary::new();
+                for trial in lo..hi {
+                    let out = run_trial(&cfg, trial);
+                    if out.detected(k) {
+                        detections += 1;
+                    }
+                    reports.push(out.true_reports as f64);
+                    false_alarms.push(out.false_reports as f64);
+                }
+                (detections, reports, false_alarms)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("simulation scope panicked");
+
+    let mut detections = 0u64;
+    let mut report_counts = Summary::new();
+    let mut false_alarm_counts = Summary::new();
+    for (d, r, f) in &partials {
+        detections += d;
+        report_counts.merge(r);
+        false_alarm_counts.merge(f);
+    }
+    let confidence = wilson(detections, trials, 1.96).expect("trials > 0 by construction");
+    SimResult {
+        trials,
+        detections,
+        detection_probability: detections as f64 / trials as f64,
+        confidence,
+        report_counts,
+        false_alarm_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_core::params::SystemParams;
+
+    fn small_config() -> SimConfig {
+        SimConfig::new(SystemParams::paper_defaults())
+            .with_trials(300)
+            .with_seed(42)
+    }
+
+    #[test]
+    fn result_is_thread_count_invariant() {
+        let one = run(&small_config().with_threads(1));
+        let four = run(&small_config().with_threads(4));
+        assert_eq!(one.detections, four.detections);
+        assert_eq!(one.report_counts.count(), four.report_counts.count());
+        assert_eq!(one.report_counts.min(), four.report_counts.min());
+        assert_eq!(one.report_counts.max(), four.report_counts.max());
+        // Merged moments differ only by floating point association order.
+        assert!((one.report_counts.mean() - four.report_counts.mean()).abs() < 1e-9);
+        assert!(
+            (one.report_counts.sample_variance() - four.report_counts.sample_variance()).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn result_is_seed_deterministic() {
+        let a = run(&small_config());
+        let b = run(&small_config());
+        assert_eq!(a, b);
+        let c = run(&small_config().with_seed(43));
+        assert_ne!(a.detections, c.detections);
+    }
+
+    #[test]
+    fn probability_and_interval_consistent() {
+        let r = run(&small_config());
+        assert!(
+            (r.detection_probability - r.detections as f64 / r.trials as f64).abs() < 1e-15
+        );
+        assert!(r.confidence.contains(r.detection_probability));
+        assert_eq!(r.report_counts.count(), r.trials);
+    }
+
+    #[test]
+    fn zero_pd_never_detects() {
+        let cfg = SimConfig::new(SystemParams::paper_defaults().with_pd(0.0))
+            .with_trials(50)
+            .with_seed(1);
+        let r = run(&cfg);
+        assert_eq!(r.detections, 0);
+        assert_eq!(r.report_counts.max(), 0.0);
+    }
+
+    #[test]
+    fn more_sensors_more_detections() {
+        let lo = run(
+            &SimConfig::new(SystemParams::paper_defaults().with_n_sensors(60))
+                .with_trials(400)
+                .with_seed(7),
+        );
+        let hi = run(
+            &SimConfig::new(SystemParams::paper_defaults().with_n_sensors(240))
+                .with_trials(400)
+                .with_seed(7),
+        );
+        assert!(hi.detection_probability > lo.detection_probability);
+    }
+}

@@ -1,0 +1,227 @@
+//! The binomial distribution `B(n, p)` with numerically stable evaluation.
+//!
+//! Every probability in the paper's analytical model is ultimately a binomial
+//! probability: the number of sensors falling in a region of the field is
+//! `B(N, area/S)` (uniform random deployment), and the number of reports a
+//! sensor generates while covering the target for `i` periods is `B(i, Pd)`.
+
+use crate::gamma::ln_binomial_coef;
+use crate::StatsError;
+
+/// A binomial distribution with `n` trials and success probability `p`.
+///
+/// # Example
+///
+/// ```
+/// use gbd_stats::binomial::Binomial;
+///
+/// # fn main() -> Result<(), gbd_stats::StatsError> {
+/// let b = Binomial::new(20, 0.9)?;
+/// assert!((b.mean() - 18.0).abs() < 1e-12);
+/// assert!((b.pmf(20) - 0.9f64.powi(20)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution with `n` trials and success
+    /// probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] if `p` is not in `[0, 1]`
+    /// or not finite.
+    pub fn new(n: u64, p: f64) -> Result<Self, StatsError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(StatsError::InvalidProbability {
+                name: "p",
+                value: p,
+            });
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability per trial.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass `P[X = k]`, evaluated in the log domain.
+    ///
+    /// Returns `0.0` for `k > n`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        // Exact edge cases avoid 0·ln(0) = NaN.
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let ln_pmf = ln_binomial_coef(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln_1p_neg();
+        ln_pmf.exp()
+    }
+
+    /// Cumulative distribution `P[X <= k]`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        // Sum the smaller tail for accuracy.
+        let mean = self.mean();
+        if (k as f64) < mean {
+            (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+        } else {
+            (1.0 - self.sf_direct(k)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Survival function `P[X > k]` (equivalently `P[X >= k + 1]`).
+    ///
+    /// This is the form used by the paper's Eq (2):
+    /// `P1[X >= k] = 1 − Σ_{i<k} P1[X = i] = sf(k − 1)`.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        let mean = self.mean();
+        if (k as f64) >= mean {
+            self.sf_direct(k)
+        } else {
+            (1.0 - (0..=k).map(|i| self.pmf(i)).sum::<f64>()).clamp(0.0, 1.0)
+        }
+    }
+
+    fn sf_direct(&self, k: u64) -> f64 {
+        ((k + 1)..=self.n)
+            .map(|i| self.pmf(i))
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    /// The full pmf as a dense vector over `0..=n`.
+    pub fn pmf_vec(&self) -> Vec<f64> {
+        (0..=self.n).map(|k| self.pmf(k)).collect()
+    }
+}
+
+/// Extension providing `ln(x)` spelled as a method so that the pmf formula
+/// reads naturally; `v.ln_1p_neg()` is simply `ln(v)` with a debug guard.
+trait LnGuard {
+    fn ln_1p_neg(self) -> f64;
+}
+
+impl LnGuard for f64 {
+    #[inline]
+    fn ln_1p_neg(self) -> f64 {
+        debug_assert!(self > 0.0);
+        self.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (n, p) in [(0u64, 0.3), (1, 0.5), (17, 0.9), (240, 0.0123), (500, 0.99)] {
+            let b = Binomial::new(n, p).unwrap();
+            let total: f64 = b.pmf_vec().iter().sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn degenerate_endpoints() {
+        let zero = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(1), 0.0);
+        let one = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(one.pmf(5), 1.0);
+        assert_eq!(one.pmf(4), 0.0);
+    }
+
+    #[test]
+    fn pmf_matches_hand_computation() {
+        // B(4, 0.5): pmf = [1, 4, 6, 4, 1] / 16
+        let b = Binomial::new(4, 0.5).unwrap();
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|x| x / 16.0);
+        for (k, e) in expect.iter().enumerate() {
+            assert!((b.pmf(k as u64) - e).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn cdf_and_sf_are_complementary() {
+        let b = Binomial::new(60, 0.07).unwrap();
+        for k in 0..=60 {
+            let s = b.cdf(k) + b.sf(k);
+            assert!((s - 1.0).abs() < 1e-10, "k={k} sum={s}");
+        }
+    }
+
+    #[test]
+    fn sf_is_monotone_decreasing() {
+        let b = Binomial::new(100, 0.3).unwrap();
+        let mut prev = 1.0;
+        for k in 0..=100 {
+            let s = b.sf(k);
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn paper_m1_shape_more_sensors_more_detections() {
+        // Eq (1)-(2): P1[X >= k] must increase with N for fixed p_indi.
+        let p_indi =
+            0.9 * (2.0 * 1000.0 * 600.0 + std::f64::consts::PI * 1e6) / (32000.0 * 32000.0);
+        let mut prev = 0.0;
+        for n in [60u64, 120, 180, 240] {
+            let b = Binomial::new(n, p_indi).unwrap();
+            let p = b.sf(0); // at least 1 report
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn mean_variance() {
+        let b = Binomial::new(240, 0.25).unwrap();
+        assert!((b.mean() - 60.0).abs() < 1e-12);
+        assert!((b.variance() - 45.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! Chi-square goodness-of-fit testing.
+//!
+//! Used by the distribution-level validation tests: the simulator's
+//! empirical report-count histogram is tested against the exact analytical
+//! pmf, which is a far sharper check than comparing means or single tail
+//! probabilities.
+
+use crate::StatsError;
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes style), accurate to ~1e-12.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && a.is_finite(), "shape must be positive");
+    assert!(x >= 0.0 && x.is_finite(), "argument must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series: P(a,x) = e^{-x} x^a / Γ(a) Σ x^n / (a(a+1)...(a+n))
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - crate::gamma::ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x) = 1 − P(a,x).
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - crate::gamma::ln_gamma(a)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+/// CDF of the chi-square distribution with `k` degrees of freedom.
+pub fn chi_square_cdf(x: f64, k: usize) -> f64 {
+    assert!(k > 0, "degrees of freedom must be positive");
+    regularized_gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Outcome of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GofTest {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used (bins after pooling, minus one).
+    pub dof: usize,
+    /// The p-value `P[χ²_dof >= statistic]`.
+    pub p_value: f64,
+}
+
+/// Pearson chi-square goodness-of-fit of observed counts against expected
+/// probabilities.
+///
+/// Bins with expected count below `min_expected` (conventionally 5) are
+/// pooled into their neighbor so the asymptotic χ² distribution applies;
+/// remaining probability mass not covered by `expected` is pooled into a
+/// final bin.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidPmf`] if inputs are empty or mismatched,
+/// if `expected` has negative entries, or if pooling leaves fewer than two
+/// bins.
+pub fn chi_square_gof(
+    observed: &[u64],
+    expected_probs: &[f64],
+    min_expected: f64,
+) -> Result<GofTest, StatsError> {
+    if observed.is_empty() || observed.len() != expected_probs.len() {
+        return Err(StatsError::InvalidPmf {
+            reason: "observed/expected length mismatch",
+        });
+    }
+    if expected_probs.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+        return Err(StatsError::InvalidPmf {
+            reason: "expected probabilities must be >= 0",
+        });
+    }
+    let n: u64 = observed.iter().sum();
+    if n == 0 {
+        return Err(StatsError::InvalidPmf {
+            reason: "no observations",
+        });
+    }
+    let total_p: f64 = expected_probs.iter().sum();
+    if total_p <= 0.0 || total_p > 1.0 + 1e-9 {
+        return Err(StatsError::InvalidPmf {
+            reason: "expected probabilities must sum to (0, 1]",
+        });
+    }
+
+    // Build (observed, expected-count) bins, adding the leftover mass bin,
+    // then pool small-expectation bins left to right.
+    let mut bins: Vec<(f64, f64)> = observed
+        .iter()
+        .zip(expected_probs)
+        .map(|(&o, &p)| (o as f64, p * n as f64))
+        .collect();
+    let leftover = (1.0 - total_p).max(0.0) * n as f64;
+    if leftover > 0.0 {
+        bins.push((0.0, leftover));
+    }
+    let mut pooled: Vec<(f64, f64)> = Vec::new();
+    let mut acc = (0.0, 0.0);
+    for (o, e) in bins {
+        acc.0 += o;
+        acc.1 += e;
+        if acc.1 >= min_expected {
+            pooled.push(acc);
+            acc = (0.0, 0.0);
+        }
+    }
+    if acc.1 > 0.0 || acc.0 > 0.0 {
+        // Fold the trailing remainder into the last pooled bin.
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc.0;
+            last.1 += acc.1;
+        } else {
+            pooled.push(acc);
+        }
+    }
+    if pooled.len() < 2 {
+        return Err(StatsError::InvalidPmf {
+            reason: "fewer than two bins after pooling",
+        });
+    }
+    let statistic: f64 = pooled.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
+    let dof = pooled.len() - 1;
+    let p_value = 1.0 - chi_square_cdf(statistic, dof);
+    Ok(GofTest {
+        statistic,
+        dof,
+        p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 − e^{-x}
+        for &x in &[0.1, 1.0, 3.5, 10.0] {
+            assert!((regularized_gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+        assert_eq!(regularized_gamma_p(2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_p_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let x = i as f64 * 0.5;
+            let p = regularized_gamma_p(3.7, x);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev - 1e-14);
+            prev = p;
+        }
+        assert!(regularized_gamma_p(3.7, 100.0) > 0.999_999);
+    }
+
+    #[test]
+    fn chi_square_cdf_known_quantiles() {
+        // χ²_1: P[X <= 3.841] ≈ 0.95; χ²_5: P[X <= 11.070] ≈ 0.95.
+        assert!((chi_square_cdf(3.841, 1) - 0.95).abs() < 1e-3);
+        assert!((chi_square_cdf(11.070, 5) - 0.95).abs() < 1e-3);
+        // χ²_2 is Exp(1/2): CDF = 1 − e^{−x/2}.
+        assert!((chi_square_cdf(4.0, 2) - (1.0 - (-2.0f64).exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gof_accepts_matching_distribution() {
+        // Observations drawn exactly proportional to expectations.
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        let observed = [250u64, 251, 249, 250];
+        let t = chi_square_gof(&observed, &expected, 5.0).unwrap();
+        assert!(t.p_value > 0.9, "{t:?}");
+        assert_eq!(t.dof, 3);
+    }
+
+    #[test]
+    fn gof_rejects_wrong_distribution() {
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        let observed = [400u64, 100, 400, 100];
+        let t = chi_square_gof(&observed, &expected, 5.0).unwrap();
+        assert!(t.p_value < 1e-6, "{t:?}");
+    }
+
+    #[test]
+    fn gof_pools_small_bins() {
+        // Tail bins with tiny expectation must be pooled, not inflate χ².
+        let expected = [0.70, 0.25, 0.03, 0.015, 0.004, 0.001];
+        let observed = [705u64, 245, 32, 14, 3, 1];
+        let t = chi_square_gof(&observed, &expected, 5.0).unwrap();
+        assert!(t.dof < 5);
+        assert!(t.p_value > 0.05, "{t:?}");
+    }
+
+    #[test]
+    fn gof_handles_leftover_mass() {
+        // Expected probabilities summing below 1: the remainder forms an
+        // implicit "everything else" bin with zero observations.
+        let expected = [0.6, 0.3]; // 0.1 unaccounted
+        let observed = [60u64, 32];
+        let t = chi_square_gof(&observed, &expected, 1.0).unwrap();
+        assert!(t.statistic > 0.0);
+    }
+
+    #[test]
+    fn gof_input_validation() {
+        assert!(chi_square_gof(&[], &[], 5.0).is_err());
+        assert!(chi_square_gof(&[1], &[0.5, 0.5], 5.0).is_err());
+        assert!(chi_square_gof(&[0, 0], &[0.5, 0.5], 5.0).is_err());
+        assert!(chi_square_gof(&[1, 1], &[-0.5, 0.5], 5.0).is_err());
+    }
+}

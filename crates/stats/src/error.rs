@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Error type for invalid distribution parameters and malformed inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A probability argument was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// A probability vector was empty or contained negative / non-finite mass.
+    InvalidPmf {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must lie in [0, 1], got {value}")
+            }
+            StatsError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            StatsError::InvalidPmf { reason } => {
+                write!(f, "invalid probability mass function: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = StatsError::InvalidProbability {
+            name: "pd",
+            value: 1.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pd"));
+        assert!(s.contains("1.5"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,75 @@
+//! Group based detection as a false-alarm filter.
+//!
+//! The paper's core motivation (§1): "Only the detection reports generated
+//! in a sequence, which can be mapped to a possible target track, are
+//! recognized as true target detections. In this case, most false alarms
+//! are filtered out." This example measures that claim with the concrete
+//! velocity-feasibility track filter:
+//!
+//! 1. with a real target and noisy sensors, the filter keeps (and slightly
+//!    helps) detection;
+//! 2. with *no* target, naive report counting alarms constantly while the
+//!    filter suppresses almost everything.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example false_alarm_filtering
+//! ```
+
+use gbd_core::params::SystemParams;
+use gbd_sim::config::SimConfig;
+use gbd_sim::false_alarm::{run_no_target, run_with_filter};
+
+fn main() {
+    let params = SystemParams::paper_defaults().with_n_sensors(180);
+    let trials = 400;
+
+    println!("Node-level false alarms: each sensor misfires independently each period.");
+    println!(
+        "Detection rule: >= {} track-consistent reports within {} periods.\n",
+        params.k(),
+        params.m_periods()
+    );
+
+    println!("== Target present ==");
+    println!(
+        "  node FA rate | P(detect), true reports only | P(detect), filtered (true+noise)"
+    );
+    for far in [0.0, 0.0005, 0.002] {
+        let cfg = SimConfig::new(params)
+            .with_trials(trials)
+            .with_seed(31)
+            .with_false_alarm_rate(far);
+        let r = run_with_filter(&cfg);
+        println!(
+            "     {:6.2} % |            {:.3}             |              {:.3}",
+            100.0 * far,
+            r.detections_true_only as f64 / r.trials as f64,
+            r.detections_filtered as f64 / r.trials as f64,
+        );
+    }
+    println!("  (noise can only extend feasible chains: the filtered column never drops)");
+
+    println!("\n== No target: system-level false alarm rate ==");
+    println!(
+        "  node FA rate | naive counting alarms | track-filtered alarms | mean noise reports"
+    );
+    for far in [0.0005, 0.001, 0.002, 0.005] {
+        let cfg = SimConfig::new(params)
+            .with_trials(trials)
+            .with_seed(77)
+            .with_false_alarm_rate(far);
+        let r = run_no_target(&cfg);
+        println!(
+            "     {:6.2} % |        {:5.1} %        |        {:5.1} %        | {:8.1}",
+            100.0 * far,
+            100.0 * r.naive_alarms as f64 / r.trials as f64,
+            100.0 * r.filtered_alarms as f64 / r.trials as f64,
+            r.mean_false_reports,
+        );
+    }
+    println!("\nNaive counting is useless once the window collects ~k noise reports;");
+    println!("requiring a velocity-feasible track restores a low system-level rate,");
+    println!("which is exactly why deployed systems use group based detection.");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: analyze a sparse sensor network and validate by simulation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sparse_groupdet::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // The paper's evaluation setup: 32 km x 32 km field, sensing range
+    // 1 km, Pd = 0.9, sensing period 1 min, detection rule "at least 5
+    // reports within 20 periods".
+    let params = SystemParams::paper_defaults()
+        .with_n_sensors(120)
+        .with_speed(10.0);
+
+    println!("Sparse sensor network:");
+    println!(
+        "  field           : {:.0} x {:.0} m",
+        params.field_width(),
+        params.field_height()
+    );
+    println!("  sensors         : {}", params.n_sensors());
+    println!("  sensing range   : {:.0} m", params.sensing_range());
+    println!("  target speed    : {:.0} m/s", params.speed());
+    println!(
+        "  detection rule  : >= {} reports within {} periods",
+        params.k(),
+        params.m_periods()
+    );
+    println!("  ms (DR traverse): {} periods", params.ms());
+
+    // --- Analysis: the M-S-approach (milliseconds). -----------------------
+    let analysis = ms_analyze(&params, &MsOptions::default())?;
+    let p_analysis = analysis.detection_probability(params.k());
+    println!("\nM-S-approach analysis:");
+    println!("  detection probability : {p_analysis:.4}");
+    println!("  retained mass         : {:.4}", analysis.retained_mass());
+    println!(
+        "  Eq (14) accuracy      : {:.4}",
+        analysis.predicted_accuracy()
+    );
+
+    // Exact reference (the G -> N limit of the S-approach).
+    let p_exact = exact::detection_probability(&params, params.k());
+    println!("  exact reference       : {p_exact:.4}");
+
+    // --- Validation: Monte Carlo simulation (the paper's §4). -------------
+    let config = SimConfig::new(params).with_trials(4_000).with_seed(2008);
+    let sim = run_simulation(&config);
+    println!("\nSimulation ({} trials):", sim.trials);
+    println!(
+        "  detection probability : {:.4}  (95% CI [{:.4}, {:.4}])",
+        sim.detection_probability, sim.confidence.lo, sim.confidence.hi
+    );
+    println!("  mean reports per trial: {:.2}", sim.report_counts.mean());
+
+    let agree = sim.confidence.contains(p_exact);
+    println!(
+        "\nanalysis vs simulation: |diff| = {:.4} -> {}",
+        (p_analysis - sim.detection_probability).abs(),
+        if agree {
+            "consistent (within 95% CI of the exact model)"
+        } else {
+            "outside CI"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerates every figure, ablation and extension experiment of the
+# reproduction. Full-resolution Monte Carlo (10 000 trials/point) takes a
+# few minutes on a modern machine; pass a trial count to reduce it:
+#
+#   scripts/reproduce_all.sh 2000
+set -euo pipefail
+cd "$(dirname "$0")/.."
+TRIALS="${1:-10000}"
+
+echo "== building =="
+cargo build --release --workspace -q
+
+run() {
+    echo
+    echo "=============================================================="
+    echo "== $1"
+    echo "=============================================================="
+    cargo run -q --release -p gbd-bench --bin "$1" -- --trials "$TRIALS"
+}
+
+# The paper's figures.
+run fig8
+run fig9a
+run fig9b
+run fig9c
+run timing_table
+
+# Ablations and extensions.
+run ablation_truncation
+run ablation_boundary
+run ablation_poisson
+run ablation_deployment
+run false_alarm_study
+run h_extension
+run varying_speed
+run comm_check
+run t_approach_explosion
+run time_to_detection
+run k_bound
+run design_space
+run tracking_quality
+run lifetime_tradeoff
+run exposure_model
+
+echo
+echo "CSV outputs are in results/."

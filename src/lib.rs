@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! # sparse-groupdet
+//!
+//! A reproduction of *Performance Analysis of Group Based Detection for
+//! Sparse Sensor Networks* (Zhang, Zhou, Son, Stankovic, Whitehouse —
+//! ICDCS 2008) as a Rust workspace: the paper's analytical models, every
+//! substrate they depend on, and the Monte Carlo simulator that validates
+//! them.
+//!
+//! This umbrella crate re-exports the workspace crates under stable module
+//! names and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use sparse_groupdet::prelude::*;
+//!
+//! # fn main() -> Result<(), gbd_core::CoreError> {
+//! // 1. Describe the system (paper defaults: 32 km field, Rs = 1 km,
+//! //    Pd = 0.9, M = 20 periods, k = 5 reports).
+//! let params = SystemParams::paper_defaults().with_n_sensors(120);
+//!
+//! // 2. Analytical detection probability via the M-S-approach (< 1 ms).
+//! let analysis = ms_analyze(&params, &MsOptions::default())?;
+//! let p_analytical = analysis.detection_probability(params.k());
+//!
+//! // 3. Validate by simulation (the paper's §4 procedure).
+//! let sim = run_simulation(&SimConfig::new(params).with_trials(500).with_seed(1));
+//!
+//! assert!((p_analytical - sim.detection_probability).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `gbd-core` | M=1 model, S-approach, M-S-approach, exact reference, accuracy solvers, extensions |
+//! | [`sim`] | `gbd-sim` | Monte Carlo validation simulator, false-alarm studies, track filter |
+//! | [`geometry`] | `gbd-geometry` | stadium DRs, lens areas, Eq (6)/(8)/(10) subareas |
+//! | [`markov`] | `gbd-markov` | counting chains, transition matrices, absorbing analysis |
+//! | [`stats`] | `gbd-stats` | distributions, convolutions, intervals, seeded RNG |
+//! | [`field`] | `gbd-field` | deployments, spatial queries, coverage statistics |
+//! | [`motion`] | `gbd-motion` | straight-line, random-walk, waypoint, varying-speed models |
+//! | [`net`] | `gbd-net` | unit-disk graphs, GF/GPSR routing, latency deadline checks |
+
+pub use gbd_core as core;
+pub use gbd_field as field;
+pub use gbd_geometry as geometry;
+pub use gbd_markov as markov;
+pub use gbd_motion as motion;
+pub use gbd_net as net;
+pub use gbd_sim as sim;
+pub use gbd_stats as stats;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use gbd_core::accuracy::{required_caps, RequiredCaps};
+    pub use gbd_core::exact;
+    pub use gbd_core::false_alarm::{required_k, FalseAlarmModel};
+    pub use gbd_core::ms_approach::{analyze as ms_analyze, AnalysisResult, MsOptions};
+    pub use gbd_core::params::SystemParams;
+    pub use gbd_core::s_approach::{analyze as s_analyze, SOptions};
+    pub use gbd_core::single_period;
+    pub use gbd_core::time_to_detection;
+    pub use gbd_core::CoreError;
+    pub use gbd_sim::config::{BoundaryPolicy, DeploymentSpec, MotionSpec, SimConfig};
+    pub use gbd_sim::runner::{run as run_simulation, SimResult};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let p = SystemParams::paper_defaults();
+        assert_eq!(p.k(), 5);
+        let opts = MsOptions::default();
+        assert_eq!(opts.g, 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Hardening: boundary configurations pushed through every model.
+//!
+//! Each case asserts the models return finite, consistent probabilities —
+//! no panics, no NaNs, tails in `[0, 1]` — at the edges of the parameter
+//! space a downstream user might reach.
+
+use gbd_core::exact;
+use gbd_core::extension_h;
+use gbd_core::ms_approach::{self, MsOptions};
+use gbd_core::params::SystemParams;
+use gbd_core::s_approach::{self, SOptions};
+use gbd_core::single_period;
+use sparse_groupdet::prelude::*;
+
+fn check_all_models(params: SystemParams, label: &str) {
+    let k = params.k();
+    let ms = ms_approach::analyze(&params, &MsOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: ms_approach failed: {e}"));
+    let p_ms = ms.detection_probability(k);
+    assert!(
+        (0.0..=1.0 + 1e-12).contains(&p_ms) && p_ms.is_finite(),
+        "{label}: p_ms={p_ms}"
+    );
+
+    let s = s_approach::analyze(&params, &SOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: s_approach failed: {e}"));
+    let p_s = s.detection_probability(k);
+    assert!(p_s.is_finite(), "{label}");
+
+    let p_exact = exact::detection_probability(&params, k);
+    assert!((0.0..=1.0).contains(&p_exact), "{label}: exact={p_exact}");
+
+    // Exact is the reference; both approximations near it.
+    assert!(
+        (p_ms - p_exact).abs() < 0.05,
+        "{label}: ms {p_ms} vs exact {p_exact}"
+    );
+
+    let h = extension_h::analyze(&params, 2, &MsOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: extension_h failed: {e}"));
+    assert!(
+        h.detection_probability(k, 1) + 1e-9 >= h.detection_probability(k, 2),
+        "{label}"
+    );
+}
+
+#[test]
+fn single_period_window() {
+    check_all_models(
+        SystemParams::paper_defaults().with_m_periods(1).with_k(1),
+        "M=1",
+    );
+}
+
+#[test]
+fn threshold_one() {
+    check_all_models(SystemParams::paper_defaults().with_k(1), "k=1");
+}
+
+#[test]
+fn threshold_above_plausible_reports() {
+    // k = 60: detection essentially impossible; everything must stay
+    // finite and near zero.
+    let params = SystemParams::paper_defaults().with_k(60);
+    let p = exact::detection_probability(&params, 60);
+    assert!(p < 1e-3, "p={p}");
+    check_all_models(params, "k=60");
+}
+
+#[test]
+fn tiny_fleet() {
+    check_all_models(
+        SystemParams::paper_defaults().with_n_sensors(1).with_k(1),
+        "N=1",
+    );
+    // Zero sensors: nothing ever detects.
+    let none = SystemParams::paper_defaults().with_n_sensors(0).with_k(1);
+    assert_eq!(exact::detection_probability(&none, 1), 0.0);
+    let r = ms_approach::analyze(&none, &MsOptions::default()).unwrap();
+    assert_eq!(r.detection_probability_unnormalized(1), 0.0);
+}
+
+#[test]
+fn certain_and_impossible_sensing() {
+    check_all_models(SystemParams::paper_defaults().with_pd(1.0), "pd=1");
+    let blind = SystemParams::paper_defaults().with_pd(0.0);
+    assert_eq!(exact::detection_probability(&blind, 1), 0.0);
+    let r = ms_approach::analyze(&blind, &MsOptions::default()).unwrap();
+    assert_eq!(r.detection_probability(5), 0.0);
+}
+
+#[test]
+fn very_fast_target_ms_equals_one() {
+    // V·t > 2·Rs: consecutive DRs overlap only at the shared endpoint disk.
+    let params = SystemParams::paper_defaults().with_speed(40.0); // step 2400 > 2000
+    assert_eq!(params.ms(), 1);
+    check_all_models(params, "ms=1");
+}
+
+#[test]
+fn very_slow_target_large_ms() {
+    // V = 1 m/s: step 60 m, ms = 34 — long overlap chains.
+    let params = SystemParams::paper_defaults().with_speed(1.0).with_k(2);
+    assert_eq!(params.ms(), 34);
+    check_all_models(params, "ms=34");
+}
+
+#[test]
+fn dense_network_leaves_sparse_regime_gracefully() {
+    // 5 000 sensors: no longer sparse; models must still agree.
+    let params = SystemParams::paper_defaults()
+        .with_n_sensors(5_000)
+        .with_k(40);
+    let p = exact::detection_probability(&params, 40);
+    assert!((0.0..=1.0).contains(&p));
+    let r = ms_approach::analyze(&params, &MsOptions { g: 8, gh: 12 }).unwrap();
+    assert!((r.detection_probability(40) - p).abs() < 0.05);
+}
+
+#[test]
+fn tiny_field_that_still_contains_the_aregion() {
+    // Smallest square field containing the ARegion at M = 4.
+    let side = 6_000.0;
+    let params = SystemParams::new(side, side, 30, 1_000.0, 10.0, 60.0, 0.9, 4, 2).unwrap();
+    assert!(params.aregion_area() <= params.field_area());
+    check_all_models(params, "tiny field");
+}
+
+#[test]
+fn simulator_handles_extremes() {
+    // One-sensor fleet, one trial; pd = 1 fleet; M = 1 window.
+    for (label, params) in [
+        (
+            "N=1",
+            SystemParams::paper_defaults().with_n_sensors(1).with_k(1),
+        ),
+        ("pd=1", SystemParams::paper_defaults().with_pd(1.0)),
+        (
+            "M=1",
+            SystemParams::paper_defaults().with_m_periods(1).with_k(1),
+        ),
+    ] {
+        let r = run_simulation(&SimConfig::new(params).with_trials(50).with_seed(5));
+        assert!(r.detection_probability.is_finite(), "{label}");
+        assert!(r.confidence.lo <= r.confidence.hi, "{label}");
+    }
+}
+
+#[test]
+fn single_period_model_consistency_at_edges() {
+    for params in [
+        SystemParams::paper_defaults().with_pd(0.0),
+        SystemParams::paper_defaults().with_pd(1.0),
+        SystemParams::paper_defaults().with_n_sensors(0),
+    ] {
+        let p1 = single_period::probability_at_least(&params, 1);
+        assert!((0.0..=1.0).contains(&p1));
+        assert_eq!(single_period::probability_at_least(&params, 0), 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Validation of the heterogeneous-fleet exact model against a
+//! purpose-built simulation with per-sensor sensing ranges.
+//!
+//! The paper assumes one sensing range for all sensors; the exact model
+//! factorizes over sensors, so mixed fleets are analyzable. The simulator
+//! here evaluates per-sensor coverage directly (minimum-image distances on
+//! the torus), independent of `gbd-field`'s single-radius queries.
+
+use gbd_core::exact::{detection_probability_classes, SensorClass};
+use gbd_core::params::SystemParams;
+use gbd_geometry::point::{Point, Segment};
+use gbd_motion::straight::StraightLine;
+use gbd_motion::trajectory::MotionModel;
+use gbd_stats::rng::rng_stream;
+use rand::Rng as _;
+
+const TRIALS: u64 = 2_500;
+
+/// Minimum-image distance from a sensor to a track segment: shift the
+/// sensor to the periodic image closest to the segment midpoint, then
+/// measure once (valid because segments plus sensing ranges are far
+/// smaller than half the field).
+fn torus_distance(seg: &Segment, sensor: Point, w: f64, h: f64) -> f64 {
+    let mid = seg.midpoint();
+    let mut dx = sensor.x - mid.x;
+    let mut dy = sensor.y - mid.y;
+    dx -= (dx / w).round() * w;
+    dy -= (dy / h).round() * h;
+    seg.distance_to(Point::new(mid.x + dx, mid.y + dy))
+}
+
+fn simulate_classes(params: SystemParams, classes: &[SensorClass], seed: u64) -> f64 {
+    let w = params.field_width();
+    let h = params.field_height();
+    let model = StraightLine::new(params.speed());
+    let mut hits = 0u64;
+    for trial in 0..TRIALS {
+        let mut rng = rng_stream(seed, trial);
+        // Deploy every class uniformly.
+        let mut sensors: Vec<(Point, f64, f64)> = Vec::new();
+        for class in classes {
+            for _ in 0..class.count {
+                sensors.push((
+                    Point::new(rng.gen_range(0.0..w), rng.gen_range(0.0..h)),
+                    class.sensing_range,
+                    class.pd,
+                ));
+            }
+        }
+        let start = Point::new(rng.gen_range(0.0..w), rng.gen_range(0.0..h));
+        let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        let traj = model.generate(
+            start,
+            heading,
+            params.period_s(),
+            params.m_periods(),
+            &mut rng,
+        );
+        let mut reports = 0usize;
+        for period in 1..=params.m_periods() {
+            let seg = traj.segment(period);
+            for &(pos, rs, pd) in &sensors {
+                if torus_distance(&seg, pos, w, h) <= rs && rng.gen_bool(pd) {
+                    reports += 1;
+                }
+            }
+        }
+        if reports >= params.k() {
+            hits += 1;
+        }
+    }
+    hits as f64 / TRIALS as f64
+}
+
+#[test]
+fn mixed_fleet_analysis_matches_simulation() {
+    let params = SystemParams::paper_defaults();
+    // 30 long-range sonars among 150 short-range hydrophones.
+    let classes = [
+        SensorClass {
+            count: 150,
+            sensing_range: 700.0,
+            pd: 0.9,
+        },
+        SensorClass {
+            count: 30,
+            sensing_range: 2_500.0,
+            pd: 0.85,
+        },
+    ];
+    let ana = detection_probability_classes(&params, &classes, params.k());
+    let sim = simulate_classes(params, &classes, 314);
+    let se = (sim * (1.0 - sim) / TRIALS as f64).sqrt().max(1e-3);
+    assert!(
+        (ana - sim).abs() < 4.0 * se + 0.015,
+        "analysis {ana:.4} vs simulation {sim:.4}"
+    );
+}
+
+#[test]
+fn homogeneous_class_agrees_with_main_simulator() {
+    // Cross-check the independent per-sensor simulation against the
+    // production engine for a single class.
+    use gbd_sim::config::SimConfig;
+    use gbd_sim::runner::run;
+    let params = SystemParams::paper_defaults().with_n_sensors(150);
+    let classes = [SensorClass {
+        count: 150,
+        sensing_range: 1_000.0,
+        pd: 0.9,
+    }];
+    let bespoke = simulate_classes(params, &classes, 77);
+    let engine = run(&SimConfig::new(params).with_trials(TRIALS).with_seed(78));
+    assert!(
+        (bespoke - engine.detection_probability).abs() < 0.04,
+        "bespoke {bespoke:.4} vs engine {:.4}",
+        engine.detection_probability
+    );
+}
+
+#[test]
+fn fleet_mix_directions_follow_swept_vs_disk_area() {
+    // Design insights only the heterogeneous model can give. Two budget
+    // conventions give opposite answers:
+    // (a) equal total DISK area (N·Rs² constant): the many-short fleet
+    //     sweeps twice the area per period (swept ∝ N·Rs) and wins;
+    // (b) equal total SWEPT area (N·Rs constant): the few-long fleet wins —
+    //     its π·Rs² terms are larger and each sensor can deliver several of
+    //     the k reports by covering the target over more periods.
+    let params = SystemParams::paper_defaults();
+    // (a) 400·π·500² == 100·π·1000².
+    let many_short = [SensorClass {
+        count: 400,
+        sensing_range: 500.0,
+        pd: 0.9,
+    }];
+    let few_long = [SensorClass {
+        count: 100,
+        sensing_range: 1_000.0,
+        pd: 0.9,
+    }];
+    let p_short = detection_probability_classes(&params, &many_short, 5);
+    let p_long = detection_probability_classes(&params, &few_long, 5);
+    assert!(
+        p_short > p_long,
+        "disk-budget: short {p_short:.4} vs long {p_long:.4}"
+    );
+    // (b) 300·500 == 75·2000.
+    let many_short = [SensorClass {
+        count: 300,
+        sensing_range: 500.0,
+        pd: 0.9,
+    }];
+    let few_long = [SensorClass {
+        count: 75,
+        sensing_range: 2_000.0,
+        pd: 0.9,
+    }];
+    let p_short = detection_probability_classes(&params, &many_short, 5);
+    let p_long = detection_probability_classes(&params, &few_long, 5);
+    assert!(
+        p_long > p_short,
+        "swept-budget: short {p_short:.4} vs long {p_long:.4}"
+    );
+}

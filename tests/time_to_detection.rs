@@ -1,0 +1,83 @@
+//! First-passage validation: the analytical time-to-detection curves
+//! against the simulated first detection period.
+
+use gbd_core::ms_approach::MsOptions;
+use gbd_core::params::SystemParams;
+use gbd_core::time_to_detection;
+use gbd_sim::config::SimConfig;
+use gbd_sim::engine::run_trial;
+
+const TRIALS: u64 = 4_000;
+
+/// Simulated `P[detected by period m]` curve.
+fn simulated_curve(params: SystemParams, seed: u64) -> Vec<f64> {
+    let config = SimConfig::new(params).with_trials(TRIALS).with_seed(seed);
+    let m = params.m_periods();
+    let mut by_period = vec![0u64; m];
+    for trial in 0..TRIALS {
+        let out = run_trial(&config, trial);
+        if let Some(p) = out.first_detection_period(params.k()) {
+            for slot in by_period.iter_mut().skip(p - 1) {
+                *slot += 1;
+            }
+        }
+    }
+    by_period
+        .iter()
+        .map(|&c| c as f64 / TRIALS as f64)
+        .collect()
+}
+
+#[test]
+fn exact_first_passage_matches_simulation() {
+    // Reduced window/caps keep the T-approach state space comfortable.
+    let params = SystemParams::paper_defaults()
+        .with_m_periods(8)
+        .with_n_sensors(240)
+        .with_k(3);
+    let opts = MsOptions { g: 3, gh: 3 };
+    let exact = time_to_detection::analyze_exact(&params, &opts, 20_000_000).unwrap();
+    let sim = simulated_curve(params, 21);
+    for (m, (a, s)) in exact.by_period.iter().zip(&sim).enumerate() {
+        let se = (s * (1.0 - s) / TRIALS as f64).sqrt().max(1e-3);
+        assert!(
+            (a - s).abs() < 4.0 * se + 0.02,
+            "period {}: exact {a:.4} vs sim {s:.4}",
+            m + 1
+        );
+    }
+}
+
+#[test]
+fn arrival_attributed_curve_upper_bounds_simulation() {
+    let params = SystemParams::paper_defaults().with_n_sensors(150);
+    let fast = time_to_detection::analyze(&params, &MsOptions::default()).unwrap();
+    let sim = simulated_curve(params, 22);
+    for (m, (a, s)) in fast.by_period.iter().zip(&sim).enumerate() {
+        assert!(
+            a + 0.03 >= *s,
+            "period {}: fast {a:.4} below sim {s:.4}",
+            m + 1
+        );
+    }
+    // Endpoints agree: the window probability is attribution-invariant.
+    let end_gap = (fast.by_period.last().unwrap() - sim.last().unwrap()).abs();
+    assert!(end_gap < 0.03, "endpoint gap {end_gap}");
+}
+
+#[test]
+fn simulated_median_detection_time_is_mid_window() {
+    // At the paper's N = 240, V = 10 the system detects with P ≈ 0.98;
+    // the median detection time from simulation sits mid-window, matching
+    // the analytical conditional mean.
+    let params = SystemParams::paper_defaults();
+    let sim = simulated_curve(params, 23);
+    let median_period = sim.iter().position(|&p| p >= 0.5).map(|i| i + 1).unwrap();
+    assert!((6..=14).contains(&median_period), "median {median_period}");
+    let fast = time_to_detection::analyze(&params, &MsOptions::default()).unwrap();
+    let mean = fast.mean_period_given_detected().unwrap();
+    assert!(
+        (mean - median_period as f64).abs() < 5.0,
+        "mean {mean} median {median_period}"
+    );
+}

@@ -1,0 +1,166 @@
+//! End-to-end validation: the analytical models against the Monte Carlo
+//! simulator — the reproduction of the paper's §4 at reduced trial counts.
+//!
+//! The full-resolution runs (10 000 trials per point) live in the
+//! `gbd-bench` figure binaries; these tests use fewer trials with
+//! statistically safe tolerances so `cargo test` stays fast.
+
+use sparse_groupdet::prelude::*;
+
+const TRIALS: u64 = 2_500;
+
+fn paper(n: usize, v: f64) -> SystemParams {
+    SystemParams::paper_defaults()
+        .with_n_sensors(n)
+        .with_speed(v)
+}
+
+/// Wilson CI widened by the analytical model's own error budget.
+fn close(analysis: f64, sim: &SimResult) -> bool {
+    analysis >= sim.confidence.lo - 0.02 && analysis <= sim.confidence.hi + 0.02
+}
+
+#[test]
+fn figure_9a_analysis_matches_simulation_straight_line() {
+    // A 3 x 2 grid of the paper's Figure 9(a) points.
+    for (n, v) in [
+        (60, 4.0),
+        (150, 4.0),
+        (240, 4.0),
+        (60, 10.0),
+        (150, 10.0),
+        (240, 10.0),
+    ] {
+        let params = paper(n, v);
+        let analysis = ms_analyze(&params, &MsOptions::default())
+            .unwrap()
+            .detection_probability(params.k());
+        let sim = run_simulation(&SimConfig::new(params).with_trials(TRIALS).with_seed(42));
+        assert!(
+            close(analysis, &sim),
+            "N={n} V={v}: analysis {analysis:.4} vs sim {:.4} [{:.4},{:.4}]",
+            sim.detection_probability,
+            sim.confidence.lo,
+            sim.confidence.hi
+        );
+    }
+}
+
+#[test]
+fn figure_9a_monotone_in_n_in_both_analysis_and_simulation() {
+    let mut prev_sim = 0.0;
+    let mut prev_ana = 0.0;
+    for n in [60, 120, 180, 240] {
+        let params = paper(n, 10.0);
+        let ana = ms_analyze(&params, &MsOptions::default())
+            .unwrap()
+            .detection_probability(5);
+        let sim = run_simulation(&SimConfig::new(params).with_trials(TRIALS).with_seed(7));
+        assert!(ana > prev_ana, "analysis not monotone at N={n}");
+        assert!(
+            sim.detection_probability > prev_sim - 0.02,
+            "simulation not monotone at N={n}"
+        );
+        prev_ana = ana;
+        prev_sim = sim.detection_probability;
+    }
+}
+
+#[test]
+fn figure_9b_unnormalized_analysis_undershoots_simulation() {
+    // The paper: without normalization the analysis error grows with N and
+    // V, and the unnormalized curve sits *below* the simulation.
+    let params = paper(240, 10.0);
+    let r = ms_analyze(&params, &MsOptions::default()).unwrap();
+    let sim = run_simulation(&SimConfig::new(params).with_trials(TRIALS).with_seed(3));
+    let unnorm = r.detection_probability_unnormalized(5);
+    let norm = r.detection_probability(5);
+    assert!(unnorm < norm);
+    assert!(
+        sim.detection_probability - unnorm > 0.01,
+        "expected visible undershoot: sim {:.4} vs unnormalized {unnorm:.4}",
+        sim.detection_probability
+    );
+    // And the error is larger at (240, 10) than at (60, 4), as in Fig 9(b).
+    let params_small = paper(60, 4.0);
+    let r_small = ms_analyze(&params_small, &MsOptions::default()).unwrap();
+    let gap_small =
+        r_small.detection_probability(5) - r_small.detection_probability_unnormalized(5);
+    let gap_big = norm - unnorm;
+    assert!(gap_big > gap_small, "gap {gap_big:.4} vs {gap_small:.4}");
+}
+
+#[test]
+fn figure_9c_random_walk_close_to_straight_line_analysis() {
+    // The paper: random-walk simulation stays close to the straight-line
+    // analysis (max error 2.4%), sitting at or slightly below it.
+    for (n, v) in [(120, 10.0), (240, 10.0)] {
+        let params = paper(n, v);
+        let analysis = ms_analyze(&params, &MsOptions::default())
+            .unwrap()
+            .detection_probability(5);
+        let sim = run_simulation(
+            &SimConfig::new(params)
+                .with_trials(TRIALS)
+                .with_seed(11)
+                .with_paper_random_walk(),
+        );
+        let diff = analysis - sim.detection_probability;
+        // Analysis upper-bounds the walk (within noise), error small.
+        assert!(diff > -0.03, "N={n}: walk above analysis by {}", -diff);
+        assert!(diff < 0.06, "N={n}: error too large: {diff}");
+    }
+}
+
+#[test]
+fn faster_targets_detected_more_often_in_simulation() {
+    let slow = run_simulation(
+        &SimConfig::new(paper(150, 4.0))
+            .with_trials(TRIALS)
+            .with_seed(5),
+    );
+    let fast = run_simulation(
+        &SimConfig::new(paper(150, 10.0))
+            .with_trials(TRIALS)
+            .with_seed(5),
+    );
+    assert!(fast.detection_probability > slow.detection_probability);
+}
+
+#[test]
+fn expected_report_count_matches_analysis() {
+    // E[reports] = N · Pd · Σ_i i·Region(i) / S = N · Pd · M · |DR| / S on
+    // a torus field (each sensor earns one detection chance per period it
+    // covers): a sharp cross-check between the simulator and the geometry.
+    let params = paper(240, 10.0);
+    let expect =
+        params.n_sensors() as f64 * params.pd() * params.m_periods() as f64 * params.dr_area()
+            / params.field_area();
+    let sim = run_simulation(&SimConfig::new(params).with_trials(TRIALS).with_seed(13));
+    let got = sim.report_counts.mean();
+    let se = sim.report_counts.std_dev() / (sim.trials as f64).sqrt();
+    assert!(
+        (got - expect).abs() < 4.0 * se + 0.01,
+        "mean reports {got:.3} vs analytic {expect:.3} (se {se:.4})"
+    );
+}
+
+#[test]
+fn bounded_field_detects_less_than_torus() {
+    // The border effect the analysis ignores: with a bounded field part of
+    // the ARegion falls outside, so detection probability drops.
+    let params = paper(150, 10.0);
+    let torus = run_simulation(&SimConfig::new(params).with_trials(TRIALS).with_seed(17));
+    let bounded = run_simulation(
+        &SimConfig::new(params)
+            .with_trials(TRIALS)
+            .with_seed(17)
+            .with_boundary(BoundaryPolicy::Bounded),
+    );
+    assert!(
+        torus.detection_probability > bounded.detection_probability,
+        "torus {:.4} vs bounded {:.4}",
+        torus.detection_probability,
+        bounded.detection_probability
+    );
+}
