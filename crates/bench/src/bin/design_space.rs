@@ -6,6 +6,9 @@
 //! probability), (3) fleet-mix comparisons only the heterogeneous exact
 //! model can answer.
 //!
+//! The sensitivity table is one engine batch over the exact backend — the
+//! operating point plus a ±20 % perturbation per parameter.
+//!
 //! ```text
 //! cargo run --release -p gbd-bench --bin design_space
 //! ```
@@ -14,11 +17,43 @@ use gbd_bench::{f, Csv, ExpOptions};
 use gbd_core::design::{max_field_side, required_sensing_range, required_sensors};
 use gbd_core::exact::{self, SensorClass};
 use gbd_core::params::SystemParams;
+use gbd_engine::{BackendSpec, Engine, EvalRequest};
 
 fn main() {
     let opts = ExpOptions::from_args(0);
     let base = SystemParams::paper_defaults().with_n_sensors(150);
-    let p0 = exact::detection_probability(&base, base.k());
+    let exact_backend = BackendSpec::Exact { saturation_cap: 32 };
+
+    // One batch: the operating point, then (lo, hi) per sensitivity row.
+    let variations: Vec<(&str, SystemParams, SystemParams)> = vec![
+        (
+            "sensors N",
+            base.with_n_sensors(120),
+            base.with_n_sensors(180),
+        ),
+        (
+            "range Rs",
+            base.with_sensing_range(800.0),
+            base.with_sensing_range(1200.0),
+        ),
+        ("speed V", base.with_speed(8.0), base.with_speed(12.0)),
+        ("pd", base.with_pd(0.72), base.with_pd(1.0)),
+        ("window M", base.with_m_periods(16), base.with_m_periods(24)),
+        ("threshold k", base.with_k(4), base.with_k(6)),
+    ];
+    let mut requests = vec![EvalRequest::new(base, exact_backend)];
+    for (_, lo, hi) in &variations {
+        requests.push(EvalRequest::new(*lo, exact_backend));
+        requests.push(EvalRequest::new(*hi, exact_backend));
+    }
+    let engine = Engine::new();
+    let responses = engine.evaluate_batch(&requests);
+    let p_at = |i: usize| {
+        responses[i]
+            .detection_probability()
+            .expect("valid design-space params")
+    };
+    let p0 = p_at(0);
 
     println!("Operating point: N = 150, V = 10 m/s, Rs = 1 km, k = 5, M = 20");
     println!("  P(detect) = {p0:.4}\n");
@@ -30,39 +65,8 @@ fn main() {
         "design_sensitivity.csv",
         &["param", "lo", "base", "hi"],
     );
-    let rows: Vec<(&str, f64, f64)> = vec![
-        (
-            "sensors N",
-            exact::detection_probability(&base.with_n_sensors(120), 5),
-            exact::detection_probability(&base.with_n_sensors(180), 5),
-        ),
-        (
-            "range Rs",
-            exact::detection_probability(&base.with_sensing_range(800.0), 5),
-            exact::detection_probability(&base.with_sensing_range(1200.0), 5),
-        ),
-        (
-            "speed V",
-            exact::detection_probability(&base.with_speed(8.0), 5),
-            exact::detection_probability(&base.with_speed(12.0), 5),
-        ),
-        (
-            "pd",
-            exact::detection_probability(&base.with_pd(0.72), 5),
-            exact::detection_probability(&base.with_pd(1.0), 5),
-        ),
-        (
-            "window M",
-            exact::detection_probability(&base.with_m_periods(16), 5),
-            exact::detection_probability(&base.with_m_periods(24), 5),
-        ),
-        (
-            "threshold k",
-            exact::detection_probability(&base, 4),
-            exact::detection_probability(&base, 6),
-        ),
-    ];
-    for (name, lo, hi) in rows {
+    for (i, (name, _, _)) in variations.iter().enumerate() {
+        let (lo, hi) = (p_at(1 + 2 * i), p_at(2 + 2 * i));
         println!("  {name:14} | {lo:.4}  | {p0:.4}  | {hi:.4}");
         csv.row(&[name.to_string(), f(lo), f(p0), f(hi)]);
     }

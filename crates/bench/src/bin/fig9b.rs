@@ -3,15 +3,17 @@
 //! undershoots, and the error grows with N and V, approaching the Eq (14)
 //! bound (≈ 2–4 % at N = 240, V = 10 m/s).
 //!
+//! All points go through the evaluation engine as one batch; the raw
+//! (unnormalized) tail and the retained mass are read off the returned
+//! report distributions.
+//!
 //! ```text
 //! cargo run --release -p gbd-bench --bin fig9b -- --trials 10000
 //! ```
 
 use gbd_bench::{f, figure9_n_values, Csv, ExpOptions};
-use gbd_core::ms_approach::{analyze, MsOptions};
 use gbd_core::params::SystemParams;
-use gbd_sim::config::SimConfig;
-use gbd_sim::runner::run;
+use gbd_engine::{BackendSpec, Engine, EvalRequest, SimulationSpec};
 
 fn main() {
     let opts = ExpOptions::from_args(10_000);
@@ -21,6 +23,26 @@ fn main() {
     );
     println!("   N  |  V  | raw analysis | simulation | undershoot | Eq(14) mass deficit");
     println!(" -----+-----+--------------+------------+------------+--------------------");
+
+    let spec = SimulationSpec {
+        trials: opts.trials,
+        seed: opts.seed,
+        ..SimulationSpec::default()
+    };
+    let mut points = Vec::new();
+    let mut requests = Vec::new();
+    for v in [4.0, 10.0] {
+        for n in figure9_n_values() {
+            let params = SystemParams::paper_defaults()
+                .with_n_sensors(n)
+                .with_speed(v);
+            points.push((n, v, params.k()));
+            requests.push(EvalRequest::new(params, BackendSpec::ms_default()));
+            requests.push(EvalRequest::new(params, BackendSpec::Simulation(spec)));
+        }
+    }
+    let engine = Engine::new();
+    let responses = engine.evaluate_batch(&requests);
 
     let mut csv = Csv::create(
         &opts.out_dir,
@@ -34,31 +56,29 @@ fn main() {
             "mass_deficit",
         ],
     );
-    for v in [4.0, 10.0] {
-        for n in figure9_n_values() {
-            let params = SystemParams::paper_defaults()
-                .with_n_sensors(n)
-                .with_speed(v);
-            let r = analyze(&params, &MsOptions::default()).expect("valid paper params");
-            let raw = r.detection_probability_unnormalized(params.k());
-            let sim = run(&SimConfig::new(params)
-                .with_trials(opts.trials)
-                .with_seed(opts.seed));
-            let under = sim.detection_probability - raw;
-            let deficit = 1.0 - r.retained_mass();
-            println!(
-                "  {n:3} | {v:3} |    {raw:.4}    |   {:.4}   |  {under:+.4}   |  {deficit:.4}",
-                sim.detection_probability
-            );
-            csv.row(&[
-                n.to_string(),
-                v.to_string(),
-                f(raw),
-                f(sim.detection_probability),
-                f(under),
-                f(deficit),
-            ]);
-        }
+    for (i, &(n, v, k)) in points.iter().enumerate() {
+        let outcome = responses[2 * i]
+            .outcome
+            .as_ref()
+            .expect("valid paper params");
+        let dist = outcome.analysis().expect("analysis backend");
+        let raw = dist.detection_probability_unnormalized(k);
+        let sim_outcome = responses[2 * i + 1].outcome.as_ref().expect("valid config");
+        let sim = sim_outcome.simulation().expect("simulation backend");
+        let under = sim.detection_probability - raw;
+        let deficit = 1.0 - dist.retained_mass();
+        println!(
+            "  {n:3} | {v:3} |    {raw:.4}    |   {:.4}   |  {under:+.4}   |  {deficit:.4}",
+            sim.detection_probability
+        );
+        csv.row(&[
+            n.to_string(),
+            v.to_string(),
+            f(raw),
+            f(sim.detection_probability),
+            f(under),
+            f(deficit),
+        ]);
     }
     csv.finish();
     println!("\nPaper shape: undershoot grows with N and V (more truncated mass);");

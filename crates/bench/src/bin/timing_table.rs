@@ -9,12 +9,13 @@
 //! cargo run --release -p gbd-bench --bin timing_table
 //! ```
 
-use gbd_bench::{Csv, ExpOptions};
+use gbd_bench::{figure9_n_values, Csv, ExpOptions};
 use gbd_core::accuracy::required_caps;
 use gbd_core::ms_approach::{self, MsOptions};
 use gbd_core::params::SystemParams;
 use gbd_core::s_approach::{self, SOptions};
-use std::time::Instant;
+use gbd_engine::{BackendSpec, Engine, EvalOptions, EvalRequest};
+use std::time::{Duration, Instant};
 
 fn main() {
     let opts = ExpOptions::from_args(0);
@@ -102,5 +103,53 @@ fn main() {
     println!(
         "\nSpeedup of the M-S-approach at matched 99% accuracy: ~{:.0e}x",
         projected / ms_99.as_secs_f64()
+    );
+
+    // Engine memoization: the Figure 9 analysis grid (both speeds, all N),
+    // evaluated cold (cache bypassed per request) and warm (second cached
+    // pass over a populated engine).
+    println!("\nEngine batch over the Figure 9 grid (M-S-approach, 2 speeds x 7 N):");
+    let grid: Vec<EvalRequest> = [4.0, 10.0]
+        .iter()
+        .flat_map(|&v| {
+            figure9_n_values().into_iter().map(move |n| {
+                EvalRequest::new(
+                    SystemParams::paper_defaults()
+                        .with_n_sensors(n)
+                        .with_speed(v),
+                    BackendSpec::ms_default(),
+                )
+            })
+        })
+        .collect();
+    let cold_grid: Vec<EvalRequest> = grid
+        .iter()
+        .cloned()
+        .map(|mut request| {
+            request.options = EvalOptions {
+                bypass_cache: true,
+                ..request.options.clone()
+            };
+            request
+        })
+        .collect();
+    let engine = Engine::with_workers(1);
+    let total = |responses: &[gbd_engine::EvalResponse]| -> Duration {
+        responses.iter().map(|r| r.duration).sum()
+    };
+    let cold = total(&engine.evaluate_batch(&cold_grid));
+    let first = total(&engine.evaluate_batch(&grid));
+    let warm = total(&engine.evaluate_batch(&grid));
+    let stats = engine.cache_stats();
+    println!("  cold (cache bypassed)     : {cold:>12.3?}");
+    println!("  first cached pass         : {first:>12.3?}  (intra-sweep sharing)");
+    println!("  warm repeat               : {warm:>12.3?}");
+    println!(
+        "  cache                     : {} hits, {} misses",
+        stats.hits, stats.misses
+    );
+    println!(
+        "  warm speedup over cold    : {:.0}x",
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
     );
 }

@@ -1,0 +1,181 @@
+//! Flag-parsing machinery shared by the `groupdet` subcommands.
+//!
+//! Each subcommand is a struct assembled from flag *groups* (the shared
+//! system-parameter group plus command-specific ones). Groups declare
+//! their flags as [`Flag`] tables, which drives both `help` output and the
+//! did-you-mean suggestion on unknown flags.
+
+use std::str::FromStr;
+
+/// One command-line flag: its name, an optional value metavariable
+/// (`None` for boolean switches), and a help line.
+#[derive(Debug, Clone, Copy)]
+pub struct Flag {
+    /// Flag name including the leading dashes, e.g. `--speed`.
+    pub name: &'static str,
+    /// Value placeholder shown in help (`None` = boolean switch).
+    pub value: Option<&'static str>,
+    /// One-line description, paper default in parentheses.
+    pub help: &'static str,
+}
+
+impl Flag {
+    /// A flag that takes a value.
+    pub const fn value(name: &'static str, value: &'static str, help: &'static str) -> Self {
+        Flag {
+            name,
+            value: Some(value),
+            help,
+        }
+    }
+
+    /// A boolean switch.
+    pub const fn switch(name: &'static str, help: &'static str) -> Self {
+        Flag {
+            name,
+            value: None,
+            help,
+        }
+    }
+}
+
+/// Cursor over the raw argument list. Groups pull values for their flags
+/// through [`Cursor::take_value`] so "flag requires a value" and "invalid
+/// value" errors read the same everywhere.
+pub struct Cursor<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Cursor at the start of `args` (the arguments after the subcommand).
+    pub fn new(args: &'a [String]) -> Self {
+        Cursor { args, i: 0 }
+    }
+
+    /// The next argument, advancing past it.
+    pub fn next(&mut self) -> Option<&'a str> {
+        let arg = self.args.get(self.i)?;
+        self.i += 1;
+        Some(arg)
+    }
+
+    /// Takes and parses the value of `flag` from the next argument.
+    pub fn take_value<T: FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let raw = self
+            .args
+            .get(self.i)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        self.i += 1;
+        raw.parse()
+            .map_err(|_| format!("invalid value for {flag}: {raw}"))
+    }
+}
+
+/// Error text for an unrecognized flag, naming the nearest valid flag of
+/// the subcommand when one is plausibly close.
+pub fn unknown_flag(flag: &str, groups: &[&[Flag]]) -> String {
+    let names = groups.iter().flat_map(|g| g.iter().map(|f| f.name));
+    match nearest(flag, names) {
+        Some(best) => format!("unknown option `{flag}` (did you mean `{best}`?)"),
+        None => format!("unknown option `{flag}`"),
+    }
+}
+
+/// Error text for an unrecognized subcommand, with a suggestion.
+pub fn unknown_command(command: &str, commands: &[&'static str]) -> String {
+    match nearest(command, commands.iter().copied()) {
+        Some(best) => format!("unknown command `{command}` (did you mean `{best}`?)"),
+        None => format!("unknown command `{command}`"),
+    }
+}
+
+/// The candidate closest to `unknown` in edit distance, if close enough to
+/// be a plausible typo (distance at most 3 and less than the length typed).
+fn nearest<'a>(unknown: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .map(|c| (levenshtein(unknown, c), c))
+        .min_by_key(|&(d, _)| d)
+        .filter(|&(d, _)| d <= 3 && d < unknown.chars().count())
+        .map(|(_, c)| c)
+}
+
+/// Classic two-row Levenshtein distance over characters.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.chars().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Renders a flag table for `help` output.
+pub fn render_flags(out: &mut String, groups: &[&[Flag]]) {
+    for group in groups {
+        for flag in *group {
+            let head = match flag.value {
+                Some(value) => format!("{} <{}>", flag.name, value),
+                None => flag.name.to_string(),
+            };
+            out.push_str(&format!("  {head:<22} {}\n", flag.help));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("--sped", "--speed"), 1);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn nearest_rejects_wild_guesses() {
+        let flags = ["--n", "--speed", "--trials"];
+        assert_eq!(nearest("--sped", flags.iter().copied()), Some("--speed"));
+        assert_eq!(nearest("--zzzzzzzz", flags.iter().copied()), None);
+    }
+
+    #[test]
+    fn unknown_flag_message_names_nearest() {
+        const GROUP: &[Flag] = &[
+            Flag::value("--speed", "m/s", "target speed"),
+            Flag::switch("--walk", "random walk"),
+        ];
+        let msg = unknown_flag("--sped", &[GROUP]);
+        assert!(
+            msg.contains("--sped") && msg.contains("did you mean `--speed`"),
+            "{msg}"
+        );
+        let msg = unknown_flag("--qqqqqqq", &[GROUP]);
+        assert!(!msg.contains("did you mean"), "{msg}");
+    }
+
+    #[test]
+    fn cursor_take_value() {
+        let args: Vec<String> = ["--n", "12", "--bad"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut cur = Cursor::new(&args);
+        assert_eq!(cur.next(), Some("--n"));
+        assert_eq!(cur.take_value::<usize>("--n").unwrap(), 12);
+        assert_eq!(cur.next(), Some("--bad"));
+        assert!(cur
+            .take_value::<usize>("--bad")
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+}

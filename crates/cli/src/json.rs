@@ -1,0 +1,168 @@
+//! Minimal JSON emission for `--json` output.
+//!
+//! The workspace deliberately has no serialization dependency, and the CLI
+//! emits a handful of flat records — a small value tree plus a renderer is
+//! all that is needed. Output is deterministic: keys appear in insertion
+//! order, floats render with Rust's shortest round-trip formatting, and
+//! non-finite floats become `null` (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact, not routed through f64).
+    Int(i64),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&'static str, Json)>) -> Json {
+        Json::Obj(fields)
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object() {
+        let v = Json::obj(vec![
+            ("command", "analyze".into()),
+            ("n", Json::Int(240)),
+            ("p", 0.5.into()),
+            ("ok", true.into()),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"command":"analyze","n":240,"p":0.5,"ok":true,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn nested_arrays_and_escapes() {
+        let v = Json::Arr(vec![
+            Json::Str("a\"b\\c\n".to_string()),
+            Json::Num(f64::NAN),
+            Json::Num(f64::INFINITY),
+        ]);
+        assert_eq!(v.render(), "[\"a\\\"b\\\\c\\n\",null,null]");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        assert_eq!(Json::Num(0.9321).render(), "0.9321");
+        assert_eq!(Json::Num(1.0).render(), "1");
+        let p: f64 = Json::Num(0.1 + 0.2).render().parse().unwrap();
+        assert_eq!(p, 0.1 + 0.2);
+    }
+}

@@ -9,20 +9,40 @@
 //! groupdet design   [options]          sensors/range needed for a target probability
 //! groupdet help                        option reference
 //! ```
+//!
+//! Every evaluation goes through the batched engine
+//! ([`gbd_engine::Engine`]), so a sweep shares geometry and per-stage work
+//! across its points; `--json` switches `analyze`/`simulate`/`sweep` to
+//! machine-readable output.
 
+mod args;
+mod json;
+
+use args::{render_flags, unknown_command, unknown_flag, Cursor, Flag};
 use gbd_core::accuracy::required_caps;
 use gbd_core::design::{required_sensing_range, required_sensors};
-use gbd_core::exact;
-use gbd_core::ms_approach::{analyze, MsOptions};
-use gbd_core::params::SystemParams;
-use gbd_sim::config::SimConfig;
-use gbd_sim::runner::run;
+use gbd_core::ms_approach::MsOptions;
+use gbd_core::prelude::*;
+use gbd_core::s_approach::SOptions;
+use gbd_engine::{BackendSpec, Engine, EvalRequest, EvalResponse, SimulationSpec};
+use gbd_sim::config::MotionSpec;
+use gbd_sim::runner::SimResult;
+use json::Json;
 use std::process::ExitCode;
-use std::str::FromStr;
 
-/// Parsed command-line options with paper defaults.
+/// The sensing period is fixed at the paper's value; the CLI does not
+/// expose it (no figure varies it).
+const PERIOD_S: f64 = 60.0;
+
+const COMMANDS: &[&str] = &["analyze", "simulate", "sweep", "caps", "design", "help"];
+
+// ---------------------------------------------------------------------------
+// Shared flag groups
+// ---------------------------------------------------------------------------
+
+/// The system-parameter group shared by every subcommand.
 #[derive(Debug, Clone)]
-struct Cli {
+struct ParamArgs {
     n: usize,
     speed: f64,
     rs: f64,
@@ -30,18 +50,11 @@ struct Cli {
     pd: f64,
     m: usize,
     k: usize,
-    g: usize,
-    gh: usize,
-    trials: u64,
-    seed: u64,
-    walk: bool,
-    eta: f64,
-    target: f64,
 }
 
-impl Default for Cli {
+impl Default for ParamArgs {
     fn default() -> Self {
-        Cli {
+        ParamArgs {
             n: 240,
             speed: 10.0,
             rs: 1000.0,
@@ -49,100 +62,675 @@ impl Default for Cli {
             pd: 0.9,
             m: 20,
             k: 5,
-            g: 3,
-            gh: 3,
-            trials: 10_000,
-            seed: 2008,
-            walk: false,
-            eta: 0.99,
-            target: 0.95,
         }
     }
 }
 
-fn value<T: FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
-    let raw = args
-        .get(i + 1)
-        .ok_or_else(|| format!("{flag} requires a value"))?;
-    raw.parse()
-        .map_err(|_| format!("invalid value for {flag}: {raw}"))
-}
+impl ParamArgs {
+    const FLAGS: &'static [Flag] = &[
+        Flag::value("--n", "int", "sensors deployed (240)"),
+        Flag::value("--speed", "m/s", "target speed (10)"),
+        Flag::value("--rs", "m", "sensing range (1000)"),
+        Flag::value("--field", "m", "square field side (32000)"),
+        Flag::value("--pd", "p", "per-period detection probability (0.9)"),
+        Flag::value("--m", "int", "window periods M (20)"),
+        Flag::value("--k", "int", "report threshold k (5)"),
+    ];
 
-impl Cli {
-    fn parse(args: &[String]) -> Result<Self, String> {
-        let mut cli = Cli::default();
-        let mut i = 0;
-        while i < args.len() {
-            let flag = args[i].as_str();
-            match flag {
-                "--n" => cli.n = value(args, i, flag)?,
-                "--speed" => cli.speed = value(args, i, flag)?,
-                "--rs" => cli.rs = value(args, i, flag)?,
-                "--field" => cli.field = value(args, i, flag)?,
-                "--pd" => cli.pd = value(args, i, flag)?,
-                "--m" => cli.m = value(args, i, flag)?,
-                "--k" => cli.k = value(args, i, flag)?,
-                "--g" => cli.g = value(args, i, flag)?,
-                "--gh" => cli.gh = value(args, i, flag)?,
-                "--trials" => cli.trials = value(args, i, flag)?,
-                "--seed" => cli.seed = value(args, i, flag)?,
-                "--eta" => cli.eta = value(args, i, flag)?,
-                "--target" => cli.target = value(args, i, flag)?,
-                "--walk" => {
-                    cli.walk = true;
-                    i += 1;
-                    continue;
-                }
-                other => return Err(format!("unknown option: {other}")),
-            }
-            i += 2;
+    fn try_set(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
+        match flag {
+            "--n" => self.n = cur.take_value(flag)?,
+            "--speed" => self.speed = cur.take_value(flag)?,
+            "--rs" => self.rs = cur.take_value(flag)?,
+            "--field" => self.field = cur.take_value(flag)?,
+            "--pd" => self.pd = cur.take_value(flag)?,
+            "--m" => self.m = cur.take_value(flag)?,
+            "--k" => self.k = cur.take_value(flag)?,
+            _ => return Ok(false),
         }
-        Ok(cli)
+        Ok(true)
     }
 
-    fn params(&self) -> Result<SystemParams, String> {
+    /// Builds validated parameters through the fallible constructor.
+    fn build(&self) -> Result<SystemParams, String> {
         SystemParams::new(
-            self.field, self.field, self.n, self.rs, self.speed, 60.0, self.pd, self.m, self.k,
+            self.field, self.field, self.n, self.rs, self.speed, PERIOD_S, self.pd, self.m,
+            self.k,
         )
         .map_err(|e| e.to_string())
     }
+}
 
-    fn sim_config(&self, params: SystemParams) -> SimConfig {
-        let cfg = SimConfig::new(params)
-            .with_trials(self.trials)
-            .with_seed(self.seed);
-        if self.walk {
-            cfg.with_paper_random_walk()
-        } else {
-            cfg
+/// Analytical-backend selection group.
+#[derive(Debug, Clone)]
+struct BackendArgs {
+    backend: String,
+    g: usize,
+    gh: usize,
+    cap: Option<usize>,
+    max_states: usize,
+}
+
+impl Default for BackendArgs {
+    fn default() -> Self {
+        BackendArgs {
+            backend: "ms".to_string(),
+            g: 3,
+            gh: 3,
+            cap: None,
+            max_states: 4_000_000,
         }
     }
 }
+
+impl BackendArgs {
+    const FLAGS: &'static [Flag] = &[
+        Flag::value(
+            "--backend",
+            "name",
+            "analytical backend: ms|s|exact|t|poisson (ms)",
+        ),
+        Flag::value("--g", "int", "M-S/T truncation cap g (3)"),
+        Flag::value("--gh", "int", "M-S/T head truncation cap gh (3)"),
+        Flag::value("--cap", "int", "sensor cap for s/exact backends (6/32)"),
+        Flag::value(
+            "--max-states",
+            "int",
+            "state budget for the t backend (4000000)",
+        ),
+    ];
+
+    fn try_set(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
+        match flag {
+            "--backend" => self.backend = cur.take_value(flag)?,
+            "--g" => self.g = cur.take_value(flag)?,
+            "--gh" => self.gh = cur.take_value(flag)?,
+            "--cap" => self.cap = Some(cur.take_value(flag)?),
+            "--max-states" => self.max_states = cur.take_value(flag)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn build(&self) -> Result<BackendSpec, String> {
+        let opts = MsOptions {
+            g: self.g,
+            gh: self.gh,
+        };
+        match self.backend.as_str() {
+            "ms" => Ok(BackendSpec::Ms(opts)),
+            "s" => Ok(BackendSpec::S(SOptions {
+                cap_sensors: self.cap.unwrap_or(SOptions::default().cap_sensors),
+            })),
+            "exact" => Ok(BackendSpec::Exact {
+                saturation_cap: self.cap.unwrap_or(32),
+            }),
+            "t" => Ok(BackendSpec::T {
+                opts,
+                max_states: self.max_states,
+            }),
+            "poisson" => Ok(BackendSpec::Poisson),
+            other => Err(format!(
+                "unknown backend `{other}` (expected ms, s, exact, t, or poisson)"
+            )),
+        }
+    }
+}
+
+/// Simulation campaign group.
+#[derive(Debug, Clone)]
+struct SimArgs {
+    trials: u64,
+    seed: u64,
+    walk: bool,
+    false_alarm: f64,
+    awake: f64,
+    threads: usize,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        SimArgs {
+            trials: 10_000,
+            seed: 2008,
+            walk: false,
+            false_alarm: 0.0,
+            awake: 1.0,
+            threads: 0,
+        }
+    }
+}
+
+impl SimArgs {
+    const FLAGS: &'static [Flag] = &[
+        Flag::value("--trials", "int", "simulation trials (10000)"),
+        Flag::value("--seed", "int", "master seed (2008)"),
+        Flag::switch("--walk", "random-walk target instead of straight line"),
+        Flag::value("--false-alarm", "p", "per-sensor false-alarm rate (0)"),
+        Flag::value("--awake", "p", "per-period awake probability (1)"),
+        Flag::value(
+            "--threads",
+            "int",
+            "simulation worker threads, 0 = all cores (0)",
+        ),
+    ];
+
+    fn try_set(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
+        match flag {
+            "--trials" => self.trials = cur.take_value(flag)?,
+            "--seed" => self.seed = cur.take_value(flag)?,
+            "--walk" => self.walk = true,
+            "--false-alarm" => self.false_alarm = cur.take_value(flag)?,
+            "--awake" => self.awake = cur.take_value(flag)?,
+            "--threads" => self.threads = cur.take_value(flag)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn build(&self) -> SimulationSpec {
+        SimulationSpec {
+            trials: self.trials,
+            seed: self.seed,
+            motion: if self.walk {
+                MotionSpec::RandomWalk {
+                    max_turn: std::f64::consts::FRAC_PI_4,
+                }
+            } else {
+                MotionSpec::Straight
+            },
+            false_alarm_rate: self.false_alarm,
+            awake_probability: self.awake,
+            threads: self.threads,
+            ..SimulationSpec::default()
+        }
+    }
+}
+
+const JSON_FLAG: &[Flag] = &[Flag::switch("--json", "machine-readable output")];
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct AnalyzeCmd {
+    params: ParamArgs,
+    backend: BackendArgs,
+    json: bool,
+}
+
+impl AnalyzeCmd {
+    const GROUPS: &'static [&'static [Flag]] =
+        &[ParamArgs::FLAGS, BackendArgs::FLAGS, JSON_FLAG];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cmd = AnalyzeCmd::default();
+        let mut cur = Cursor::new(raw);
+        while let Some(flag) = cur.next() {
+            if cmd.params.try_set(flag, &mut cur)? || cmd.backend.try_set(flag, &mut cur)? {
+                continue;
+            }
+            match flag {
+                "--json" => cmd.json = true,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        Ok(cmd)
+    }
+
+    fn run(&self) -> Result<(), String> {
+        let params = self.params.build()?;
+        let backend = self.backend.build()?;
+        let engine = Engine::new();
+        let response = engine.evaluate(&EvalRequest::new(params, backend));
+        let dist = match &response.outcome {
+            Ok(output) => output.analysis().expect("analytical backend"),
+            Err(e) => return Err(e.to_string()),
+        };
+        let p = dist.detection_probability(params.k());
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("command", "analyze".into()),
+                    ("backend", response.backend.into()),
+                    ("params", params_json(&params)),
+                    ("detection_probability", p.into()),
+                    (
+                        "detection_probability_unnormalized",
+                        dist.detection_probability_unnormalized(params.k()).into(),
+                    ),
+                    ("retained_mass", dist.retained_mass().into()),
+                    ("predicted_accuracy", dist.predicted_accuracy().into()),
+                    ("duration_ms", duration_ms(&response).into()),
+                    ("cache", cache_json(&response)),
+                ])
+                .render()
+            );
+        } else {
+            println!(
+                "{:<14} P[X >= {}] = {:.4}",
+                format!("{}-approach", response.backend),
+                params.k(),
+                p
+            );
+            println!(
+                "unnormalized              = {:.4}",
+                dist.detection_probability_unnormalized(params.k())
+            );
+            println!("retained mass             = {:.4}", dist.retained_mass());
+            println!(
+                "predicted accuracy        = {:.4}",
+                dist.predicted_accuracy()
+            );
+            println!(
+                "evaluated in {:.2} ms  ({} cache hits, {} misses)",
+                duration_ms(&response),
+                response.cache.hits,
+                response.cache.misses
+            );
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct SimulateCmd {
+    params: ParamArgs,
+    sim: SimArgs,
+    json: bool,
+}
+
+impl SimulateCmd {
+    const GROUPS: &'static [&'static [Flag]] = &[ParamArgs::FLAGS, SimArgs::FLAGS, JSON_FLAG];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cmd = SimulateCmd::default();
+        let mut cur = Cursor::new(raw);
+        while let Some(flag) = cur.next() {
+            if cmd.params.try_set(flag, &mut cur)? || cmd.sim.try_set(flag, &mut cur)? {
+                continue;
+            }
+            match flag {
+                "--json" => cmd.json = true,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        Ok(cmd)
+    }
+
+    fn run(&self) -> Result<(), String> {
+        let params = self.params.build()?;
+        let engine = Engine::new();
+        let request = EvalRequest::new(params, BackendSpec::Simulation(self.sim.build()));
+        let response = engine.evaluate(&request);
+        let result = match &response.outcome {
+            Ok(output) => output.simulation().expect("simulation backend"),
+            Err(e) => return Err(e.to_string()),
+        };
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("command", "simulate".into()),
+                    ("params", params_json(&params)),
+                    ("trials", result.trials.into()),
+                    ("seed", self.sim.seed.into()),
+                    ("random_walk", self.sim.walk.into()),
+                    ("detection_probability", result.detection_probability.into()),
+                    ("confidence_lo", result.confidence.lo.into()),
+                    ("confidence_hi", result.confidence.hi.into()),
+                    ("mean_reports", result.report_counts.mean().into()),
+                    ("mean_false_alarms", result.false_alarm_counts.mean().into()),
+                    ("duration_ms", duration_ms(&response).into()),
+                    ("cache", cache_json(&response)),
+                ])
+                .render()
+            );
+        } else {
+            println!(
+                "simulation     P[X >= {}] = {:.4}  (95% CI [{:.4}, {:.4}], {} trials{})",
+                params.k(),
+                result.detection_probability,
+                result.confidence.lo,
+                result.confidence.hi,
+                result.trials,
+                if self.sim.walk { ", random walk" } else { "" }
+            );
+            println!(
+                "mean reports per window   = {:.2}",
+                result.report_counts.mean()
+            );
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct SweepCmd {
+    params: ParamArgs,
+    backend: BackendArgs,
+    sim: SimArgs,
+    n_start: usize,
+    n_end: usize,
+    n_step: usize,
+    no_sim: bool,
+    json: bool,
+}
+
+impl Default for SweepCmd {
+    fn default() -> Self {
+        SweepCmd {
+            params: ParamArgs::default(),
+            backend: BackendArgs::default(),
+            sim: SimArgs::default(),
+            n_start: 60,
+            n_end: 240,
+            n_step: 30,
+            no_sim: false,
+            json: false,
+        }
+    }
+}
+
+impl SweepCmd {
+    const FLAGS: &'static [Flag] = &[
+        Flag::value("--n-start", "int", "first sensor count of the sweep (60)"),
+        Flag::value("--n-end", "int", "last sensor count of the sweep (240)"),
+        Flag::value("--n-step", "int", "sweep step (30)"),
+        Flag::switch("--no-sim", "analysis only, skip the simulation column"),
+    ];
+    const GROUPS: &'static [&'static [Flag]] = &[
+        ParamArgs::FLAGS,
+        BackendArgs::FLAGS,
+        SimArgs::FLAGS,
+        Self::FLAGS,
+        JSON_FLAG,
+    ];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cmd = SweepCmd::default();
+        let mut cur = Cursor::new(raw);
+        while let Some(flag) = cur.next() {
+            if cmd.params.try_set(flag, &mut cur)?
+                || cmd.backend.try_set(flag, &mut cur)?
+                || cmd.sim.try_set(flag, &mut cur)?
+            {
+                continue;
+            }
+            match flag {
+                "--n-start" => cmd.n_start = cur.take_value(flag)?,
+                "--n-end" => cmd.n_end = cur.take_value(flag)?,
+                "--n-step" => cmd.n_step = cur.take_value(flag)?,
+                "--no-sim" => cmd.no_sim = true,
+                "--json" => cmd.json = true,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        if cmd.n_step == 0 {
+            return Err("--n-step must be positive".to_string());
+        }
+        if cmd.n_end < cmd.n_start {
+            return Err("--n-end must be at least --n-start".to_string());
+        }
+        Ok(cmd)
+    }
+
+    fn sensor_counts(&self) -> Vec<usize> {
+        (self.n_start..=self.n_end).step_by(self.n_step).collect()
+    }
+
+    fn run(&self) -> Result<(), String> {
+        let backend = self.backend.build()?;
+        let spec = self.sim.build();
+        let counts = self.sensor_counts();
+        let mut requests = Vec::new();
+        for &n in &counts {
+            let params = ParamArgs {
+                n,
+                ..self.params.clone()
+            }
+            .build()?;
+            requests.push(EvalRequest::new(params, backend));
+            if !self.no_sim {
+                requests.push(EvalRequest::new(params, BackendSpec::Simulation(spec)));
+            }
+        }
+        let engine = Engine::new();
+        let responses = engine.evaluate_batch(&requests);
+        let per_n = if self.no_sim { 1 } else { 2 };
+        let mut rows = Vec::new();
+        for (i, &n) in counts.iter().enumerate() {
+            let analysis = &responses[per_n * i];
+            let ana_p = match &analysis.outcome {
+                Ok(_) => analysis.detection_probability().unwrap_or(f64::NAN),
+                Err(e) => return Err(e.to_string()),
+            };
+            let sim: Option<&SimResult> = if self.no_sim {
+                None
+            } else {
+                match &responses[per_n * i + 1].outcome {
+                    Ok(output) => output.simulation(),
+                    Err(e) => return Err(e.to_string()),
+                }
+            };
+            rows.push((n, ana_p, sim));
+        }
+        let stats = engine.cache_stats();
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("command", "sweep".into()),
+                    ("backend", backend.name().into()),
+                    ("k", self.params.k.into()),
+                    (
+                        "rows",
+                        Json::Arr(
+                            rows.iter()
+                                .map(|&(n, ana, sim)| {
+                                    Json::obj(vec![
+                                        ("n", n.into()),
+                                        ("analysis", ana.into()),
+                                        (
+                                            "simulation",
+                                            sim.map_or(Json::Null, |s| {
+                                                s.detection_probability.into()
+                                            }),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "cache",
+                        Json::obj(vec![
+                            ("hits", stats.hits.into()),
+                            ("misses", stats.misses.into()),
+                        ]),
+                    ),
+                ])
+                .render()
+            );
+        } else {
+            println!("   N  | analysis | simulation");
+            for (n, ana, sim) in rows {
+                match sim {
+                    Some(s) => {
+                        println!("  {n:3} |  {ana:.4}  |  {:.4}", s.detection_probability)
+                    }
+                    None => println!("  {n:3} |  {ana:.4}  |     -"),
+                }
+            }
+            println!(
+                "engine cache: {} hits, {} misses over {} requests",
+                stats.hits,
+                stats.misses,
+                requests.len()
+            );
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct CapsCmd {
+    params: ParamArgs,
+    eta: f64,
+}
+
+impl CapsCmd {
+    const FLAGS: &'static [Flag] =
+        &[Flag::value("--eta", "p", "accuracy target for caps (0.99)")];
+    const GROUPS: &'static [&'static [Flag]] = &[ParamArgs::FLAGS, Self::FLAGS];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cmd = CapsCmd {
+            params: ParamArgs::default(),
+            eta: 0.99,
+        };
+        let mut cur = Cursor::new(raw);
+        while let Some(flag) = cur.next() {
+            if cmd.params.try_set(flag, &mut cur)? {
+                continue;
+            }
+            match flag {
+                "--eta" => cmd.eta = cur.take_value(flag)?,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        Ok(cmd)
+    }
+
+    fn run(&self) -> Result<(), String> {
+        let params = self.params.build()?;
+        let caps = required_caps(&params, self.eta);
+        println!(
+            "for {:.1}% accuracy: g = {}, gh = {}, G (S-approach) = {}",
+            self.eta * 100.0,
+            caps.g,
+            caps.gh,
+            caps.g_s_approach
+        );
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct DesignCmd {
+    params: ParamArgs,
+    target: f64,
+}
+
+impl DesignCmd {
+    const FLAGS: &'static [Flag] = &[Flag::value(
+        "--target",
+        "p",
+        "detection-probability target for design (0.95)",
+    )];
+    const GROUPS: &'static [&'static [Flag]] = &[ParamArgs::FLAGS, Self::FLAGS];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cmd = DesignCmd {
+            params: ParamArgs::default(),
+            target: 0.95,
+        };
+        let mut cur = Cursor::new(raw);
+        while let Some(flag) = cur.next() {
+            if cmd.params.try_set(flag, &mut cur)? {
+                continue;
+            }
+            match flag {
+                "--target" => cmd.target = cur.take_value(flag)?,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        Ok(cmd)
+    }
+
+    fn run(&self) -> Result<(), String> {
+        let params = self.params.build()?;
+        match required_sensors(&params, self.target, 10 * params.n_sensors().max(100))
+            .map_err(|e| e.to_string())?
+        {
+            Some(pt) => println!(
+                "sensors needed at Rs = {:.0} m : N = {:.0}  (P = {:.4})",
+                params.sensing_range(),
+                pt.value,
+                pt.achieved
+            ),
+            None => {
+                println!("target unreachable by adding sensors (within 10x the current fleet)")
+            }
+        }
+        match required_sensing_range(&params, self.target, 10.0, 10.0 * params.sensing_range())
+            .map_err(|e| e.to_string())?
+        {
+            Some(pt) => println!(
+                "range needed at N = {}     : Rs = {:.0} m  (P = {:.4})",
+                params.n_sensors(),
+                pt.value,
+                pt.achieved
+            ),
+            None => {
+                println!("target unreachable by extending range (within 10x the current Rs)")
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared output helpers
+// ---------------------------------------------------------------------------
+
+fn duration_ms(response: &EvalResponse) -> f64 {
+    response.duration.as_secs_f64() * 1e3
+}
+
+fn cache_json(response: &EvalResponse) -> Json {
+    Json::obj(vec![
+        ("hits", response.cache.hits.into()),
+        ("misses", response.cache.misses.into()),
+    ])
+}
+
+fn params_json(params: &SystemParams) -> Json {
+    Json::obj(vec![
+        ("n", params.n_sensors().into()),
+        ("speed", params.speed().into()),
+        ("rs", params.sensing_range().into()),
+        ("field", params.field_width().into()),
+        ("pd", params.pd().into()),
+        ("m", params.m_periods().into()),
+        ("k", params.k().into()),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
-        eprintln!("usage: groupdet <analyze|simulate|sweep|caps|help> [options]");
+        eprintln!("usage: groupdet <analyze|simulate|sweep|caps|design|help> [options]");
         return ExitCode::FAILURE;
     };
     if matches!(command, "help" | "--help" | "-h") {
         print_help();
         return ExitCode::SUCCESS;
     }
-    let cli = match Cli::parse(&args[1..]) {
-        Ok(cli) => cli,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let rest = &args[1..];
     let result = match command {
-        "analyze" => cmd_analyze(&cli),
-        "simulate" => cmd_simulate(&cli),
-        "sweep" => cmd_sweep(&cli),
-        "caps" => cmd_caps(&cli),
-        "design" => cmd_design(&cli),
-        other => Err(format!("unknown command: {other}")),
+        "analyze" => AnalyzeCmd::parse(rest).and_then(|cmd| cmd.run()),
+        "simulate" => SimulateCmd::parse(rest).and_then(|cmd| cmd.run()),
+        "sweep" => SweepCmd::parse(rest).and_then(|cmd| cmd.run()),
+        "caps" => CapsCmd::parse(rest).and_then(|cmd| cmd.run()),
+        "design" => DesignCmd::parse(rest).and_then(|cmd| cmd.run()),
+        other => Err(unknown_command(other, COMMANDS)),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -154,193 +742,180 @@ fn main() -> ExitCode {
 }
 
 fn print_help() {
-    println!(
+    let mut out = String::from(
         "groupdet — group based detection for sparse sensor networks\n\
          \n\
          commands: analyze | simulate | sweep | caps | design | help\n\
          \n\
-         options (paper defaults in parentheses):\n\
-         \x20 --n <int>       sensors deployed (240)\n\
-         \x20 --speed <m/s>   target speed (10)\n\
-         \x20 --rs <m>        sensing range (1000)\n\
-         \x20 --field <m>     square field side (32000)\n\
-         \x20 --pd <p>        per-period detection probability (0.9)\n\
-         \x20 --m <int>       window periods M (20)\n\
-         \x20 --k <int>       report threshold k (5)\n\
-         \x20 --g/--gh <int>  M-S truncation caps (3/3)\n\
-         \x20 --trials <int>  simulation trials (10000)\n\
-         \x20 --seed <int>    master seed (2008)\n\
-         \x20 --walk          random-walk target (simulate/sweep)\n\
-         \x20 --eta <p>       accuracy target for caps (0.99)\n\
-         \x20 --target <p>    detection-probability target for design (0.95)\n\
-         \n\
-         examples:\n\
-         \x20 groupdet analyze --n 120 --speed 4\n\
+         system parameters (all commands; paper defaults in parentheses):\n",
+    );
+    render_flags(&mut out, &[ParamArgs::FLAGS]);
+    out.push_str("\nanalyze / sweep backend options:\n");
+    render_flags(&mut out, &[BackendArgs::FLAGS]);
+    out.push_str("\nsimulate / sweep simulation options:\n");
+    render_flags(&mut out, &[SimArgs::FLAGS]);
+    out.push_str("\nsweep range options:\n");
+    render_flags(&mut out, &[SweepCmd::FLAGS]);
+    out.push_str("\nother options:\n");
+    render_flags(&mut out, &[JSON_FLAG, CapsCmd::FLAGS, DesignCmd::FLAGS]);
+    out.push_str(
+        "\nexamples:\n\
+         \x20 groupdet analyze --n 120 --speed 4 --json\n\
+         \x20 groupdet analyze --backend exact --n 120\n\
          \x20 groupdet simulate --n 120 --trials 2000 --walk\n\
-         \x20 groupdet sweep --k 5\n\
-         \x20 groupdet caps --eta 0.995"
+         \x20 groupdet sweep --k 5 --n-step 60 --trials 2000\n\
+         \x20 groupdet caps --eta 0.995",
     );
-}
-
-fn cmd_analyze(cli: &Cli) -> Result<(), String> {
-    let params = cli.params()?;
-    let r = analyze(
-        &params,
-        &MsOptions {
-            g: cli.g,
-            gh: cli.gh,
-        },
-    )
-    .map_err(|e| e.to_string())?;
-    println!(
-        "M-S-approach   P[X >= {}] = {:.4}",
-        params.k(),
-        r.detection_probability(params.k())
-    );
-    println!(
-        "unnormalized              = {:.4}",
-        r.detection_probability_unnormalized(params.k())
-    );
-    println!("retained mass             = {:.4}", r.retained_mass());
-    println!(
-        "exact reference           = {:.4}",
-        exact::detection_probability(&params, params.k())
-    );
-    Ok(())
-}
-
-fn cmd_simulate(cli: &Cli) -> Result<(), String> {
-    let params = cli.params()?;
-    let r = run(&cli.sim_config(params));
-    println!(
-        "simulation     P[X >= {}] = {:.4}  (95% CI [{:.4}, {:.4}], {} trials{})",
-        params.k(),
-        r.detection_probability,
-        r.confidence.lo,
-        r.confidence.hi,
-        r.trials,
-        if cli.walk { ", random walk" } else { "" }
-    );
-    println!("mean reports per window   = {:.2}", r.report_counts.mean());
-    Ok(())
-}
-
-fn cmd_sweep(cli: &Cli) -> Result<(), String> {
-    println!("   N  | analysis | simulation");
-    for n in (60..=240).step_by(30) {
-        let params = cli.params()?.with_n_sensors(n);
-        let ana = analyze(
-            &params,
-            &MsOptions {
-                g: cli.g,
-                gh: cli.gh,
-            },
-        )
-        .map_err(|e| e.to_string())?
-        .detection_probability(params.k());
-        let sim = run(&cli.sim_config(params));
-        println!("  {n:3} |  {ana:.4}  |  {:.4}", sim.detection_probability);
-    }
-    Ok(())
-}
-
-fn cmd_design(cli: &Cli) -> Result<(), String> {
-    let params = cli.params()?;
-    match required_sensors(&params, cli.target, 10 * params.n_sensors().max(100))
-        .map_err(|e| e.to_string())?
-    {
-        Some(pt) => println!(
-            "sensors needed at Rs = {:.0} m : N = {:.0}  (P = {:.4})",
-            params.sensing_range(),
-            pt.value,
-            pt.achieved
-        ),
-        None => println!("target unreachable by adding sensors (within 10x the current fleet)"),
-    }
-    match required_sensing_range(&params, cli.target, 10.0, 10.0 * params.sensing_range())
-        .map_err(|e| e.to_string())?
-    {
-        Some(pt) => println!(
-            "range needed at N = {}     : Rs = {:.0} m  (P = {:.4})",
-            params.n_sensors(),
-            pt.value,
-            pt.achieved
-        ),
-        None => println!("target unreachable by extending range (within 10x the current Rs)"),
-    }
-    Ok(())
-}
-
-fn cmd_caps(cli: &Cli) -> Result<(), String> {
-    let params = cli.params()?;
-    let caps = required_caps(&params, cli.eta);
-    println!(
-        "for {:.1}% accuracy: g = {}, gh = {}, G (S-approach) = {}",
-        cli.eta * 100.0,
-        caps.g,
-        caps.gh,
-        caps.g_s_approach
-    );
-    Ok(())
+    println!("{out}");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<Cli, String> {
-        Cli::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
-    fn defaults_are_paper_settings() {
-        let cli = parse(&[]).unwrap();
-        assert_eq!(cli.n, 240);
-        assert_eq!(cli.speed, 10.0);
-        assert_eq!(cli.k, 5);
-        assert_eq!(cli.m, 20);
-        assert_eq!(cli.trials, 10_000);
-        assert!(!cli.walk);
+    fn analyze_defaults_are_paper_settings() {
+        let cmd = AnalyzeCmd::parse(&[]).unwrap();
+        assert_eq!(cmd.params.n, 240);
+        assert_eq!(cmd.params.speed, 10.0);
+        assert_eq!(cmd.params.k, 5);
+        assert_eq!(cmd.params.m, 20);
+        assert_eq!(cmd.backend.backend, "ms");
+        assert!(!cmd.json);
     }
 
     #[test]
-    fn flags_override_defaults() {
-        let cli = parse(&[
-            "--n", "60", "--speed", "4", "--k", "3", "--m", "10", "--trials", "500", "--walk",
-            "--eta", "0.95", "--g", "2", "--gh", "4", "--seed", "7",
-        ])
+    fn analyze_flags_override_defaults() {
+        let cmd = AnalyzeCmd::parse(&strings(&[
+            "--n",
+            "60",
+            "--speed",
+            "4",
+            "--k",
+            "3",
+            "--m",
+            "10",
+            "--g",
+            "2",
+            "--gh",
+            "4",
+            "--backend",
+            "t",
+            "--max-states",
+            "1000",
+            "--json",
+        ]))
         .unwrap();
-        assert_eq!(cli.n, 60);
-        assert_eq!(cli.speed, 4.0);
-        assert_eq!(cli.k, 3);
-        assert_eq!(cli.m, 10);
-        assert_eq!(cli.trials, 500);
-        assert!(cli.walk);
-        assert_eq!(cli.eta, 0.95);
-        assert_eq!(cli.g, 2);
-        assert_eq!(cli.gh, 4);
-        assert_eq!(cli.seed, 7);
+        assert_eq!(cmd.params.n, 60);
+        assert_eq!(cmd.params.speed, 4.0);
+        assert_eq!(cmd.params.k, 3);
+        assert_eq!(cmd.params.m, 10);
+        assert_eq!(cmd.backend.g, 2);
+        assert_eq!(cmd.backend.gh, 4);
+        assert_eq!(cmd.backend.backend, "t");
+        assert_eq!(cmd.backend.max_states, 1000);
+        assert!(cmd.json);
+        assert!(matches!(
+            cmd.backend.build().unwrap(),
+            BackendSpec::T {
+                max_states: 1000,
+                ..
+            }
+        ));
     }
 
     #[test]
-    fn errors_are_reported() {
-        assert!(parse(&["--n"]).is_err());
-        assert!(parse(&["--n", "abc"]).is_err());
-        assert!(parse(&["--bogus", "1"]).is_err());
+    fn simulate_flags_parse() {
+        let cmd = SimulateCmd::parse(&strings(&[
+            "--trials",
+            "500",
+            "--seed",
+            "7",
+            "--walk",
+            "--false-alarm",
+            "0.01",
+            "--awake",
+            "0.8",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.sim.trials, 500);
+        assert_eq!(cmd.sim.seed, 7);
+        assert!(cmd.sim.walk);
+        assert_eq!(cmd.sim.false_alarm, 0.01);
+        assert_eq!(cmd.sim.awake, 0.8);
+        assert_eq!(cmd.sim.threads, 2);
+        let spec = cmd.sim.build();
+        assert!(matches!(spec.motion, MotionSpec::RandomWalk { .. }));
+        assert_eq!(spec.trials, 500);
     }
 
     #[test]
-    fn params_reflect_cli() {
-        let cli = parse(&["--n", "100", "--field", "10000", "--rs", "500"]).unwrap();
-        let p = cli.params().unwrap();
+    fn sweep_range_flags() {
+        let cmd = SweepCmd::parse(&strings(&[
+            "--n-start",
+            "100",
+            "--n-end",
+            "200",
+            "--n-step",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.sensor_counts(), vec![100, 150, 200]);
+        assert!(SweepCmd::parse(&strings(&["--n-step", "0"])).is_err());
+        assert!(SweepCmd::parse(&strings(&["--n-start", "9", "--n-end", "3"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_suggests_nearest() {
+        let err = AnalyzeCmd::parse(&strings(&["--sped", "4"])).unwrap_err();
+        assert!(err.contains("did you mean `--speed`"), "{err}");
+        let err = SimulateCmd::parse(&strings(&["--trails", "10"])).unwrap_err();
+        assert!(err.contains("did you mean `--trials`"), "{err}");
+        let err = SweepCmd::parse(&strings(&["--n-stop", "3"])).unwrap_err();
+        assert!(err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_suggests_nearest() {
+        let err = unknown_command("anlyze", COMMANDS);
+        assert!(err.contains("did you mean `analyze`"), "{err}");
+    }
+
+    #[test]
+    fn value_errors_are_reported() {
+        assert!(AnalyzeCmd::parse(&strings(&["--n"])).is_err());
+        assert!(AnalyzeCmd::parse(&strings(&["--n", "abc"])).is_err());
+        assert!(AnalyzeCmd::parse(&strings(&["--bogus", "1"]))
+            .unwrap_err()
+            .contains("unknown option"));
+    }
+
+    #[test]
+    fn params_build_reflects_flags() {
+        let cmd =
+            AnalyzeCmd::parse(&strings(&["--n", "100", "--field", "10000", "--rs", "500"]))
+                .unwrap();
+        let p = cmd.params.build().unwrap();
         assert_eq!(p.n_sensors(), 100);
         assert_eq!(p.field_area(), 1e8);
         assert_eq!(p.sensing_range(), 500.0);
     }
 
     #[test]
-    fn invalid_params_rejected() {
-        let cli = parse(&["--pd", "1.4"]).unwrap();
-        assert!(cli.params().is_err());
+    fn invalid_params_rejected_via_fallible_path() {
+        let cmd = AnalyzeCmd::parse(&strings(&["--pd", "1.4"])).unwrap();
+        assert!(cmd.params.build().is_err());
+    }
+
+    #[test]
+    fn unknown_backend_rejected() {
+        let cmd = AnalyzeCmd::parse(&strings(&["--backend", "magic"])).unwrap();
+        assert!(cmd.backend.build().unwrap_err().contains("unknown backend"));
     }
 }

@@ -59,6 +59,7 @@ pub mod design;
 pub mod exact;
 pub mod extension_h;
 pub mod false_alarm;
+pub mod model;
 pub mod ms_approach;
 pub mod params;
 pub mod poisson_model;
@@ -72,5 +73,15 @@ pub mod varying_speed;
 mod error;
 
 pub use error::CoreError;
+pub use model::{DetectionModel, ReportDistribution};
 pub use ms_approach::AnalysisResult;
 pub use params::SystemParams;
+
+/// The names almost every consumer of this crate needs:
+/// `use gbd_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::error::CoreError;
+    pub use crate::model::{DetectionModel, ReportDistribution};
+    pub use crate::ms_approach::MsOptions;
+    pub use crate::params::SystemParams;
+}

@@ -1,0 +1,272 @@
+//! The [`DetectionModel`] abstraction: every analytical backend behind one
+//! object-safe trait.
+//!
+//! The paper develops several ways to compute the same quantity — the
+//! distribution of detection reports a straight-line target generates over
+//! `M` sensing periods. Each lives in its own module with its own options
+//! ([`crate::ms_approach`], [`crate::s_approach`], [`crate::exact`],
+//! [`crate::t_approach`], [`crate::poisson_model`]). This module wraps each
+//! in a unit struct implementing [`DetectionModel`], so callers that do not
+//! care *which* approximation runs — the CLI, the evaluation engine, the
+//! cross-backend agreement tests — can hold a `&dyn DetectionModel` and ask
+//! for [`DetectionModel::report_distribution`].
+
+use crate::exact;
+use crate::ms_approach::{self, AnalysisResult, MsOptions};
+use crate::params::SystemParams;
+use crate::poisson_model;
+use crate::s_approach::{self, SOptions};
+use crate::t_approach;
+use crate::CoreError;
+
+/// The outcome every backend produces: a (possibly sub-stochastic) report
+/// count distribution plus its predicted accuracy.
+///
+/// An alias of [`AnalysisResult`] — the backends already share the result
+/// type; the alias names the role it plays in the [`DetectionModel`] API.
+pub type ReportDistribution = AnalysisResult;
+
+/// A backend that can compute the report-count distribution of a target
+/// crossing the field.
+///
+/// Object safe: the engine and the CLI dispatch over `&dyn DetectionModel`.
+///
+/// # Example
+///
+/// ```
+/// use gbd_core::prelude::*;
+/// use gbd_core::model::{ExactModel, MsModel};
+///
+/// # fn main() -> Result<(), CoreError> {
+/// let params = SystemParams::paper_defaults();
+/// let models: [&dyn DetectionModel; 2] =
+///     [&MsModel::default(), &ExactModel::default()];
+/// for model in models {
+///     let p = model.detection_probability(&params)?;
+///     assert!(p > 0.9 && p <= 1.0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub trait DetectionModel {
+    /// Short stable identifier of the backend (e.g. `"ms"`, `"exact"`),
+    /// used in CLI output and cache diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Computes the report-count distribution for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when `params` or the backend's own options are
+    /// outside the backend's domain (zero truncation caps, exhausted state
+    /// budgets, …).
+    fn report_distribution(
+        &self,
+        params: &SystemParams,
+    ) -> Result<ReportDistribution, CoreError>;
+
+    /// Normalized `P_M[X >= k]` at the threshold `params.k()`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DetectionModel::report_distribution`].
+    fn detection_probability(&self, params: &SystemParams) -> Result<f64, CoreError> {
+        Ok(self
+            .report_distribution(params)?
+            .detection_probability(params.k()))
+    }
+}
+
+/// The paper's headline Markov chain based Spatial approach (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MsModel {
+    /// Truncation caps `g`/`gh`.
+    pub opts: MsOptions,
+}
+
+impl DetectionModel for MsModel {
+    fn name(&self) -> &'static str {
+        "ms"
+    }
+
+    fn report_distribution(
+        &self,
+        params: &SystemParams,
+    ) -> Result<ReportDistribution, CoreError> {
+        ms_approach::analyze(params, &self.opts)
+    }
+}
+
+/// The single-stage Spatial approach (§3.3), fast factorized path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SModel {
+    /// Whole-ARegion sensor cap `G`.
+    pub opts: SOptions,
+}
+
+impl DetectionModel for SModel {
+    fn name(&self) -> &'static str {
+        "s"
+    }
+
+    fn report_distribution(
+        &self,
+        params: &SystemParams,
+    ) -> Result<ReportDistribution, CoreError> {
+        s_approach::analyze(params, &self.opts)
+    }
+}
+
+/// The exact reference model (no sensor-count truncation).
+///
+/// The returned distribution is saturated at `max(saturation_cap, k)`
+/// (states at or above the cap merged), so tail probabilities at `k` are
+/// exact while the support stays small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactModel {
+    /// Saturation cap of the returned distribution; raised to `params.k()`
+    /// when smaller.
+    pub saturation_cap: usize,
+}
+
+impl Default for ExactModel {
+    /// Cap 32: comfortably above every threshold the paper evaluates.
+    fn default() -> Self {
+        ExactModel { saturation_cap: 32 }
+    }
+}
+
+impl DetectionModel for ExactModel {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn report_distribution(
+        &self,
+        params: &SystemParams,
+    ) -> Result<ReportDistribution, CoreError> {
+        let cap = self.saturation_cap.max(params.k());
+        let dist = exact::report_distribution(params, cap);
+        Ok(ReportDistribution::new(dist, 1.0))
+    }
+}
+
+/// The Temporal approach the paper rejects (§3.2), with an explicit state
+/// budget so the state explosion surfaces as an error, not a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TModel {
+    /// Truncation caps `g`/`gh` (shared with the M-S-approach).
+    pub opts: MsOptions,
+    /// Abort when the live chain-state set exceeds this bound.
+    pub max_states: usize,
+}
+
+impl Default for TModel {
+    /// Paper caps with a 4-million-state budget — enough for small `M`/`N`
+    /// study points, exhausted quickly at the paper's full scale (which is
+    /// the point).
+    fn default() -> Self {
+        TModel {
+            opts: MsOptions::default(),
+            max_states: 4_000_000,
+        }
+    }
+}
+
+impl DetectionModel for TModel {
+    fn name(&self) -> &'static str {
+        "t"
+    }
+
+    fn report_distribution(
+        &self,
+        params: &SystemParams,
+    ) -> Result<ReportDistribution, CoreError> {
+        let result = t_approach::analyze(params, &self.opts, self.max_states)?;
+        // The T-chain's leftover mass is the same per-stage accuracy
+        // product the M-S-approach predicts (the two raw distributions are
+        // identical).
+        let accuracy = result.raw.total_mass();
+        Ok(ReportDistribution::new(result.raw, accuracy))
+    }
+}
+
+/// The Poisson-field variant: sensor counts `Poisson(λ·A)` instead of
+/// `Binomial(N, A/S)`, making the chain's independence assumption exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoissonModel;
+
+impl DetectionModel for PoissonModel {
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+
+    fn report_distribution(
+        &self,
+        params: &SystemParams,
+    ) -> Result<ReportDistribution, CoreError> {
+        poisson_model::analyze(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn trait_objects_dispatch() {
+        let models: [&dyn DetectionModel; 4] = [
+            &MsModel::default(),
+            &SModel::default(),
+            &ExactModel::default(),
+            &PoissonModel,
+        ];
+        for model in models {
+            let p = model.detection_probability(&paper()).unwrap();
+            assert!(p > 0.5 && p <= 1.0, "{}: {p}", model.name());
+            assert!(!model.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn ms_model_matches_free_function() {
+        let via_trait = MsModel::default().report_distribution(&paper()).unwrap();
+        let direct = ms_approach::analyze(&paper(), &MsOptions::default()).unwrap();
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn exact_model_raises_cap_to_k() {
+        let model = ExactModel { saturation_cap: 1 };
+        let p = model.detection_probability(&paper()).unwrap();
+        let reference = exact::detection_probability(&paper(), paper().k());
+        assert!((p - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_model_small_point_matches_ms() {
+        let params = paper().with_m_periods(4).with_n_sensors(60).with_k(2);
+        let opts = MsOptions { g: 2, gh: 2 };
+        let t = TModel {
+            opts,
+            max_states: 1_000_000,
+        }
+        .detection_probability(&params)
+        .unwrap();
+        let ms = MsModel { opts }.detection_probability(&params).unwrap();
+        assert!((t - ms).abs() < 1e-9, "t={t} ms={ms}");
+    }
+
+    #[test]
+    fn t_model_state_budget_error_propagates() {
+        let model = TModel {
+            opts: MsOptions::default(),
+            max_states: 1,
+        };
+        assert!(model.report_distribution(&paper()).is_err());
+    }
+}

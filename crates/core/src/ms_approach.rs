@@ -153,16 +153,81 @@ pub fn analyze_steps(
     steps: &[f64],
     opts: &MsOptions,
 ) -> Result<AnalysisResult, CoreError> {
+    let inputs = stage_inputs(params.sensing_range(), steps, params.n_sensors(), opts)?;
+    if inputs.len() != params.m_periods() {
+        return Err(CoreError::InvalidParameter {
+            name: "steps",
+            constraint: "length must equal m_periods",
+        });
+    }
+    let field_area = params.field_area();
+    let n = params.n_sensors();
+    let pd = params.pd();
+    let support_cap: usize = inputs.iter().map(StageInput::support_bound).sum();
+    let stages: Vec<(DiscreteDist, f64)> = inputs
+        .iter()
+        .map(|stage| {
+            (
+                stage_distribution(&stage.areas, field_area, n, pd, stage.cap),
+                stage_accuracy(stage.areas.iter().sum(), field_area, n, stage.cap),
+            )
+        })
+        .collect();
+    Ok(assemble_stages(&stages, support_cap))
+}
+
+/// One memoizable stage of the M-S chain: an NEDR reduced to exactly the
+/// inputs its report distribution depends on.
+///
+/// Stages with equal `areas`/`cap` have equal report distributions for the
+/// same `(S, N, Pd)` — the identity `gbd-engine` exploits to share every
+/// Body stage of a run, and whole stages across sweep points that only
+/// differ in `N` or `Pd`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageInput {
+    /// Coverage subarea sizes of the stage's NEDR, trailing zero-area
+    /// entries trimmed (`areas[i]` is covered by the DRs of `i + 1`
+    /// periods).
+    pub areas: Vec<f64>,
+    /// Sensor cap for the stage: `gh` for the Head, `g` for Body/Tail
+    /// stages, never above `N`.
+    pub cap: usize,
+}
+
+impl StageInput {
+    /// Upper bound on the stage's report count, `cap · coverage levels`.
+    pub fn support_bound(&self) -> usize {
+        self.cap * self.areas.len()
+    }
+}
+
+/// Computes the per-stage inputs of a (generalized) M-S run: the NEDR
+/// subarea decomposition for each period plus the period's sensor cap.
+///
+/// This is the geometric half of [`analyze_steps`], split out so callers
+/// can memoize it on `(sensing_range, steps, n_sensors, opts)` — it is
+/// independent of `Pd` and the field size.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `steps` is empty, any step
+/// is negative or non-finite, or a cap is 0.
+pub fn stage_inputs(
+    sensing_range: f64,
+    steps: &[f64],
+    n_sensors: usize,
+    opts: &MsOptions,
+) -> Result<Vec<StageInput>, CoreError> {
     if opts.g == 0 || opts.gh == 0 {
         return Err(CoreError::InvalidParameter {
             name: "g/gh",
             constraint: "truncation caps must be at least 1",
         });
     }
-    if steps.len() != params.m_periods() {
+    if steps.is_empty() {
         return Err(CoreError::InvalidParameter {
             name: "steps",
-            constraint: "length must equal m_periods",
+            constraint: "must contain at least one period",
         });
     }
     if steps.iter().any(|s| !s.is_finite() || *s < 0.0) {
@@ -171,37 +236,34 @@ pub fn analyze_steps(
             constraint: "must be finite and non-negative",
         });
     }
-    let table = SubareaTable::from_steps(params.sensing_range(), steps);
+    let table = SubareaTable::from_steps(sensing_range, steps);
     let m = table.m_periods();
-    let field_area = params.field_area();
-    let n = params.n_sensors();
-    let pd = params.pd();
-
-    // Tight support bound: each stage contributes at most cap · max_cov.
-    let mut support_cap = 0usize;
-    let mut stage_inputs = Vec::with_capacity(m);
+    let mut inputs = Vec::with_capacity(m);
     for l in 1..=m {
         let mut areas = table.subareas(l);
         while areas.len() > 1 && *areas.last().unwrap() == 0.0 {
             areas.pop();
         }
-        let cap = if l == 1 { opts.gh } else { opts.g }.min(n);
-        support_cap += cap * areas.len();
-        stage_inputs.push((areas, cap));
+        let cap = if l == 1 { opts.gh } else { opts.g }.min(n_sensors);
+        inputs.push(StageInput { areas, cap });
     }
-    support_cap = support_cap.max(1);
+    Ok(inputs)
+}
 
-    let mut chain = CountingChain::new(support_cap);
+/// Assembles precomputed per-stage `(report distribution, accuracy)` pairs
+/// into the final result — the cheap last step of [`analyze_steps`], split
+/// out so callers that cache stage distributions (`gbd-engine`) can share
+/// them across runs. `support_cap` is the report-count bound of the
+/// counting chain; pass the sum of [`StageInput::support_bound`] to match
+/// [`analyze_steps`] exactly.
+pub fn assemble_stages(stages: &[(DiscreteDist, f64)], support_cap: usize) -> AnalysisResult {
+    let mut chain = CountingChain::new(support_cap.max(1));
     let mut predicted_accuracy = 1.0;
-    for (areas, cap) in &stage_inputs {
-        let dist = stage_distribution(areas, field_area, n, pd, *cap);
-        predicted_accuracy *= stage_accuracy(areas.iter().sum(), field_area, n, *cap);
-        chain.step(&dist);
+    for (dist, accuracy) in stages {
+        predicted_accuracy *= accuracy;
+        chain.step(dist);
     }
-    Ok(AnalysisResult::new(
-        chain.into_distribution(),
-        predicted_accuracy,
-    ))
+    AnalysisResult::new(chain.into_distribution(), predicted_accuracy)
 }
 
 /// The stage structure of a constant-speed run, exposed for the

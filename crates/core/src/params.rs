@@ -204,65 +204,130 @@ impl SystemParams {
         self
     }
 
+    /// Fallible version of [`SystemParams::with_n_sensors`].
+    ///
+    /// Never fails today (every `usize` sensor count is a valid model
+    /// input, including 0); exists so callers building parameters from
+    /// untrusted input can treat every field uniformly.
+    pub fn try_with_n_sensors(self, n: usize) -> Result<Self, CoreError> {
+        Ok(self.with_n_sensors(n))
+    }
+
+    /// Returns a copy with a different target speed, or
+    /// [`CoreError::InvalidParameter`] if `speed` is not finite and
+    /// positive.
+    pub fn try_with_speed(mut self, speed: f64) -> Result<Self, CoreError> {
+        if !speed.is_finite() || speed <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "speed",
+                constraint: "must be finite and positive",
+            });
+        }
+        self.speed = speed;
+        Ok(self)
+    }
+
     /// Returns a copy with a different target speed.
     ///
     /// # Panics
     ///
-    /// Panics if `speed` is not finite and positive.
-    pub fn with_speed(mut self, speed: f64) -> Self {
-        assert!(
-            speed.is_finite() && speed > 0.0,
-            "speed must be finite and positive"
-        );
-        self.speed = speed;
-        self
+    /// Panics if `speed` is not finite and positive; see
+    /// [`SystemParams::try_with_speed`] for the fallible form.
+    pub fn with_speed(self, speed: f64) -> Self {
+        self.try_with_speed(speed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Returns a copy with a different report threshold `k`, or
+    /// [`CoreError::InvalidParameter`] if `k == 0`.
+    pub fn try_with_k(mut self, k: usize) -> Result<Self, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                constraint: "must be at least 1",
+            });
+        }
+        self.k = k;
+        Ok(self)
     }
 
     /// Returns a copy with a different report threshold `k`.
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`.
-    pub fn with_k(mut self, k: usize) -> Self {
-        assert!(k > 0, "k must be at least 1");
-        self.k = k;
-        self
+    /// Panics if `k == 0`; see [`SystemParams::try_with_k`] for the
+    /// fallible form.
+    pub fn with_k(self, k: usize) -> Self {
+        self.try_with_k(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Returns a copy with a different window length `M`, or
+    /// [`CoreError::InvalidParameter`] if `m == 0`.
+    pub fn try_with_m_periods(mut self, m: usize) -> Result<Self, CoreError> {
+        if m == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "m_periods",
+                constraint: "must be at least 1",
+            });
+        }
+        self.m_periods = m;
+        Ok(self)
     }
 
     /// Returns a copy with a different window length `M`.
     ///
     /// # Panics
     ///
-    /// Panics if `m == 0`.
-    pub fn with_m_periods(mut self, m: usize) -> Self {
-        assert!(m > 0, "m_periods must be at least 1");
-        self.m_periods = m;
-        self
+    /// Panics if `m == 0`; see [`SystemParams::try_with_m_periods`] for the
+    /// fallible form.
+    pub fn with_m_periods(self, m: usize) -> Self {
+        self.try_with_m_periods(m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Returns a copy with a different per-period detection probability, or
+    /// [`CoreError::InvalidParameter`] if `pd` is outside `[0, 1]`.
+    pub fn try_with_pd(mut self, pd: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&pd) || !pd.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "pd",
+                constraint: "must be in [0, 1]",
+            });
+        }
+        self.pd = pd;
+        Ok(self)
     }
 
     /// Returns a copy with a different per-period detection probability.
     ///
     /// # Panics
     ///
-    /// Panics if `pd` is outside `[0, 1]`.
-    pub fn with_pd(mut self, pd: f64) -> Self {
-        assert!((0.0..=1.0).contains(&pd), "pd must be in [0, 1]");
-        self.pd = pd;
-        self
+    /// Panics if `pd` is outside `[0, 1]`; see
+    /// [`SystemParams::try_with_pd`] for the fallible form.
+    pub fn with_pd(self, pd: f64) -> Self {
+        self.try_with_pd(pd).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Returns a copy with a different sensing range, or
+    /// [`CoreError::InvalidParameter`] if `rs` is not finite and positive.
+    pub fn try_with_sensing_range(mut self, rs: f64) -> Result<Self, CoreError> {
+        if !rs.is_finite() || rs <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "sensing_range",
+                constraint: "must be finite and positive",
+            });
+        }
+        self.sensing_range = rs;
+        Ok(self)
     }
 
     /// Returns a copy with a different sensing range.
     ///
     /// # Panics
     ///
-    /// Panics if `rs` is not finite and positive.
-    pub fn with_sensing_range(mut self, rs: f64) -> Self {
-        assert!(
-            rs.is_finite() && rs > 0.0,
-            "sensing_range must be finite and positive"
-        );
-        self.sensing_range = rs;
-        self
+    /// Panics if `rs` is not finite and positive; see
+    /// [`SystemParams::try_with_sensing_range`] for the fallible form.
+    pub fn with_sensing_range(self, rs: f64) -> Self {
+        self.try_with_sensing_range(rs)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -324,9 +389,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be")]
+    #[should_panic(expected = "must be at least 1")]
     fn with_k_zero_panics() {
         SystemParams::paper_defaults().with_k(0);
+    }
+
+    #[test]
+    fn try_with_methods_validate() {
+        let p = SystemParams::paper_defaults();
+        assert_eq!(p.try_with_speed(4.0).unwrap().speed(), 4.0);
+        assert!(p.try_with_speed(0.0).is_err());
+        assert!(p.try_with_speed(f64::NAN).is_err());
+        assert_eq!(p.try_with_k(3).unwrap().k(), 3);
+        assert!(p.try_with_k(0).is_err());
+        assert_eq!(p.try_with_m_periods(7).unwrap().m_periods(), 7);
+        assert!(p.try_with_m_periods(0).is_err());
+        assert_eq!(p.try_with_pd(0.5).unwrap().pd(), 0.5);
+        assert!(p.try_with_pd(1.5).is_err());
+        assert_eq!(
+            p.try_with_sensing_range(500.0).unwrap().sensing_range(),
+            500.0
+        );
+        assert!(p.try_with_sensing_range(-1.0).is_err());
+        assert_eq!(p.try_with_n_sensors(60).unwrap().n_sensors(), 60);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Sharded concurrent memoization cache with hit/miss accounting.
+//!
+//! One [`ShardedCache`] holds one layer of the engine's memoization
+//! hierarchy (geometry, per-stage report distributions, assembled
+//! results). Values are stored behind `Arc` so cache consumers share one
+//! immutable copy — a cache hit is a clone of a pointer, never of a
+//! distribution.
+//!
+//! Keys contain `f64` inputs by **bit pattern** ([`f64_key`]): two
+//! parameter sets hit the same entry exactly when every float is
+//! bit-identical, which makes a warm result bit-identical to a cold one by
+//! construction (the cached value *is* the value the cold path computed).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independently locked shards per cache. A power of two so the
+/// shard index is a mask of the key hash; 16 is plenty for the engine's
+/// worker counts.
+const SHARDS: usize = 16;
+
+/// The bit pattern of `x`, used as a hashable/comparable stand-in for a
+/// float in cache keys. Normalizes `-0.0` to `+0.0` so the two equal
+/// parameter values share an entry; every NaN is rejected upstream by
+/// parameter validation.
+pub fn f64_key(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Bit patterns of a float slice (see [`f64_key`]).
+pub fn f64_slice_key(xs: &[f64]) -> Vec<u64> {
+    xs.iter().copied().map(f64_key).collect()
+}
+
+/// Cumulative hit/miss counters of a cache (or of one request's walk
+/// through all caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored) the value.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Component-wise sum.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// Per-request hit/miss accumulator, threaded through every cache lookup a
+/// request performs so the response can report exactly what that request
+/// reused. Atomics, not `Cell`s: one request's evaluation may itself be
+/// internally concurrent in the future.
+#[derive(Debug, Default)]
+pub struct RequestCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RequestCounters {
+    /// Snapshot of the accumulated counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-shard `RwLock<HashMap>` cache.
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V> ShardedCache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<V>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it with
+    /// `compute` on a miss. `counters` receives the per-request accounting.
+    ///
+    /// On a miss `compute` runs *outside* any lock (stage distributions
+    /// take milliseconds; blocking a shard for that long would serialize
+    /// the pool). Two workers racing on the same key may both compute; the
+    /// first insert wins and the loser's copy is dropped, so the cached
+    /// value is deterministic either way — both computed it from the same
+    /// inputs.
+    pub fn get_or_insert_with<F>(
+        &self,
+        key: K,
+        counters: &RequestCounters,
+        compute: F,
+    ) -> Arc<V>
+    where
+        F: FnOnce() -> V,
+    {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        let mut guard = shard.write().expect("cache lock poisoned");
+        Arc::clone(guard.entry(key).or_insert(value))
+    }
+
+    /// Like [`ShardedCache::get_or_insert_with`] for fallible computation:
+    /// an `Err` is returned to the caller and **not** cached (errors are
+    /// cheap to rediscover and must not mask a later valid computation).
+    pub fn try_get_or_insert_with<F, E>(
+        &self,
+        key: K,
+        counters: &RequestCounters,
+        compute: F,
+    ) -> Result<Arc<V>, E>
+    where
+        F: FnOnce() -> Result<V, E>,
+    {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(v));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute()?);
+        let mut guard = shard.write().expect("cache lock poisoned");
+        Ok(Arc::clone(guard.entry(key).or_insert(value)))
+    }
+
+    /// Cumulative hit/miss counts since creation (or the last clear).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache lock poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let counters = RequestCounters::default();
+        let a = cache.get_or_insert_with(7, &counters, || 49);
+        let b = cache.get_or_insert_with(7, &counters, || panic!("must hit"));
+        assert_eq!(*a, 49);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(counters.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let counters = RequestCounters::default();
+        cache.get_or_insert_with(1, &counters, || 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_same_key_converges() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let counters = RequestCounters::default();
+                    for key in 0..100u64 {
+                        let v = cache.get_or_insert_with(key, &counters, || key * key);
+                        assert_eq!(*v, key * key);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 100);
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 800);
+        // Raced first-insert-wins duplicates are possible, but every key
+        // missed at least once and hit far more often than not.
+        assert!(stats.misses >= 100 && stats.hits >= 600, "{stats:?}");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let counters = RequestCounters::default();
+        let err: Result<Arc<u64>, &str> =
+            cache.try_get_or_insert_with(3, &counters, || Err("nope"));
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        let ok: Result<Arc<u64>, &str> = cache.try_get_or_insert_with(3, &counters, || Ok(9));
+        assert_eq!(*ok.unwrap(), 9);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn f64_keys_normalize_signed_zero() {
+        assert_eq!(f64_key(0.0), f64_key(-0.0));
+        assert_ne!(f64_key(1.0), f64_key(2.0));
+        assert_eq!(f64_slice_key(&[1.0, -0.0]), vec![1.0f64.to_bits(), 0]);
+    }
+}

@@ -1,0 +1,499 @@
+#![warn(missing_docs)]
+//! Batched evaluation engine for group based detection studies.
+//!
+//! Every figure of the paper is a *sweep*: the same model evaluated over a
+//! grid of parameter points that share most of their expensive
+//! intermediates. This crate turns "call `analyze` in a loop" into a
+//! request-oriented engine:
+//!
+//! * submit a batch of [`EvalRequest`]s (`params` × backend × options);
+//! * the engine fans them out over a deterministic worker pool;
+//! * responses come back in request order, each with its detection
+//!   probabilities, timing, and cache accounting.
+//!
+//! Three memoization layers persist across requests **and batches** on one
+//! [`Engine`] value (sharded `RwLock` maps, see [`cache`]):
+//!
+//! 1. **geometry** — per-period NEDR stage inputs, keyed by
+//!    `(Rs, V·t, M, caps)`; shared by every sweep point that moves `N`,
+//!    `Pd` or `k` at fixed geometry;
+//! 2. **stages** — per-NEDR report distributions and accuracies, keyed by
+//!    `(subarea sizes, S, N, Pd, cap)`; within one run all Body stages
+//!    share a single entry, and across runs all matching stages do;
+//! 3. **results** — assembled per-request outputs, keyed by the full
+//!    `(params, backend)` identity; a repeated request is a pointer clone.
+//!
+//! Keys compare floats by bit pattern, so a warm result is *bit-identical*
+//! to the cold computation — caching changes speed, never values. Monte
+//! Carlo requests ([`BackendSpec::Simulation`]) go through the same front
+//! door and the result layer (simulation results are a pure function of
+//! their seed, hence cacheable like any analysis).
+//!
+//! # Example
+//!
+//! ```
+//! use gbd_core::prelude::*;
+//! use gbd_engine::{BackendSpec, Engine, EvalRequest};
+//!
+//! let engine = Engine::new();
+//! let sweep: Vec<EvalRequest> = [60, 120, 180, 240]
+//!     .iter()
+//!     .map(|&n| {
+//!         EvalRequest::new(
+//!             SystemParams::paper_defaults().with_n_sensors(n),
+//!             BackendSpec::ms_default(),
+//!         )
+//!     })
+//!     .collect();
+//! let responses = engine.evaluate_batch(&sweep);
+//! assert_eq!(responses.len(), 4);
+//! let p240 = responses[3].detection_probability().unwrap();
+//! assert!(p240 > 0.9);
+//! // The four points share geometry and body stages:
+//! assert!(engine.cache_stats().hits > 0);
+//! ```
+
+pub mod cache;
+pub mod request;
+
+mod pool;
+
+pub use cache::CacheStats;
+pub use request::{
+    BackendSpec, EvalOptions, EvalOutput, EvalRequest, EvalResponse, SimulationSpec,
+};
+
+use cache::{f64_key, f64_slice_key, RequestCounters, ShardedCache};
+use gbd_core::model::{DetectionModel, ExactModel, MsModel, PoissonModel, SModel, TModel};
+use gbd_core::ms_approach::{self, MsOptions, StageInput};
+use gbd_core::prelude::*;
+use gbd_core::report_dist::{stage_accuracy, stage_distribution};
+use gbd_stats::discrete::DiscreteDist;
+use request::result_key;
+use std::time::Instant;
+
+/// Key of the geometry layer: everything the per-period stage inputs of a
+/// constant-speed M-S run depend on. The caps enter post-`min(·, N)`, so
+/// parameter points whose caps saturate identically share the entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GeometryKey {
+    sensing_range: u64,
+    step: u64,
+    m_periods: usize,
+    g_eff: usize,
+    gh_eff: usize,
+}
+
+/// Key of the stage layer: everything one NEDR's report distribution and
+/// accuracy depend on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StageKey {
+    areas: Vec<u64>,
+    field_area: u64,
+    n_sensors: usize,
+    pd: u64,
+    cap: usize,
+}
+
+/// The batched evaluation engine. See the crate docs for the architecture.
+///
+/// Cheap to share: all internal state is behind sharded locks, so one
+/// `Engine` can serve concurrent callers (`&self` everywhere).
+#[derive(Debug)]
+pub struct Engine {
+    workers: usize,
+    geometry: ShardedCache<GeometryKey, Vec<StageInput>>,
+    stages: ShardedCache<StageKey, (DiscreteDist, f64)>,
+    results: ShardedCache<request::ResultKey, EvalOutput>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Engine with one worker per available core.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_workers(workers)
+    }
+
+    /// Engine with an explicit worker-pool size (`0` is treated as 1).
+    /// Responses do not depend on the worker count — only latency does.
+    pub fn with_workers(workers: usize) -> Self {
+        Engine {
+            workers: workers.max(1),
+            geometry: ShardedCache::new(),
+            stages: ShardedCache::new(),
+            results: ShardedCache::new(),
+        }
+    }
+
+    /// Evaluates one request (equivalent to a single-element batch).
+    pub fn evaluate(&self, request: &EvalRequest) -> EvalResponse {
+        self.evaluate_at(0, request)
+    }
+
+    /// Evaluates a batch across the worker pool. Responses are returned in
+    /// request order, and their values are independent of the worker count
+    /// and of which requests hit warm caches.
+    pub fn evaluate_batch(&self, requests: &[EvalRequest]) -> Vec<EvalResponse> {
+        pool::run_indexed(requests.len(), self.workers, |i| {
+            self.evaluate_at(i, &requests[i])
+        })
+    }
+
+    /// Aggregate hit/miss counters over all three cache layers.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.geometry
+            .stats()
+            .merged(self.stages.stats())
+            .merged(self.results.stats())
+    }
+
+    /// Per-layer `(name, stats)` breakdown.
+    pub fn layer_stats(&self) -> [(&'static str, CacheStats); 3] {
+        [
+            ("geometry", self.geometry.stats()),
+            ("stages", self.stages.stats()),
+            ("results", self.results.stats()),
+        ]
+    }
+
+    /// Drops every cached entry and resets all counters.
+    pub fn clear_caches(&self) {
+        self.geometry.clear();
+        self.stages.clear();
+        self.results.clear();
+    }
+
+    fn evaluate_at(&self, index: usize, request: &EvalRequest) -> EvalResponse {
+        let counters = RequestCounters::default();
+        let start = Instant::now();
+        let outcome = if request.options.bypass_cache {
+            self.compute_cold(request)
+        } else {
+            self.results
+                .try_get_or_insert_with(
+                    result_key(&request.params, &request.backend),
+                    &counters,
+                    || self.compute(request, &counters),
+                )
+                .map(|arc| (*arc).clone())
+        };
+        let duration = start.elapsed();
+        let detection = match &outcome {
+            Ok(output) => request
+                .thresholds()
+                .iter()
+                .map(|&k| (k, output.detection_probability(k)))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        EvalResponse {
+            index,
+            backend: request.backend.name(),
+            outcome,
+            detection,
+            duration,
+            cache: counters.stats(),
+        }
+    }
+
+    /// The uncached evaluation path (`bypass_cache`): exactly what the
+    /// backend modules compute, with no engine involvement.
+    fn compute_cold(&self, request: &EvalRequest) -> Result<EvalOutput, CoreError> {
+        match request.backend {
+            BackendSpec::Ms(opts) => MsModel { opts }
+                .report_distribution(&request.params)
+                .map(EvalOutput::Analysis),
+            BackendSpec::S(opts) => SModel { opts }
+                .report_distribution(&request.params)
+                .map(EvalOutput::Analysis),
+            BackendSpec::Exact { saturation_cap } => ExactModel { saturation_cap }
+                .report_distribution(&request.params)
+                .map(EvalOutput::Analysis),
+            BackendSpec::T { opts, max_states } => TModel { opts, max_states }
+                .report_distribution(&request.params)
+                .map(EvalOutput::Analysis),
+            BackendSpec::Poisson => PoissonModel
+                .report_distribution(&request.params)
+                .map(EvalOutput::Analysis),
+            BackendSpec::Simulation(spec) => Ok(EvalOutput::Simulation(gbd_sim::runner::run(
+                &spec.to_config(request.params)?,
+            ))),
+        }
+    }
+
+    /// The cached evaluation path. The M-S-approach walks the geometry and
+    /// stage layers; every other backend computes whole (their
+    /// intermediates are not shared across sweep points) and relies on the
+    /// result layer alone.
+    fn compute(
+        &self,
+        request: &EvalRequest,
+        counters: &RequestCounters,
+    ) -> Result<EvalOutput, CoreError> {
+        match request.backend {
+            BackendSpec::Ms(opts) => self
+                .compute_ms(&request.params, &opts, counters)
+                .map(EvalOutput::Analysis),
+            _ => self.compute_cold(request),
+        }
+    }
+
+    /// The memoized M-S path: identical arithmetic to
+    /// [`ms_approach::analyze`], with the geometry and per-stage results
+    /// fetched through the caches.
+    fn compute_ms(
+        &self,
+        params: &SystemParams,
+        opts: &MsOptions,
+        counters: &RequestCounters,
+    ) -> Result<ReportDistribution, CoreError> {
+        let n = params.n_sensors();
+        let geometry_key = GeometryKey {
+            sensing_range: f64_key(params.sensing_range()),
+            step: f64_key(params.step()),
+            m_periods: params.m_periods(),
+            g_eff: opts.g.min(n),
+            gh_eff: opts.gh.min(n),
+        };
+        let inputs = self
+            .geometry
+            .try_get_or_insert_with(geometry_key, counters, || {
+                let steps = vec![params.step(); params.m_periods()];
+                ms_approach::stage_inputs(params.sensing_range(), &steps, n, opts)
+            })?;
+
+        let field_area = params.field_area();
+        let pd = params.pd();
+        let support_cap: usize = inputs.iter().map(StageInput::support_bound).sum();
+        let stages: Vec<(DiscreteDist, f64)> = inputs
+            .iter()
+            .map(|stage| {
+                let entry = self.stages.get_or_insert_with(
+                    StageKey {
+                        areas: f64_slice_key(&stage.areas),
+                        field_area: f64_key(field_area),
+                        n_sensors: n,
+                        pd: f64_key(pd),
+                        cap: stage.cap,
+                    },
+                    counters,
+                    || {
+                        (
+                            stage_distribution(&stage.areas, field_area, n, pd, stage.cap),
+                            stage_accuracy(stage.areas.iter().sum(), field_area, n, stage.cap),
+                        )
+                    },
+                );
+                (entry.0.clone(), entry.1)
+            })
+            .collect();
+        Ok(ms_approach::assemble_stages(&stages, support_cap))
+    }
+}
+
+// Keep `Arc` in the public-ish signature space honest: the engine is Send +
+// Sync by construction; assert it so a regression fails to compile.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>()
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_core::s_approach::SOptions;
+
+    fn paper() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    fn fig9a_grid() -> Vec<EvalRequest> {
+        let mut requests = Vec::new();
+        for &speed in &[4.0, 10.0] {
+            for n in (60..=240).step_by(30) {
+                requests.push(EvalRequest::new(
+                    paper().with_speed(speed).with_n_sensors(n),
+                    BackendSpec::ms_default(),
+                ));
+            }
+        }
+        requests
+    }
+
+    #[test]
+    fn ms_through_engine_matches_direct_analyze() {
+        let engine = Engine::with_workers(2);
+        for response in engine.evaluate_batch(&fig9a_grid()) {
+            let req = &fig9a_grid()[response.index];
+            let direct = ms_approach::analyze(&req.params, &MsOptions::default()).unwrap();
+            let output = response.outcome.as_ref().unwrap();
+            assert_eq!(
+                output.analysis().unwrap(),
+                &direct,
+                "index {}",
+                response.index
+            );
+            assert_eq!(
+                response.detection,
+                vec![(5, direct.detection_probability(5))]
+            );
+        }
+    }
+
+    #[test]
+    fn warm_batch_is_bit_identical_to_cold() {
+        let engine = Engine::with_workers(4);
+        let grid = fig9a_grid();
+        let cold = engine.evaluate_batch(&grid);
+        let warm = engine.evaluate_batch(&grid);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.outcome, w.outcome);
+            assert_eq!(c.detection, w.detection);
+        }
+        // The second pass is answered entirely from the result layer.
+        let warm_hits: u64 = warm.iter().map(|r| r.cache.hits).sum();
+        let warm_misses: u64 = warm.iter().map(|r| r.cache.misses).sum();
+        assert_eq!(warm_misses, 0);
+        assert_eq!(warm_hits, grid.len() as u64);
+    }
+
+    #[test]
+    fn cold_sweep_already_shares_stages() {
+        // Even the first pass over a sweep shares geometry (across N at
+        // fixed speed) and body stages (within each run).
+        let engine = Engine::with_workers(1);
+        let responses = engine.evaluate_batch(&fig9a_grid());
+        assert!(responses.iter().all(|r| r.outcome.is_ok()));
+        let stats = engine.cache_stats();
+        assert!(stats.hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn bypass_cache_matches_cached_result() {
+        let engine = Engine::new();
+        let mut request = EvalRequest::new(paper(), BackendSpec::ms_default());
+        let cached = engine.evaluate(&request);
+        request.options.bypass_cache = true;
+        let bypassed = engine.evaluate(&request);
+        assert_eq!(cached.outcome, bypassed.outcome);
+        assert_eq!(bypassed.cache, CacheStats::default());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_responses() {
+        let grid = fig9a_grid();
+        let one = Engine::with_workers(1).evaluate_batch(&grid);
+        let many = Engine::with_workers(8).evaluate_batch(&grid);
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.index, b.index);
+        }
+    }
+
+    #[test]
+    fn all_backends_evaluate_the_paper_point() {
+        let small = paper().with_m_periods(4).with_n_sensors(60).with_k(2);
+        let backends = [
+            BackendSpec::ms_default(),
+            BackendSpec::S(SOptions::default()),
+            BackendSpec::Exact { saturation_cap: 16 },
+            BackendSpec::T {
+                opts: MsOptions { g: 2, gh: 2 },
+                max_states: 1_000_000,
+            },
+            BackendSpec::Poisson,
+            BackendSpec::Simulation(SimulationSpec {
+                trials: 200,
+                threads: 1,
+                ..SimulationSpec::default()
+            }),
+        ];
+        let engine = Engine::new();
+        let requests: Vec<EvalRequest> = backends
+            .iter()
+            .map(|&b| EvalRequest::new(small, b))
+            .collect();
+        for response in engine.evaluate_batch(&requests) {
+            let p = response
+                .detection_probability()
+                .unwrap_or_else(|| panic!("{} failed", response.backend));
+            assert!((0.0..=1.0).contains(&p), "{}: {p}", response.backend);
+        }
+    }
+
+    #[test]
+    fn simulation_requests_are_cached_and_deterministic() {
+        let engine = Engine::new();
+        let request = EvalRequest::new(
+            paper().with_n_sensors(60),
+            BackendSpec::Simulation(SimulationSpec {
+                trials: 300,
+                seed: 42,
+                threads: 2,
+                ..SimulationSpec::default()
+            }),
+        );
+        let a = engine.evaluate(&request);
+        let b = engine.evaluate(&request);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(b.cache, CacheStats { hits: 1, misses: 0 });
+        let direct = gbd_sim::runner::run(
+            &SimulationSpec {
+                trials: 300,
+                seed: 42,
+                threads: 2,
+                ..SimulationSpec::default()
+            }
+            .to_config(paper().with_n_sensors(60))
+            .unwrap(),
+        );
+        assert_eq!(a.outcome.unwrap().simulation().unwrap(), &direct);
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        let engine = Engine::new();
+        let bad = EvalRequest::new(paper(), BackendSpec::Ms(MsOptions { g: 0, gh: 3 }));
+        let response = engine.evaluate(&bad);
+        assert!(response.outcome.is_err());
+        assert!(response.detection.is_empty());
+        assert_eq!(engine.results.len(), 0);
+    }
+
+    #[test]
+    fn multi_threshold_options() {
+        let engine = Engine::new();
+        let request = EvalRequest {
+            params: paper(),
+            backend: BackendSpec::ms_default(),
+            options: EvalOptions {
+                k_values: vec![1, 5, 9],
+                bypass_cache: false,
+            },
+        };
+        let response = engine.evaluate(&request);
+        let ps: Vec<f64> = response.detection.iter().map(|&(_, p)| p).collect();
+        assert_eq!(response.detection.len(), 3);
+        assert!(ps[0] >= ps[1] && ps[1] >= ps[2]);
+    }
+
+    #[test]
+    fn clear_caches_resets() {
+        let engine = Engine::new();
+        engine.evaluate(&EvalRequest::new(paper(), BackendSpec::ms_default()));
+        assert!(engine.cache_stats().lookups() > 0);
+        engine.clear_caches();
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+        for (_, stats) in engine.layer_stats() {
+            assert_eq!(stats, CacheStats::default());
+        }
+    }
+}

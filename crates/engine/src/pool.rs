@@ -1,0 +1,67 @@
+//! Deterministic fan-out of a batch over a fixed worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `work(i)` for every `i in 0..len` across up to `workers` threads
+/// and returns the outputs in index order.
+///
+/// Items are claimed from a shared atomic counter, so scheduling decides
+/// only *who* computes an item, never *what* is computed — with pure
+/// `work`, the returned vector is identical for any worker count.
+pub(crate) fn run_indexed<T, F>(len: usize, workers: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(len);
+    if workers <= 1 {
+        return (0..len).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        produced.push((i, work(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("engine worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_worker_count() {
+        let expected: Vec<usize> = (0..57).map(|i| i * 3).collect();
+        for workers in [1, 2, 5, 16, 64] {
+            assert_eq!(run_indexed(57, workers, |i| i * 3), expected);
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let out: Vec<u8> = run_indexed(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

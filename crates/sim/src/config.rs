@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use gbd_core::params::SystemParams;
+use gbd_core::CoreError;
 
 pub use gbd_field::field::BoundaryPolicy;
 
@@ -86,15 +87,28 @@ impl SimConfig {
         }
     }
 
+    /// Sets the trial count, or [`CoreError::InvalidParameter`] if
+    /// `trials == 0`.
+    pub fn try_with_trials(mut self, trials: u64) -> Result<Self, CoreError> {
+        if trials == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "trials",
+                constraint: "need at least one trial",
+            });
+        }
+        self.trials = trials;
+        Ok(self)
+    }
+
     /// Sets the trial count.
     ///
     /// # Panics
     ///
-    /// Panics if `trials == 0`.
-    pub fn with_trials(mut self, trials: u64) -> Self {
-        assert!(trials > 0, "need at least one trial");
-        self.trials = trials;
-        self
+    /// Panics if `trials == 0`; see [`SimConfig::try_with_trials`] for the
+    /// fallible form.
+    pub fn with_trials(self, trials: u64) -> Self {
+        self.try_with_trials(trials)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Sets the master seed.
@@ -115,32 +129,52 @@ impl SimConfig {
         self
     }
 
+    /// Sets the node-level false-alarm rate, or
+    /// [`CoreError::InvalidParameter`] if the rate is outside `[0, 1]`.
+    pub fn try_with_false_alarm_rate(mut self, rate: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "false_alarm_rate",
+                constraint: "must be in [0, 1]",
+            });
+        }
+        self.false_alarm_rate = rate;
+        Ok(self)
+    }
+
     /// Sets the node-level false-alarm rate.
     ///
     /// # Panics
     ///
-    /// Panics if the rate is outside `[0, 1]`.
-    pub fn with_false_alarm_rate(mut self, rate: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&rate),
-            "false alarm rate must be in [0, 1]"
-        );
-        self.false_alarm_rate = rate;
-        self
+    /// Panics if the rate is outside `[0, 1]`; see
+    /// [`SimConfig::try_with_false_alarm_rate`] for the fallible form.
+    pub fn with_false_alarm_rate(self, rate: f64) -> Self {
+        self.try_with_false_alarm_rate(rate)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets the per-period awake probability (duty cycling), or
+    /// [`CoreError::InvalidParameter`] if it is outside `[0, 1]`.
+    pub fn try_with_awake_probability(mut self, p: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "awake_probability",
+                constraint: "must be in [0, 1]",
+            });
+        }
+        self.awake_probability = p;
+        Ok(self)
     }
 
     /// Sets the per-period awake probability (duty cycling).
     ///
     /// # Panics
     ///
-    /// Panics if the probability is outside `[0, 1]`.
-    pub fn with_awake_probability(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "awake probability must be in [0, 1]"
-        );
-        self.awake_probability = p;
-        self
+    /// Panics if the probability is outside `[0, 1]`; see
+    /// [`SimConfig::try_with_awake_probability`] for the fallible form.
+    pub fn with_awake_probability(self, p: f64) -> Self {
+        self.try_with_awake_probability(p)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Sets the deployment strategy.
@@ -179,9 +213,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "awake probability")]
+    #[should_panic(expected = "awake_probability")]
     fn bad_awake_probability_panics() {
         SimConfig::new(SystemParams::paper_defaults()).with_awake_probability(-0.2);
+    }
+
+    #[test]
+    fn try_with_methods_validate() {
+        let c = SimConfig::new(SystemParams::paper_defaults());
+        assert_eq!(c.clone().try_with_trials(5).unwrap().trials, 5);
+        assert!(c.clone().try_with_trials(0).is_err());
+        assert_eq!(
+            c.clone()
+                .try_with_false_alarm_rate(0.25)
+                .unwrap()
+                .false_alarm_rate,
+            0.25
+        );
+        assert!(c.clone().try_with_false_alarm_rate(-0.1).is_err());
+        assert_eq!(
+            c.clone()
+                .try_with_awake_probability(0.5)
+                .unwrap()
+                .awake_probability,
+            0.5
+        );
+        assert!(c.clone().try_with_awake_probability(f64::NAN).is_err());
     }
 
     #[test]
@@ -208,7 +265,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "false alarm rate")]
+    #[should_panic(expected = "false_alarm_rate")]
     fn bad_far_panics() {
         SimConfig::new(SystemParams::paper_defaults()).with_false_alarm_rate(1.5);
     }

@@ -41,7 +41,7 @@ pub fn run(config: &SimConfig) -> SimResult {
 
     // Each worker owns a disjoint contiguous range of trial indices.
     let chunk = trials.div_ceil(threads as u64).max(1);
-    let partials: Vec<(u64, Summary, Summary)> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<(u64, Summary, Summary)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..threads as u64 {
             let lo = w * chunk;
@@ -50,7 +50,7 @@ pub fn run(config: &SimConfig) -> SimResult {
                 break;
             }
             let cfg = config.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut detections = 0u64;
                 let mut reports = Summary::new();
                 let mut false_alarms = Summary::new();
@@ -69,8 +69,7 @@ pub fn run(config: &SimConfig) -> SimResult {
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("simulation scope panicked");
+    });
 
     let mut detections = 0u64;
     let mut report_counts = Summary::new();

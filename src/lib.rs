@@ -38,6 +38,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `gbd-core` | M=1 model, S-approach, M-S-approach, exact reference, accuracy solvers, extensions |
+//! | [`engine`] | `gbd-engine` | batched evaluation engine: request/response API with cross-sweep memoization |
 //! | [`sim`] | `gbd-sim` | Monte Carlo validation simulator, false-alarm studies, track filter |
 //! | [`geometry`] | `gbd-geometry` | stadium DRs, lens areas, Eq (6)/(8)/(10) subareas |
 //! | [`markov`] | `gbd-markov` | counting chains, transition matrices, absorbing analysis |
@@ -47,6 +48,7 @@
 //! | [`net`] | `gbd-net` | unit-disk graphs, GF/GPSR routing, latency deadline checks |
 
 pub use gbd_core as core;
+pub use gbd_engine as engine;
 pub use gbd_field as field;
 pub use gbd_geometry as geometry;
 pub use gbd_markov as markov;
@@ -60,12 +62,14 @@ pub mod prelude {
     pub use gbd_core::accuracy::{required_caps, RequiredCaps};
     pub use gbd_core::exact;
     pub use gbd_core::false_alarm::{required_k, FalseAlarmModel};
+    pub use gbd_core::model::{DetectionModel, ReportDistribution};
     pub use gbd_core::ms_approach::{analyze as ms_analyze, AnalysisResult, MsOptions};
     pub use gbd_core::params::SystemParams;
     pub use gbd_core::s_approach::{analyze as s_analyze, SOptions};
     pub use gbd_core::single_period;
     pub use gbd_core::time_to_detection;
     pub use gbd_core::CoreError;
+    pub use gbd_engine::{BackendSpec, Engine, EvalRequest, EvalResponse};
     pub use gbd_sim::config::{BoundaryPolicy, DeploymentSpec, MotionSpec, SimConfig};
     pub use gbd_sim::runner::{run as run_simulation, SimResult};
 }

@@ -1,0 +1,161 @@
+//! The unified `DetectionModel` trait and the evaluation engine must agree
+//! with the free-function seed paths: every backend reachable through one
+//! trait object, all backends telling one story at a tractable operating
+//! point, and the engine's caches changing speed but never values.
+
+use sparse_groupdet::core::model::{
+    DetectionModel, ExactModel, MsModel, PoissonModel, SModel, TModel,
+};
+use sparse_groupdet::engine::{EvalOptions, SimulationSpec};
+use sparse_groupdet::prelude::*;
+
+/// A point small enough for the T-approach's state enumeration: M = 4
+/// periods, N = 60 sensors, k = 2.
+fn tractable_point() -> SystemParams {
+    SystemParams::paper_defaults()
+        .with_m_periods(4)
+        .with_n_sensors(60)
+        .with_k(2)
+}
+
+fn fig9a_grid() -> Vec<EvalRequest> {
+    let mut requests = Vec::new();
+    for &speed in &[4.0, 10.0] {
+        for n in (60..=240).step_by(30) {
+            requests.push(EvalRequest::new(
+                SystemParams::paper_defaults()
+                    .with_n_sensors(n)
+                    .with_speed(speed),
+                BackendSpec::ms_default(),
+            ));
+        }
+    }
+    requests
+}
+
+#[test]
+fn every_backend_is_reachable_through_the_trait() {
+    let params = tractable_point();
+    let models: Vec<Box<dyn DetectionModel>> = vec![
+        Box::new(MsModel::default()),
+        Box::new(SModel::default()),
+        Box::new(ExactModel::default()),
+        Box::new(TModel::default()),
+        Box::new(PoissonModel),
+    ];
+    for model in &models {
+        let p = model
+            .detection_probability(&params)
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "{}: {p} out of range",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn ms_t_and_exact_agree_at_small_m_via_trait() {
+    // At a tractable point with generous caps, the M-S-approach and the
+    // T-approach truncate the same state space, and both approximate the
+    // exact reference closely.
+    let params = tractable_point();
+    let opts = MsOptions { g: 4, gh: 4 };
+    let ms = MsModel { opts }.detection_probability(&params).unwrap();
+    let t = TModel {
+        opts,
+        max_states: 4_000_000,
+    }
+    .detection_probability(&params)
+    .unwrap();
+    let exact = ExactModel::default()
+        .detection_probability(&params)
+        .unwrap();
+    assert!(
+        (ms - t).abs() < 1e-6,
+        "MS {ms:.8} vs T {t:.8} diverge beyond truncation noise"
+    );
+    assert!((ms - exact).abs() < 5e-3, "MS {ms:.5} vs exact {exact:.5}");
+    assert!((t - exact).abs() < 5e-3, "T {t:.5} vs exact {exact:.5}");
+}
+
+#[test]
+fn engine_matches_the_seed_analysis_path_on_the_fig9a_grid() {
+    let engine = Engine::new();
+    let grid = fig9a_grid();
+    for response in engine.evaluate_batch(&grid) {
+        let request = &grid[response.index];
+        let direct = ms_analyze(&request.params, &MsOptions::default()).unwrap();
+        let k = request.params.k();
+        let via_engine = response.detection_probability().unwrap();
+        assert_eq!(
+            via_engine,
+            direct.detection_probability(k),
+            "engine and direct analyze disagree at N = {}",
+            request.params.n_sensors()
+        );
+    }
+}
+
+#[test]
+fn warm_sweep_is_bit_identical_to_cold_with_nonzero_hits() {
+    let engine = Engine::new();
+    let grid = fig9a_grid();
+    let cold = engine.evaluate_batch(&grid);
+    let warm = engine.evaluate_batch(&grid);
+    for (c, w) in cold.iter().zip(&warm) {
+        // PartialEq on f64-carrying outputs: equality here IS
+        // bit-for-bit value identity.
+        assert_eq!(c.outcome, w.outcome);
+    }
+    let hits: u64 = warm.iter().map(|r| r.cache.hits).sum();
+    let misses: u64 = warm.iter().map(|r| r.cache.misses).sum();
+    assert!(hits > 0, "warm pass must be served from the cache");
+    assert_eq!(misses, 0, "warm pass must not recompute anything");
+
+    // And bypassing the cache reproduces the same values again.
+    let bypassed: Vec<EvalRequest> = grid
+        .iter()
+        .cloned()
+        .map(|mut request| {
+            request.options = EvalOptions {
+                bypass_cache: true,
+                ..request.options.clone()
+            };
+            request
+        })
+        .collect();
+    for (b, w) in engine.evaluate_batch(&bypassed).iter().zip(&warm) {
+        assert_eq!(b.outcome, w.outcome);
+    }
+}
+
+#[test]
+fn simulation_flows_through_the_same_batch_api() {
+    let params = tractable_point();
+    let spec = SimulationSpec {
+        trials: 400,
+        seed: 11,
+        threads: 1,
+        ..SimulationSpec::default()
+    };
+    let engine = Engine::new();
+    let requests = [
+        EvalRequest::new(params, BackendSpec::ms_default()),
+        EvalRequest::new(params, BackendSpec::Simulation(spec)),
+    ];
+    let responses = engine.evaluate_batch(&requests);
+    let analysis = responses[0].detection_probability().unwrap();
+    let simulated = responses[1].detection_probability().unwrap();
+    assert!(
+        (analysis - simulated).abs() < 0.1,
+        "analysis {analysis:.4} vs simulation {simulated:.4}"
+    );
+    // Identical to calling the simulator directly with the same config.
+    let direct = run_simulation(&spec.to_config(params).unwrap());
+    assert_eq!(
+        responses[1].outcome.as_ref().unwrap().simulation().unwrap(),
+        &direct
+    );
+}

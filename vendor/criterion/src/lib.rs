@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container cannot fetch crates.io, so this vendored crate implements
+//! the benchmarking API surface the workspace's `benches/` use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, the [`criterion_group!`]
+//! / [`criterion_main!`] macros, and [`black_box`].
+//!
+//! Measurement model: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples where the iteration count per sample is
+//! chosen so a sample takes roughly `target_sample_time`. Median and min
+//! per-iteration times are printed to stdout. There is no statistical
+//! regression analysis, no HTML report and no baseline persistence — the
+//! point is honest relative timings (e.g. cold vs. warm cache), not
+//! criterion's full rigor.
+
+use std::time::{Duration, Instant};
+
+/// Opaque barrier preventing the optimizer from deleting a benchmarked
+/// computation. Same contract as `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark named after a function and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Benchmark named after a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    target_sample_time: Duration,
+    /// Median and minimum per-iteration time, filled in by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    fn new(samples: usize, target_sample_time: Duration) -> Self {
+        Bencher {
+            samples,
+            target_sample_time,
+            result: None,
+        }
+    }
+
+    /// Times `routine`, choosing an iteration count per sample so each
+    /// sample runs for roughly the target sample time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles the iteration count until the batch takes long
+        // enough to time reliably; this also primes caches.
+        let mut iters_per_sample: u64 = 1;
+        let min_batch = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= min_batch || iters_per_sample >= 1 << 20 {
+                let per_iter = elapsed.max(Duration::from_nanos(1)) / iters_per_sample as u32;
+                let target = self.target_sample_time.as_nanos() as u64;
+                iters_per_sample =
+                    (target / per_iter.as_nanos().max(1) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+
+        let mut per_iter_times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter_times.push(start.elapsed() / iters_per_sample as u32);
+        }
+        per_iter_times.sort();
+        let median = per_iter_times[per_iter_times.len() / 2];
+        let min = per_iter_times[0];
+        self.result = Some((median, min));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    target_sample_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher::new(samples, target_sample_time);
+    f(&mut bencher);
+    match bencher.result {
+        Some((median, min)) => println!(
+            "bench: {name:<48} median {:>12}   min {:>12}",
+            fmt_duration(median),
+            fmt_duration(min)
+        ),
+        None => println!("bench: {name:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, self.target_sample_time, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            target_sample_time: self.target_sample_time,
+            _criterion: self,
+        }
+    }
+
+    /// Upstream runs pending reports here; nothing to finalize offline.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    target_sample_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the target measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.target_sample_time = t / self.sample_size.max(1) as u32;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, self.target_sample_time, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, self.target_sample_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here).
+    pub fn finish(self) {}
+}
+
+/// Declares a set of benchmark functions as a group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher::new(3, Duration::from_millis(1));
+        b.iter(|| black_box(2u64 + 2));
+        let (median, min) = b.result.expect("iter must record");
+        assert!(min <= median);
+        assert!(median < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::from_parameter(240).to_string(), "240");
+        assert_eq!(BenchmarkId::new("conv", 8).to_string(), "conv/8");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("plain", |b| b.iter(|| black_box(1u32).wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container has no crates.io access, so this vendored crate implements
+//! the subset of proptest the workspace uses: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and tuple
+//! strategies, `prop_map`, and `collection::vec`.
+//!
+//! Semantics: each property runs `ProptestConfig::cases` times against
+//! deterministically seeded ChaCha12 randomness (seeded from the test
+//! name, so failures reproduce across runs). There is **no shrinking** —
+//! a failing case reports its inputs verbatim. Cases rejected by
+//! `prop_assume!` are skipped without replacement.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len` and elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "length range must be non-empty");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::Rng as _;
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that samples its arguments
+/// [`ProptestConfig::cases`] times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                // Sample everything into a tuple first so the inputs can be
+                // formatted before the patterns (possibly moving) bind them.
+                let __vals = ($($crate::strategy::Strategy::sample(&$strat, &mut rng),)*);
+                let described =
+                    format!("{} = {:?}", stringify!(($($arg),*)), __vals);
+                let ($($arg,)*) = __vals;
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            msg,
+                            described
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it as a failure) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for e in &v {
+                prop_assert!((0.0..1.0).contains(e));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(n in (0u64..100).prop_map(|n| n * 2)) {
+            prop_assert!(n % 2 == 0);
+            prop_assert!(n < 200);
+        }
+
+        #[test]
+        fn tuples_and_assume((a, b) in (0usize..50, 0usize..50)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        // No #[test] meta: compiled as a plain fn, invoked below under
+        // catch_unwind to check the failure report.
+        fn always_fails(x in 0usize..4) {
+            prop_assert!(x > 100, "x too small");
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(always_fails);
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("inputs"), "{msg}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Run configuration and the deterministic test RNG.
+
+use rand::SeedableRng as _;
+use rand_chacha::ChaCha12Rng;
+
+/// Per-property run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256, keeping offline CI fast.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(&'static str),
+    /// `prop_assert!`-family failure; the property fails.
+    Fail(String),
+}
+
+/// Deterministic RNG driving a property's samples, seeded from the test
+/// name so failures reproduce run-to-run without a persistence file.
+pub struct TestRng(ChaCha12Rng);
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable, collision-resistant enough for
+        // seeding distinct streams per property.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(ChaCha12Rng::seed_from_u64(h))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore as _;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("y");
+        assert_ne!(TestRng::for_test("x").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn default_config_has_cases() {
+        assert!(ProptestConfig::default().cases > 0);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}

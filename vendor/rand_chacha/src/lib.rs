@@ -1,0 +1,196 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha12 keystream generator (D. J. Bernstein's
+//! ChaCha with 12 double-rounds' worth of quarter-rounds, the variant the
+//! upstream crate names `ChaCha12Rng`) over the vendored [`rand`] traits.
+//! The keystream is the real ChaCha function, so the statistical quality
+//! matches upstream; the word-extraction order is not guaranteed to be
+//! bit-identical to upstream `rand_chacha` (nothing in this workspace
+//! depends on upstream's exact stream, only on determinism per seed).
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Re-export of the seeding/core traits under the path upstream exposes
+/// (`rand_chacha::rand_core::SeedableRng`).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+const ROUNDS_CHACHA12: usize = 12;
+const ROUNDS_CHACHA8: usize = 8;
+const ROUNDS_CHACHA20: usize = 20;
+
+/// The `expand 32-byte k` constants.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64, rounds: usize) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = nonce as u32;
+    state[15] = (nonce >> 32) as u32;
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial.iter()) {
+        *s = s.wrapping_add(*i);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, 0, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                let mut rng = $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    ROUNDS_CHACHA8,
+    "ChaCha keystream RNG with 8 rounds."
+);
+chacha_rng!(
+    ChaCha12Rng,
+    ROUNDS_CHACHA12,
+    "ChaCha keystream RNG with 12 rounds — the workspace default."
+);
+chacha_rng!(
+    ChaCha20Rng,
+    ROUNDS_CHACHA20,
+    "ChaCha keystream RNG with 20 rounds."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_quarter_round_vector() {
+        // RFC 8439 §2.1.1 quarter-round test vector.
+        let mut state = [0u32; 16];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn stream_does_not_cycle_quickly() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let first = rng.next_u64();
+        let mut seen_repeat = false;
+        for _ in 0..10_000 {
+            if rng.next_u64() == first {
+                seen_repeat = true;
+            }
+        }
+        assert!(!seen_repeat);
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_centered() {
+        use rand::Rng as _;
+        let mut rng = ChaCha12Rng::seed_from_u64(2008);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Empty offline placeholder for `serde`.
+//!
+//! The workspace declares `serde` as an *optional* dependency behind
+//! per-crate `serde` features that are never enabled in this container
+//! (there is no network access to fetch the real crate). Cargo still needs
+//! the package to exist to resolve the dependency graph, so this stub
+//! satisfies resolution without providing any items. Enabling a workspace
+//! `serde` feature against this stub is a compile error by design.
