@@ -24,11 +24,13 @@ use gbd_core::design::{required_sensing_range, required_sensors};
 use gbd_core::ms_approach::MsOptions;
 use gbd_core::prelude::*;
 use gbd_core::s_approach::SOptions;
-use gbd_engine::{BackendSpec, Engine, EvalRequest, EvalResponse, SimulationSpec};
+use gbd_engine::{
+    BackendChain, BackendSpec, Engine, EvalRequest, EvalResponse, RetryPolicy, SimulationSpec,
+};
 use gbd_sim::config::MotionSpec;
-use gbd_sim::runner::SimResult;
 use json::Json;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// The sensing period is fixed at the paper's value; the CLI does not
 /// expose it (no figure varies it).
@@ -109,6 +111,8 @@ struct BackendArgs {
     gh: usize,
     cap: Option<usize>,
     max_states: usize,
+    deadline_ms: Option<u64>,
+    fallbacks: Vec<String>,
 }
 
 impl Default for BackendArgs {
@@ -119,6 +123,8 @@ impl Default for BackendArgs {
             gh: 3,
             cap: None,
             max_states: 4_000_000,
+            deadline_ms: None,
+            fallbacks: Vec::new(),
         }
     }
 }
@@ -138,6 +144,16 @@ impl BackendArgs {
             "int",
             "state budget for the t backend (4000000)",
         ),
+        Flag::value(
+            "--deadline-ms",
+            "ms",
+            "per-request evaluation deadline (none)",
+        ),
+        Flag::value(
+            "--fallback",
+            "name",
+            "fallback backend when the primary fails; repeatable",
+        ),
     ];
 
     fn try_set(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
@@ -147,17 +163,36 @@ impl BackendArgs {
             "--gh" => self.gh = cur.take_value(flag)?,
             "--cap" => self.cap = Some(cur.take_value(flag)?),
             "--max-states" => self.max_states = cur.take_value(flag)?,
+            "--deadline-ms" => self.deadline_ms = Some(cur.take_value(flag)?),
+            "--fallback" => self.fallbacks.push(cur.take_value(flag)?),
             _ => return Ok(false),
         }
         Ok(true)
     }
 
     fn build(&self) -> Result<BackendSpec, String> {
+        self.spec_for(&self.backend)
+    }
+
+    /// The primary backend plus any `--fallback` degradation chain.
+    fn chain(&self) -> Result<BackendChain, String> {
+        let mut chain = BackendChain::new(self.build()?);
+        for name in &self.fallbacks {
+            chain = chain.with_fallback(self.spec_for(name)?);
+        }
+        Ok(chain)
+    }
+
+    fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
+    }
+
+    fn spec_for(&self, name: &str) -> Result<BackendSpec, String> {
         let opts = MsOptions {
             g: self.g,
             gh: self.gh,
         };
-        match self.backend.as_str() {
+        match name {
             "ms" => Ok(BackendSpec::Ms(opts)),
             "s" => Ok(BackendSpec::S(SOptions {
                 cap_sensors: self.cap.unwrap_or(SOptions::default().cap_sensors),
@@ -186,6 +221,7 @@ struct SimArgs {
     false_alarm: f64,
     awake: f64,
     threads: usize,
+    retries: u32,
 }
 
 impl Default for SimArgs {
@@ -197,6 +233,7 @@ impl Default for SimArgs {
             false_alarm: 0.0,
             awake: 1.0,
             threads: 0,
+            retries: 0,
         }
     }
 }
@@ -213,6 +250,11 @@ impl SimArgs {
             "int",
             "simulation worker threads, 0 = all cores (0)",
         ),
+        Flag::value(
+            "--retries",
+            "int",
+            "retries for transient simulation failures (0)",
+        ),
     ];
 
     fn try_set(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
@@ -223,9 +265,14 @@ impl SimArgs {
             "--false-alarm" => self.false_alarm = cur.take_value(flag)?,
             "--awake" => self.awake = cur.take_value(flag)?,
             "--threads" => self.threads = cur.take_value(flag)?,
+            "--retries" => self.retries = cur.take_value(flag)?,
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    fn retry_policy(&self) -> Option<RetryPolicy> {
+        (self.retries > 0).then(|| RetryPolicy::new(self.retries))
     }
 
     fn build(&self) -> SimulationSpec {
@@ -281,9 +328,10 @@ impl AnalyzeCmd {
 
     fn run(&self) -> Result<(), String> {
         let params = self.params.build()?;
-        let backend = self.backend.build()?;
         let engine = Engine::new();
-        let response = engine.evaluate(&EvalRequest::new(params, backend));
+        let mut request = EvalRequest::new(params, self.backend.chain()?);
+        request.options.deadline = self.backend.deadline();
+        let response = engine.evaluate(&request);
         let dist = match &response.outcome {
             Ok(output) => output.analysis().expect("analytical backend"),
             Err(e) => return Err(e.to_string()),
@@ -295,6 +343,8 @@ impl AnalyzeCmd {
                 Json::obj(vec![
                     ("command", "analyze".into()),
                     ("backend", response.backend.into()),
+                    ("served_by", response.served_by.into()),
+                    ("degraded", response.degraded.into()),
                     ("params", params_json(&params)),
                     ("detection_probability", p.into()),
                     (
@@ -311,10 +361,16 @@ impl AnalyzeCmd {
         } else {
             println!(
                 "{:<14} P[X >= {}] = {:.4}",
-                format!("{}-approach", response.backend),
+                format!("{}-approach", response.served_by),
                 params.k(),
                 p
             );
+            if response.degraded {
+                eprintln!(
+                    "warning: `{}` backend failed; degraded to `{}`",
+                    response.backend, response.served_by
+                );
+            }
             println!(
                 "unnormalized              = {:.4}",
                 dist.detection_probability_unnormalized(params.k())
@@ -363,7 +419,8 @@ impl SimulateCmd {
     fn run(&self) -> Result<(), String> {
         let params = self.params.build()?;
         let engine = Engine::new();
-        let request = EvalRequest::new(params, BackendSpec::Simulation(self.sim.build()));
+        let mut request = EvalRequest::new(params, BackendSpec::Simulation(self.sim.build()));
+        request.options.retry = self.sim.retry_policy();
         let response = engine.evaluate(&request);
         let result = match &response.outcome {
             Ok(output) => output.simulation().expect("simulation backend"),
@@ -482,7 +539,7 @@ impl SweepCmd {
     }
 
     fn run(&self) -> Result<(), String> {
-        let backend = self.backend.build()?;
+        let chain = self.backend.chain()?;
         let spec = self.sim.build();
         let counts = self.sensor_counts();
         let mut requests = Vec::new();
@@ -492,30 +549,40 @@ impl SweepCmd {
                 ..self.params.clone()
             }
             .build()?;
-            requests.push(EvalRequest::new(params, backend));
+            let mut analysis = EvalRequest::new(params, chain.clone());
+            analysis.options.deadline = self.backend.deadline();
+            requests.push(analysis);
             if !self.no_sim {
-                requests.push(EvalRequest::new(params, BackendSpec::Simulation(spec)));
+                let mut sim = EvalRequest::new(params, BackendSpec::Simulation(spec));
+                sim.options.retry = self.sim.retry_policy();
+                requests.push(sim);
             }
         }
         let engine = Engine::new();
         let responses = engine.evaluate_batch(&requests);
+        // A failed request never aborts the sweep: every row is reported,
+        // errors go to stderr (and into the JSON rows), and the command
+        // exits nonzero at the end if anything failed.
+        let mut failed = 0usize;
         let per_n = if self.no_sim { 1 } else { 2 };
         let mut rows = Vec::new();
         for (i, &n) in counts.iter().enumerate() {
             let analysis = &responses[per_n * i];
-            let ana_p = match &analysis.outcome {
-                Ok(_) => analysis.detection_probability().unwrap_or(f64::NAN),
-                Err(e) => return Err(e.to_string()),
-            };
-            let sim: Option<&SimResult> = if self.no_sim {
-                None
-            } else {
-                match &responses[per_n * i + 1].outcome {
-                    Ok(output) => output.simulation(),
-                    Err(e) => return Err(e.to_string()),
+            if let Err(e) = &analysis.outcome {
+                failed += 1;
+                eprintln!(
+                    "error: analysis request (n={n}, backend {}): {e}",
+                    analysis.backend
+                );
+            }
+            let sim: Option<&EvalResponse> = (!self.no_sim).then(|| &responses[per_n * i + 1]);
+            if let Some(sim) = sim {
+                if let Err(e) = &sim.outcome {
+                    failed += 1;
+                    eprintln!("error: simulation request (n={n}): {e}");
                 }
-            };
-            rows.push((n, ana_p, sim));
+            }
+            rows.push((n, analysis, sim));
         }
         let stats = engine.cache_stats();
         if self.json {
@@ -523,23 +590,62 @@ impl SweepCmd {
                 "{}",
                 Json::obj(vec![
                     ("command", "sweep".into()),
-                    ("backend", backend.name().into()),
+                    ("backend", chain.primary.name().into()),
                     ("k", self.params.k.into()),
                     (
                         "rows",
                         Json::Arr(
                             rows.iter()
-                                .map(|&(n, ana, sim)| {
-                                    Json::obj(vec![
+                                .map(|&(n, analysis, sim)| {
+                                    let mut row = vec![
                                         ("n", n.into()),
-                                        ("analysis", ana.into()),
                                         (
-                                            "simulation",
-                                            sim.map_or(Json::Null, |s| {
-                                                s.detection_probability.into()
-                                            }),
+                                            "analysis",
+                                            match &analysis.outcome {
+                                                Ok(_) => analysis
+                                                    .detection_probability()
+                                                    .map_or(Json::Null, Json::from),
+                                                Err(_) => Json::Null,
+                                            },
                                         ),
-                                    ])
+                                        ("served_by", analysis.served_by.into()),
+                                        ("degraded", analysis.degraded.into()),
+                                        (
+                                            "error",
+                                            analysis
+                                                .outcome
+                                                .as_ref()
+                                                .err()
+                                                .map_or(Json::Null, |e| {
+                                                    Json::Str(e.to_string())
+                                                }),
+                                        ),
+                                    ];
+                                    if let Some(sim) = sim {
+                                        row.push((
+                                            "simulation",
+                                            sim.outcome
+                                                .as_ref()
+                                                .ok()
+                                                .and_then(|o| o.simulation())
+                                                .map_or(Json::Null, |s| {
+                                                    s.detection_probability.into()
+                                                }),
+                                        ));
+                                        row.push((
+                                            "sim_error",
+                                            sim.outcome
+                                                .as_ref()
+                                                .err()
+                                                .map_or(Json::Null, |e| {
+                                                    Json::Str(e.to_string())
+                                                }),
+                                        ));
+                                    } else {
+                                        row.push(("simulation", Json::Null));
+                                        row.push(("sim_error", Json::Null));
+                                    }
+                                    Json::obj(row)
                                 })
                                 .collect(),
                         ),
@@ -549,6 +655,7 @@ impl SweepCmd {
                         Json::obj(vec![
                             ("hits", stats.hits.into()),
                             ("misses", stats.misses.into()),
+                            ("poisoned_recoveries", stats.poisoned_recoveries.into()),
                         ]),
                     ),
                 ])
@@ -556,13 +663,24 @@ impl SweepCmd {
             );
         } else {
             println!("   N  | analysis | simulation");
-            for (n, ana, sim) in rows {
-                match sim {
-                    Some(s) => {
-                        println!("  {n:3} |  {ana:.4}  |  {:.4}", s.detection_probability)
-                    }
-                    None => println!("  {n:3} |  {ana:.4}  |     -"),
-                }
+            for (n, analysis, sim) in rows {
+                let ana_cell = match &analysis.outcome {
+                    Ok(_) => format!(
+                        "{:.4}",
+                        analysis.detection_probability().unwrap_or(f64::NAN)
+                    ),
+                    Err(_) => "error ".to_string(),
+                };
+                let sim_cell = match sim {
+                    Some(sim) => match &sim.outcome {
+                        Ok(output) => output.simulation().map_or("   -  ".to_string(), |s| {
+                            format!("{:.4}", s.detection_probability)
+                        }),
+                        Err(_) => "error ".to_string(),
+                    },
+                    None => "   -  ".to_string(),
+                };
+                println!("  {n:3} |  {ana_cell}  |  {sim_cell}");
             }
             println!(
                 "engine cache: {} hits, {} misses over {} requests",
@@ -570,6 +688,9 @@ impl SweepCmd {
                 stats.misses,
                 requests.len()
             );
+        }
+        if failed > 0 {
+            return Err(format!("{failed} of {} requests failed", requests.len()));
         }
         Ok(())
     }
@@ -917,5 +1038,38 @@ mod tests {
     fn unknown_backend_rejected() {
         let cmd = AnalyzeCmd::parse(&strings(&["--backend", "magic"])).unwrap();
         assert!(cmd.backend.build().unwrap_err().contains("unknown backend"));
+    }
+
+    #[test]
+    fn resilience_flags_parse() {
+        let cmd = AnalyzeCmd::parse(&strings(&[
+            "--backend",
+            "s",
+            "--deadline-ms",
+            "250",
+            "--fallback",
+            "ms",
+            "--fallback",
+            "poisson",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.backend.deadline(), Some(Duration::from_millis(250)));
+        let chain = cmd.backend.chain().unwrap();
+        assert_eq!(chain.primary.name(), "s");
+        let names: Vec<_> = chain.fallbacks.iter().map(BackendSpec::name).collect();
+        assert_eq!(names, vec!["ms", "poisson"]);
+    }
+
+    #[test]
+    fn unknown_fallback_rejected() {
+        let cmd = AnalyzeCmd::parse(&strings(&["--fallback", "magic"])).unwrap();
+        assert!(cmd.backend.chain().unwrap_err().contains("unknown backend"));
+    }
+
+    #[test]
+    fn retries_flag_builds_a_policy() {
+        let cmd = SimulateCmd::parse(&strings(&["--retries", "2"])).unwrap();
+        assert_eq!(cmd.sim.retry_policy(), Some(RetryPolicy::new(2)));
+        assert_eq!(SimulateCmd::parse(&[]).unwrap().sim.retry_policy(), None);
     }
 }

@@ -1,0 +1,162 @@
+//! Cooperative compute budgets (deadlines) for the analytical backends.
+//!
+//! The expensive paths of this crate — the per-stage loop of the
+//! M-S-approach and especially the exponential Algorithm 1 enumeration of
+//! the S-approach (`O(ms^{2G})`) — can blow any latency budget. A
+//! [`ComputeBudget`] threads a deadline through those loops as *cooperative
+//! cancellation*: the computation calls [`ComputeBudget::checkpoint`] at
+//! natural boundaries (between chain stages, every few thousand enumeration
+//! leaves) and receives [`CoreError::DeadlineExceeded`] once the deadline
+//! has passed, instead of running to completion long after the caller
+//! stopped caring.
+//!
+//! A budget never changes *values*: a computation that finishes under its
+//! deadline returns bit-identical results to one run with
+//! [`ComputeBudget::unlimited`]. The budget only decides whether the
+//! computation finishes at all.
+
+use crate::CoreError;
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// A per-computation deadline with stage-progress accounting.
+///
+/// Cheap to create and to check; not `Sync` (one budget belongs to one
+/// in-flight computation on one thread).
+///
+/// # Example
+///
+/// ```
+/// use gbd_core::budget::ComputeBudget;
+/// use std::time::Duration;
+///
+/// let budget = ComputeBudget::with_deadline(Duration::from_secs(3600));
+/// assert!(budget.checkpoint().is_ok());
+/// budget.complete_stage();
+/// assert_eq!(budget.completed_stages(), 1);
+///
+/// let expired = ComputeBudget::with_deadline(Duration::ZERO);
+/// assert!(expired.checkpoint().is_err());
+/// ```
+#[derive(Debug)]
+pub struct ComputeBudget {
+    start: Instant,
+    deadline: Option<Duration>,
+    completed_stages: Cell<usize>,
+}
+
+impl Default for ComputeBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl ComputeBudget {
+    /// A budget whose checkpoints always pass (no deadline).
+    pub fn unlimited() -> Self {
+        ComputeBudget {
+            start: Instant::now(),
+            deadline: None,
+            completed_stages: Cell::new(0),
+        }
+    }
+
+    /// A budget that expires `deadline` after its creation.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        ComputeBudget {
+            start: Instant::now(),
+            deadline: Some(deadline),
+            completed_stages: Cell::new(0),
+        }
+    }
+
+    /// Whether this budget carries a deadline at all.
+    pub fn has_deadline(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Wall-clock time since the budget was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Records one completed unit of work (a chain stage, a sweep point).
+    /// Reported back in [`CoreError::DeadlineExceeded::completed_stages`]
+    /// so callers can see how far the computation got.
+    pub fn complete_stage(&self) {
+        self.completed_stages.set(self.completed_stages.get() + 1);
+    }
+
+    /// Number of stages completed so far.
+    pub fn completed_stages(&self) -> usize {
+        self.completed_stages.get()
+    }
+
+    /// Cooperative cancellation point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DeadlineExceeded`] when the deadline has
+    /// passed, carrying the elapsed time and the stage progress.
+    pub fn checkpoint(&self) -> Result<(), CoreError> {
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.elapsed();
+            if elapsed > deadline {
+                return Err(CoreError::DeadlineExceeded {
+                    elapsed,
+                    completed_stages: self.completed_stages.get(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether spending `extra` additional time would overrun the deadline.
+    /// Always `false` for an unlimited budget. Used by callers that know a
+    /// step's cost up front (e.g. an injected-latency fault or a retry
+    /// backoff) and want to fail fast instead of paying it.
+    pub fn would_exceed(&self, extra: Duration) -> bool {
+        match self.deadline {
+            Some(deadline) => self.elapsed() + extra > deadline,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = ComputeBudget::unlimited();
+        for _ in 0..10 {
+            b.complete_stage();
+            assert!(b.checkpoint().is_ok());
+        }
+        assert!(!b.would_exceed(Duration::from_secs(1_000_000)));
+        assert!(!b.has_deadline());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately_with_progress() {
+        let b = ComputeBudget::with_deadline(Duration::ZERO);
+        b.complete_stage();
+        b.complete_stage();
+        match b.checkpoint() {
+            Err(CoreError::DeadlineExceeded {
+                completed_stages, ..
+            }) => assert_eq!(completed_stages, 2),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(b.has_deadline());
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let b = ComputeBudget::with_deadline(Duration::from_secs(3600));
+        assert!(b.checkpoint().is_ok());
+        assert!(!b.would_exceed(Duration::from_secs(1)));
+        assert!(b.would_exceed(Duration::from_secs(7200)));
+    }
+}

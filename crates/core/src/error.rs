@@ -1,4 +1,5 @@
 use std::fmt;
+use std::time::Duration;
 
 /// Errors produced by the analytical models.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +14,15 @@ pub enum CoreError {
     },
     /// A lower-level numeric operation failed (propagated from `gbd-stats`).
     Numeric(gbd_stats::StatsError),
+    /// A computation was cooperatively cancelled because its
+    /// [`crate::budget::ComputeBudget`] deadline passed.
+    DeadlineExceeded {
+        /// Wall-clock time spent before cancellation.
+        elapsed: Duration,
+        /// Work units (chain stages, enumeration batches) finished before
+        /// the deadline tripped.
+        completed_stages: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +32,14 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter `{name}`: {constraint}")
             }
             CoreError::Numeric(e) => write!(f, "numeric error: {e}"),
+            CoreError::DeadlineExceeded {
+                elapsed,
+                completed_stages,
+            } => write!(
+                f,
+                "deadline exceeded after {:.1} ms ({completed_stages} stages completed)",
+                elapsed.as_secs_f64() * 1e3
+            ),
         }
     }
 }

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod accuracy;
+pub mod budget;
 pub mod design;
 pub mod exact;
 pub mod extension_h;
@@ -72,6 +73,7 @@ pub mod varying_speed;
 
 mod error;
 
+pub use budget::ComputeBudget;
 pub use error::CoreError;
 pub use model::{DetectionModel, ReportDistribution};
 pub use ms_approach::AnalysisResult;

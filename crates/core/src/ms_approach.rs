@@ -14,6 +14,7 @@
 //! decomposition exactly, which the tests assert against the closed forms
 //! of Eqs (6), (8) and (10).
 
+use crate::budget::ComputeBudget;
 use crate::params::SystemParams;
 use crate::report_dist::{stage_accuracy, stage_distribution};
 use crate::CoreError;
@@ -153,6 +154,25 @@ pub fn analyze_steps(
     steps: &[f64],
     opts: &MsOptions,
 ) -> Result<AnalysisResult, CoreError> {
+    analyze_steps_budgeted(params, steps, opts, &ComputeBudget::unlimited())
+}
+
+/// [`analyze_steps`] under a cooperative [`ComputeBudget`]: the per-stage
+/// assembly loop checkpoints between stages, so a run whose deadline passes
+/// returns [`CoreError::DeadlineExceeded`] (with its stage progress)
+/// instead of finishing arbitrarily late. A run that completes is
+/// bit-identical to the unbudgeted one.
+///
+/// # Errors
+///
+/// Everything [`analyze_steps`] rejects, plus
+/// [`CoreError::DeadlineExceeded`] when the budget's deadline trips.
+pub fn analyze_steps_budgeted(
+    params: &SystemParams,
+    steps: &[f64],
+    opts: &MsOptions,
+    budget: &ComputeBudget,
+) -> Result<AnalysisResult, CoreError> {
     let inputs = stage_inputs(params.sensing_range(), steps, params.n_sensors(), opts)?;
     if inputs.len() != params.m_periods() {
         return Err(CoreError::InvalidParameter {
@@ -164,15 +184,15 @@ pub fn analyze_steps(
     let n = params.n_sensors();
     let pd = params.pd();
     let support_cap: usize = inputs.iter().map(StageInput::support_bound).sum();
-    let stages: Vec<(DiscreteDist, f64)> = inputs
-        .iter()
-        .map(|stage| {
-            (
-                stage_distribution(&stage.areas, field_area, n, pd, stage.cap),
-                stage_accuracy(stage.areas.iter().sum(), field_area, n, stage.cap),
-            )
-        })
-        .collect();
+    let mut stages: Vec<(DiscreteDist, f64)> = Vec::with_capacity(inputs.len());
+    for stage in &inputs {
+        budget.checkpoint()?;
+        stages.push((
+            stage_distribution(&stage.areas, field_area, n, pd, stage.cap),
+            stage_accuracy(stage.areas.iter().sum(), field_area, n, stage.cap),
+        ));
+        budget.complete_stage();
+    }
     Ok(assemble_stages(&stages, support_cap))
 }
 
@@ -443,6 +463,32 @@ mod tests {
             "{} vs {analytical}",
             r.detection_probability(1)
         );
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted_and_cancels() {
+        use std::time::Duration;
+        let p = paper();
+        let steps = vec![p.step(); p.m_periods()];
+        let opts = MsOptions::default();
+        let free = analyze_steps(&p, &steps, &opts).unwrap();
+        let roomy = ComputeBudget::with_deadline(Duration::from_secs(3600));
+        let budgeted = analyze_steps_budgeted(&p, &steps, &opts, &roomy).unwrap();
+        assert_eq!(free, budgeted);
+        assert_eq!(roomy.completed_stages(), p.m_periods());
+        let expired = analyze_steps_budgeted(
+            &p,
+            &steps,
+            &opts,
+            &ComputeBudget::with_deadline(Duration::ZERO),
+        );
+        assert!(matches!(
+            expired,
+            Err(CoreError::DeadlineExceeded {
+                completed_stages: 0,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -22,8 +22,16 @@
 //!
 //! Both are property-tested to agree to 1e-12.
 
+use crate::budget::ComputeBudget;
+use crate::CoreError;
 use gbd_stats::binomial::Binomial;
 use gbd_stats::discrete::DiscreteDist;
+
+/// How many enumeration leaves are visited between two budget checkpoints
+/// in [`stage_distribution_enumeration_budgeted`]. Small enough to cancel
+/// an exploding `G` within milliseconds, large enough that the clock read
+/// is invisible in the profile.
+const ENUMERATION_CHECK_INTERVAL: u64 = 8_192;
 
 /// Per-sensor report distribution for a sensor placed uniformly inside the
 /// stage region: `q(m) = Σ_i (areas[i−1]/A) · Binom(m; i, pd)`.
@@ -142,11 +150,45 @@ pub fn stage_distribution_enumeration(
     pd: f64,
     cap_sensors: usize,
 ) -> DiscreteDist {
+    stage_distribution_enumeration_budgeted(
+        areas,
+        field_area,
+        n_sensors,
+        pd,
+        cap_sensors,
+        &ComputeBudget::unlimited(),
+    )
+    .expect("an unlimited budget cannot be exceeded")
+}
+
+/// [`stage_distribution_enumeration`] under a cooperative
+/// [`ComputeBudget`]: the depth-first recursion checkpoints every few
+/// thousand leaves, so the exponential blow-up §3.3 describes becomes a
+/// bounded-latency [`CoreError::DeadlineExceeded`] instead of a hang. A
+/// run that completes is bit-identical to the unbudgeted one.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DeadlineExceeded`] when the budget's deadline
+/// passes mid-enumeration.
+///
+/// # Panics
+///
+/// Same input-validation conditions as [`stage_distribution`].
+pub fn stage_distribution_enumeration_budgeted(
+    areas: &[f64],
+    field_area: f64,
+    n_sensors: usize,
+    pd: f64,
+    cap_sensors: usize,
+    budget: &ComputeBudget,
+) -> Result<DiscreteDist, CoreError> {
     assert!(field_area > 0.0, "field area must be positive");
     assert!((0.0..=1.0).contains(&pd), "pd must be in [0, 1]");
+    budget.checkpoint()?;
     let region_area: f64 = areas.iter().sum();
     if region_area <= 0.0 {
-        return DiscreteDist::point_mass(0);
+        return Ok(DiscreteDist::point_mass(0));
     }
     let cap = cap_sensors.min(n_sensors);
     let max_reports: usize = areas.len();
@@ -169,13 +211,15 @@ pub fn stage_distribution_enumeration(
         .pmf(0);
     acc[0] += none;
 
+    let mut leaves: u64 = 0;
     for n in 1..=cap {
         let base = gbd_stats::gamma::binomial_coef(n_sensors as u64, n as u64)
             * (1.0 - region_area / field_area).powi((n_sensors - n) as i32);
         // Depth-first enumeration of the n-tuple of per-sensor events.
-        enumerate_tuples(&events, n, 0, base, &mut acc);
+        enumerate_tuples(&events, n, 0, base, &mut acc, budget, &mut leaves)?;
+        budget.complete_stage();
     }
-    DiscreteDist::new(acc).expect("enumeration yields a sub-stochastic pmf")
+    Ok(DiscreteDist::new(acc).expect("enumeration yields a sub-stochastic pmf"))
 }
 
 fn enumerate_tuples(
@@ -184,17 +228,32 @@ fn enumerate_tuples(
     reports_so_far: usize,
     weight: f64,
     acc: &mut [f64],
-) {
+    budget: &ComputeBudget,
+    leaves: &mut u64,
+) -> Result<(), CoreError> {
     if remaining == 0 {
         acc[reports_so_far] += weight;
-        return;
+        *leaves += 1;
+        if (*leaves).is_multiple_of(ENUMERATION_CHECK_INTERVAL) {
+            budget.checkpoint()?;
+        }
+        return Ok(());
     }
     for &(m, w) in events {
         if w == 0.0 {
             continue;
         }
-        enumerate_tuples(events, remaining - 1, reports_so_far + m, weight * w, acc);
+        enumerate_tuples(
+            events,
+            remaining - 1,
+            reports_so_far + m,
+            weight * w,
+            acc,
+            budget,
+            leaves,
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -301,6 +360,32 @@ mod tests {
     #[should_panic(expected = "pd")]
     fn bad_pd_panics() {
         per_sensor_distribution(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn budgeted_enumeration_matches_and_cancels() {
+        use std::time::Duration;
+        let areas = [500.0, 250.0, 125.0];
+        let free = stage_distribution_enumeration(&areas, FIELD, 60, 0.9, 3);
+        let budgeted = stage_distribution_enumeration_budgeted(
+            &areas,
+            FIELD,
+            60,
+            0.9,
+            3,
+            &ComputeBudget::with_deadline(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert!(free.max_abs_diff(&budgeted) < 1e-15);
+        let expired = stage_distribution_enumeration_budgeted(
+            &areas,
+            FIELD,
+            60,
+            0.9,
+            3,
+            &ComputeBudget::with_deadline(Duration::ZERO),
+        );
+        assert!(matches!(expired, Err(CoreError::DeadlineExceeded { .. })));
     }
 }
 

@@ -11,9 +11,12 @@
 //! the factorized convolution path so the S-approach *result* can also be
 //! obtained quickly for validation.
 
+use crate::budget::ComputeBudget;
 use crate::ms_approach::AnalysisResult;
 use crate::params::SystemParams;
-use crate::report_dist::{stage_accuracy, stage_distribution, stage_distribution_enumeration};
+use crate::report_dist::{
+    stage_accuracy, stage_distribution, stage_distribution_enumeration_budgeted,
+};
 use crate::CoreError;
 use gbd_geometry::subarea::SubareaTable;
 
@@ -66,8 +69,40 @@ pub fn analyze_enumeration(
     params: &SystemParams,
     opts: &SOptions,
 ) -> Result<AnalysisResult, CoreError> {
+    analyze_enumeration_budgeted(params, opts, &ComputeBudget::unlimited())
+}
+
+/// [`analyze_enumeration`] under a cooperative [`ComputeBudget`]: the
+/// Algorithm 1 recursion checkpoints every few thousand enumeration
+/// leaves, so a `G` chosen too ambitiously is cancelled with
+/// [`CoreError::DeadlineExceeded`] instead of running "at least many days"
+/// (§3.3). A run that completes is bit-identical to the unbudgeted one.
+///
+/// # Errors
+///
+/// Everything [`analyze_enumeration`] rejects, plus
+/// [`CoreError::DeadlineExceeded`] when the budget's deadline trips.
+pub fn analyze_enumeration_budgeted(
+    params: &SystemParams,
+    opts: &SOptions,
+    budget: &ComputeBudget,
+) -> Result<AnalysisResult, CoreError> {
+    if opts.cap_sensors == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "cap_sensors",
+            constraint: "must be at least 1",
+        });
+    }
     let regions = region_sizes(params);
-    run(params, opts, &regions, stage_distribution_enumeration)
+    let dist = stage_distribution_enumeration_budgeted(
+        &regions,
+        params.field_area(),
+        params.n_sensors(),
+        params.pd(),
+        opts.cap_sensors,
+        budget,
+    )?;
+    Ok(AnalysisResult::new(dist, eta_s(params, &regions, opts)))
 }
 
 fn run(
@@ -89,13 +124,17 @@ fn run(
         params.pd(),
         opts.cap_sensors,
     );
-    let eta_s = stage_accuracy(
+    Ok(AnalysisResult::new(dist, eta_s(params, regions, opts)))
+}
+
+/// The S-approach accuracy bound `η_S` over the whole Aggregate Region.
+fn eta_s(params: &SystemParams, regions: &[f64], opts: &SOptions) -> f64 {
+    stage_accuracy(
         regions.iter().sum(),
         params.field_area(),
         params.n_sensors(),
         opts.cap_sensors,
-    );
-    Ok(AnalysisResult::new(dist, eta_s))
+    )
 }
 
 #[cfg(test)]
@@ -177,5 +216,28 @@ mod tests {
     #[test]
     fn rejects_zero_cap() {
         assert!(analyze(&paper(), &SOptions { cap_sensors: 0 }).is_err());
+        assert!(analyze_enumeration_budgeted(
+            &paper(),
+            &SOptions { cap_sensors: 0 },
+            &ComputeBudget::unlimited()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn budgeted_enumeration_cancels_an_expensive_cap() {
+        use std::time::Duration;
+        // G = 6 on the paper point is exactly the "many days" regime §3.3
+        // warns about; a zero deadline must cancel it within the first
+        // checkpoint interval instead of hanging the test suite.
+        let expired = analyze_enumeration_budgeted(
+            &paper(),
+            &SOptions { cap_sensors: 6 },
+            &ComputeBudget::with_deadline(Duration::ZERO),
+        );
+        assert!(matches!(
+            expired,
+            Err(crate::CoreError::DeadlineExceeded { .. })
+        ));
     }
 }

@@ -46,6 +46,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute (and then stored) the value.
     pub misses: u64,
+    /// Times a poisoned shard lock was recovered instead of propagating
+    /// the panic (see [`ShardedCache`]'s poisoning policy).
+    pub poisoned_recoveries: u64,
 }
 
 impl CacheStats {
@@ -59,6 +62,7 @@ impl CacheStats {
         CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
+            poisoned_recoveries: self.poisoned_recoveries + other.poisoned_recoveries,
         }
     }
 }
@@ -74,21 +78,36 @@ pub struct RequestCounters {
 }
 
 impl RequestCounters {
-    /// Snapshot of the accumulated counts.
+    /// Snapshot of the accumulated counts. Poisoning is recovered (and
+    /// counted) per cache, not per request, so the per-request view always
+    /// reports zero recoveries.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            poisoned_recoveries: 0,
         }
     }
 }
 
 /// A fixed-shard `RwLock<HashMap>` cache.
+///
+/// # Poisoning policy
+///
+/// A panic while a shard guard is held (a panicking hasher, an injected
+/// chaos fault, an allocation failure) poisons that shard's `RwLock`.
+/// The map behind it is still structurally valid — `compute` closures run
+/// *outside* the locks, so a guard is only ever held across plain
+/// `HashMap` reads and inserts — and losing 1/16th of a memoization cache
+/// must degrade throughput, not crash the batch. Every lock acquisition
+/// therefore recovers from poisoning ([`std::sync::PoisonError::into_inner`])
+/// and counts the event in [`CacheStats::poisoned_recoveries`].
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
     shards: Vec<RwLock<HashMap<K, Arc<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 impl<K: Eq + Hash, V> Default for ShardedCache<K, V> {
@@ -104,6 +123,7 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +131,33 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Read-locks a shard, recovering (and counting) poisoning. The
+    /// poison flag is cleared so each poisoning event is counted once, not
+    /// once per subsequent acquisition.
+    fn read_shard<'a>(
+        &self,
+        shard: &'a RwLock<HashMap<K, Arc<V>>>,
+    ) -> std::sync::RwLockReadGuard<'a, HashMap<K, Arc<V>>> {
+        shard.read().unwrap_or_else(|poisoned| {
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            shard.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Write-locks a shard, recovering (and counting) poisoning (see
+    /// [`ShardedCache::read_shard`]).
+    fn write_shard<'a>(
+        &self,
+        shard: &'a RwLock<HashMap<K, Arc<V>>>,
+    ) -> std::sync::RwLockWriteGuard<'a, HashMap<K, Arc<V>>> {
+        shard.write().unwrap_or_else(|poisoned| {
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            shard.clear_poison();
+            poisoned.into_inner()
+        })
     }
 
     /// Returns the cached value for `key`, computing and inserting it with
@@ -132,7 +179,7 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         F: FnOnce() -> V,
     {
         let shard = self.shard(&key);
-        if let Some(v) = shard.read().expect("cache lock poisoned").get(&key) {
+        if let Some(v) = self.read_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             counters.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(v);
@@ -140,7 +187,7 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         counters.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute());
-        let mut guard = shard.write().expect("cache lock poisoned");
+        let mut guard = self.write_shard(shard);
         Arc::clone(guard.entry(key).or_insert(value))
     }
 
@@ -157,7 +204,7 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         F: FnOnce() -> Result<V, E>,
     {
         let shard = self.shard(&key);
-        if let Some(v) = shard.read().expect("cache lock poisoned").get(&key) {
+        if let Some(v) = self.read_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(v));
@@ -165,7 +212,7 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         counters.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute()?);
-        let mut guard = shard.write().expect("cache lock poisoned");
+        let mut guard = self.write_shard(shard);
         Ok(Arc::clone(guard.entry(key).or_insert(value)))
     }
 
@@ -174,15 +221,13 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            poisoned_recoveries: self.poisoned.load(Ordering::Relaxed),
         }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("cache lock poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| self.read_shard(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -190,13 +235,15 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         self.len() == 0
     }
 
-    /// Drops every entry and resets the counters.
+    /// Drops every entry and resets the counters (including the
+    /// poisoned-recovery count — a cleared cache starts a fresh epoch).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache lock poisoned").clear();
+            self.write_shard(shard).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.poisoned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -212,8 +259,13 @@ mod tests {
         let b = cache.get_or_insert_with(7, &counters, || panic!("must hit"));
         assert_eq!(*a, 49);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
-        assert_eq!(counters.stats(), CacheStats { hits: 1, misses: 1 });
+        let expected = CacheStats {
+            hits: 1,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(cache.stats(), expected);
+        assert_eq!(counters.stats(), expected);
         assert_eq!(cache.len(), 1);
     }
 
@@ -260,7 +312,46 @@ mod tests {
         assert!(cache.is_empty());
         let ok: Result<Arc<u64>, &str> = cache.try_get_or_insert_with(3, &counters, || Ok(9));
         assert_eq!(*ok.unwrap(), 9);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn poisoned_shards_recover_and_are_counted() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        let counters = RequestCounters::default();
+        cache.get_or_insert_with(1, &counters, || 10);
+        // Poison every shard: panic on a helper thread while each write
+        // guard is held.
+        for shard in &cache.shards {
+            let result = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        let _guard = shard.write().unwrap_or_else(|e| e.into_inner());
+                        panic!("poison this shard");
+                    })
+                    .join()
+            });
+            assert!(result.is_err());
+            assert!(shard.is_poisoned());
+        }
+        // Every operation still works against the poisoned locks.
+        let v = cache.get_or_insert_with(1, &counters, || panic!("must hit"));
+        assert_eq!(*v, 10);
+        let w = cache.get_or_insert_with(2, &counters, || 20);
+        assert_eq!(*w, 20);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().poisoned_recoveries > 0);
+        // `clear` both drains entries and starts a fresh counting epoch.
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Deterministic fault injection for resilience testing (the engine half
+//! of the chaos harness; the simulator half lives in `gbd_sim::faults`).
+//!
+//! Everything here is gated behind the `chaos` cargo feature and intended
+//! for tests: a [`ChaosPlan`] is attached to an [`crate::Engine`] and
+//! deterministically injects worker panics and artificial stage latency
+//! into a batch, as a pure function of `(plan seed, batch length)`. Two
+//! runs of the same batch under the same plan inject exactly the same
+//! faults at exactly the same request indices, so chaos tests can assert
+//! byte-identical responses across runs.
+//!
+//! Injected latency is *virtual*: instead of sleeping (which would make
+//! the recorded `elapsed` wall-clock-dependent), the engine checks whether
+//! the injected latency alone would overrun the request's deadline and, if
+//! so, fails the primary attempt with a deterministic
+//! [`crate::EvalError::DeadlineExceeded`] carrying the injected latency as
+//! `elapsed`. Fallback backends still run — which is precisely the
+//! degradation path the harness exists to exercise.
+
+#[cfg(feature = "chaos")]
+use crate::resilience::splitmix64;
+use std::time::Duration;
+
+/// A seeded plan of faults to inject into every batch an engine serves.
+///
+/// The plan names *how many* faults of each kind to inject; the concrete
+/// request indices are chosen by a seeded shuffle when a batch arrives, so
+/// they depend only on `(seed, batch length)`. Panic indices and latency
+/// indices are disjoint by construction.
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed of the fault-selection shuffle.
+    pub seed: u64,
+    worker_panics: usize,
+    transient_panics: bool,
+    latency_faults: usize,
+    latency: Duration,
+}
+
+#[cfg(feature = "chaos")]
+impl ChaosPlan {
+    /// An inert plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            worker_panics: 0,
+            transient_panics: false,
+            latency_faults: 0,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Injects a panic into `count` requests of every batch.
+    #[must_use]
+    pub fn with_worker_panics(mut self, count: usize) -> Self {
+        self.worker_panics = count;
+        self
+    }
+
+    /// Makes injected panics transient: only the first attempt at a
+    /// faulted request panics, so a [`crate::RetryPolicy`] recovers it.
+    #[must_use]
+    pub fn transient(mut self) -> Self {
+        self.transient_panics = true;
+        self
+    }
+
+    /// Injects `latency` of artificial stage latency into `count` requests
+    /// of every batch (virtual — see the module docs).
+    #[must_use]
+    pub fn with_stage_latency(mut self, count: usize, latency: Duration) -> Self {
+        self.latency_faults = count;
+        self.latency = latency;
+        self
+    }
+
+    /// The request indices this plan panics in a batch of `len`.
+    pub fn panic_indices(&self, len: usize) -> Vec<usize> {
+        let mut chosen = self.fault_indices(len);
+        chosen.truncate(self.worker_panics.min(len));
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// The request indices this plan slows down in a batch of `len`.
+    pub fn latency_indices(&self, len: usize) -> Vec<usize> {
+        let panics = self.worker_panics.min(len);
+        let mut chosen = self.fault_indices(len);
+        chosen.rotate_left(panics);
+        chosen.truncate(self.latency_faults.min(len - panics));
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// A seeded Fisher–Yates shuffle of `0..len`: the first
+    /// `worker_panics` entries fault with panics, the next
+    /// `latency_faults` with latency — disjoint by construction.
+    fn fault_indices(&self, len: usize) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            let j = splitmix64(self.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+                as usize
+                % (i + 1);
+            indices.swap(i, j);
+        }
+        indices
+    }
+
+    pub(crate) fn resolve(&self, len: usize) -> BatchFaults {
+        BatchFaults {
+            panics: self.panic_indices(len),
+            transient: self.transient_panics,
+            latency: self.latency_indices(len),
+            latency_amount: self.latency,
+        }
+    }
+}
+
+/// The faults a [`ChaosPlan`] resolved for one concrete batch. Always
+/// compiled (the engine threads it through unconditionally); with the
+/// `chaos` feature off it is a zero-sized "no faults" token.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchFaults {
+    #[cfg(feature = "chaos")]
+    panics: Vec<usize>,
+    #[cfg(feature = "chaos")]
+    transient: bool,
+    #[cfg(feature = "chaos")]
+    latency: Vec<usize>,
+    #[cfg(feature = "chaos")]
+    latency_amount: Duration,
+}
+
+impl BatchFaults {
+    /// No faults (also what single-request entry points use).
+    pub(crate) fn none() -> Self {
+        BatchFaults::default()
+    }
+
+    /// Whether the evaluation of `index` should panic on this `attempt`.
+    #[cfg_attr(not(feature = "chaos"), allow(unused_variables))]
+    pub(crate) fn injects_panic(&self, index: usize, attempt: u32) -> bool {
+        #[cfg(feature = "chaos")]
+        {
+            if self.transient && attempt > 0 {
+                return false;
+            }
+            self.panics.binary_search(&index).is_ok()
+        }
+        #[cfg(not(feature = "chaos"))]
+        false
+    }
+
+    /// The artificial latency injected into `index`'s primary attempt.
+    #[cfg_attr(not(feature = "chaos"), allow(unused_variables))]
+    pub(crate) fn injected_latency(&self, index: usize) -> Option<Duration> {
+        #[cfg(feature = "chaos")]
+        {
+            if self.latency.binary_search(&index).is_ok() {
+                return Some(self.latency_amount);
+            }
+            None
+        }
+        #[cfg(not(feature = "chaos"))]
+        None
+    }
+}
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_indices_are_deterministic_and_disjoint() {
+        let plan = ChaosPlan::new(2008)
+            .with_worker_panics(4)
+            .with_stage_latency(2, Duration::from_secs(3600));
+        let panics = plan.panic_indices(32);
+        let latency = plan.latency_indices(32);
+        assert_eq!(panics, plan.panic_indices(32));
+        assert_eq!(latency, plan.latency_indices(32));
+        assert_eq!(panics.len(), 4);
+        assert_eq!(latency.len(), 2);
+        assert!(panics.iter().all(|i| !latency.contains(i)));
+        assert!(panics.iter().chain(&latency).all(|&i| i < 32));
+        // A different seed moves the faults.
+        assert_ne!(
+            ChaosPlan::new(1).with_worker_panics(4).panic_indices(32),
+            panics
+        );
+    }
+
+    #[test]
+    fn counts_clamp_to_batch_length() {
+        let plan = ChaosPlan::new(7)
+            .with_worker_panics(10)
+            .with_stage_latency(10, Duration::from_millis(1));
+        assert_eq!(plan.panic_indices(3).len(), 3);
+        assert!(plan.latency_indices(3).is_empty());
+        assert!(plan.panic_indices(0).is_empty());
+    }
+
+    #[test]
+    fn resolved_faults_answer_queries() {
+        let plan = ChaosPlan::new(11)
+            .with_worker_panics(1)
+            .with_stage_latency(1, Duration::from_secs(5));
+        let faults = plan.resolve(8);
+        let panic_at = plan.panic_indices(8)[0];
+        let slow_at = plan.latency_indices(8)[0];
+        assert!(faults.injects_panic(panic_at, 0));
+        assert!(faults.injects_panic(panic_at, 3));
+        assert!(!faults.injects_panic(slow_at, 0));
+        assert_eq!(
+            faults.injected_latency(slow_at),
+            Some(Duration::from_secs(5))
+        );
+        assert_eq!(faults.injected_latency(panic_at), None);
+        // Transient panics clear after the first attempt.
+        let transient = plan.transient().resolve(8);
+        assert!(transient.injects_panic(panic_at, 0));
+        assert!(!transient.injects_panic(panic_at, 1));
+    }
+
+    #[test]
+    fn none_injects_nothing() {
+        let faults = BatchFaults::none();
+        for i in 0..16 {
+            assert!(!faults.injects_panic(i, 0));
+            assert_eq!(faults.injected_latency(i), None);
+        }
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Batched evaluation engine for group based detection studies.
 //!
 //! Every figure of the paper is a *sweep*: the same model evaluated over a
@@ -29,6 +30,31 @@
 //! door and the result layer (simulation results are a pure function of
 //! their seed, hence cacheable like any analysis).
 //!
+//! # Fault tolerance
+//!
+//! The engine treats every request as untrusted (see [`resilience`]):
+//!
+//! * a panicking evaluation is caught at the request boundary and becomes
+//!   that request's [`EvalError::WorkerPanicked`] — the rest of the batch
+//!   completes normally;
+//! * [`EvalOptions::deadline`] cancels overlong evaluations cooperatively
+//!   ([`EvalError::DeadlineExceeded`]); a deadline never changes a value,
+//!   only whether one comes back;
+//! * [`BackendSpec::with_fallback`] chains cheaper backends that answer
+//!   when the primary fails; the response is tagged
+//!   [`EvalResponse::degraded`] and [`EvalResponse::served_by`] names the
+//!   backend that produced it;
+//! * simulation requests can opt into bounded seeded retries
+//!   ([`EvalOptions::retry`]) with backoff that is a pure function of the
+//!   request seed, preserving determinism;
+//! * a panic inside a cache shard poisons only that shard's lock, which
+//!   every access recovers (and counts in
+//!   [`CacheStats::poisoned_recoveries`]).
+//!
+//! The [`chaos`] module (cargo feature `chaos`, tests only) injects
+//! deterministic worker panics and stage latency to prove all of the
+//! above under fault load.
+//!
 //! # Example
 //!
 //! ```
@@ -54,22 +80,30 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
 pub mod request;
+pub mod resilience;
 
 mod pool;
 
 pub use cache::CacheStats;
+#[cfg(feature = "chaos")]
+pub use chaos::ChaosPlan;
 pub use request::{
     BackendSpec, EvalOptions, EvalOutput, EvalRequest, EvalResponse, SimulationSpec,
 };
+pub use resilience::{BackendChain, EvalError, RetryPolicy};
 
 use cache::{f64_key, f64_slice_key, RequestCounters, ShardedCache};
-use gbd_core::model::{DetectionModel, ExactModel, MsModel, PoissonModel, SModel, TModel};
+use chaos::BatchFaults;
+use gbd_core::budget::ComputeBudget;
+use gbd_core::model::{DetectionModel, ExactModel, PoissonModel, SModel, TModel};
 use gbd_core::ms_approach::{self, MsOptions, StageInput};
 use gbd_core::prelude::*;
 use gbd_core::report_dist::{stage_accuracy, stage_distribution};
 use gbd_stats::discrete::DiscreteDist;
 use request::result_key;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Key of the geometry layer: everything the per-period stage inputs of a
@@ -105,6 +139,8 @@ pub struct Engine {
     geometry: ShardedCache<GeometryKey, Vec<StageInput>>,
     stages: ShardedCache<StageKey, (DiscreteDist, f64)>,
     results: ShardedCache<request::ResultKey, EvalOutput>,
+    #[cfg(feature = "chaos")]
+    chaos: Option<chaos::ChaosPlan>,
 }
 
 impl Default for Engine {
@@ -130,21 +166,46 @@ impl Engine {
             geometry: ShardedCache::new(),
             stages: ShardedCache::new(),
             results: ShardedCache::new(),
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
+    }
+
+    /// Attaches a [`chaos::ChaosPlan`] that deterministically injects
+    /// faults into every batch this engine serves. Test-only (cargo
+    /// feature `chaos`).
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn with_chaos(mut self, plan: chaos::ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// Evaluates one request (equivalent to a single-element batch).
     pub fn evaluate(&self, request: &EvalRequest) -> EvalResponse {
-        self.evaluate_at(0, request)
+        let faults = self.batch_faults(1);
+        self.evaluate_at(0, request, &faults)
     }
 
     /// Evaluates a batch across the worker pool. Responses are returned in
     /// request order, and their values are independent of the worker count
     /// and of which requests hit warm caches.
     pub fn evaluate_batch(&self, requests: &[EvalRequest]) -> Vec<EvalResponse> {
+        let faults = self.batch_faults(requests.len());
         pool::run_indexed(requests.len(), self.workers, |i| {
-            self.evaluate_at(i, &requests[i])
+            self.evaluate_at(i, &requests[i], &faults)
         })
+    }
+
+    /// The faults to inject into a batch of `len` (none unless a chaos
+    /// plan is attached under the `chaos` feature).
+    #[cfg_attr(not(feature = "chaos"), allow(unused_variables))]
+    fn batch_faults(&self, len: usize) -> BatchFaults {
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.chaos {
+            return plan.resolve(len);
+        }
+        BatchFaults::none()
     }
 
     /// Aggregate hit/miss counters over all three cache layers.
@@ -171,20 +232,41 @@ impl Engine {
         self.results.clear();
     }
 
-    fn evaluate_at(&self, index: usize, request: &EvalRequest) -> EvalResponse {
+    fn evaluate_at(
+        &self,
+        index: usize,
+        request: &EvalRequest,
+        faults: &BatchFaults,
+    ) -> EvalResponse {
         let counters = RequestCounters::default();
         let start = Instant::now();
-        let outcome = if request.options.bypass_cache {
-            self.compute_cold(request)
-        } else {
-            self.results
-                .try_get_or_insert_with(
-                    result_key(&request.params, &request.backend),
-                    &counters,
-                    || self.compute(request, &counters),
-                )
-                .map(|arc| (*arc).clone())
+        let budget = match request.options.deadline {
+            Some(deadline) => ComputeBudget::with_deadline(deadline),
+            None => ComputeBudget::unlimited(),
         };
+
+        let mut outcome = self.attempt_primary(index, request, &counters, &budget, faults);
+        let mut served_by = request.backend.name();
+        let mut degraded = false;
+        if outcome.is_err() {
+            for fallback in &request.fallbacks {
+                // The chain shares the request's budget: no point starting
+                // a fallback whose deadline has already passed.
+                if budget.checkpoint().is_err() {
+                    break;
+                }
+                if let Ok(output) =
+                    self.guarded_eval(index, request, *fallback, &counters, &budget, faults, 1)
+                {
+                    outcome = Ok(output);
+                    served_by = fallback.name();
+                    degraded = true;
+                    break;
+                }
+                // A failed fallback never masks the primary's error.
+            }
+        }
+
         let duration = start.elapsed();
         let detection = match &outcome {
             Ok(output) => request
@@ -197,6 +279,8 @@ impl Engine {
         EvalResponse {
             index,
             backend: request.backend.name(),
+            served_by,
+            degraded,
             outcome,
             detection,
             duration,
@@ -204,27 +288,132 @@ impl Engine {
         }
     }
 
+    /// Runs the request's primary backend, retrying panicked simulation
+    /// attempts when the request carries a [`RetryPolicy`]. Injected
+    /// chaos latency is charged here (virtually — see [`chaos`]), so it
+    /// can fail only the primary, leaving fallbacks their turn.
+    fn attempt_primary(
+        &self,
+        index: usize,
+        request: &EvalRequest,
+        counters: &RequestCounters,
+        budget: &ComputeBudget,
+        faults: &BatchFaults,
+    ) -> Result<EvalOutput, EvalError> {
+        if let Some(latency) = faults.injected_latency(index) {
+            if budget.would_exceed(latency) {
+                return Err(EvalError::DeadlineExceeded {
+                    elapsed: latency,
+                    completed_stages: 0,
+                });
+            }
+        }
+        let (policy, seed) = match (request.backend, request.options.retry) {
+            (BackendSpec::Simulation(spec), Some(policy)) => (policy, spec.seed),
+            _ => (RetryPolicy::new(0), 0),
+        };
+        let mut attempt = 0u32;
+        loop {
+            let result = self.guarded_eval(
+                index,
+                request,
+                request.backend,
+                counters,
+                budget,
+                faults,
+                attempt,
+            );
+            match result {
+                Err(ref error) if error.is_transient() && attempt < policy.max_retries => {
+                    let backoff = policy.backoff(seed, attempt);
+                    if budget.would_exceed(backoff) {
+                        return result;
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One attempt at one backend, with the panic boundary around it:
+    /// a panic anywhere below becomes that request's
+    /// [`EvalError::WorkerPanicked`] instead of killing the worker.
+    #[allow(clippy::too_many_arguments)]
+    fn guarded_eval(
+        &self,
+        index: usize,
+        request: &EvalRequest,
+        backend: BackendSpec,
+        counters: &RequestCounters,
+        budget: &ComputeBudget,
+        faults: &BatchFaults,
+        attempt: u32,
+    ) -> Result<EvalOutput, EvalError> {
+        budget.checkpoint()?;
+        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<EvalOutput, CoreError> {
+            // The chaos panic fires before the cache lookup so a faulted
+            // request faults identically whether the caches are warm or
+            // cold (attempt 0 only when the plan is transient).
+            if faults.injects_panic(index, attempt) {
+                panic!("chaos: injected worker panic");
+            }
+            if request.options.bypass_cache {
+                self.compute_cold(&request.params, backend, budget)
+            } else {
+                self.results
+                    .try_get_or_insert_with(
+                        result_key(&request.params, &backend),
+                        counters,
+                        || self.compute(&request.params, backend, counters, budget),
+                    )
+                    .map(|arc| (*arc).clone())
+            }
+        }));
+        match caught {
+            Ok(result) => result.map_err(EvalError::from),
+            Err(payload) => Err(EvalError::WorkerPanicked {
+                request_index: index,
+                // `as_ref`, not `&payload`: a `&Box<dyn Any>` would unsize
+                // to `&dyn Any` *as the box*, and every downcast would miss.
+                payload: panic_payload(payload.as_ref()),
+            }),
+        }
+    }
+
     /// The uncached evaluation path (`bypass_cache`): exactly what the
-    /// backend modules compute, with no engine involvement.
-    fn compute_cold(&self, request: &EvalRequest) -> Result<EvalOutput, CoreError> {
-        match request.backend {
-            BackendSpec::Ms(opts) => MsModel { opts }
-                .report_distribution(&request.params)
-                .map(EvalOutput::Analysis),
+    /// backend modules compute, with no engine involvement beyond the
+    /// cooperative budget.
+    fn compute_cold(
+        &self,
+        params: &SystemParams,
+        backend: BackendSpec,
+        budget: &ComputeBudget,
+    ) -> Result<EvalOutput, CoreError> {
+        budget.checkpoint()?;
+        match backend {
+            BackendSpec::Ms(opts) => {
+                let steps = vec![params.step(); params.m_periods()];
+                ms_approach::analyze_steps_budgeted(params, &steps, &opts, budget)
+                    .map(EvalOutput::Analysis)
+            }
             BackendSpec::S(opts) => SModel { opts }
-                .report_distribution(&request.params)
+                .report_distribution(params)
                 .map(EvalOutput::Analysis),
             BackendSpec::Exact { saturation_cap } => ExactModel { saturation_cap }
-                .report_distribution(&request.params)
+                .report_distribution(params)
                 .map(EvalOutput::Analysis),
             BackendSpec::T { opts, max_states } => TModel { opts, max_states }
-                .report_distribution(&request.params)
+                .report_distribution(params)
                 .map(EvalOutput::Analysis),
             BackendSpec::Poisson => PoissonModel
-                .report_distribution(&request.params)
+                .report_distribution(params)
                 .map(EvalOutput::Analysis),
             BackendSpec::Simulation(spec) => Ok(EvalOutput::Simulation(gbd_sim::runner::run(
-                &spec.to_config(request.params)?,
+                &spec.to_config(*params)?,
             ))),
         }
     }
@@ -235,25 +424,28 @@ impl Engine {
     /// result layer alone.
     fn compute(
         &self,
-        request: &EvalRequest,
+        params: &SystemParams,
+        backend: BackendSpec,
         counters: &RequestCounters,
+        budget: &ComputeBudget,
     ) -> Result<EvalOutput, CoreError> {
-        match request.backend {
+        match backend {
             BackendSpec::Ms(opts) => self
-                .compute_ms(&request.params, &opts, counters)
+                .compute_ms(params, &opts, counters, budget)
                 .map(EvalOutput::Analysis),
-            _ => self.compute_cold(request),
+            other => self.compute_cold(params, other, budget),
         }
     }
 
     /// The memoized M-S path: identical arithmetic to
     /// [`ms_approach::analyze`], with the geometry and per-stage results
-    /// fetched through the caches.
+    /// fetched through the caches and a budget checkpoint between stages.
     fn compute_ms(
         &self,
         params: &SystemParams,
         opts: &MsOptions,
         counters: &RequestCounters,
+        budget: &ComputeBudget,
     ) -> Result<ReportDistribution, CoreError> {
         let n = params.n_sensors();
         let geometry_key = GeometryKey {
@@ -276,6 +468,7 @@ impl Engine {
         let stages: Vec<(DiscreteDist, f64)> = inputs
             .iter()
             .map(|stage| {
+                budget.checkpoint()?;
                 let entry = self.stages.get_or_insert_with(
                     StageKey {
                         areas: f64_slice_key(&stage.areas),
@@ -292,10 +485,22 @@ impl Engine {
                         )
                     },
                 );
-                (entry.0.clone(), entry.1)
+                budget.complete_stage();
+                Ok((entry.0.clone(), entry.1))
             })
-            .collect();
+            .collect::<Result<_, CoreError>>()?;
         Ok(ms_approach::assemble_stages(&stages, support_cap))
+    }
+}
+
+/// Renders a caught panic payload for [`EvalError::WorkerPanicked`].
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -444,7 +649,14 @@ mod tests {
         let a = engine.evaluate(&request);
         let b = engine.evaluate(&request);
         assert_eq!(a.outcome, b.outcome);
-        assert_eq!(b.cache, CacheStats { hits: 1, misses: 0 });
+        assert_eq!(
+            b.cache,
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                ..CacheStats::default()
+            }
+        );
         let direct = gbd_sim::runner::run(
             &SimulationSpec {
                 trials: 300,
@@ -472,17 +684,103 @@ mod tests {
     fn multi_threshold_options() {
         let engine = Engine::new();
         let request = EvalRequest {
-            params: paper(),
-            backend: BackendSpec::ms_default(),
             options: EvalOptions {
                 k_values: vec![1, 5, 9],
-                bypass_cache: false,
+                ..EvalOptions::default()
             },
+            ..EvalRequest::new(paper(), BackendSpec::ms_default())
         };
         let response = engine.evaluate(&request);
         let ps: Vec<f64> = response.detection.iter().map(|&(_, p)| p).collect();
         assert_eq!(response.detection.len(), 3);
         assert!(ps[0] >= ps[1] && ps[1] >= ps[2]);
+    }
+
+    #[test]
+    fn zero_deadline_cancels_with_progress_report() {
+        let engine = Engine::new();
+        let request = EvalRequest {
+            options: EvalOptions {
+                deadline: Some(std::time::Duration::ZERO),
+                ..EvalOptions::default()
+            },
+            ..EvalRequest::new(paper(), BackendSpec::ms_default())
+        };
+        let response = engine.evaluate(&request);
+        assert!(matches!(
+            response.outcome,
+            Err(EvalError::DeadlineExceeded { .. })
+        ));
+        assert!(!response.degraded);
+        assert!(response.detection.is_empty());
+        // Errors are never cached: a deadline miss must not poison a later
+        // unlimited evaluation of the same point.
+        let relaxed = engine.evaluate(&EvalRequest::new(paper(), BackendSpec::ms_default()));
+        assert!(relaxed.outcome.is_ok());
+    }
+
+    #[test]
+    fn generous_deadline_matches_unlimited_bit_for_bit() {
+        let engine = Engine::new();
+        let unlimited = engine.evaluate(&EvalRequest::new(paper(), BackendSpec::ms_default()));
+        engine.clear_caches();
+        let request = EvalRequest {
+            options: EvalOptions {
+                deadline: Some(std::time::Duration::from_secs(3600)),
+                ..EvalOptions::default()
+            },
+            ..EvalRequest::new(paper(), BackendSpec::ms_default())
+        };
+        let bounded = engine.evaluate(&request);
+        assert_eq!(unlimited.outcome, bounded.outcome);
+        assert_eq!(unlimited.detection, bounded.detection);
+    }
+
+    #[test]
+    fn fallback_serves_when_primary_fails() {
+        let engine = Engine::new();
+        // g = 0 is invalid, so the primary always errors; Poisson answers.
+        let chain =
+            BackendSpec::Ms(MsOptions { g: 0, gh: 3 }).with_fallback(BackendSpec::Poisson);
+        let response = engine.evaluate(&EvalRequest::new(paper(), chain));
+        assert!(response.degraded);
+        assert_eq!(response.backend, "ms");
+        assert_eq!(response.served_by, "poisson");
+        let p = response.detection_probability().unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        let direct = engine.evaluate(&EvalRequest::new(paper(), BackendSpec::Poisson));
+        assert_eq!(response.outcome, direct.outcome);
+    }
+
+    #[test]
+    fn failed_chain_reports_the_primary_error() {
+        let engine = Engine::new();
+        let chain = BackendSpec::Ms(MsOptions { g: 0, gh: 3 })
+            .with_fallback(BackendSpec::Ms(MsOptions { g: 3, gh: 0 }));
+        let response = engine.evaluate(&EvalRequest::new(paper(), chain));
+        assert!(!response.degraded);
+        assert_eq!(response.served_by, "ms");
+        match response.outcome {
+            Err(EvalError::Core(CoreError::InvalidParameter { name, .. })) => {
+                assert_eq!(name, "g/gh");
+            }
+            other => panic!("expected the primary's error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undegraded_responses_name_their_own_backend() {
+        let engine = Engine::new();
+        let chain = BackendSpec::ms_default().with_fallback(BackendSpec::Poisson);
+        let response = engine.evaluate(&EvalRequest::new(paper(), chain));
+        assert!(!response.degraded);
+        assert_eq!(response.served_by, "ms");
+        assert_eq!(
+            response.outcome,
+            engine
+                .evaluate(&EvalRequest::new(paper(), BackendSpec::ms_default()))
+                .outcome
+        );
     }
 
     #[test]

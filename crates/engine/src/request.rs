@@ -1,6 +1,7 @@
 //! Request and response types of the batched evaluation API.
 
 use crate::cache::{f64_key, CacheStats};
+use crate::resilience::{BackendChain, EvalError, RetryPolicy};
 use gbd_core::ms_approach::MsOptions;
 use gbd_core::prelude::*;
 use gbd_core::s_approach::SOptions;
@@ -43,6 +44,17 @@ impl BackendSpec {
     /// Paper-default M-S-approach (`g = gh = 3`).
     pub fn ms_default() -> Self {
         BackendSpec::Ms(MsOptions::default())
+    }
+
+    /// Extends this backend into a graceful-degradation
+    /// [`BackendChain`]: when `self` errors or overruns its deadline, the
+    /// engine answers with `fallback` instead and tags the response
+    /// [`EvalResponse::degraded`]. Chainable —
+    /// `S(...).with_fallback(ms).with_fallback(Poisson)` tries the three
+    /// in cost order.
+    #[must_use]
+    pub fn with_fallback(self, fallback: BackendSpec) -> BackendChain {
+        BackendChain::new(self).with_fallback(fallback)
     }
 
     /// Short stable identifier, matching
@@ -132,6 +144,17 @@ pub struct EvalOptions {
     /// populates any layer). The result is identical either way; use this
     /// to measure cold-path cost.
     pub bypass_cache: bool,
+    /// Per-request deadline. The evaluation checkpoints cooperatively (at
+    /// M-S stage boundaries and every few thousand enumeration leaves);
+    /// past the deadline it stops with [`EvalError::DeadlineExceeded`] and
+    /// the request's fallbacks, if any, get a turn. `None` means
+    /// unlimited. A deadline never changes a returned value — only
+    /// whether one is returned.
+    pub deadline: Option<Duration>,
+    /// Bounded retry for **simulation requests** whose attempt panicked
+    /// (see [`RetryPolicy`] for why analytical backends never retry).
+    /// `None` means fail on the first panic.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// One unit of work for the engine.
@@ -141,16 +164,37 @@ pub struct EvalRequest {
     pub params: SystemParams,
     /// Backend to evaluate them with.
     pub backend: BackendSpec,
+    /// Cheaper backends tried in order when `backend` errors or misses its
+    /// deadline (the graceful-degradation chain; usually built with
+    /// [`BackendSpec::with_fallback`]).
+    pub fallbacks: Vec<BackendSpec>,
     /// Evaluation options.
     pub options: EvalOptions,
 }
 
 impl EvalRequest {
-    /// A request with default options.
-    pub fn new(params: SystemParams, backend: BackendSpec) -> Self {
+    /// A request with default options. Accepts either a bare
+    /// [`BackendSpec`] or a [`BackendChain`] with fallbacks:
+    ///
+    /// ```
+    /// use gbd_core::params::SystemParams;
+    /// use gbd_engine::{BackendSpec, EvalRequest};
+    ///
+    /// let p = SystemParams::paper_defaults();
+    /// let plain = EvalRequest::new(p, BackendSpec::ms_default());
+    /// assert!(plain.fallbacks.is_empty());
+    /// let chained = EvalRequest::new(
+    ///     p,
+    ///     BackendSpec::ms_default().with_fallback(BackendSpec::Poisson),
+    /// );
+    /// assert_eq!(chained.fallbacks.len(), 1);
+    /// ```
+    pub fn new(params: SystemParams, backend: impl Into<BackendChain>) -> Self {
+        let chain = backend.into();
         EvalRequest {
             params,
-            backend,
+            backend: chain.primary,
+            fallbacks: chain.fallbacks,
             options: EvalOptions::default(),
         }
     }
@@ -207,10 +251,20 @@ pub struct EvalResponse {
     /// Index of the request in the submitted batch (responses are returned
     /// in batch order; the index makes that checkable).
     pub index: usize,
-    /// Backend identifier (see [`BackendSpec::name`]).
+    /// Identifier of the *requested* backend (see [`BackendSpec::name`]).
     pub backend: &'static str,
-    /// The backend's output, or the error it rejected the request with.
-    pub outcome: Result<EvalOutput, CoreError>,
+    /// Identifier of the backend whose result this is. Equal to
+    /// [`EvalResponse::backend`] unless a fallback answered (then
+    /// [`EvalResponse::degraded`] is set) — or the request failed outright
+    /// (then it names the primary, whose error [`EvalResponse::outcome`]
+    /// carries).
+    pub served_by: &'static str,
+    /// Whether a fallback backend answered because the primary errored or
+    /// missed its deadline.
+    pub degraded: bool,
+    /// The backend's output, or the error that stopped the request (the
+    /// *primary* backend's error — fallback errors never mask it).
+    pub outcome: Result<EvalOutput, EvalError>,
     /// `(k, P_M[X >= k])` at each requested threshold; empty on error.
     pub detection: Vec<(usize, f64)>,
     /// Wall-clock time this request spent evaluating.
@@ -391,7 +445,7 @@ mod tests {
         let req = EvalRequest {
             options: EvalOptions {
                 k_values: vec![3, 5, 7],
-                bypass_cache: false,
+                ..EvalOptions::default()
             },
             ..req
         };

@@ -1,0 +1,303 @@
+//! Resilience policies of the evaluation engine: rich per-request errors,
+//! graceful-degradation chains, and deterministic retry backoff.
+//!
+//! The engine serves batches; a serving system must survive bad requests
+//! (panic isolation, [`EvalError::WorkerPanicked`]), slow requests
+//! (deadlines, [`EvalError::DeadlineExceeded`]) and flaky requests
+//! (bounded, seeded retries, [`RetryPolicy`]). A [`BackendChain`] extends a
+//! request with cheaper fallback backends that answer when the primary
+//! errors or times out — the response is then tagged
+//! [`crate::EvalResponse::degraded`] and names the backend that actually
+//! served it.
+//!
+//! All policies are deterministic: a deadline decides *whether* a result
+//! comes back, never *which* result; retry backoff is a pure function of
+//! the request seed and attempt number, so warm≡cold bit-identity is
+//! preserved.
+
+use crate::request::BackendSpec;
+use gbd_core::CoreError;
+use std::fmt;
+use std::time::Duration;
+
+/// Why the engine could not produce an [`crate::EvalOutput`] for a request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The backend rejected the request or failed numerically.
+    Core(CoreError),
+    /// The request's evaluation panicked. The panic was caught at the
+    /// request boundary; the rest of the batch completed normally.
+    WorkerPanicked {
+        /// Index of the request in its batch.
+        request_index: usize,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// The request's deadline passed before its evaluation finished.
+    DeadlineExceeded {
+        /// Time spent (including injected latency under chaos testing)
+        /// before cancellation.
+        elapsed: Duration,
+        /// Work units the cancelled computation finished first.
+        completed_stages: usize,
+    },
+}
+
+impl EvalError {
+    /// Whether this error class may succeed on a retry of the same request
+    /// (panics are treated as transient; validation errors are not).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EvalError::WorkerPanicked { .. })
+    }
+
+    /// Whether this is a deadline cancellation.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, EvalError::DeadlineExceeded { .. })
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Core(e) => write!(f, "{e}"),
+            EvalError::WorkerPanicked {
+                request_index,
+                payload,
+            } => write!(f, "request {request_index} panicked: {payload}"),
+            EvalError::DeadlineExceeded {
+                elapsed,
+                completed_stages,
+            } => write!(
+                f,
+                "deadline exceeded after {:.1} ms ({completed_stages} stages completed)",
+                elapsed.as_secs_f64() * 1e3
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EvalError {
+    /// Core deadline cancellations surface as
+    /// [`EvalError::DeadlineExceeded`]; everything else wraps as
+    /// [`EvalError::Core`].
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::DeadlineExceeded {
+                elapsed,
+                completed_stages,
+            } => EvalError::DeadlineExceeded {
+                elapsed,
+                completed_stages,
+            },
+            other => EvalError::Core(other),
+        }
+    }
+}
+
+/// A primary backend plus an ordered list of cheaper fallbacks — the
+/// graceful-degradation chain of a request.
+///
+/// When the primary errors or overruns its deadline, the engine walks the
+/// fallbacks in order and serves the first success, tagging the response
+/// `degraded: true`. The canonical chain mirrors the paper's cost ladder:
+/// `S → M-S → Poisson` (exponential → polynomial → closed-form).
+///
+/// # Example
+///
+/// ```
+/// use gbd_core::s_approach::SOptions;
+/// use gbd_engine::BackendSpec;
+///
+/// let chain = BackendSpec::S(SOptions::default())
+///     .with_fallback(BackendSpec::ms_default())
+///     .with_fallback(BackendSpec::Poisson);
+/// assert_eq!(chain.fallbacks.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendChain {
+    /// The backend the request asks for.
+    pub primary: BackendSpec,
+    /// Cheaper stand-ins, tried in order when the primary fails.
+    pub fallbacks: Vec<BackendSpec>,
+}
+
+impl BackendChain {
+    /// A chain with no fallbacks.
+    pub fn new(primary: BackendSpec) -> Self {
+        BackendChain {
+            primary,
+            fallbacks: Vec::new(),
+        }
+    }
+
+    /// Appends one more fallback to the end of the chain.
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: BackendSpec) -> Self {
+        self.fallbacks.push(fallback);
+        self
+    }
+}
+
+impl From<BackendSpec> for BackendChain {
+    fn from(primary: BackendSpec) -> Self {
+        BackendChain::new(primary)
+    }
+}
+
+/// Bounded retry with deterministic exponential backoff.
+///
+/// Applied by the engine to **simulation requests only** (analytical
+/// backends are deterministic, so retrying a failure reproduces it; a
+/// simulation attempt can be killed by injected or environmental faults
+/// and legitimately succeed on the next try). The backoff delay for
+/// attempt `a` is `base_backoff · 2^a` plus a jitter that is a pure
+/// function of `(request seed, a)` — retries never introduce
+/// nondeterminism, so warm≡cold bit-identity holds verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*-tries after the first attempt.
+    pub max_retries: u32,
+    /// Base delay doubled on each attempt. [`Duration::ZERO`] disables
+    /// sleeping while keeping the bounded-retry semantics.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries and no backoff sleep.
+    pub fn new(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Sets the base backoff delay.
+    #[must_use]
+    pub fn with_base_backoff(mut self, base: Duration) -> Self {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (0-based): exponential in the
+    /// attempt with seeded jitter in `[0, base_backoff)`. Deterministic in
+    /// `(seed, attempt)`.
+    pub fn backoff(&self, seed: u64, attempt: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let base = self.base_backoff.saturating_mul(1u32 << attempt.min(16));
+        let jitter_nanos = splitmix64(seed ^ (0x9E37_79B9_7F4A_7C15 ^ u64::from(attempt)))
+            % self.base_backoff.as_nanos().max(1) as u64;
+        base + Duration::from_nanos(jitter_nanos)
+    }
+}
+
+/// The SplitMix64 mixer: a high-quality 64-bit finalizer used wherever the
+/// resilience layer needs a deterministic pseudo-random function of plain
+/// integers (backoff jitter, chaos fault selection).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_core::ms_approach::MsOptions;
+    use gbd_core::s_approach::SOptions;
+
+    #[test]
+    fn chain_builds_in_order() {
+        let chain = BackendSpec::S(SOptions::default())
+            .with_fallback(BackendSpec::Ms(MsOptions::default()))
+            .with_fallback(BackendSpec::Poisson);
+        assert_eq!(chain.primary.name(), "s");
+        let names: Vec<_> = chain.fallbacks.iter().map(BackendSpec::name).collect();
+        assert_eq!(names, vec!["ms", "poisson"]);
+        let plain: BackendChain = BackendSpec::Poisson.into();
+        assert!(plain.fallbacks.is_empty());
+    }
+
+    #[test]
+    fn core_deadline_errors_convert() {
+        let core = CoreError::DeadlineExceeded {
+            elapsed: Duration::from_millis(7),
+            completed_stages: 3,
+        };
+        match EvalError::from(core) {
+            EvalError::DeadlineExceeded {
+                elapsed,
+                completed_stages,
+            } => {
+                assert_eq!(elapsed, Duration::from_millis(7));
+                assert_eq!(completed_stages, 3);
+            }
+            other => panic!("wrong conversion: {other:?}"),
+        }
+        let invalid = CoreError::InvalidParameter {
+            name: "pd",
+            constraint: "must be in [0, 1]",
+        };
+        assert!(matches!(EvalError::from(invalid), EvalError::Core(_)));
+    }
+
+    #[test]
+    fn transience_classification() {
+        let panic = EvalError::WorkerPanicked {
+            request_index: 0,
+            payload: "boom".into(),
+        };
+        assert!(panic.is_transient() && !panic.is_deadline());
+        let deadline = EvalError::DeadlineExceeded {
+            elapsed: Duration::ZERO,
+            completed_stages: 0,
+        };
+        assert!(deadline.is_deadline() && !deadline.is_transient());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::new(3).with_base_backoff(Duration::from_micros(50));
+        for attempt in 0..3 {
+            let a = policy.backoff(42, attempt);
+            let b = policy.backoff(42, attempt);
+            assert_eq!(a, b);
+            let base = Duration::from_micros(50).saturating_mul(1 << attempt);
+            assert!(a >= base && a < base + Duration::from_micros(50));
+        }
+        assert_ne!(policy.backoff(1, 0), policy.backoff(2, 0));
+        assert_eq!(RetryPolicy::new(2).backoff(9, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn errors_display_and_source() {
+        let e = EvalError::WorkerPanicked {
+            request_index: 4,
+            payload: "chaos".into(),
+        };
+        assert!(e.to_string().contains("request 4"));
+        let d = EvalError::DeadlineExceeded {
+            elapsed: Duration::from_millis(3),
+            completed_stages: 1,
+        };
+        assert!(d.to_string().contains("deadline exceeded"));
+        let c = EvalError::Core(CoreError::InvalidParameter {
+            name: "g",
+            constraint: "positive",
+        });
+        assert!(std::error::Error::source(&c).is_some());
+        assert!(std::error::Error::source(&d).is_none());
+    }
+}

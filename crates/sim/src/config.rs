@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultPlan;
 use gbd_core::params::SystemParams;
 use gbd_core::CoreError;
 
@@ -69,6 +70,9 @@ pub struct SimConfig {
     pub awake_probability: f64,
     /// Number of worker threads (0 = all available cores).
     pub threads: usize,
+    /// Deterministic fault injection (node failures, dropped reports);
+    /// `None` (the default) simulates a fault-free network.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -84,6 +88,7 @@ impl SimConfig {
             deployment: DeploymentSpec::UniformRandom,
             awake_probability: 1.0,
             threads: 0,
+            faults: None,
         }
     }
 
@@ -186,6 +191,12 @@ impl SimConfig {
     /// Sets the worker-thread count (0 = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a [`FaultPlan`] (an inert plan is normalized to `None`).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = (!faults.is_inert()).then_some(faults);
         self
     }
 

@@ -28,6 +28,9 @@ pub struct TrialOutcome {
     pub true_reports: usize,
     /// Number of false-alarm reports.
     pub false_reports: usize,
+    /// True detections suppressed by the [`crate::faults::FaultPlan`]
+    /// (dead node or dropped report); always 0 without one.
+    pub dropped_reports: usize,
     /// The target trajectory of this trial.
     pub trajectory: Trajectory,
 }
@@ -92,8 +95,16 @@ pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
     // Sensing: per period, every covered *awake* sensor flips a Pd coin.
     // Duty cycling composes multiplicatively with Pd, which the tests
     // exploit to validate against the analysis at pd' = pd * p_awake.
+    //
+    // Faults are hashed from (plan seed, trial, sensor, period), never
+    // drawn from `rng`, and suppress a report only *after* its coins are
+    // flipped — the RNG stream stays aligned with the fault-free run, so
+    // a faulted trial's reports are exactly a subset of the fault-free
+    // trial's.
+    let faults = config.faults.filter(|f| !f.is_inert());
     let mut reports = Vec::new();
     let mut true_reports = 0;
+    let mut dropped_reports = 0;
     for period in 1..=params.m_periods() {
         let dr = trajectory.detectable_region(period, params.sensing_range());
         for id in field.query_stadium(&dr) {
@@ -101,6 +112,14 @@ pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
                 continue;
             }
             if rng.gen_bool(params.pd()) {
+                if let Some(plan) = &faults {
+                    if plan.node_failed(trial_index, id.0)
+                        || plan.report_dropped(trial_index, id.0, period)
+                    {
+                        dropped_reports += 1;
+                        continue;
+                    }
+                }
                 reports.push(DetectionReport::new(
                     id,
                     period,
@@ -113,7 +132,8 @@ pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
     }
 
     // Optional noise: node-level false alarms, independent per
-    // sensor-period.
+    // sensor-period. A dead node cannot misfire either, but report drops
+    // do not apply (dropping noise is indistinguishable from less noise).
     let mut false_reports = 0;
     if config.false_alarm_rate > 0.0 {
         false_reports = inject_false_alarms(
@@ -122,6 +142,7 @@ pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
             config.false_alarm_rate,
             &mut rng,
             &mut reports,
+            faults.as_ref().map(|plan| (plan, trial_index)),
         );
         reports.sort_by_key(|r| r.period);
     }
@@ -130,6 +151,7 @@ pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
         reports,
         true_reports,
         false_reports,
+        dropped_reports,
         trajectory,
     }
 }
@@ -162,18 +184,26 @@ fn generate_trajectory(
 }
 
 /// Adds Bernoulli false alarms for every sensor-period pair; returns how
-/// many were injected.
+/// many were injected. The coin is drawn before the fault check (keeping
+/// the RNG stream fault-invariant), and a dead node's misfires are
+/// suppressed.
 pub(crate) fn inject_false_alarms(
     field: &SensorField,
     m_periods: usize,
     rate: f64,
     rng: &mut Rng,
     reports: &mut Vec<DetectionReport>,
+    faults: Option<(&crate::faults::FaultPlan, u64)>,
 ) -> usize {
     let mut injected = 0;
     for period in 1..=m_periods {
         for s in field.sensors() {
             if rng.gen_bool(rate) {
+                if let Some((plan, trial)) = faults {
+                    if plan.node_failed(trial, s.id.0) {
+                        continue;
+                    }
+                }
                 reports.push(DetectionReport::new(
                     s.id,
                     period,
@@ -262,6 +292,62 @@ mod tests {
         let out = run_trial(&c, 1);
         assert!(out.false_reports > 0, "expected some false alarms at 5%");
         assert!(out.detected_naive(1));
+    }
+
+    #[test]
+    fn faulted_reports_are_a_subset_of_fault_free() {
+        use crate::faults::FaultPlan;
+        let clean = config().with_seed(12);
+        let faulted = clean.clone().with_faults(
+            FaultPlan::new(77)
+                .with_node_failure_rate(0.2)
+                .with_report_drop_rate(0.1),
+        );
+        let mut any_dropped = false;
+        for trial in 0..10 {
+            let a = run_trial(&clean, trial);
+            let b = run_trial(&faulted, trial);
+            // Identical trajectory: faults never touch the RNG stream.
+            assert_eq!(a.trajectory, b.trajectory);
+            // Surviving reports are exactly the fault-free reports minus
+            // the suppressed ones.
+            assert!(b.reports.iter().all(|r| a.reports.contains(r)));
+            assert_eq!(
+                b.true_reports + b.dropped_reports,
+                a.true_reports,
+                "trial {trial}"
+            );
+            any_dropped |= b.dropped_reports > 0;
+            // And the faulted run is itself deterministic.
+            assert_eq!(b, run_trial(&faulted, trial));
+        }
+        assert!(any_dropped, "rates this high must suppress something");
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        let clean = config().with_seed(3);
+        let inert = clean.clone().with_faults(crate::faults::FaultPlan::new(9));
+        assert_eq!(inert.faults, None);
+        assert_eq!(run_trial(&clean, 0), run_trial(&inert, 0));
+    }
+
+    #[test]
+    fn dead_nodes_do_not_misfire() {
+        use crate::faults::FaultPlan;
+        let clean = config().with_seed(21).with_false_alarm_rate(0.05);
+        let faulted = clean
+            .clone()
+            .with_faults(FaultPlan::new(5).with_node_failure_rate(0.5));
+        let a = run_trial(&clean, 4);
+        let b = run_trial(&faulted, 4);
+        assert!(
+            b.false_reports < a.false_reports,
+            "{} vs {}",
+            b.false_reports,
+            a.false_reports
+        );
+        assert!(b.reports.iter().all(|r| a.reports.contains(r)));
     }
 
     #[test]

@@ -107,6 +107,7 @@ pub fn run_no_target(config: &SimConfig) -> NoTargetResult {
             config.false_alarm_rate,
             &mut rng,
             &mut reports,
+            config.faults.as_ref().map(|plan| (plan, trial)),
         );
         total_false += injected as u64;
         if injected >= params.k() {

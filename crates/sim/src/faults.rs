@@ -1,0 +1,216 @@
+//! Deterministic sensor-level fault injection (the simulator half of the
+//! chaos harness; the engine half lives in `gbd_engine::chaos`).
+//!
+//! A [`FaultPlan`] makes the simulated network imperfect in two ways the
+//! paper's analysis assumes away: **node failures** (a sensor is dead for
+//! a whole trial — it neither detects nor misfires) and **report drops**
+//! (a detection happens but its report never reaches the base station,
+//! e.g. a lost radio packet). Both are pure functions of
+//! `(plan seed, trial, sensor [, period])`, hashed independently of the
+//! trial's own RNG stream — injecting faults never shifts the random
+//! numbers the unfaulted part of the trial consumes, so the set of
+//! surviving reports of a faulted run is exactly a subset of the
+//! fault-free run's.
+
+use gbd_core::CoreError;
+
+/// Seeded fault model applied to every trial of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault hash (independent of the simulation seed).
+    pub seed: u64,
+    /// Probability that a sensor is dead for an entire trial.
+    pub node_failure_rate: f64,
+    /// Probability that an individual detection report is lost in
+    /// transit.
+    pub report_drop_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            node_failure_rate: 0.0,
+            report_drop_rate: 0.0,
+        }
+    }
+
+    /// Sets the per-trial node failure rate, or
+    /// [`CoreError::InvalidParameter`] if it is outside `[0, 1]`.
+    pub fn try_with_node_failure_rate(mut self, rate: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "node_failure_rate",
+                constraint: "must be in [0, 1]",
+            });
+        }
+        self.node_failure_rate = rate;
+        Ok(self)
+    }
+
+    /// Sets the per-trial node failure rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is outside `[0, 1]`; see
+    /// [`FaultPlan::try_with_node_failure_rate`] for the fallible form.
+    #[must_use]
+    pub fn with_node_failure_rate(self, rate: f64) -> Self {
+        self.try_with_node_failure_rate(rate)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets the per-report drop rate, or [`CoreError::InvalidParameter`]
+    /// if it is outside `[0, 1]`.
+    pub fn try_with_report_drop_rate(mut self, rate: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "report_drop_rate",
+                constraint: "must be in [0, 1]",
+            });
+        }
+        self.report_drop_rate = rate;
+        Ok(self)
+    }
+
+    /// Sets the per-report drop rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is outside `[0, 1]`; see
+    /// [`FaultPlan::try_with_report_drop_rate`] for the fallible form.
+    #[must_use]
+    pub fn with_report_drop_rate(self, rate: f64) -> Self {
+        self.try_with_report_drop_rate(rate)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Whether this plan injects nothing (the engine skips the fault
+    /// checks entirely then).
+    pub fn is_inert(&self) -> bool {
+        self.node_failure_rate == 0.0 && self.report_drop_rate == 0.0
+    }
+
+    /// Whether `sensor` is dead for all of `trial`.
+    pub fn node_failed(&self, trial: u64, sensor: usize) -> bool {
+        self.node_failure_rate > 0.0
+            && coin(
+                self.seed ^ 0x4E4F_4445u64,
+                trial,
+                sensor as u64,
+                0,
+                self.node_failure_rate,
+            )
+    }
+
+    /// Whether the report of `sensor` in `period` of `trial` is lost in
+    /// transit.
+    pub fn report_dropped(&self, trial: u64, sensor: usize, period: usize) -> bool {
+        self.report_drop_rate > 0.0
+            && coin(
+                self.seed ^ 0x4452_4F50u64,
+                trial,
+                sensor as u64,
+                period as u64,
+                self.report_drop_rate,
+            )
+    }
+}
+
+/// A Bernoulli coin that is a pure hash of its coordinates: SplitMix64
+/// over the mixed-in fields, mapped to `[0, 1)`.
+fn coin(seed: u64, trial: u64, sensor: u64, period: u64, rate: f64) -> bool {
+    let mut x = seed;
+    for word in [trial, sensor, period] {
+        x = splitmix64(x ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    // 53 uniform bits, exactly the precision of an f64 mantissa.
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    u < rate
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_validate() {
+        assert!(FaultPlan::new(1).try_with_node_failure_rate(0.5).is_ok());
+        assert!(FaultPlan::new(1).try_with_node_failure_rate(-0.1).is_err());
+        assert!(FaultPlan::new(1)
+            .try_with_node_failure_rate(f64::NAN)
+            .is_err());
+        assert!(FaultPlan::new(1).try_with_report_drop_rate(1.0).is_ok());
+        assert!(FaultPlan::new(1).try_with_report_drop_rate(1.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "node_failure_rate")]
+    fn bad_rate_panics() {
+        let _ = FaultPlan::new(1).with_node_failure_rate(2.0);
+    }
+
+    #[test]
+    fn inertness() {
+        assert!(FaultPlan::new(7).is_inert());
+        assert!(!FaultPlan::new(7).with_node_failure_rate(0.1).is_inert());
+        assert!(!FaultPlan::new(7).with_report_drop_rate(0.1).is_inert());
+    }
+
+    #[test]
+    fn faults_are_deterministic_and_seed_dependent() {
+        let plan = FaultPlan::new(42).with_node_failure_rate(0.3);
+        let pattern: Vec<bool> = (0..64).map(|s| plan.node_failed(5, s)).collect();
+        assert_eq!(
+            pattern,
+            (0..64).map(|s| plan.node_failed(5, s)).collect::<Vec<_>>()
+        );
+        let other = FaultPlan::new(43).with_node_failure_rate(0.3);
+        assert_ne!(
+            pattern,
+            (0..64).map(|s| other.node_failed(5, s)).collect::<Vec<_>>()
+        );
+        // Different trials fail different nodes.
+        assert_ne!(
+            pattern,
+            (0..64).map(|s| plan.node_failed(6, s)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn extreme_rates_are_certain() {
+        let all = FaultPlan::new(3).with_node_failure_rate(1.0);
+        let none = FaultPlan::new(3);
+        for s in 0..32 {
+            assert!(all.node_failed(0, s));
+            assert!(!none.node_failed(0, s));
+            assert!(!none.report_dropped(0, s, 1));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(9).with_report_drop_rate(0.25);
+        let mut dropped = 0u32;
+        let total = 20_000;
+        for trial in 0..20u64 {
+            for sensor in 0..50usize {
+                for period in 1..=20usize {
+                    if plan.report_dropped(trial, sensor, period) {
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        let rate = f64::from(dropped) / f64::from(total);
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+}

@@ -25,6 +25,9 @@
 //! * [`energy`] accounting: the detection-vs-lifetime frontier of
 //!   duty-cycled sensing (the §5 related-work trade-off, computed with
 //!   this paper's model);
+//! * deterministic fault injection ([`faults`]): seeded per-trial node
+//!   failures and dropped reports that quantify how gracefully group
+//!   based detection degrades on an imperfect network;
 //! * [`exposure`]-dependent sensing: the paper's footnote-1 future work,
 //!   where `Pd` depends on how far the target travels through the disk.
 //!
@@ -48,6 +51,7 @@ pub mod energy;
 pub mod engine;
 pub mod exposure;
 pub mod false_alarm;
+pub mod faults;
 pub mod group_filter;
 pub mod render;
 pub mod reports;

@@ -22,6 +22,9 @@ pub struct SimResult {
     /// Summary of the per-trial false-alarm counts (all zero when the
     /// false-alarm rate is zero).
     pub false_alarm_counts: Summary,
+    /// Summary of the per-trial counts of reports suppressed by the
+    /// configured [`crate::faults::FaultPlan`] (all zero without one).
+    pub dropped_report_counts: Summary,
 }
 
 /// Runs `config.trials` independent trials, in parallel, and aggregates.
@@ -41,7 +44,7 @@ pub fn run(config: &SimConfig) -> SimResult {
 
     // Each worker owns a disjoint contiguous range of trial indices.
     let chunk = trials.div_ceil(threads as u64).max(1);
-    let partials: Vec<(u64, Summary, Summary)> = std::thread::scope(|scope| {
+    let partials: Vec<(u64, Summary, Summary, Summary)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..threads as u64 {
             let lo = w * chunk;
@@ -54,6 +57,7 @@ pub fn run(config: &SimConfig) -> SimResult {
                 let mut detections = 0u64;
                 let mut reports = Summary::new();
                 let mut false_alarms = Summary::new();
+                let mut dropped = Summary::new();
                 for trial in lo..hi {
                     let out = run_trial(&cfg, trial);
                     if out.detected(k) {
@@ -61,8 +65,9 @@ pub fn run(config: &SimConfig) -> SimResult {
                     }
                     reports.push(out.true_reports as f64);
                     false_alarms.push(out.false_reports as f64);
+                    dropped.push(out.dropped_reports as f64);
                 }
-                (detections, reports, false_alarms)
+                (detections, reports, false_alarms, dropped)
             }));
         }
         handles
@@ -74,10 +79,12 @@ pub fn run(config: &SimConfig) -> SimResult {
     let mut detections = 0u64;
     let mut report_counts = Summary::new();
     let mut false_alarm_counts = Summary::new();
-    for (d, r, f) in &partials {
+    let mut dropped_report_counts = Summary::new();
+    for (d, r, f, x) in &partials {
         detections += d;
         report_counts.merge(r);
         false_alarm_counts.merge(f);
+        dropped_report_counts.merge(x);
     }
     let confidence = wilson(detections, trials, 1.96).expect("trials > 0 by construction");
     SimResult {
@@ -87,6 +94,7 @@ pub fn run(config: &SimConfig) -> SimResult {
         confidence,
         report_counts,
         false_alarm_counts,
+        dropped_report_counts,
     }
 }
 
@@ -144,6 +152,34 @@ mod tests {
         let r = run(&cfg);
         assert_eq!(r.detections, 0);
         assert_eq!(r.report_counts.max(), 0.0);
+    }
+
+    #[test]
+    fn faults_degrade_detection_and_are_counted() {
+        use crate::faults::FaultPlan;
+        let clean = run(&small_config());
+        assert_eq!(clean.dropped_report_counts.max(), 0.0);
+        let faulted = run(&small_config().with_faults(
+            FaultPlan::new(13)
+                .with_node_failure_rate(0.3)
+                .with_report_drop_rate(0.2),
+        ));
+        assert!(faulted.dropped_report_counts.mean() > 0.0);
+        assert!(
+            faulted.detection_probability < clean.detection_probability,
+            "faults must hurt: {} vs {}",
+            faulted.detection_probability,
+            clean.detection_probability
+        );
+        // Campaign-level determinism under faults.
+        assert_eq!(
+            faulted,
+            run(&small_config().with_faults(
+                FaultPlan::new(13)
+                    .with_node_failure_rate(0.3)
+                    .with_report_drop_rate(0.2),
+            ))
+        );
     }
 
     #[test]

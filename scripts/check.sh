@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints as errors, and the complete test
-# suite. Run before every push; CI mirrors these three steps.
+# suite. Run before every push; CI mirrors these steps.
+#
+#   scripts/check.sh           the standard gate
+#   scripts/check.sh --chaos   additionally run the fault-injection suite
+#                              under three seeds (deterministic per seed)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+chaos=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos) chaos=1 ;;
+    *) echo "unknown argument: $arg (expected --chaos)" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -10,7 +22,22 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The engine hosts the panic-isolation boundary: an unwrap/expect on a lock
+# or join result there would turn one poisoned shard into a crashed batch.
+# Non-test engine code must stay free of both (tests opt out via
+# cfg_attr(test) in the crate root).
+echo "==> cargo clippy -p gbd-engine (unwrap/expect ban)"
+cargo clippy -p gbd-engine --all-targets --no-deps -- \
+  -D warnings -W clippy::unwrap_used -W clippy::expect_used
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+if [ "$chaos" -eq 1 ]; then
+  for seed in 1 7 2008; do
+    echo "==> chaos suite (GBD_CHAOS_SEED=$seed)"
+    GBD_CHAOS_SEED=$seed cargo test -q --test resilience
+  done
+fi
 
 echo "check.sh: all gates passed"

@@ -69,7 +69,9 @@ pub mod prelude {
     pub use gbd_core::single_period;
     pub use gbd_core::time_to_detection;
     pub use gbd_core::CoreError;
-    pub use gbd_engine::{BackendSpec, Engine, EvalRequest, EvalResponse};
+    pub use gbd_engine::{
+        BackendChain, BackendSpec, Engine, EvalError, EvalRequest, EvalResponse, RetryPolicy,
+    };
     pub use gbd_sim::config::{BoundaryPolicy, DeploymentSpec, MotionSpec, SimConfig};
     pub use gbd_sim::runner::{run as run_simulation, SimResult};
 }

@@ -1,0 +1,166 @@
+//! Property tests for the fallible builders: no input — however
+//! malformed — may panic. Invalid values come back as
+//! `CoreError::InvalidParameter`; accepted values produce detection
+//! probabilities in `[0, 1]` from every analytical backend.
+
+use gbd_core::params::SystemParams;
+use gbd_core::s_approach::SOptions;
+use gbd_core::CoreError;
+use gbd_engine::{BackendSpec, Engine, EvalRequest};
+use gbd_sim::config::SimConfig;
+use gbd_sim::faults::FaultPlan;
+use proptest::prelude::*;
+
+/// Maps a unit draw onto a value that is *usually* pathological: NaN,
+/// infinities, huge magnitudes, negatives, and a few ordinary values so
+/// the accept path is exercised too.
+fn adversarial(select: f64, magnitude: f64) -> f64 {
+    match (select * 8.0) as usize {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -magnitude,
+        4 => magnitude * 1e300,
+        5 => -0.0,
+        6 => magnitude * 1e-320, // subnormal territory
+        _ => magnitude,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn params_builders_never_panic(
+        (select, magnitude) in (0.0f64..1.0, 0.0f64..100.0),
+        which in 0usize..3,
+    ) {
+        let value = adversarial(select, magnitude);
+        let base = SystemParams::paper_defaults();
+        let result = match which {
+            0 => base.try_with_pd(value),
+            1 => base.try_with_speed(value),
+            _ => base.try_with_sensing_range(value),
+        };
+        // Either accepted (finite, in range) or a structured error — but
+        // never a panic, and an accepted value round-trips.
+        match result {
+            Ok(p) => {
+                prop_assert!(value.is_finite());
+                let read_back = match which {
+                    0 => p.pd(),
+                    1 => p.speed(),
+                    _ => p.sensing_range(),
+                };
+                prop_assert_eq!(read_back, value);
+            }
+            Err(CoreError::InvalidParameter { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+
+    #[test]
+    fn full_constructor_never_panics(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..50.0), 6..7),
+    ) {
+        let v: Vec<f64> = raw.iter().map(|&(s, m)| adversarial(s, m)).collect();
+        let result = SystemParams::new(
+            v[0], v[1], 100, v[2], v[3], v[4], v[5], 20, 5,
+        );
+        if let Err(e) = result {
+            prop_assert!(
+                matches!(e, CoreError::InvalidParameter { .. }),
+                "unexpected error class: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_config_builders_never_panic(
+        (select, magnitude) in (0.0f64..1.0, 0.0f64..2.0),
+        which in 0usize..2,
+    ) {
+        let value = adversarial(select, magnitude);
+        let base = SimConfig::new(SystemParams::paper_defaults());
+        let result = match which {
+            0 => base.try_with_false_alarm_rate(value),
+            _ => base.try_with_awake_probability(value),
+        };
+        match result {
+            Ok(_) => prop_assert!(value.is_finite() && (0.0..=1.0).contains(&value)),
+            Err(CoreError::InvalidParameter { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_builders_never_panic(
+        (select, magnitude) in (0.0f64..1.0, 0.0f64..2.0),
+        which in 0usize..2,
+    ) {
+        let value = adversarial(select, magnitude);
+        let base = FaultPlan::new(7);
+        let result = match which {
+            0 => base.try_with_node_failure_rate(value),
+            _ => base.try_with_report_drop_rate(value),
+        };
+        match result {
+            Ok(_) => prop_assert!(value.is_finite() && (0.0..=1.0).contains(&value)),
+            Err(CoreError::InvalidParameter { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+}
+
+proptest! {
+    // Evaluating five backends per case is comparatively expensive; fewer
+    // cases keep the suite fast while still sweeping the space.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn accepted_params_yield_probabilities(
+        (n, pd, speed) in (20usize..150, 0.05f64..1.0, 1.0f64..15.0),
+    ) {
+        // A short window keeps the exponential backends (S, exact) cheap;
+        // the property targets range correctness, not figure fidelity.
+        let params = SystemParams::paper_defaults()
+            .try_with_m_periods(6)
+            .and_then(|p| p.try_with_n_sensors(n))
+            .and_then(|p| p.try_with_pd(pd))
+            .and_then(|p| p.try_with_speed(speed))
+            .expect("all values drawn from valid ranges");
+        let backends = [
+            BackendSpec::ms_default(),
+            BackendSpec::S(SOptions { cap_sensors: 4 }),
+            BackendSpec::Exact { saturation_cap: 12 },
+            BackendSpec::T {
+                opts: Default::default(),
+                max_states: 200_000,
+            },
+            BackendSpec::Poisson,
+        ];
+        let engine = Engine::new();
+        for backend in backends {
+            let response = engine.evaluate(&EvalRequest::new(params, backend));
+            match &response.outcome {
+                Ok(_) => {
+                    let p = response
+                        .detection_probability()
+                        .expect("successful responses carry a probability");
+                    prop_assert!(
+                        (0.0..=1.0 + 1e-9).contains(&p),
+                        "{}: p = {p} out of range",
+                        backend.name()
+                    );
+                }
+                // A backend may decline (e.g. the T backend's state budget);
+                // it must do so with an error, never a panic.
+                Err(e) => prop_assert!(
+                    !e.is_transient(),
+                    "{}: unexpected transient failure: {e}",
+                    backend.name()
+                ),
+            }
+        }
+    }
+}

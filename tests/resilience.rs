@@ -1,0 +1,231 @@
+//! Chaos integration tests: the fault-injection harness drives the
+//! engine's resilience machinery end to end.
+//!
+//! The headline scenario is the acceptance proof of the fault-tolerance
+//! work: a batch of 32 requests with 4 injected worker panics and 2
+//! injected deadline overruns completes with exactly 26 `Ok` responses
+//! (bit-identical to a fault-free run), 4 `WorkerPanicked` and 2
+//! `DeadlineExceeded` — all reproducible from the plan seed. Set
+//! `GBD_CHAOS_SEED` to rerun the suite under a different seed (the
+//! `--chaos` mode of `scripts/check.sh` loops over three).
+
+use gbd_core::params::SystemParams;
+use gbd_engine::{
+    BackendSpec, ChaosPlan, Engine, EvalError, EvalRequest, EvalResponse, RetryPolicy,
+    SimulationSpec,
+};
+use std::sync::Once;
+use std::time::Duration;
+
+/// One hour: a deadline no real request here ever approaches, so only the
+/// injected (virtual) latency can trip it.
+const DEADLINE: Duration = Duration::from_secs(3600);
+/// Two hours of injected latency: always over [`DEADLINE`].
+const INJECTED_LATENCY: Duration = Duration::from_secs(7200);
+
+fn chaos_seed() -> u64 {
+    std::env::var("GBD_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2008)
+}
+
+/// Injected panics are expected; keep their backtrace spam out of the test
+/// output while leaving real panics loud.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|msg| msg.starts_with("chaos:"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// 32 analytical requests with distinct parameters and a generous deadline.
+fn batch_of_32() -> Vec<EvalRequest> {
+    (0..32)
+        .map(|i| {
+            let params = SystemParams::paper_defaults().with_n_sensors(60 + 6 * i);
+            let mut request = EvalRequest::new(params, BackendSpec::ms_default());
+            request.options.deadline = Some(DEADLINE);
+            request
+        })
+        .collect()
+}
+
+/// The deterministic fields of a response — everything except wall-clock
+/// duration and cache traffic.
+fn deterministic_view(r: &EvalResponse) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        r.index,
+        r.backend,
+        r.served_by,
+        r.degraded,
+        &r.outcome,
+        &r.detection,
+    )
+}
+
+#[test]
+fn injected_faults_isolate_and_reproduce() {
+    silence_injected_panics();
+    let seed = chaos_seed();
+    let plan = ChaosPlan::new(seed)
+        .with_worker_panics(4)
+        .with_stage_latency(2, INJECTED_LATENCY);
+    let requests = batch_of_32();
+
+    let clean = Engine::new().evaluate_batch(&requests);
+    assert!(clean.iter().all(|r| r.outcome.is_ok()));
+
+    let faulted = Engine::new().with_chaos(plan).evaluate_batch(&requests);
+    assert_eq!(faulted.len(), 32);
+
+    let panic_at = plan.panic_indices(32);
+    let slow_at = plan.latency_indices(32);
+    assert_eq!(panic_at.len(), 4);
+    assert_eq!(slow_at.len(), 2);
+
+    let mut ok = 0;
+    for (i, response) in faulted.iter().enumerate() {
+        assert_eq!(response.index, i);
+        if panic_at.contains(&i) {
+            match &response.outcome {
+                Err(EvalError::WorkerPanicked {
+                    request_index,
+                    payload,
+                }) => {
+                    assert_eq!(*request_index, i);
+                    assert!(payload.contains("chaos"), "payload: {payload}");
+                }
+                other => panic!("request {i}: expected WorkerPanicked, got {other:?}"),
+            }
+            assert!(response.detection.is_empty());
+        } else if slow_at.contains(&i) {
+            match &response.outcome {
+                Err(EvalError::DeadlineExceeded {
+                    elapsed,
+                    completed_stages,
+                }) => {
+                    assert_eq!(*elapsed, INJECTED_LATENCY);
+                    assert_eq!(*completed_stages, 0);
+                }
+                other => panic!("request {i}: expected DeadlineExceeded, got {other:?}"),
+            }
+        } else {
+            // Non-faulted requests are bit-identical to the fault-free run.
+            ok += 1;
+            assert!(!response.degraded);
+            assert_eq!(response.outcome, clean[i].outcome, "request {i}");
+            assert_eq!(response.detection, clean[i].detection, "request {i}");
+        }
+    }
+    assert_eq!(ok, 26);
+
+    // The whole faulted batch reproduces from the seed.
+    let again = Engine::new().with_chaos(plan).evaluate_batch(&requests);
+    for (a, b) in faulted.iter().zip(&again) {
+        assert_eq!(deterministic_view(a), deterministic_view(b));
+    }
+}
+
+#[test]
+fn degradation_chain_absorbs_deadline_faults() {
+    silence_injected_panics();
+    let plan = ChaosPlan::new(chaos_seed())
+        .with_worker_panics(4)
+        .with_stage_latency(2, INJECTED_LATENCY);
+    let requests: Vec<EvalRequest> = (0..32)
+        .map(|i| {
+            let params = SystemParams::paper_defaults().with_n_sensors(60 + 6 * i);
+            let mut request = EvalRequest::new(
+                params,
+                BackendSpec::ms_default().with_fallback(BackendSpec::Poisson),
+            );
+            request.options.deadline = Some(DEADLINE);
+            request
+        })
+        .collect();
+    let responses = Engine::new().with_chaos(plan).evaluate_batch(&requests);
+
+    let panic_at = plan.panic_indices(32);
+    let slow_at = plan.latency_indices(32);
+    for (i, response) in responses.iter().enumerate() {
+        if slow_at.contains(&i) {
+            // The primary overran its (injected) deadline; the Poisson
+            // fallback answered.
+            assert!(response.degraded, "request {i} not degraded");
+            assert_eq!(response.served_by, "poisson");
+            assert!(response.outcome.is_ok());
+            let direct = Engine::new()
+                .evaluate(&EvalRequest::new(requests[i].params, BackendSpec::Poisson));
+            assert_eq!(response.outcome, direct.outcome);
+        } else if panic_at.contains(&i) {
+            // Persistent panics take down the fallback attempt too; the
+            // response carries the *primary* error.
+            assert!(!response.degraded);
+            assert!(matches!(
+                response.outcome,
+                Err(EvalError::WorkerPanicked { .. })
+            ));
+        } else {
+            assert!(!response.degraded);
+            assert_eq!(response.served_by, "ms");
+            assert!(response.outcome.is_ok());
+        }
+    }
+}
+
+#[test]
+fn seeded_retry_recovers_transient_panics() {
+    silence_injected_panics();
+    let plan = ChaosPlan::new(chaos_seed())
+        .with_worker_panics(2)
+        .transient();
+    let spec = SimulationSpec {
+        trials: 120,
+        threads: 1,
+        ..SimulationSpec::default()
+    };
+    let requests: Vec<EvalRequest> = (0..8)
+        .map(|i| {
+            let params = SystemParams::paper_defaults().with_n_sensors(60 + 12 * i);
+            let mut request = EvalRequest::new(params, BackendSpec::Simulation(spec));
+            request.options.retry = Some(RetryPolicy::new(1));
+            request
+        })
+        .collect();
+
+    let clean = Engine::new().evaluate_batch(&requests);
+    let healed = Engine::new().with_chaos(plan).evaluate_batch(&requests);
+    // Every request succeeds — the retry absorbed the transient panics —
+    // and the results are bit-identical to the fault-free run (retries are
+    // deterministic in the request seed).
+    for (h, c) in healed.iter().zip(&clean) {
+        assert!(h.outcome.is_ok(), "request {}: {:?}", h.index, h.outcome);
+        assert_eq!(h.outcome, c.outcome);
+    }
+
+    // Without a retry policy the same plan fails both faulted requests.
+    let no_retry: Vec<EvalRequest> = requests
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.options.retry = None;
+            r
+        })
+        .collect();
+    let unhealed = Engine::new().with_chaos(plan).evaluate_batch(&no_retry);
+    let failures = unhealed
+        .iter()
+        .filter(|r| matches!(r.outcome, Err(EvalError::WorkerPanicked { .. })))
+        .count();
+    assert_eq!(failures, 2);
+}
