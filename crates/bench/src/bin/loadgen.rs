@@ -1,0 +1,434 @@
+//! Load generator for the `gbd-serve` JSON-lines protocol.
+//!
+//! Drives N client threads against a running server (each with a bounded
+//! pipelining window, optionally rate-limited), mixes analytical and
+//! simulation requests, and reports achieved throughput plus p50/p95/p99
+//! latency to stdout and CSV (or JSON with `--json`).
+//!
+//! ```text
+//! groupdet serve --addr 127.0.0.1:0 --json &
+//! cargo run --release -p gbd-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:<port> --clients 8 --requests 100 --sim-every 10
+//! ```
+//!
+//! `--assert-coalescing` queries the server's `stats` verb afterwards and
+//! fails (exit 1) unless the mean coalesced batch size exceeds 1;
+//! `--shutdown` sends the `shutdown` verb once done — together they make
+//! this the smoke driver used by `scripts/check.sh`.
+
+use gbd_bench::Csv;
+use gbd_serve::Json;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Options {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    /// Outstanding requests per client connection.
+    pipeline: usize,
+    /// Target total request rate across all clients (req/s); 0 = unpaced.
+    rate: f64,
+    /// Every `sim_every`-th request uses the simulation backend (0 = none).
+    sim_every: usize,
+    /// Trials for simulation requests (kept small: this is a protocol
+    /// load test, not a Monte Carlo campaign).
+    trials: u64,
+    seed: u64,
+    out_dir: PathBuf,
+    json: bool,
+    assert_coalescing: bool,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7171".to_string(),
+            clients: 4,
+            requests: 64,
+            pipeline: 8,
+            rate: 0.0,
+            sim_every: 0,
+            trials: 50,
+            seed: 2008,
+            out_dir: PathBuf::from("results"),
+            json: false,
+            assert_coalescing: false,
+            shutdown: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr host:port [--clients n] [--requests n] [--pipeline n]\n\
+         \x20              [--rate req/s] [--sim-every n] [--trials n] [--seed n]\n\
+         \x20              [--out dir] [--json] [--assert-coalescing] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |args: &[String], i: usize| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                opts.addr = value(&args, i);
+                i += 2;
+            }
+            "--clients" => {
+                opts.clients = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--requests" => {
+                opts.requests = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--pipeline" => {
+                opts.pipeline = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rate" => {
+                opts.rate = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--sim-every" => {
+                opts.sim_every = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--trials" => {
+                opts.trials = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(value(&args, i));
+                i += 2;
+            }
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            "--assert-coalescing" => {
+                opts.assert_coalescing = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                opts.shutdown = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Builds the request line for global request number `seq`. Sensor counts
+/// cycle over a small set so the engine sees a realistic mix of cache hits
+/// and misses; every `sim_every`-th request goes to the simulator.
+fn request_line(seq: usize, id: u64, opts: &Options) -> String {
+    let n = 60 + 30 * (seq % 7);
+    let params = Json::obj(vec![("n".to_string(), Json::from(n))]);
+    let mut fields = vec![
+        ("id".to_string(), Json::from(id)),
+        ("verb".to_string(), Json::from("eval")),
+        ("params".to_string(), params),
+    ];
+    if opts.sim_every > 0 && seq.is_multiple_of(opts.sim_every) {
+        fields.push((
+            "backend".to_string(),
+            Json::obj(vec![
+                ("kind".to_string(), Json::from("sim")),
+                ("trials".to_string(), Json::from(opts.trials)),
+                ("seed".to_string(), Json::from(opts.seed)),
+            ]),
+        ));
+    }
+    let mut line = Json::Obj(fields).render();
+    line.push('\n');
+    line
+}
+
+struct ClientResult {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    io_failure: bool,
+}
+
+/// One closed-loop client: keeps up to `pipeline` requests outstanding,
+/// pacing sends to `rate / clients` when a rate is set. Responses arrive
+/// in submission order (the server guarantees per-connection ordering), so
+/// latency matching is a FIFO.
+fn run_client(client: usize, opts: &Options) -> ClientResult {
+    let mut result = ClientResult {
+        latencies_us: Vec::with_capacity(opts.requests),
+        ok: 0,
+        errors: 0,
+        io_failure: false,
+    };
+    let Ok(stream) = TcpStream::connect(&opts.addr) else {
+        result.io_failure = true;
+        return result;
+    };
+    let Ok(read_half) = stream.try_clone() else {
+        result.io_failure = true;
+        return result;
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut reader = BufReader::new(read_half);
+    let per_client_rate = if opts.rate > 0.0 {
+        opts.rate / opts.clients as f64
+    } else {
+        0.0
+    };
+    let start = Instant::now();
+    let mut inflight: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut line = String::new();
+    while received < opts.requests {
+        // Fill the window.
+        while sent < opts.requests && inflight.len() < opts.pipeline.max(1) {
+            if per_client_rate > 0.0 {
+                let due = start + Duration::from_secs_f64(sent as f64 / per_client_rate);
+                let now = Instant::now();
+                if due > now {
+                    // Under a rate cap, drain before sleeping so latency
+                    // is not inflated by the pacing gap.
+                    if !inflight.is_empty() {
+                        break;
+                    }
+                    std::thread::sleep(due - now);
+                }
+            }
+            let seq = client * opts.requests + sent;
+            let line = request_line(seq, sent as u64, opts);
+            if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+                result.io_failure = true;
+                return result;
+            }
+            inflight.push_back(Instant::now());
+            sent += 1;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                result.io_failure = true;
+                return result;
+            }
+            Ok(_) => {}
+        }
+        let Some(sent_at) = inflight.pop_front() else {
+            result.io_failure = true;
+            return result;
+        };
+        result
+            .latencies_us
+            .push(u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+        match Json::parse(line.trim()) {
+            Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+                result.ok += 1
+            }
+            _ => result.errors += 1,
+        }
+        received += 1;
+    }
+    result
+}
+
+/// Sends one control verb on a fresh connection and returns the reply.
+fn control_round_trip(addr: &str, verb: &str) -> Option<Json> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let read_half = stream.try_clone().ok()?;
+    let mut writer = BufWriter::new(stream);
+    writer
+        .write_all(format!("{{\"id\":0,\"verb\":\"{verb}\"}}\n").as_bytes())
+        .ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    BufReader::new(read_half).read_line(&mut line).ok()?;
+    Json::parse(line.trim()).ok()
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn main() -> ExitCode {
+    let opts = Arc::new(parse_args());
+    if opts.clients == 0 || opts.requests == 0 {
+        usage();
+    }
+    let start = Instant::now();
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|client| {
+            let opts = Arc::clone(&opts);
+            std::thread::spawn(move || run_client(client, &opts))
+        })
+        .collect();
+    let results: Vec<ClientResult> = workers
+        .into_iter()
+        .map(|w| {
+            w.join().unwrap_or_else(|_| ClientResult {
+                latencies_us: Vec::new(),
+                ok: 0,
+                errors: 0,
+                io_failure: true,
+            })
+        })
+        .collect();
+    let elapsed = start.elapsed();
+
+    let io_failures = results.iter().filter(|r| r.io_failure).count();
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    let throughput = completed as f64 / elapsed.as_secs_f64();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+
+    // Server-side view: coalescing factor and shed count via `stats`.
+    let stats = control_round_trip(&opts.addr, "stats");
+    let coalescing = stats
+        .as_ref()
+        .and_then(|s| s.get("stats"))
+        .and_then(|s| s.get("coalescing_factor"))
+        .and_then(Json::as_f64);
+    let shed = stats
+        .as_ref()
+        .and_then(|s| s.get("stats"))
+        .and_then(|s| s.get("shed"))
+        .and_then(Json::as_u64);
+
+    if opts.json {
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("clients".to_string(), Json::from(opts.clients)),
+                ("requests_per_client".to_string(), Json::from(opts.requests)),
+                ("completed".to_string(), Json::from(completed)),
+                ("ok".to_string(), Json::from(ok)),
+                ("errors".to_string(), Json::from(errors)),
+                ("io_failures".to_string(), Json::from(io_failures)),
+                ("elapsed_s".to_string(), Json::Num(elapsed.as_secs_f64())),
+                ("throughput_rps".to_string(), Json::Num(throughput)),
+                ("p50_us".to_string(), Json::from(p50)),
+                ("p95_us".to_string(), Json::from(p95)),
+                ("p99_us".to_string(), Json::from(p99)),
+                (
+                    "coalescing_factor".to_string(),
+                    coalescing.map_or(Json::Null, Json::Num),
+                ),
+                ("shed".to_string(), shed.map_or(Json::Null, Json::from)),
+            ])
+            .render()
+        );
+    } else {
+        println!(
+            "loadgen: {} clients x {} requests against {}",
+            opts.clients, opts.requests, opts.addr
+        );
+        println!(
+            "  completed {completed} ({ok} ok, {errors} errors, {io_failures} client failures) in {:.2} s",
+            elapsed.as_secs_f64()
+        );
+        println!("  throughput {throughput:.1} req/s");
+        println!("  latency p50 {p50} µs, p95 {p95} µs, p99 {p99} µs");
+        if let (Some(factor), Some(shed)) = (coalescing, shed) {
+            println!("  server: coalescing {factor:.2}x, shed {shed}");
+        }
+    }
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "loadgen.csv",
+        &[
+            "clients",
+            "requests_per_client",
+            "completed",
+            "ok",
+            "errors",
+            "elapsed_s",
+            "throughput_rps",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "coalescing_factor",
+            "shed",
+        ],
+    );
+    csv.row(&[
+        opts.clients.to_string(),
+        opts.requests.to_string(),
+        completed.to_string(),
+        ok.to_string(),
+        errors.to_string(),
+        format!("{:.3}", elapsed.as_secs_f64()),
+        format!("{throughput:.1}"),
+        p50.to_string(),
+        p95.to_string(),
+        p99.to_string(),
+        coalescing.map_or_else(|| "-".to_string(), |v| format!("{v:.3}")),
+        shed.map_or_else(|| "-".to_string(), |v| v.to_string()),
+    ]);
+    csv.finish();
+
+    let mut failed = io_failures > 0;
+    if opts.assert_coalescing {
+        match coalescing {
+            Some(factor) if factor > 1.0 => {
+                println!("assert-coalescing: ok ({factor:.2}x)");
+            }
+            other => {
+                eprintln!("assert-coalescing: FAILED (factor = {other:?})");
+                failed = true;
+            }
+        }
+    }
+    if opts.shutdown {
+        let ack = control_round_trip(&opts.addr, "shutdown");
+        let acked = ack
+            .as_ref()
+            .and_then(|a| a.get("shutting_down"))
+            .and_then(Json::as_bool)
+            == Some(true);
+        if acked {
+            println!("shutdown: acknowledged");
+        } else {
+            eprintln!("shutdown: no acknowledgement");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -27,16 +27,20 @@ use gbd_core::s_approach::SOptions;
 use gbd_engine::{
     BackendChain, BackendSpec, Engine, EvalRequest, EvalResponse, RetryPolicy, SimulationSpec,
 };
+use gbd_serve::{ServeConfig, Server};
 use gbd_sim::config::MotionSpec;
 use json::Json;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The sensing period is fixed at the paper's value; the CLI does not
 /// expose it (no figure varies it).
 const PERIOD_S: f64 = 60.0;
 
-const COMMANDS: &[&str] = &["analyze", "simulate", "sweep", "caps", "design", "help"];
+const COMMANDS: &[&str] = &[
+    "analyze", "simulate", "sweep", "caps", "design", "serve", "help",
+];
 
 // ---------------------------------------------------------------------------
 // Shared flag groups
@@ -803,6 +807,184 @@ impl DesignCmd {
     }
 }
 
+#[derive(Debug, Clone)]
+struct ServeCmd {
+    addr: String,
+    batch_max: usize,
+    flush_us: u64,
+    queue_depth: usize,
+    max_inflight: usize,
+    conn_limit: u64,
+    max_line_bytes: usize,
+    workers: usize,
+    cache_cap: usize,
+    json: bool,
+}
+
+impl Default for ServeCmd {
+    fn default() -> Self {
+        let defaults = ServeConfig::default();
+        ServeCmd {
+            addr: "127.0.0.1:7171".to_string(),
+            batch_max: defaults.batch_max,
+            flush_us: defaults.flush_interval.as_micros() as u64,
+            queue_depth: defaults.queue_depth,
+            max_inflight: defaults.max_inflight_per_conn,
+            conn_limit: defaults.max_requests_per_conn,
+            max_line_bytes: defaults.max_line_bytes,
+            workers: 0,
+            // A long-lived server must not grow its caches without bound;
+            // 64k entries per shard is a generous working set, and eviction
+            // only ever causes bit-identical recomputation.
+            cache_cap: 1 << 16,
+            json: false,
+        }
+    }
+}
+
+impl ServeCmd {
+    const FLAGS: &'static [Flag] = &[
+        Flag::value(
+            "--addr",
+            "host:port",
+            "listen address; port 0 picks one (127.0.0.1:7171)",
+        ),
+        Flag::value(
+            "--batch-max",
+            "int",
+            "flush a coalesced batch at this many requests (32)",
+        ),
+        Flag::value("--flush-us", "µs", "coalescer flush interval (500)"),
+        Flag::value(
+            "--queue-depth",
+            "int",
+            "admission bound; overflow is shed as `overloaded` (1024)",
+        ),
+        Flag::value(
+            "--max-inflight",
+            "int",
+            "pipelined responses per connection before backpressure (64)",
+        ),
+        Flag::value(
+            "--conn-limit",
+            "int",
+            "eval requests per connection, 0 = unlimited (0)",
+        ),
+        Flag::value(
+            "--max-line-bytes",
+            "bytes",
+            "longest accepted request line (1048576)",
+        ),
+        Flag::value(
+            "--workers",
+            "int",
+            "engine worker threads, 0 = all cores (0)",
+        ),
+        Flag::value(
+            "--cache-cap",
+            "int",
+            "engine cache entries per shard, 0 = unbounded (65536)",
+        ),
+    ];
+    const GROUPS: &'static [&'static [Flag]] = &[Self::FLAGS, JSON_FLAG];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cmd = ServeCmd::default();
+        let mut cur = Cursor::new(raw);
+        while let Some(flag) = cur.next() {
+            match flag {
+                "--addr" => cmd.addr = cur.take_value(flag)?,
+                "--batch-max" => cmd.batch_max = cur.take_value(flag)?,
+                "--flush-us" => cmd.flush_us = cur.take_value(flag)?,
+                "--queue-depth" => cmd.queue_depth = cur.take_value(flag)?,
+                "--max-inflight" => cmd.max_inflight = cur.take_value(flag)?,
+                "--conn-limit" => cmd.conn_limit = cur.take_value(flag)?,
+                "--max-line-bytes" => cmd.max_line_bytes = cur.take_value(flag)?,
+                "--workers" => cmd.workers = cur.take_value(flag)?,
+                "--cache-cap" => cmd.cache_cap = cur.take_value(flag)?,
+                "--json" => cmd.json = true,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        Ok(cmd)
+    }
+
+    fn config(&self) -> ServeConfig {
+        ServeConfig {
+            addr: self.addr.clone(),
+            batch_max: self.batch_max,
+            flush_interval: Duration::from_micros(self.flush_us),
+            queue_depth: self.queue_depth,
+            max_inflight_per_conn: self.max_inflight,
+            max_requests_per_conn: self.conn_limit,
+            max_line_bytes: self.max_line_bytes,
+            handle_signals: true,
+        }
+    }
+
+    fn run(&self) -> Result<(), String> {
+        let mut engine = if self.workers == 0 {
+            Engine::new()
+        } else {
+            Engine::with_workers(self.workers)
+        };
+        if self.cache_cap > 0 {
+            engine = engine.with_cache_capacity(self.cache_cap);
+        }
+        let server = Server::bind(self.config(), Arc::new(engine))
+            .map_err(|e| format!("cannot bind {}: {e}", self.addr))?;
+        let addr = server.local_addr();
+        let handle = server.handle();
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("event", "listening".into()),
+                    ("addr", Json::Str(addr.to_string())),
+                    ("batch_max", self.batch_max.into()),
+                    ("flush_us", self.flush_us.into()),
+                    ("queue_depth", self.queue_depth.into()),
+                ])
+                .render()
+            );
+        } else {
+            println!(
+                "listening on {addr}  (batch-max {}, flush {} µs, queue {})",
+                self.batch_max, self.flush_us, self.queue_depth
+            );
+        }
+        server.run().map_err(|e| e.to_string())?;
+        let metrics = handle.metrics();
+        let read = gbd_serve::ServerMetrics::read;
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("event", "stopped".into()),
+                    ("evaluated", read(&metrics.evaluated).into()),
+                    ("batches_flushed", read(&metrics.batches_flushed).into()),
+                    ("coalescing_factor", metrics.coalescing_factor().into()),
+                    ("shed", read(&metrics.shed).into()),
+                    ("rejected", read(&metrics.rejected).into()),
+                    ("connections_total", read(&metrics.connections_total).into()),
+                ])
+                .render()
+            );
+        } else {
+            println!(
+                "stopped: {} requests in {} batches (coalescing {:.2}x), {} shed, {} rejected, {} connections",
+                read(&metrics.evaluated),
+                read(&metrics.batches_flushed),
+                metrics.coalescing_factor(),
+                read(&metrics.shed),
+                read(&metrics.rejected),
+                read(&metrics.connections_total),
+            );
+        }
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shared output helpers
 // ---------------------------------------------------------------------------
@@ -837,7 +1019,7 @@ fn params_json(params: &SystemParams) -> Json {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
-        eprintln!("usage: groupdet <analyze|simulate|sweep|caps|design|help> [options]");
+        eprintln!("usage: groupdet <analyze|simulate|sweep|caps|design|serve|help> [options]");
         return ExitCode::FAILURE;
     };
     if matches!(command, "help" | "--help" | "-h") {
@@ -851,6 +1033,7 @@ fn main() -> ExitCode {
         "sweep" => SweepCmd::parse(rest).and_then(|cmd| cmd.run()),
         "caps" => CapsCmd::parse(rest).and_then(|cmd| cmd.run()),
         "design" => DesignCmd::parse(rest).and_then(|cmd| cmd.run()),
+        "serve" => ServeCmd::parse(rest).and_then(|cmd| cmd.run()),
         other => Err(unknown_command(other, COMMANDS)),
     };
     match result {
@@ -866,7 +1049,7 @@ fn print_help() {
     let mut out = String::from(
         "groupdet — group based detection for sparse sensor networks\n\
          \n\
-         commands: analyze | simulate | sweep | caps | design | help\n\
+         commands: analyze | simulate | sweep | caps | design | serve | help\n\
          \n\
          system parameters (all commands; paper defaults in parentheses):\n",
     );
@@ -877,6 +1060,8 @@ fn print_help() {
     render_flags(&mut out, &[SimArgs::FLAGS]);
     out.push_str("\nsweep range options:\n");
     render_flags(&mut out, &[SweepCmd::FLAGS]);
+    out.push_str("\nserve options (JSON-lines protocol; see docs/SERVING.md):\n");
+    render_flags(&mut out, &[ServeCmd::FLAGS]);
     out.push_str("\nother options:\n");
     render_flags(&mut out, &[JSON_FLAG, CapsCmd::FLAGS, DesignCmd::FLAGS]);
     out.push_str(
@@ -885,7 +1070,8 @@ fn print_help() {
          \x20 groupdet analyze --backend exact --n 120\n\
          \x20 groupdet simulate --n 120 --trials 2000 --walk\n\
          \x20 groupdet sweep --k 5 --n-step 60 --trials 2000\n\
-         \x20 groupdet caps --eta 0.995",
+         \x20 groupdet caps --eta 0.995\n\
+         \x20 groupdet serve --addr 127.0.0.1:0 --batch-max 64 --json",
     );
     println!("{out}");
 }
@@ -1000,6 +1186,59 @@ mod tests {
         assert!(err.contains("did you mean `--trials`"), "{err}");
         let err = SweepCmd::parse(&strings(&["--n-stop", "3"])).unwrap_err();
         assert!(err.contains("did you mean"), "{err}");
+        let err = ServeCmd::parse(&strings(&["--batchmax", "8"])).unwrap_err();
+        assert!(err.contains("did you mean `--batch-max`"), "{err}");
+        let err = ServeCmd::parse(&strings(&["--flush-ms", "5"])).unwrap_err();
+        assert!(err.contains("did you mean `--flush-us`"), "{err}");
+        let err = ServeCmd::parse(&strings(&["--queue-deph", "9"])).unwrap_err();
+        assert!(err.contains("did you mean `--queue-depth`"), "{err}");
+    }
+
+    #[test]
+    fn serve_defaults_and_flags_parse() {
+        let cmd = ServeCmd::parse(&[]).unwrap();
+        assert_eq!(cmd.addr, "127.0.0.1:7171");
+        assert_eq!(cmd.batch_max, 32);
+        assert_eq!(cmd.flush_us, 500);
+        assert_eq!(cmd.queue_depth, 1024);
+        assert_eq!(cmd.conn_limit, 0);
+        assert_eq!(cmd.cache_cap, 1 << 16);
+        assert!(!cmd.json);
+        let cmd = ServeCmd::parse(&strings(&[
+            "--addr",
+            "0.0.0.0:0",
+            "--batch-max",
+            "8",
+            "--flush-us",
+            "250",
+            "--queue-depth",
+            "16",
+            "--max-inflight",
+            "4",
+            "--conn-limit",
+            "100",
+            "--max-line-bytes",
+            "4096",
+            "--workers",
+            "2",
+            "--cache-cap",
+            "0",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.addr, "0.0.0.0:0");
+        assert_eq!(cmd.batch_max, 8);
+        assert_eq!(cmd.flush_us, 250);
+        assert_eq!(cmd.queue_depth, 16);
+        assert_eq!(cmd.max_inflight, 4);
+        assert_eq!(cmd.conn_limit, 100);
+        assert_eq!(cmd.max_line_bytes, 4096);
+        assert_eq!(cmd.workers, 2);
+        assert_eq!(cmd.cache_cap, 0);
+        assert!(cmd.json);
+        let config = cmd.config();
+        assert_eq!(config.flush_interval, Duration::from_micros(250));
+        assert!(config.handle_signals);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Sharded concurrent memoization cache with hit/miss accounting.
+//! Sharded concurrent memoization cache with hit/miss accounting and an
+//! optional entry bound.
 //!
 //! One [`ShardedCache`] holds one layer of the engine's memoization
 //! hierarchy (geometry, per-stage report distributions, assembled
@@ -10,10 +11,19 @@
 //! parameter sets hit the same entry exactly when every float is
 //! bit-identical, which makes a warm result bit-identical to a cold one by
 //! construction (the cached value *is* the value the cold path computed).
+//!
+//! A cache built with [`ShardedCache::with_max_entries_per_shard`] keeps at
+//! most that many entries per shard, evicting with a **second-chance**
+//! (clock) sweep: every hit marks its entry referenced, and the eviction
+//! scan skips each referenced entry once before removing the first
+//! unreferenced one. Eviction never changes values — an evicted key is
+//! simply recomputed on its next lookup, and the recomputation is
+//! bit-identical by the same argument as above. Long-lived servers need
+//! the bound; one-shot sweeps leave it off.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Number of independently locked shards per cache. A power of two so the
@@ -46,6 +56,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute (and then stored) the value.
     pub misses: u64,
+    /// Entries removed by the second-chance sweep of a bounded cache
+    /// (always zero for unbounded caches).
+    pub evictions: u64,
     /// Times a poisoned shard lock was recovered instead of propagating
     /// the panic (see [`ShardedCache`]'s poisoning policy).
     pub poisoned_recoveries: u64,
@@ -62,6 +75,7 @@ impl CacheStats {
         CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
             poisoned_recoveries: self.poisoned_recoveries + other.poisoned_recoveries,
         }
     }
@@ -78,19 +92,48 @@ pub struct RequestCounters {
 }
 
 impl RequestCounters {
-    /// Snapshot of the accumulated counts. Poisoning is recovered (and
-    /// counted) per cache, not per request, so the per-request view always
-    /// reports zero recoveries.
+    /// Snapshot of the accumulated counts. Poisoning and eviction are
+    /// tracked per cache, not per request, so the per-request view always
+    /// reports zero for both.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: 0,
             poisoned_recoveries: 0,
         }
     }
 }
 
-/// A fixed-shard `RwLock<HashMap>` cache.
+/// One cached entry plus its second-chance reference bit. The bit is
+/// atomic so the read path (shared lock) can mark hits without upgrading
+/// to a write lock.
+#[derive(Debug)]
+struct Slot<V> {
+    value: Arc<V>,
+    referenced: AtomicBool,
+}
+
+/// One shard: the entry map plus the clock ring driving second-chance
+/// eviction. Every key in `map` appears exactly once in `ring` (entries
+/// are only removed by popping the ring), so the two stay in sync by
+/// construction.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, Slot<V>>,
+    ring: VecDeque<K>,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            ring: VecDeque::new(),
+        }
+    }
+}
+
+/// A fixed-shard `RwLock` cache with optional per-shard entry bounds.
 ///
 /// # Poisoning policy
 ///
@@ -104,30 +147,47 @@ impl RequestCounters {
 /// and counts the event in [`CacheStats::poisoned_recoveries`].
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
-    shards: Vec<RwLock<HashMap<K, Arc<V>>>>,
+    shards: Vec<RwLock<Shard<K, V>>>,
+    /// Maximum entries per shard; `0` means unbounded.
+    max_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     poisoned: AtomicU64,
 }
 
-impl<K: Eq + Hash, V> Default for ShardedCache<K, V> {
+impl<K: Eq + Hash + Clone, V> Default for ShardedCache<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Eq + Hash, V> ShardedCache<K, V> {
-    /// Creates an empty cache.
+impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_max_entries_per_shard(0)
+    }
+
+    /// Creates an empty cache holding at most `max_entries` per shard
+    /// (`0` = unbounded). With 16 shards, the whole cache holds at most
+    /// `16 * max_entries` entries; overflow evicts via second-chance.
+    pub fn with_max_entries_per_shard(max_entries: usize) -> Self {
         ShardedCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::new())).collect(),
+            max_per_shard: max_entries,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             poisoned: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<V>>> {
+    /// The configured per-shard entry bound (`0` = unbounded).
+    pub fn max_entries_per_shard(&self) -> usize {
+        self.max_per_shard
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<Shard<K, V>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
@@ -138,8 +198,8 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
     /// once per subsequent acquisition.
     fn read_shard<'a>(
         &self,
-        shard: &'a RwLock<HashMap<K, Arc<V>>>,
-    ) -> std::sync::RwLockReadGuard<'a, HashMap<K, Arc<V>>> {
+        shard: &'a RwLock<Shard<K, V>>,
+    ) -> std::sync::RwLockReadGuard<'a, Shard<K, V>> {
         shard.read().unwrap_or_else(|poisoned| {
             self.poisoned.fetch_add(1, Ordering::Relaxed);
             shard.clear_poison();
@@ -151,13 +211,70 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
     /// [`ShardedCache::read_shard`]).
     fn write_shard<'a>(
         &self,
-        shard: &'a RwLock<HashMap<K, Arc<V>>>,
-    ) -> std::sync::RwLockWriteGuard<'a, HashMap<K, Arc<V>>> {
+        shard: &'a RwLock<Shard<K, V>>,
+    ) -> std::sync::RwLockWriteGuard<'a, Shard<K, V>> {
         shard.write().unwrap_or_else(|poisoned| {
             self.poisoned.fetch_add(1, Ordering::Relaxed);
             shard.clear_poison();
             poisoned.into_inner()
         })
+    }
+
+    /// Looks `key` up on the shared-lock path, marking the entry
+    /// referenced on a hit.
+    fn lookup(&self, shard: &RwLock<Shard<K, V>>, key: &K) -> Option<Arc<V>> {
+        let guard = self.read_shard(shard);
+        let slot = guard.map.get(key)?;
+        slot.referenced.store(true, Ordering::Relaxed);
+        Some(Arc::clone(&slot.value))
+    }
+
+    /// Inserts a freshly computed value under the write lock, then evicts
+    /// down to the shard bound. Returns the cached value — the existing
+    /// one if a racing worker inserted first (first insert wins).
+    fn insert_bounded(&self, shard: &RwLock<Shard<K, V>>, key: K, value: Arc<V>) -> Arc<V> {
+        let mut guard = self.write_shard(shard);
+        if let Some(slot) = guard.map.get(&key) {
+            return Arc::clone(&slot.value);
+        }
+        guard.ring.push_back(key.clone());
+        // New entries start unreferenced (classic clock): a hit must earn
+        // the second chance, otherwise every sweep degrades into a full
+        // bit-clearing rotation and evicts the hottest entry first.
+        guard.map.insert(
+            key,
+            Slot {
+                value: Arc::clone(&value),
+                referenced: AtomicBool::new(false),
+            },
+        );
+        if self.max_per_shard > 0 {
+            while guard.map.len() > self.max_per_shard {
+                self.evict_one(&mut guard);
+            }
+        }
+        value
+    }
+
+    /// One second-chance sweep: rotate past referenced entries (clearing
+    /// their bit) until an unreferenced one falls out. Bounded by the ring
+    /// length — after one full rotation every bit is clear, so the sweep
+    /// always terminates with an eviction.
+    fn evict_one(&self, guard: &mut Shard<K, V>) {
+        let mut rotations = guard.ring.len();
+        while let Some(candidate) = guard.ring.pop_front() {
+            let Some(slot) = guard.map.get(&candidate) else {
+                continue;
+            };
+            if rotations > 0 && slot.referenced.swap(false, Ordering::Relaxed) {
+                rotations -= 1;
+                guard.ring.push_back(candidate);
+                continue;
+            }
+            guard.map.remove(&candidate);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
     }
 
     /// Returns the cached value for `key`, computing and inserting it with
@@ -179,16 +296,15 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         F: FnOnce() -> V,
     {
         let shard = self.shard(&key);
-        if let Some(v) = self.read_shard(shard).get(&key) {
+        if let Some(v) = self.lookup(shard, &key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             counters.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+            return v;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         counters.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute());
-        let mut guard = self.write_shard(shard);
-        Arc::clone(guard.entry(key).or_insert(value))
+        self.insert_bounded(shard, key, value)
     }
 
     /// Like [`ShardedCache::get_or_insert_with`] for fallible computation:
@@ -204,30 +320,34 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
         F: FnOnce() -> Result<V, E>,
     {
         let shard = self.shard(&key);
-        if let Some(v) = self.read_shard(shard).get(&key) {
+        if let Some(v) = self.lookup(shard, &key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             counters.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(v));
+            return Ok(v);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         counters.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute()?);
-        let mut guard = self.write_shard(shard);
-        Ok(Arc::clone(guard.entry(key).or_insert(value)))
+        Ok(self.insert_bounded(shard, key, value))
     }
 
-    /// Cumulative hit/miss counts since creation (or the last clear).
+    /// Cumulative hit/miss/eviction counts since creation (or the last
+    /// clear).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             poisoned_recoveries: self.poisoned.load(Ordering::Relaxed),
         }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| self.read_shard(s).len()).sum()
+        self.shards
+            .iter()
+            .map(|s| self.read_shard(s).map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -239,10 +359,13 @@ impl<K: Eq + Hash, V> ShardedCache<K, V> {
     /// poisoned-recovery count — a cleared cache starts a fresh epoch).
     pub fn clear(&self) {
         for shard in &self.shards {
-            self.write_shard(shard).clear();
+            let mut guard = self.write_shard(shard);
+            guard.map.clear();
+            guard.ring.clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
         self.poisoned.store(0, Ordering::Relaxed);
     }
 }
@@ -352,6 +475,63 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        // One entry per shard: every insert beyond the first into a shard
+        // must evict, and the total never exceeds SHARDS entries.
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_max_entries_per_shard(1);
+        assert_eq!(cache.max_entries_per_shard(), 1);
+        let counters = RequestCounters::default();
+        for key in 0..200u64 {
+            let v = cache.get_or_insert_with(key, &counters, || key + 1);
+            assert_eq!(*v, key + 1);
+        }
+        assert!(cache.len() <= SHARDS, "len = {}", cache.len());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 200);
+        assert!(stats.evictions >= 200 - SHARDS as u64, "{stats:?}");
+        // Evicted keys recompute to the same value (warm ≡ cold).
+        let v = cache.get_or_insert_with(0, &counters, || 1);
+        assert_eq!(*v, 1);
+    }
+
+    #[test]
+    fn second_chance_keeps_the_hot_entry() {
+        // Single shard of capacity 2: key A is re-referenced before each
+        // insert, so the sweep must evict the cold keys around it.
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_max_entries_per_shard(2);
+        let counters = RequestCounters::default();
+        // Find two keys in the same shard as key 0 to exercise one shard.
+        let shard0 = cache.shard(&0) as *const _;
+        let same_shard: Vec<u64> = (1..1000u64)
+            .filter(|k| std::ptr::eq(cache.shard(k), shard0))
+            .take(8)
+            .collect();
+        cache.get_or_insert_with(0, &counters, || 0);
+        for &k in &same_shard {
+            // Touch the hot key so its reference bit is set, then insert a
+            // cold one; the sweep must pass over hot key 0.
+            cache.get_or_insert_with(0, &counters, || unreachable!());
+            cache.get_or_insert_with(k, &counters, || k);
+        }
+        // Key 0 survived every eviction sweep.
+        let hits_before = cache.stats().hits;
+        cache.get_or_insert_with(0, &counters, || unreachable!());
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        assert!(cache.stats().evictions >= same_shard.len() as u64 - 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let counters = RequestCounters::default();
+        for key in 0..500u64 {
+            cache.get_or_insert_with(key, &counters, || key);
+        }
+        assert_eq!(cache.len(), 500);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

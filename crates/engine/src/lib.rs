@@ -171,6 +171,23 @@ impl Engine {
         }
     }
 
+    /// Bounds every cache layer to `max_entries_per_shard` entries per
+    /// shard (16 shards per layer; `0` = unbounded, the default).
+    /// Overflow evicts via a second-chance sweep and counts in
+    /// [`CacheStats::evictions`]; an evicted entry is recomputed
+    /// bit-identically on its next use, so the bound changes memory and
+    /// speed, never values. Long-lived servers should set this — the
+    /// unbounded default grows forever under a changing workload.
+    ///
+    /// Call at construction time: bounding replaces the (empty) caches.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, max_entries_per_shard: usize) -> Self {
+        self.geometry = ShardedCache::with_max_entries_per_shard(max_entries_per_shard);
+        self.stages = ShardedCache::with_max_entries_per_shard(max_entries_per_shard);
+        self.results = ShardedCache::with_max_entries_per_shard(max_entries_per_shard);
+        self
+    }
+
     /// Attaches a [`chaos::ChaosPlan`] that deterministically injects
     /// faults into every batch this engine serves. Test-only (cargo
     /// feature `chaos`).
@@ -191,9 +208,34 @@ impl Engine {
     /// request order, and their values are independent of the worker count
     /// and of which requests hit warm caches.
     pub fn evaluate_batch(&self, requests: &[EvalRequest]) -> Vec<EvalResponse> {
+        self.evaluate_batch_with(requests, |_| {})
+    }
+
+    /// Like [`Engine::evaluate_batch`], additionally invoking `notify`
+    /// with each response **as soon as it completes**, from the worker
+    /// thread that computed it. This is the batch-handle surface a
+    /// serving layer coalesces onto: early finishers stream back to their
+    /// callers while the rest of the batch is still evaluating, instead of
+    /// waiting for the slowest request.
+    ///
+    /// `notify` observes every response exactly once in the common case;
+    /// if a worker thread is killed outside the per-request panic boundary
+    /// (the defense-in-depth recompute path of the pool), a recomputed
+    /// response may be notified again — consumers routing by
+    /// [`EvalResponse::index`] are idempotent by construction.
+    pub fn evaluate_batch_with<F>(
+        &self,
+        requests: &[EvalRequest],
+        notify: F,
+    ) -> Vec<EvalResponse>
+    where
+        F: Fn(&EvalResponse) + Sync,
+    {
         let faults = self.batch_faults(requests.len());
         pool::run_indexed(requests.len(), self.workers, |i| {
-            self.evaluate_at(i, &requests[i], &faults)
+            let response = self.evaluate_at(i, &requests[i], &faults);
+            notify(&response);
+            response
         })
     }
 
@@ -781,6 +823,44 @@ mod tests {
                 .evaluate(&EvalRequest::new(paper(), BackendSpec::ms_default()))
                 .outcome
         );
+    }
+
+    #[test]
+    fn bounded_caches_stay_bit_identical() {
+        // A pathologically tiny bound (one entry per shard) forces heavy
+        // eviction; every response must still equal the unbounded run.
+        let grid = fig9a_grid();
+        let unbounded = Engine::with_workers(1).evaluate_batch(&grid);
+        let bounded_engine = Engine::with_workers(1).with_cache_capacity(1);
+        let bounded = bounded_engine.evaluate_batch(&grid);
+        // Two passes so evicted entries are recomputed on the warm pass.
+        let rewarmed = bounded_engine.evaluate_batch(&grid);
+        for ((u, b), r) in unbounded.iter().zip(&bounded).zip(&rewarmed) {
+            assert_eq!(u.outcome, b.outcome);
+            assert_eq!(u.outcome, r.outcome);
+            assert_eq!(u.detection, b.detection);
+        }
+        let stats = bounded_engine.cache_stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn evaluate_batch_with_streams_every_response_once() {
+        use std::sync::Mutex;
+        let engine = Engine::with_workers(2);
+        let grid = fig9a_grid();
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let responses = engine.evaluate_batch_with(&grid, |r| {
+            seen.lock().unwrap().push(r.index);
+        });
+        let mut indices = seen.into_inner().unwrap();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..grid.len()).collect::<Vec<_>>());
+        // The returned vector is the same as the plain batch API's.
+        let direct = Engine::with_workers(2).evaluate_batch(&grid);
+        for (a, b) in responses.iter().zip(&direct) {
+            assert_eq!(a.outcome, b.outcome);
+        }
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Per-connection protocol handling: a reader thread that parses and
+//! dispatches request lines, paired with a writer thread that emits
+//! responses in submission order.
+//!
+//! The writer consumes a bounded queue of [`WriteItem`]s. An item is
+//! either ready to write or a rendezvous receiver for an eval response
+//! still in flight; blocking on each receiver *in submission order* gives
+//! pipelined clients in-order responses without reordering buffers. The
+//! queue bound doubles as the per-connection in-flight limit: a reader
+//! that gets too far ahead blocks pushing the next item, which in turn
+//! stops reading from the socket — natural TCP backpressure.
+
+use crate::coalescer::SubmitError;
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, ErrorCode, Verb};
+use crate::server::ServerShared;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+
+/// One unit of writer work, queued in submission order.
+enum WriteItem {
+    /// A response that is already rendered (errors, ping, stats).
+    Ready(Json),
+    /// An eval response still being computed; the writer blocks on the
+    /// receiver, preserving order.
+    Wait { id: u64, rx: Receiver<Json> },
+}
+
+/// Serves one accepted connection until EOF, an I/O error, or server
+/// shutdown closes the socket. Never panics the server: all protocol
+/// errors are answered in-band.
+pub(crate) fn handle(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let inflight = shared.config.max_inflight_per_conn.max(1);
+    let (tx, rx) = mpsc::sync_channel::<WriteItem>(inflight);
+    let writer = std::thread::Builder::new()
+        .name("gbd-conn-writer".to_string())
+        .spawn(move || writer_loop(write_half, &rx));
+    let Ok(writer) = writer else {
+        return;
+    };
+    reader_loop(stream, shared, &tx);
+    // Dropping the sender lets the writer finish the queued tail (including
+    // in-flight eval responses) and exit.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>) {
+    let mut out = BufWriter::new(stream);
+    while let Ok(item) = rx.recv() {
+        let response = match item {
+            WriteItem::Ready(json) => json,
+            WriteItem::Wait { id, rx } => rx.recv().unwrap_or_else(|_| {
+                // The coalescer guarantees a send for every admitted
+                // request; a closed channel means its flush path died.
+                protocol::error_response(
+                    Some(id),
+                    ErrorCode::EvalFailed,
+                    "response channel closed",
+                )
+            }),
+        };
+        let mut line = response.render();
+        line.push('\n');
+        if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<ServerShared>, tx: &SyncSender<WriteItem>) {
+    let mut reader = BufReader::new(stream);
+    let limit = shared.config.max_line_bytes.max(1);
+    let mut evals_served: u64 = 0;
+    loop {
+        let line = match read_line_bounded(&mut reader, limit) {
+            Ok(Some(line)) => line,
+            // EOF or a dead socket (including the shutdown path closing it).
+            Ok(None) | Err(_) => return,
+        };
+        if line.truncated {
+            ServerMetrics::bump(&shared.metrics.rejected);
+            let err = protocol::error_response(
+                None,
+                ErrorCode::LineTooLong,
+                &format!("request line exceeds {limit} bytes"),
+            );
+            if tx.send(WriteItem::Ready(err)).is_err() {
+                return;
+            }
+            continue;
+        }
+        let Ok(text) = std::str::from_utf8(&line.bytes) else {
+            ServerMetrics::bump(&shared.metrics.rejected);
+            let err =
+                protocol::error_response(None, ErrorCode::BadRequest, "request is not UTF-8");
+            if tx.send(WriteItem::Ready(err)).is_err() {
+                return;
+            }
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let envelope = match protocol::parse_line(text) {
+            Ok(envelope) => envelope,
+            Err(wire_error) => {
+                ServerMetrics::bump(&shared.metrics.rejected);
+                let err = protocol::error_response(
+                    wire_error.id,
+                    wire_error.code,
+                    &wire_error.message,
+                );
+                if tx.send(WriteItem::Ready(err)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let item = dispatch(envelope.id, envelope.verb, shared, &mut evals_served);
+        if tx.send(item).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    id: u64,
+    verb: Verb,
+    shared: &Arc<ServerShared>,
+    evals_served: &mut u64,
+) -> WriteItem {
+    match verb {
+        Verb::Ping => WriteItem::Ready(protocol::pong(id)),
+        Verb::Stats => WriteItem::Ready(shared.metrics.render(
+            id,
+            shared.coalescer.queue_depth(),
+            shared.engine.cache_stats(),
+        )),
+        Verb::Shutdown => {
+            let ack = Json::obj(vec![
+                ("id".to_string(), Json::Int(id as i64)),
+                ("ok".to_string(), Json::Bool(true)),
+                ("shutting_down".to_string(), Json::Bool(true)),
+            ]);
+            shared.begin_shutdown();
+            WriteItem::Ready(ack)
+        }
+        Verb::Eval(request) => {
+            let limit = shared.config.max_requests_per_conn;
+            if limit > 0 && *evals_served >= limit {
+                ServerMetrics::bump(&shared.metrics.rejected);
+                return WriteItem::Ready(protocol::error_response(
+                    Some(id),
+                    ErrorCode::ConnLimit,
+                    &format!("connection exceeded its limit of {limit} eval requests"),
+                ));
+            }
+            *evals_served += 1;
+            match shared.coalescer.submit(id, *request) {
+                Ok(rx) => WriteItem::Wait { id, rx },
+                Err(SubmitError::Overloaded) => WriteItem::Ready(protocol::error_response(
+                    Some(id),
+                    ErrorCode::Overloaded,
+                    "admission queue is full; request shed",
+                )),
+                Err(SubmitError::ShuttingDown) => WriteItem::Ready(protocol::error_response(
+                    Some(id),
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                )),
+            }
+        }
+    }
+}
+
+/// One request line read off the socket.
+struct Line {
+    bytes: Vec<u8>,
+    /// The line exceeded the byte limit; `bytes` is empty and the whole
+    /// line (up to its newline) was discarded from the stream.
+    truncated: bool,
+}
+
+/// Reads up to the next `\n`, enforcing the byte limit without ever
+/// buffering more than one `BufReader` chunk of an over-long line.
+/// Returns `Ok(None)` on clean EOF.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+) -> std::io::Result<Option<Line>> {
+    let mut bytes = Vec::new();
+    let mut truncated = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF. A partial final line is still delivered (it will fail
+            // JSON parsing and get a structured error before the reader
+            // sees the EOF on its next call).
+            if bytes.is_empty() && !truncated {
+                return Ok(None);
+            }
+            return Ok(Some(Line { bytes, truncated }));
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if !truncated {
+                if bytes.len() + pos <= limit {
+                    bytes.extend_from_slice(&chunk[..pos]);
+                } else {
+                    truncated = true;
+                    bytes.clear();
+                }
+            }
+            reader.consume(pos + 1);
+            return Ok(Some(Line { bytes, truncated }));
+        }
+        let len = chunk.len();
+        if !truncated {
+            if bytes.len() + len <= limit {
+                bytes.extend_from_slice(chunk);
+            } else {
+                truncated = true;
+                bytes.clear();
+            }
+        }
+        reader.consume(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(input: &[u8], limit: usize) -> Vec<(Vec<u8>, bool)> {
+        let mut reader = BufReader::with_capacity(4, Cursor::new(input.to_vec()));
+        let mut lines = Vec::new();
+        while let Some(line) = read_line_bounded(&mut reader, limit).unwrap() {
+            lines.push((line.bytes, line.truncated));
+        }
+        lines
+    }
+
+    #[test]
+    fn splits_lines_and_reports_eof() {
+        let lines = read_all(b"ab\ncd\n", 100);
+        assert_eq!(
+            lines,
+            vec![(b"ab".to_vec(), false), (b"cd".to_vec(), false)]
+        );
+    }
+
+    #[test]
+    fn delivers_partial_final_line() {
+        let lines = read_all(b"ab\ncd", 100);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], (b"cd".to_vec(), false));
+    }
+
+    #[test]
+    fn truncates_over_long_lines_but_keeps_the_stream_aligned() {
+        // First line blows the 5-byte limit; the line after it must still
+        // parse cleanly from the correct offset.
+        let lines = read_all(b"0123456789\nok\n", 5);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].1, "long line not flagged truncated");
+        assert!(lines[0].0.is_empty());
+        assert_eq!(lines[1], (b"ok".to_vec(), false));
+    }
+
+    #[test]
+    fn exact_limit_is_not_truncated() {
+        let lines = read_all(b"12345\n", 5);
+        assert_eq!(lines, vec![(b"12345".to_vec(), false)]);
+    }
+
+    #[test]
+    fn empty_lines_come_through_empty() {
+        let lines = read_all(b"\n\nx\n", 5);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], (b"x".to_vec(), false));
+    }
+}

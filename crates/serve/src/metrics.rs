@@ -1,0 +1,272 @@
+//! Server-side counters and a lock-free latency histogram, exposed
+//! through the `stats` protocol verb.
+
+use crate::json::Json;
+use gbd_engine::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two microsecond buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs (bucket 0 holds `[0, 2)`). 40 buckets cover up to
+/// ~12.7 days, far beyond any deadline the engine accepts.
+const BUCKETS: usize = 40;
+
+/// A log-bucketed histogram of request latencies.
+///
+/// Recording is a single relaxed fetch-add, so the per-request cost is
+/// negligible next to an engine evaluation. Percentiles are read as the
+/// upper bound of the bucket containing the rank — an upper estimate with
+/// at most 2× resolution error, which is plenty for load-test reporting.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`); `None` when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) - 1, capped at the
+                // observed max so p100 never exceeds reality.
+                let bound = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Some(bound.min(self.max_us()));
+            }
+        }
+        Some(self.max_us())
+    }
+}
+
+/// All counters the `stats` verb reports.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+    /// Connections currently open.
+    pub connections_active: AtomicU64,
+    /// Eval requests admitted into the coalescer queue.
+    pub admitted: AtomicU64,
+    /// Eval requests evaluated by the engine (across all batches).
+    pub evaluated: AtomicU64,
+    /// Eval requests shed by admission control (`overloaded`).
+    pub shed: AtomicU64,
+    /// Request lines rejected before admission (`bad_request`,
+    /// `line_too_long`, `conn_limit`, `shutting_down`).
+    pub rejected: AtomicU64,
+    /// Batches flushed to the engine.
+    pub batches_flushed: AtomicU64,
+    /// Flushes triggered by reaching the batch-size threshold.
+    pub flushes_by_size: AtomicU64,
+    /// Flushes triggered by the flush-interval timer (or drain).
+    pub flushes_by_timer: AtomicU64,
+    /// End-to-end latency (admission to response ready) of eval requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per flushed batch; 0 when nothing flushed yet.
+    pub fn coalescing_factor(&self) -> f64 {
+        let batches = Self::read(&self.batches_flushed);
+        if batches == 0 {
+            return 0.0;
+        }
+        Self::read(&self.evaluated) as f64 / batches as f64
+    }
+
+    /// Renders the `stats` verb's payload. `queue_depth` is sampled by the
+    /// caller (it lives behind the coalescer's lock); `cache` comes from
+    /// the engine.
+    pub fn render(&self, id: u64, queue_depth: usize, cache: CacheStats) -> Json {
+        let lookups = cache.lookups();
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / lookups as f64
+        };
+        let q = |p: f64| self.latency.quantile_us(p).map_or(Json::Null, Json::from);
+        Json::obj(vec![
+            ("id".to_string(), Json::Int(id as i64)),
+            ("ok".to_string(), Json::Bool(true)),
+            (
+                "stats".to_string(),
+                Json::obj(vec![
+                    ("queue_depth".to_string(), Json::from(queue_depth)),
+                    (
+                        "connections_total".to_string(),
+                        Json::from(Self::read(&self.connections_total)),
+                    ),
+                    (
+                        "connections_active".to_string(),
+                        Json::from(Self::read(&self.connections_active)),
+                    ),
+                    (
+                        "admitted".to_string(),
+                        Json::from(Self::read(&self.admitted)),
+                    ),
+                    (
+                        "evaluated".to_string(),
+                        Json::from(Self::read(&self.evaluated)),
+                    ),
+                    ("shed".to_string(), Json::from(Self::read(&self.shed))),
+                    (
+                        "rejected".to_string(),
+                        Json::from(Self::read(&self.rejected)),
+                    ),
+                    (
+                        "batches_flushed".to_string(),
+                        Json::from(Self::read(&self.batches_flushed)),
+                    ),
+                    (
+                        "flushes_by_size".to_string(),
+                        Json::from(Self::read(&self.flushes_by_size)),
+                    ),
+                    (
+                        "flushes_by_timer".to_string(),
+                        Json::from(Self::read(&self.flushes_by_timer)),
+                    ),
+                    (
+                        "coalescing_factor".to_string(),
+                        Json::Num(self.coalescing_factor()),
+                    ),
+                    (
+                        "cache".to_string(),
+                        Json::obj(vec![
+                            ("hits".to_string(), Json::from(cache.hits)),
+                            ("misses".to_string(), Json::from(cache.misses)),
+                            ("evictions".to_string(), Json::from(cache.evictions)),
+                            ("hit_rate".to_string(), Json::Num(hit_rate)),
+                        ]),
+                    ),
+                    (
+                        "latency_us".to_string(),
+                        Json::obj(vec![
+                            ("count".to_string(), Json::from(self.latency.count())),
+                            ("p50".to_string(), q(0.50)),
+                            ("p95".to_string(), q(0.95)),
+                            ("p99".to_string(), q(0.99)),
+                            ("max".to_string(), Json::from(self.latency.max_us())),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for us in [10u64, 20, 40, 80, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_us(), 1000);
+        let p50 = h.quantile_us(0.5).unwrap();
+        // The median sample is 40µs; its bucket [32,64) reports 63.
+        assert!((40..=63).contains(&p50), "p50 = {p50}");
+        // p100 is capped at the observed max rather than the bucket bound.
+        assert_eq!(h.quantile_us(1.0), Some(1000));
+        assert!(h.quantile_us(0.0).unwrap() <= p50);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(0.0).unwrap() <= 1);
+        assert_eq!(h.quantile_us(1.0), Some(100_000_000_000));
+    }
+
+    #[test]
+    fn coalescing_factor_is_requests_per_batch() {
+        let m = ServerMetrics::default();
+        assert_eq!(m.coalescing_factor(), 0.0);
+        m.evaluated.store(12, Ordering::Relaxed);
+        m.batches_flushed.store(3, Ordering::Relaxed);
+        assert_eq!(m.coalescing_factor(), 4.0);
+    }
+
+    #[test]
+    fn stats_render_shape() {
+        let m = ServerMetrics::default();
+        m.latency.record(Duration::from_micros(100));
+        let v = m.render(
+            5,
+            2,
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                poisoned_recoveries: 0,
+            },
+        );
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(5));
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("queue_depth").and_then(Json::as_usize), Some(2));
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(0.75));
+        let lat = stats.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+        assert!(lat.get("p99").unwrap().as_u64().is_some());
+    }
+}

@@ -1,0 +1,275 @@
+//! The TCP server: accept loop, connection lifecycle, and graceful
+//! shutdown.
+//!
+//! Shutdown (via the `shutdown` verb, [`ServerHandle::shutdown`], or a
+//! latched SIGINT/SIGTERM) proceeds in drain order: stop accepting, drain
+//! the coalescer (every admitted request gets its response), close the
+//! live sockets to wake blocked readers, then join the connection
+//! threads.
+
+use crate::coalescer::{Coalescer, CoalescerConfig};
+use crate::conn;
+use crate::metrics::ServerMetrics;
+use crate::signals;
+use gbd_engine::Engine;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything configurable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:7070` (`:0` picks an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Coalescer: flush when this many requests are queued.
+    pub batch_max: usize,
+    /// Coalescer: flush when the oldest queued request has waited this
+    /// long.
+    pub flush_interval: Duration,
+    /// Admission bound: queued requests beyond this are shed with an
+    /// `overloaded` error.
+    pub queue_depth: usize,
+    /// Per-connection pipelining bound: a connection with this many
+    /// responses outstanding stops being read (TCP backpressure).
+    pub max_inflight_per_conn: usize,
+    /// Eval requests a single connection may submit over its lifetime
+    /// (`conn_limit` errors after); 0 = unlimited.
+    pub max_requests_per_conn: u64,
+    /// Longest accepted request line in bytes; longer lines are discarded
+    /// with a `line_too_long` error.
+    pub max_line_bytes: usize,
+    /// Watch for SIGINT/SIGTERM and shut down gracefully when one
+    /// arrives.
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch_max: 32,
+            flush_interval: Duration::from_micros(500),
+            queue_depth: 1024,
+            max_inflight_per_conn: 64,
+            max_requests_per_conn: 0,
+            max_line_bytes: 1 << 20,
+            handle_signals: false,
+        }
+    }
+}
+
+/// State shared by the accept loop, the connections, and the coalescer.
+pub(crate) struct ServerShared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) coalescer: Arc<Coalescer>,
+    pub(crate) config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    /// Flips the shutdown flag; the accept loop notices within one poll
+    /// tick and runs the drain sequence.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A handle for observing and stopping a running server from another
+/// thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl ServerHandle {
+    /// Triggers the same graceful shutdown as the `shutdown` verb.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// The server's metrics (live).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+}
+
+/// A bound server, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the coalescer (but accepts nothing
+    /// until [`run`](Server::run)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (`EADDRINUSE`, bad address syntax,
+    /// privileged port, …).
+    pub fn bind(config: ServeConfig, engine: Arc<Engine>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        if config.handle_signals {
+            signals::install();
+        }
+        let metrics = Arc::new(ServerMetrics::default());
+        let coalescer = Coalescer::start(
+            Arc::clone(&engine),
+            Arc::clone(&metrics),
+            CoalescerConfig {
+                batch_max: config.batch_max,
+                flush_interval: config.flush_interval,
+                queue_depth: config.queue_depth,
+            },
+        );
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(ServerShared {
+                engine,
+                metrics,
+                coalescer,
+                config,
+                shutdown: AtomicBool::new(false),
+            }),
+            conns: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A clonable handle for shutting the server down from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accepts and serves connections until shutdown is requested, then
+    /// drains and returns. The polling accept loop (rather than a blocking
+    /// one) is what lets the shutdown flag and signal latch interrupt it
+    /// without self-pipes or platform APIs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected accept-loop I/O failures; `WouldBlock` and
+    /// per-connection errors are handled internally.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            if self.shared.shutting_down()
+                || (self.shared.config.handle_signals && signals::triggered())
+            {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.spawn_conn(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reap_finished();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (e.g. the peer
+                // reset before we got to it) should not kill the server.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => {
+                    self.drain();
+                    return Err(e);
+                }
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    fn spawn_conn(&self, stream: TcpStream) {
+        let metrics = &self.shared.metrics;
+        ServerMetrics::bump(&metrics.connections_total);
+        ServerMetrics::bump(&metrics.connections_active);
+        let Ok(track) = stream.try_clone() else {
+            metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+            return;
+        };
+        let shared = Arc::clone(&self.shared);
+        let spawned = std::thread::Builder::new()
+            .name("gbd-conn".to_string())
+            .spawn(move || {
+                conn::handle(stream, &shared);
+                shared
+                    .metrics
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            });
+        match spawned {
+            Ok(handle) => self
+                .conns
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push((track, handle)),
+            Err(_) => {
+                // Could not spawn a thread for it; drop the connection.
+                let _ = track.shutdown(Shutdown::Both);
+                metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Frees bookkeeping for connections that already hung up.
+    fn reap_finished(&self) {
+        let mut conns = self
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut live = Vec::with_capacity(conns.len());
+        for (stream, handle) in conns.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push((stream, handle));
+            }
+        }
+        *conns = live;
+    }
+
+    /// The drain sequence. Order matters:
+    /// 1. The coalescer drains first, so every admitted request resolves
+    ///    its response channel — writers finish their queued tails.
+    /// 2. Sockets are then closed read-side, waking readers blocked in
+    ///    `read` with EOF.
+    /// 3. Connection threads join (their writers already ran dry).
+    fn drain(&self) {
+        self.shared.coalescer.shutdown();
+        let mut conns = self
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (stream, _) in conns.iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (_, handle) in conns.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Minimal async-signal-safe SIGINT/SIGTERM latch.
+//!
+//! The workspace vendors no `libc`/`signal-hook`, so this goes straight to
+//! the C runtime: `signal(2)` installs a handler that does the only
+//! async-signal-safe thing worth doing — set an atomic flag. The server's
+//! accept loop polls [`triggered`] and runs the ordinary graceful-shutdown
+//! path from safe code.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn latch(_signum: i32) {
+    // Only async-signal-safe operation here: one atomic store.
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the latch for SIGINT (ctrl-c) and SIGTERM. Idempotent; safe to
+/// call from any thread. No-op on non-unix targets.
+pub fn install() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: `signal` with a plain function pointer of the correct C
+        // ABI is the documented libc contract; the handler touches only a
+        // static atomic.
+        unsafe {
+            signal(SIGINT, latch);
+            signal(SIGTERM, latch);
+        }
+    }
+}
+
+/// Whether a latched signal has arrived since process start.
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Test hook: raises the latch as if a signal had been delivered.
+#[doc(hidden)]
+pub fn trigger_for_test() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}

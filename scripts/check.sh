@@ -24,14 +24,42 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # The engine hosts the panic-isolation boundary: an unwrap/expect on a lock
 # or join result there would turn one poisoned shard into a crashed batch.
-# Non-test engine code must stay free of both (tests opt out via
-# cfg_attr(test) in the crate root).
-echo "==> cargo clippy -p gbd-engine (unwrap/expect ban)"
-cargo clippy -p gbd-engine --all-targets --no-deps -- \
-  -D warnings -W clippy::unwrap_used -W clippy::expect_used
+# The serve crate is a long-lived process fed untrusted bytes, so it gets
+# the same treatment. Non-test code must stay free of both (tests opt out
+# via cfg_attr(test) in the crate root).
+for crate in gbd-engine gbd-serve; do
+  echo "==> cargo clippy -p $crate (unwrap/expect ban)"
+  cargo clippy -p "$crate" --all-targets --no-deps -- \
+    -D warnings -W clippy::unwrap_used -W clippy::expect_used
+done
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+# Serve smoke: start the server on an ephemeral port, round-trip a mixed
+# analytical+simulation batch through the load generator, assert the
+# coalescer actually batched (factor > 1), and require a clean drain on
+# the shutdown verb (`wait` fails the gate if the server exits nonzero).
+echo "==> serve smoke (loadgen round trip + clean shutdown)"
+cargo build --release -q -p gbd-cli -p gbd-bench --bin groupdet --bin loadgen
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+target/release/groupdet serve --addr 127.0.0.1:0 --json >"$smoke_dir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$smoke_dir/serve.log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "serve smoke: server never reported a listening address" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+target/release/loadgen --addr "$addr" --clients 4 --requests 32 \
+  --sim-every 8 --out "$smoke_dir" --assert-coalescing --shutdown
+wait "$serve_pid"
 
 if [ "$chaos" -eq 1 ]; then
   for seed in 1 7 2008; do
