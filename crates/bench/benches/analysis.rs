@@ -40,7 +40,8 @@ fn bench_ms_approach_caps(c: &mut Criterion) {
     for caps in [1usize, 3, 6, 9] {
         group.bench_with_input(BenchmarkId::from_parameter(caps), &caps, |b, &g| {
             b.iter(|| {
-                ms_approach::analyze(black_box(&params), &MsOptions { g, gh: g }).unwrap()
+                ms_approach::analyze(black_box(&params), &MsOptions { g, gh: g, eps: 0.0 })
+                    .unwrap()
             })
         });
     }
@@ -130,7 +131,11 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| {
             gbd_core::t_approach::analyze(
                 black_box(&small),
-                &MsOptions { g: 2, gh: 2 },
+                &MsOptions {
+                    g: 2,
+                    gh: 2,
+                    eps: 0.0,
+                },
                 10_000_000,
             )
             .unwrap()

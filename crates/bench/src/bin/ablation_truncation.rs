@@ -29,7 +29,15 @@ fn main() {
         println!("  g=gh | raw err  | normalized err | truncated mass");
         println!(" ------+----------+----------------+---------------");
         for caps in 1..=6usize {
-            let r = analyze(&params, &MsOptions { g: caps, gh: caps }).unwrap();
+            let r = analyze(
+                &params,
+                &MsOptions {
+                    g: caps,
+                    gh: caps,
+                    eps: 0.0,
+                },
+            )
+            .unwrap();
             let raw_err = (r.detection_probability_unnormalized(params.k()) - truth).abs();
             let norm_err = (r.detection_probability(params.k()) - truth).abs();
             let deficit = 1.0 - r.retained_mass();

@@ -44,6 +44,7 @@ fn main() {
                 BackendSpec::Ms(MsOptions {
                     g: caps.g,
                     gh: caps.gh,
+                    eps: 0.0,
                 }),
             )
         })

@@ -326,6 +326,18 @@ fn main() -> ExitCode {
         .and_then(|s| s.get("stats"))
         .and_then(|s| s.get("shed"))
         .and_then(Json::as_u64);
+    // Server-side latency decomposition: time spent waiting in the
+    // coalescer queue vs engine compute, both at p50.
+    let split_p50 = |key: &str| {
+        stats
+            .as_ref()
+            .and_then(|s| s.get("stats"))
+            .and_then(|s| s.get(key))
+            .and_then(|h| h.get("p50"))
+            .and_then(Json::as_u64)
+    };
+    let queue_wait_p50 = split_p50("queue_wait_us");
+    let compute_p50 = split_p50("compute_us");
 
     if opts.json {
         println!(
@@ -347,6 +359,14 @@ fn main() -> ExitCode {
                     coalescing.map_or(Json::Null, Json::Num),
                 ),
                 ("shed".to_string(), shed.map_or(Json::Null, Json::from)),
+                (
+                    "server_queue_wait_p50_us".to_string(),
+                    queue_wait_p50.map_or(Json::Null, Json::from),
+                ),
+                (
+                    "server_compute_p50_us".to_string(),
+                    compute_p50.map_or(Json::Null, Json::from),
+                ),
             ])
             .render()
         );
@@ -363,6 +383,14 @@ fn main() -> ExitCode {
         println!("  latency p50 {p50} µs, p95 {p95} µs, p99 {p99} µs");
         if let (Some(factor), Some(shed)) = (coalescing, shed) {
             println!("  server: coalescing {factor:.2}x, shed {shed}");
+        }
+        if let (Some(wait), Some(compute)) = (queue_wait_p50, compute_p50) {
+            let total = (wait + compute).max(1);
+            println!(
+                "  server p50 split: queue wait {wait} µs ({:.0}%), compute {compute} µs ({:.0}%)",
+                100.0 * wait as f64 / total as f64,
+                100.0 * compute as f64 / total as f64,
+            );
         }
     }
 
@@ -382,6 +410,8 @@ fn main() -> ExitCode {
             "p99_us",
             "coalescing_factor",
             "shed",
+            "server_queue_wait_p50_us",
+            "server_compute_p50_us",
         ],
     );
     csv.row(&[
@@ -397,6 +427,8 @@ fn main() -> ExitCode {
         p99.to_string(),
         coalescing.map_or_else(|| "-".to_string(), |v| format!("{v:.3}")),
         shed.map_or_else(|| "-".to_string(), |v| v.to_string()),
+        queue_wait_p50.map_or_else(|| "-".to_string(), |v| v.to_string()),
+        compute_p50.map_or_else(|| "-".to_string(), |v| v.to_string()),
     ]);
     csv.finish();
 

@@ -19,7 +19,11 @@ use std::time::Instant;
 
 fn main() {
     let opts = ExpOptions::from_args(0);
-    let caps = MsOptions { g: 2, gh: 2 };
+    let caps = MsOptions {
+        g: 2,
+        gh: 2,
+        eps: 0.0,
+    };
     println!("T-approach state explosion (g = gh = 2, N = 120)\n");
     println!("   M  |  V  | ms | T states (peak) | M-S states | T time     | result gap");
     println!(" -----+-----+----+-----------------+------------+------------+-----------");

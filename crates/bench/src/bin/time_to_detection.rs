@@ -19,7 +19,11 @@ fn main() {
         .with_m_periods(10)
         .with_n_sensors(240)
         .with_k(3);
-    let chain_opts = MsOptions { g: 3, gh: 3 };
+    let chain_opts = MsOptions {
+        g: 3,
+        gh: 3,
+        eps: 0.0,
+    };
 
     let fast = time_to_detection::analyze(&params, &chain_opts).unwrap();
     let exact = time_to_detection::analyze_exact(&params, &chain_opts, 50_000_000).unwrap();

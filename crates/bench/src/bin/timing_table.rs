@@ -34,6 +34,7 @@ fn main() {
         &MsOptions {
             g: caps.g,
             gh: caps.gh,
+            eps: 0.0,
         },
     )
     .unwrap();

@@ -195,6 +195,7 @@ impl BackendArgs {
         let opts = MsOptions {
             g: self.g,
             gh: self.gh,
+            eps: 0.0,
         };
         match name {
             "ms" => Ok(BackendSpec::Ms(opts)),

@@ -11,7 +11,8 @@
 //! procedure, which generates Figure 8.
 
 use crate::params::SystemParams;
-use crate::report_dist::stage_accuracy;
+use crate::report_dist::{stage_accuracy, stage_accuracy_with};
+use gbd_stats::binomial::PmfTable;
 
 /// The required truncation caps for a target analysis accuracy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,8 +37,15 @@ pub fn required_cap(region_area: f64, field_area: f64, n_sensors: usize, target:
         target > 0.0 && target <= 1.0,
         "target accuracy must be in (0, 1]"
     );
+    // One pmf-table fill serves the whole cap scan; each per-cap query is
+    // bit-identical to the seed's per-call `stage_accuracy` (which
+    // re-evaluated the full placement pmf tail for every candidate cap —
+    // the O(N²) behaviour that dominated the Figure 8 sweep).
+    let mut table = PmfTable::new();
     (0..=n_sensors)
-        .find(|&c| stage_accuracy(region_area, field_area, n_sensors, c) >= target)
+        .find(|&c| {
+            stage_accuracy_with(region_area, field_area, n_sensors, c, &mut table) >= target
+        })
         .unwrap_or(n_sensors)
 }
 

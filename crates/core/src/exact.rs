@@ -136,7 +136,15 @@ mod tests {
         let exact = detection_probability(&p, 5);
         let mut prev_err = f64::INFINITY;
         for caps in [2usize, 4, 8] {
-            let r = ms_approach::analyze(&p, &MsOptions { g: caps, gh: caps }).unwrap();
+            let r = ms_approach::analyze(
+                &p,
+                &MsOptions {
+                    g: caps,
+                    gh: caps,
+                    eps: 0.0,
+                },
+            )
+            .unwrap();
             let err = (r.detection_probability(5) - exact).abs();
             assert!(err <= prev_err + 1e-9, "caps={caps}: {err} > {prev_err}");
             prev_err = err;
@@ -159,7 +167,15 @@ mod tests {
         let p = paper();
         let exact = detection_probability(&p, 5);
         for caps in [1usize, 2, 3, 4] {
-            let r = ms_approach::analyze(&p, &MsOptions { g: caps, gh: caps }).unwrap();
+            let r = ms_approach::analyze(
+                &p,
+                &MsOptions {
+                    g: caps,
+                    gh: caps,
+                    eps: 0.0,
+                },
+            )
+            .unwrap();
             assert!(
                 r.detection_probability_unnormalized(5) <= exact + 1e-12,
                 "caps={caps}"

@@ -327,6 +327,15 @@ mod tests {
     #[test]
     fn rejects_invalid_caps() {
         assert!(analyze(&paper(), 0, &MsOptions::default()).is_err());
-        assert!(analyze(&paper(), 2, &MsOptions { g: 0, gh: 1 }).is_err());
+        assert!(analyze(
+            &paper(),
+            2,
+            &MsOptions {
+                g: 0,
+                gh: 1,
+                eps: 0.0
+            }
+        )
+        .is_err());
     }
 }

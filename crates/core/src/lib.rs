@@ -55,6 +55,7 @@
 //! ```
 
 pub mod accuracy;
+pub mod baseline;
 pub mod budget;
 pub mod design;
 pub mod exact;

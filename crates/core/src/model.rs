@@ -250,7 +250,11 @@ mod tests {
     #[test]
     fn t_model_small_point_matches_ms() {
         let params = paper().with_m_periods(4).with_n_sensors(60).with_k(2);
-        let opts = MsOptions { g: 2, gh: 2 };
+        let opts = MsOptions {
+            g: 2,
+            gh: 2,
+            eps: 0.0,
+        };
         let t = TModel {
             opts,
             max_states: 1_000_000,

@@ -16,11 +16,14 @@
 
 use crate::budget::ComputeBudget;
 use crate::params::SystemParams;
-use crate::report_dist::{stage_accuracy, stage_distribution};
+use crate::report_dist::{stage_accuracy_with, stage_distribution_with};
 use crate::CoreError;
 use gbd_geometry::subarea::SubareaTable;
 use gbd_markov::counting::CountingChain;
+use gbd_markov::scratch::Scratch;
+use gbd_stats::binomial::PmfTable;
 use gbd_stats::discrete::DiscreteDist;
+use std::cell::RefCell;
 
 /// Truncation options of the M-S-approach.
 ///
@@ -28,19 +31,68 @@ use gbd_stats::discrete::DiscreteDist;
 /// every Body and Tail NEDR. The paper's evaluation uses `g = gh = 3`
 /// ("All our analysis results, when gh and g are 3, are obtained within
 /// one minute").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `eps` optionally trims per-stage report distributions: after each stage
+/// distribution is computed, the longest trailing support run carrying at
+/// most `eps` total mass is discarded. The mass actually dropped is
+/// accumulated over every stage application and surfaced as
+/// [`AnalysisResult::truncation_error`], which bounds the pointwise error
+/// of the raw assembled distribution. The default `eps = 0` trims nothing
+/// and is bit-identical to the exact assembly.
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MsOptions {
     /// Sensor cap per Body/Tail stage (`g`).
     pub g: usize,
     /// Sensor cap in the Head stage (`gh`).
     pub gh: usize,
+    /// Per-stage tail-mass truncation budget; `0.0` (the default) disables
+    /// trimming. Must lie in `[0, 1)`.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub eps: f64,
+}
+
+/// `MsOptions` admits `Eq`: `eps` is validated to be finite (never NaN)
+/// before any analysis runs, and option values are compared for caching,
+/// where bitwise-equal-or-not is exactly the question.
+impl Eq for MsOptions {}
+
+impl MsOptions {
+    /// Checks the field constraints every analysis entry point enforces:
+    /// caps at least 1, `eps` finite and in `[0, 1)`.
+    ///
+    /// Callers that cache on option values (the engine's geometry layer)
+    /// must validate *before* the cache lookup — a warm entry would
+    /// otherwise mask the error a cold run reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.g == 0 || self.gh == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "g/gh",
+                constraint: "truncation caps must be at least 1",
+            });
+        }
+        if !self.eps.is_finite() || !(0.0..1.0).contains(&self.eps) {
+            return Err(CoreError::InvalidParameter {
+                name: "eps",
+                constraint: "tail-mass truncation budget must lie in [0, 1)",
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for MsOptions {
-    /// The paper's evaluation setting: `g = gh = 3`.
+    /// The paper's evaluation setting: `g = gh = 3`, no tail trimming.
     fn default() -> Self {
-        MsOptions { g: 3, gh: 3 }
+        MsOptions {
+            g: 3,
+            gh: 3,
+            eps: 0.0,
+        }
     }
 }
 
@@ -50,6 +102,7 @@ impl Default for MsOptions {
 pub struct AnalysisResult {
     raw: DiscreteDist,
     predicted_accuracy: f64,
+    truncation_error: f64,
 }
 
 impl AnalysisResult {
@@ -57,7 +110,29 @@ impl AnalysisResult {
         AnalysisResult {
             raw,
             predicted_accuracy,
+            truncation_error: 0.0,
         }
+    }
+
+    pub(crate) fn with_truncation(
+        raw: DiscreteDist,
+        predicted_accuracy: f64,
+        truncation_error: f64,
+    ) -> Self {
+        AnalysisResult {
+            raw,
+            predicted_accuracy,
+            truncation_error,
+        }
+    }
+
+    /// Accumulated `eps` tail-trimming error: the total probability mass
+    /// dropped by [`MsOptions::eps`] truncation over every stage
+    /// application of this run. Zero when `eps = 0` (the default). The raw
+    /// distribution differs from the exact (untrimmed) assembly by at most
+    /// this amount in total mass, and pointwise.
+    pub fn truncation_error(&self) -> f64 {
+        self.truncation_error
     }
 
     /// `P_M[X >= k]` with the Eq (13) normalization applied — the
@@ -173,6 +248,72 @@ pub fn analyze_steps_budgeted(
     opts: &MsOptions,
     budget: &ComputeBudget,
 ) -> Result<AnalysisResult, CoreError> {
+    MS_SCRATCH
+        .with(|s| analyze_steps_budgeted_with(params, steps, opts, budget, &mut s.borrow_mut()))
+}
+
+thread_local! {
+    /// Per-thread arena backing [`analyze_steps_budgeted`], so every
+    /// caller of the plain API gets the allocation-free assembly without
+    /// threading a scratch handle.
+    static MS_SCRATCH: RefCell<MsScratch> = RefCell::new(MsScratch::new());
+}
+
+/// Reusable buffers for one thread's M-S assemblies.
+///
+/// Owns the counting-chain convolution arena, the per-stage convolution
+/// ladder buffers, and the placement pmf table. After the first run of a
+/// given geometry every assembly in
+/// [`analyze_steps_budgeted_with`] reuses these buffers; the only
+/// remaining allocations are the returned stage distributions and result.
+#[derive(Debug)]
+pub struct MsScratch {
+    chain: Scratch,
+    qn: DiscreteDist,
+    conv: Vec<f64>,
+    placement: PmfTable,
+}
+
+impl Default for MsScratch {
+    fn default() -> Self {
+        MsScratch::new()
+    }
+}
+
+impl MsScratch {
+    /// An empty arena; buffers warm up on first use.
+    pub fn new() -> Self {
+        MsScratch {
+            chain: Scratch::new(),
+            qn: DiscreteDist::point_mass(0),
+            conv: Vec::new(),
+            placement: PmfTable::new(),
+        }
+    }
+}
+
+/// [`analyze_steps_budgeted`] through an explicit [`MsScratch`] arena.
+///
+/// Bit-identical to the seed's allocating implementation for `eps = 0`
+/// (the in-place kernels preserve every accumulation order), with two
+/// structural speedups on top:
+///
+/// * **stage dedup** — stages with equal [`StageInput`]s (every Body stage
+///   of a constant-speed run) are computed once and reused; recomputation
+///   would be bitwise identical, so sharing is observationally free;
+/// * **table-backed accuracy** — the placement pmf underlying `ξ` is
+///   evaluated through a reusable [`PmfTable`].
+///
+/// # Errors
+///
+/// Same contract as [`analyze_steps_budgeted`].
+pub fn analyze_steps_budgeted_with(
+    params: &SystemParams,
+    steps: &[f64],
+    opts: &MsOptions,
+    budget: &ComputeBudget,
+    scratch: &mut MsScratch,
+) -> Result<AnalysisResult, CoreError> {
     let inputs = stage_inputs(params.sensing_range(), steps, params.n_sensors(), opts)?;
     if inputs.len() != params.m_periods() {
         return Err(CoreError::InvalidParameter {
@@ -184,16 +325,55 @@ pub fn analyze_steps_budgeted(
     let n = params.n_sensors();
     let pd = params.pd();
     let support_cap: usize = inputs.iter().map(StageInput::support_bound).sum();
-    let mut stages: Vec<(DiscreteDist, f64)> = Vec::with_capacity(inputs.len());
+    // Distinct stages, plus per-input index into them. A linear scan is
+    // right-sized: M is tens, and StageInput comparison is a short memcmp.
+    let mut unique: Vec<(DiscreteDist, f64, f64)> = Vec::with_capacity(inputs.len());
+    let mut unique_inputs: Vec<&StageInput> = Vec::with_capacity(inputs.len());
+    let mut stage_of: Vec<usize> = Vec::with_capacity(inputs.len());
     for stage in &inputs {
         budget.checkpoint()?;
-        stages.push((
-            stage_distribution(&stage.areas, field_area, n, pd, stage.cap),
-            stage_accuracy(stage.areas.iter().sum(), field_area, n, stage.cap),
-        ));
+        let idx = match unique_inputs.iter().position(|u| *u == stage) {
+            Some(idx) => idx,
+            None => {
+                let (dist, dropped) = stage_distribution_with(
+                    &stage.areas,
+                    field_area,
+                    n,
+                    pd,
+                    stage.cap,
+                    opts.eps,
+                    &mut scratch.qn,
+                    &mut scratch.conv,
+                );
+                let accuracy = stage_accuracy_with(
+                    stage.areas.iter().sum(),
+                    field_area,
+                    n,
+                    stage.cap,
+                    &mut scratch.placement,
+                );
+                unique.push((dist, accuracy, dropped));
+                unique_inputs.push(stage);
+                unique.len() - 1
+            }
+        };
+        stage_of.push(idx);
         budget.complete_stage();
     }
-    Ok(assemble_stages(&stages, support_cap))
+    let mut chain = CountingChain::new(support_cap.max(1));
+    let mut predicted_accuracy = 1.0;
+    let mut truncation_error = 0.0;
+    for &idx in &stage_of {
+        let (dist, accuracy, dropped) = &unique[idx];
+        predicted_accuracy *= accuracy;
+        truncation_error += dropped;
+        chain.step_with(dist, &mut scratch.chain);
+    }
+    Ok(AnalysisResult::with_truncation(
+        chain.into_distribution(),
+        predicted_accuracy,
+        truncation_error,
+    ))
 }
 
 /// One memoizable stage of the M-S chain: an NEDR reduced to exactly the
@@ -238,12 +418,7 @@ pub fn stage_inputs(
     n_sensors: usize,
     opts: &MsOptions,
 ) -> Result<Vec<StageInput>, CoreError> {
-    if opts.g == 0 || opts.gh == 0 {
-        return Err(CoreError::InvalidParameter {
-            name: "g/gh",
-            constraint: "truncation caps must be at least 1",
-        });
-    }
+    opts.validate()?;
     if steps.is_empty() {
         return Err(CoreError::InvalidParameter {
             name: "steps",
@@ -286,6 +461,31 @@ pub fn assemble_stages(stages: &[(DiscreteDist, f64)], support_cap: usize) -> An
     AnalysisResult::new(chain.into_distribution(), predicted_accuracy)
 }
 
+/// [`assemble_stages`] for stages carrying an `eps`-truncation record:
+/// each element is `(distribution, accuracy, dropped_mass)` and the
+/// dropped masses accumulate into [`AnalysisResult::truncation_error`].
+/// The chain runs through a [`Scratch`] arena, so assembly itself does not
+/// allocate beyond the returned distribution.
+pub fn assemble_stages_truncated(
+    stages: &[(DiscreteDist, f64, f64)],
+    support_cap: usize,
+    scratch: &mut Scratch,
+) -> AnalysisResult {
+    let mut chain = CountingChain::new(support_cap.max(1));
+    let mut predicted_accuracy = 1.0;
+    let mut truncation_error = 0.0;
+    for (dist, accuracy, dropped) in stages {
+        predicted_accuracy *= accuracy;
+        truncation_error += dropped;
+        chain.step_with(dist, scratch);
+    }
+    AnalysisResult::with_truncation(
+        chain.into_distribution(),
+        predicted_accuracy,
+        truncation_error,
+    )
+}
+
 /// The stage structure of a constant-speed run, exposed for the
 /// documentation examples and the stage-level tests: the Head stage plus
 /// `M − ms − 1` identical Body stages plus `ms` distinct Tail stages when
@@ -315,6 +515,7 @@ pub fn stage_plan(params: &SystemParams) -> StagePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report_dist::stage_accuracy;
 
     fn paper() -> SystemParams {
         SystemParams::paper_defaults()
@@ -391,7 +592,15 @@ mod tests {
         // figure is recorded in EXPERIMENTS.md. Both values say the same
         // thing: a few percent of mass is truncated, hence Figure 9(b)'s
         // visible undershoot and Figure 9(a)'s need for normalization.
-        let r = analyze(&paper(), &MsOptions { g: 3, gh: 3 }).unwrap();
+        let r = analyze(
+            &paper(),
+            &MsOptions {
+                g: 3,
+                gh: 3,
+                eps: 0.0,
+            },
+        )
+        .unwrap();
         let acc = r.predicted_accuracy();
         assert!((0.94..=0.99).contains(&acc), "{acc}");
     }
@@ -400,9 +609,33 @@ mod tests {
     fn larger_caps_converge() {
         // Increasing g/gh must converge to a limit (the exact result).
         let p = paper();
-        let small = analyze(&p, &MsOptions { g: 2, gh: 2 }).unwrap();
-        let mid = analyze(&p, &MsOptions { g: 4, gh: 4 }).unwrap();
-        let large = analyze(&p, &MsOptions { g: 7, gh: 7 }).unwrap();
+        let small = analyze(
+            &p,
+            &MsOptions {
+                g: 2,
+                gh: 2,
+                eps: 0.0,
+            },
+        )
+        .unwrap();
+        let mid = analyze(
+            &p,
+            &MsOptions {
+                g: 4,
+                gh: 4,
+                eps: 0.0,
+            },
+        )
+        .unwrap();
+        let large = analyze(
+            &p,
+            &MsOptions {
+                g: 7,
+                gh: 7,
+                eps: 0.0,
+            },
+        )
+        .unwrap();
         let d_small_mid =
             (small.detection_probability(5) - large.detection_probability(5)).abs();
         let d_mid_large = (mid.detection_probability(5) - large.detection_probability(5)).abs();
@@ -456,7 +689,15 @@ mod tests {
         // With M = 1 the M-S-approach must reproduce Eqs (1)–(2) (up to the
         // cap truncation; use a generous cap so truncation is negligible).
         let p = paper().with_m_periods(1).with_k(1);
-        let r = analyze(&p, &MsOptions { g: 12, gh: 12 }).unwrap();
+        let r = analyze(
+            &p,
+            &MsOptions {
+                g: 12,
+                gh: 12,
+                eps: 0.0,
+            },
+        )
+        .unwrap();
         let analytical = crate::single_period::probability_at_least(&p, 1);
         assert!(
             (r.detection_probability(1) - analytical).abs() < 1e-6,
@@ -494,7 +735,15 @@ mod tests {
     #[test]
     fn rejects_bad_options_and_steps() {
         let p = paper();
-        assert!(analyze(&p, &MsOptions { g: 0, gh: 3 }).is_err());
+        assert!(analyze(
+            &p,
+            &MsOptions {
+                g: 0,
+                gh: 3,
+                eps: 0.0
+            }
+        )
+        .is_err());
         assert!(analyze_steps(&p, &[600.0; 3], &MsOptions::default()).is_err());
         assert!(analyze_steps(&p, &[-1.0; 20], &MsOptions::default()).is_err());
     }

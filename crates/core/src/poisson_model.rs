@@ -131,9 +131,16 @@ mod tests {
             for v in [4.0, 10.0] {
                 let params = paper().with_n_sensors(n).with_speed(v);
                 let poisson = analyze(&params).unwrap().detection_probability(5);
-                let binomial = ms_approach::analyze(&params, &MsOptions { g: 8, gh: 8 })
-                    .unwrap()
-                    .detection_probability(5);
+                let binomial = ms_approach::analyze(
+                    &params,
+                    &MsOptions {
+                        g: 8,
+                        gh: 8,
+                        eps: 0.0,
+                    },
+                )
+                .unwrap()
+                .detection_probability(5);
                 assert!(
                     (poisson - binomial).abs() < 0.01,
                     "N={n} V={v}: poisson {poisson:.4} vs binomial {binomial:.4}"

@@ -24,7 +24,7 @@
 
 use crate::budget::ComputeBudget;
 use crate::CoreError;
-use gbd_stats::binomial::Binomial;
+use gbd_stats::binomial::{Binomial, PmfTable};
 use gbd_stats::discrete::DiscreteDist;
 
 /// How many enumeration leaves are visited between two budget checkpoints
@@ -90,6 +90,36 @@ pub fn stage_accuracy(
     b.cdf(cap_sensors as u64)
 }
 
+/// [`stage_accuracy`] through a reusable [`PmfTable`]: bit-identical
+/// values, but the placement pmf is evaluated once per `(N, A/S)` pair
+/// instead of once per tail term per query. The table is refilled only
+/// when the distribution changes, so cap scans
+/// ([`required_cap`](crate::accuracy::required_cap)) and per-stage loops
+/// amortize the log-domain work.
+///
+/// # Panics
+///
+/// Same conditions as [`stage_accuracy`].
+pub fn stage_accuracy_with(
+    region_area: f64,
+    field_area: f64,
+    n_sensors: usize,
+    cap_sensors: usize,
+    table: &mut PmfTable,
+) -> f64 {
+    assert!(field_area > 0.0, "field area must be positive");
+    assert!(
+        (0.0..=field_area).contains(&region_area),
+        "region area must lie in [0, field area]"
+    );
+    let p = region_area / field_area;
+    if table.n() != n_sensors as u64 || table.p() != p || table.as_slice().is_empty() {
+        let b = Binomial::new(n_sensors as u64, p).expect("valid fraction");
+        table.fill(&b);
+    }
+    table.cdf(cap_sensors as u64)
+}
+
 /// Report distribution of a stage, truncated at `cap_sensors` sensors —
 /// the fast (convolution) path.
 ///
@@ -129,6 +159,62 @@ pub fn stage_distribution(
         }
     }
     DiscreteDist::new(acc).expect("binomial mixture of convolutions is sub-stochastic")
+}
+
+/// [`stage_distribution`] with reusable scratch buffers and optional
+/// tail-mass truncation; returns `(distribution, dropped_mass)`.
+///
+/// The convolution ladder runs through `qn`/`conv` in place (no
+/// intermediate allocations once they are warm), with accumulation order
+/// identical to [`stage_distribution`], so with `eps = 0` the result is
+/// bit-identical and `dropped_mass == 0.0` exactly. With `eps > 0`, the
+/// longest trailing support run carrying at most `eps` total mass is
+/// discarded from the returned distribution and reported as
+/// `dropped_mass`; the retained entries are untouched, so the truncated
+/// distribution differs from the exact one by at most `dropped_mass`
+/// pointwise (and in total mass).
+///
+/// # Panics
+///
+/// Same conditions as [`stage_distribution`].
+// Kernel entry point: the scratch buffers are threaded explicitly so the
+// caller owns their lifetime, which is the whole design.
+#[allow(clippy::too_many_arguments)]
+pub fn stage_distribution_with(
+    areas: &[f64],
+    field_area: f64,
+    n_sensors: usize,
+    pd: f64,
+    cap_sensors: usize,
+    eps: f64,
+    qn: &mut DiscreteDist,
+    conv: &mut Vec<f64>,
+) -> (DiscreteDist, f64) {
+    let region_area: f64 = areas.iter().sum();
+    if region_area <= 0.0 {
+        return (DiscreteDist::point_mass(0), 0.0);
+    }
+    let placement =
+        Binomial::new(n_sensors as u64, region_area / field_area).expect("valid fraction");
+    let q = per_sensor_distribution(areas, pd);
+    let cap = cap_sensors.min(n_sensors);
+    let mut acc = vec![0.0; cap * q.support_max() + 1];
+    qn.set_point_mass(0); // q^{*0}
+    for n in 0..=cap {
+        let w = placement.pmf(n as u64);
+        if w > 0.0 {
+            for (m, &p) in qn.as_slice().iter().enumerate() {
+                acc[m] += w * p;
+            }
+        }
+        if n < cap {
+            qn.convolve_in_place(&q, conv);
+        }
+    }
+    let mut out =
+        DiscreteDist::new(acc).expect("binomial mixture of convolutions is sub-stochastic");
+    let dropped = out.truncate_tail_mass(eps);
+    (out, dropped)
 }
 
 /// Report distribution of a stage via the paper's Algorithm 1: explicit
@@ -310,6 +396,56 @@ mod tests {
             prev = xi;
         }
         assert!((stage_accuracy(1800.0, FIELD, 240, 240) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_accuracy_with_is_bit_identical_and_reuses_table() {
+        let mut table = PmfTable::new();
+        for n in [0usize, 3, 60, 240] {
+            for cap in [0usize, 1, 3, 7, 240] {
+                for area in [0.0, 1800.0, 500_000.0, FIELD] {
+                    let want = stage_accuracy(area, FIELD, n, cap);
+                    let got = stage_accuracy_with(area, FIELD, n, cap, &mut table);
+                    assert_eq!(got.to_bits(), want.to_bits(), "n={n} cap={cap} area={area}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_distribution_with_zero_eps_is_bit_identical() {
+        let areas = [900.0, 600.0, 300.0];
+        let mut qn = DiscreteDist::point_mass(0);
+        let mut conv = Vec::new();
+        for cap in [0usize, 1, 2, 3, 5] {
+            let want = stage_distribution(&areas, FIELD, 240, 0.9, cap);
+            let (got, dropped) =
+                stage_distribution_with(&areas, FIELD, 240, 0.9, cap, 0.0, &mut qn, &mut conv);
+            assert_eq!(dropped, 0.0);
+            assert_eq!(got.as_slice().len(), want.as_slice().len(), "cap={cap}");
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "cap={cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_distribution_with_eps_reports_its_error() {
+        let areas = [900.0, 600.0, 300.0];
+        let mut qn = DiscreteDist::point_mass(0);
+        let mut conv = Vec::new();
+        let exact = stage_distribution(&areas, FIELD, 240, 0.9, 3);
+        // Just enough budget to trim the final support entry (and possibly
+        // a bit more), so the trim provably engages.
+        let eps = exact.pmf(exact.support_max()) * 1.0001;
+        assert!(eps > 0.0);
+        let (trimmed, dropped) =
+            stage_distribution_with(&areas, FIELD, 240, 0.9, 3, eps, &mut qn, &mut conv);
+        assert!(dropped <= eps);
+        assert!(dropped > 0.0, "paper-sized tails carry trimmable mass");
+        assert!(trimmed.support_max() < exact.support_max());
+        assert!(exact.max_abs_diff(&trimmed) <= dropped);
+        assert!((exact.total_mass() - trimmed.total_mass() - dropped).abs() < 1e-15);
     }
 
     #[test]

@@ -182,7 +182,15 @@ mod tests {
         // distribution, so their normalized tails agree closely.
         let p = paper();
         let s = analyze(&p, &SOptions { cap_sensors: 24 }).unwrap();
-        let ms = ms_approach::analyze(&p, &MsOptions { g: 8, gh: 8 }).unwrap();
+        let ms = ms_approach::analyze(
+            &p,
+            &MsOptions {
+                g: 8,
+                gh: 8,
+                eps: 0.0,
+            },
+        )
+        .unwrap();
         let ds = s.detection_probability(5);
         let dms = ms.detection_probability(5);
         assert!((ds - dms).abs() < 2e-3, "S={ds} MS={dms}");

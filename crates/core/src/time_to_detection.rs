@@ -210,7 +210,16 @@ mod tests {
         assert!(t.by_period[0] < 0.25, "{}", t.by_period[0]);
         assert!(t.by_period[10] > 0.3);
         let params = paper().with_m_periods(8).with_n_sensors(120);
-        let exact = analyze_exact(&params, &MsOptions { g: 2, gh: 2 }, 5_000_000).unwrap();
+        let exact = analyze_exact(
+            &params,
+            &MsOptions {
+                g: 2,
+                gh: 2,
+                eps: 0.0,
+            },
+            5_000_000,
+        )
+        .unwrap();
         assert_eq!(exact.by_period[0], 0.0);
         assert!(exact.by_period[1] < 0.01);
     }
@@ -221,7 +230,11 @@ mod tests {
         // arrival period, so the fast curve stochastically dominates the
         // exact (T-approach) curve, and both share the window endpoint.
         let params = paper().with_m_periods(8).with_n_sensors(120);
-        let opts = MsOptions { g: 2, gh: 2 };
+        let opts = MsOptions {
+            g: 2,
+            gh: 2,
+            eps: 0.0,
+        };
         let fast = analyze(&params, &opts).unwrap();
         let exact = analyze_exact(&params, &opts, 5_000_000).unwrap();
         for (m, (f, e)) in fast.by_period.iter().zip(&exact.by_period).enumerate() {

@@ -342,6 +342,13 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         }
     }
 
+    /// Whether `key` is currently cached. A scheduling probe, not a use:
+    /// it touches no hit/miss counters and does not mark the entry
+    /// referenced for the eviction clock.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.read_shard(self.shard(key)).map.contains_key(key)
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.shards

@@ -18,9 +18,10 @@
 //! 1. **geometry** — per-period NEDR stage inputs, keyed by
 //!    `(Rs, V·t, M, caps)`; shared by every sweep point that moves `N`,
 //!    `Pd` or `k` at fixed geometry;
-//! 2. **stages** — per-NEDR report distributions and accuracies, keyed by
-//!    `(subarea sizes, S, N, Pd, cap)`; within one run all Body stages
-//!    share a single entry, and across runs all matching stages do;
+//! 2. **stages** — per-NEDR report distributions, accuracies, and
+//!    `eps`-truncation records, keyed by
+//!    `(subarea sizes, S, N, Pd, cap, eps)`; within one run all Body
+//!    stages share a single entry, and across runs all matching stages do;
 //! 3. **results** — assembled per-request outputs, keyed by the full
 //!    `(params, backend)` identity; a repeated request is a pointer clone.
 //!
@@ -100,16 +101,20 @@ use gbd_core::budget::ComputeBudget;
 use gbd_core::model::{DetectionModel, ExactModel, PoissonModel, SModel, TModel};
 use gbd_core::ms_approach::{self, MsOptions, StageInput};
 use gbd_core::prelude::*;
-use gbd_core::report_dist::{stage_accuracy, stage_distribution};
+use gbd_core::report_dist::{stage_accuracy_with, stage_distribution_with};
+use gbd_markov::scratch::Scratch;
+use gbd_stats::binomial::PmfTable;
 use gbd_stats::discrete::DiscreteDist;
 use request::result_key;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Key of the geometry layer: everything the per-period stage inputs of a
 /// constant-speed M-S run depend on. The caps enter post-`min(·, N)`, so
 /// parameter points whose caps saturate identically share the entry.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// `Ord` so batch scheduling can group requests by this key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct GeometryKey {
     sensing_range: u64,
     step: u64,
@@ -118,8 +123,20 @@ struct GeometryKey {
     gh_eff: usize,
 }
 
-/// Key of the stage layer: everything one NEDR's report distribution and
-/// accuracy depend on.
+/// The geometry-layer key of an M-S request.
+fn geometry_key(params: &SystemParams, opts: &MsOptions) -> GeometryKey {
+    let n = params.n_sensors();
+    GeometryKey {
+        sensing_range: f64_key(params.sensing_range()),
+        step: f64_key(params.step()),
+        m_periods: params.m_periods(),
+        g_eff: opts.g.min(n),
+        gh_eff: opts.gh.min(n),
+    }
+}
+
+/// Key of the stage layer: everything one NEDR's report distribution,
+/// accuracy, and `eps`-truncation record depend on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct StageKey {
     areas: Vec<u64>,
@@ -127,6 +144,27 @@ struct StageKey {
     n_sensors: usize,
     pd: u64,
     cap: usize,
+    eps: u64,
+}
+
+/// Per-worker arena of the memoized M-S path: the stage convolution
+/// ladder buffers, the placement pmf table, and the counting-chain
+/// scratch. Thread-local so concurrent workers never contend, and warm
+/// after the first request a worker serves.
+struct StageScratch {
+    qn: DiscreteDist,
+    conv: Vec<f64>,
+    table: PmfTable,
+    chain: Scratch,
+}
+
+thread_local! {
+    static STAGE_SCRATCH: RefCell<StageScratch> = RefCell::new(StageScratch {
+        qn: DiscreteDist::point_mass(0),
+        conv: Vec::new(),
+        table: PmfTable::new(),
+        chain: Scratch::new(),
+    });
 }
 
 /// The batched evaluation engine. See the crate docs for the architecture.
@@ -137,7 +175,7 @@ struct StageKey {
 pub struct Engine {
     workers: usize,
     geometry: ShardedCache<GeometryKey, Vec<StageInput>>,
-    stages: ShardedCache<StageKey, (DiscreteDist, f64)>,
+    stages: ShardedCache<StageKey, (DiscreteDist, f64, f64)>,
     results: ShardedCache<request::ResultKey, EvalOutput>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::ChaosPlan>,
@@ -232,11 +270,45 @@ impl Engine {
         F: Fn(&EvalResponse) + Sync,
     {
         let faults = self.batch_faults(requests.len());
-        pool::run_indexed(requests.len(), self.workers, |i| {
+        let schedule = self.schedule(requests);
+        let computed = pool::run_indexed(requests.len(), self.workers, |slot| {
+            let i = schedule[slot];
             let response = self.evaluate_at(i, &requests[i], &faults);
             notify(&response);
             response
-        })
+        });
+        // The schedule permuted execution order only; sorting by the
+        // original request index restores request order for the caller.
+        let mut responses = computed;
+        responses.sort_unstable_by_key(|response| response.index);
+        responses
+    }
+
+    /// Execution order of a batch: request indices grouped by geometry
+    /// cache key, with groups whose geometry is already warm scheduled
+    /// ahead of cold groups (and non-M-S requests last, in request
+    /// order). Grouping keeps same-geometry requests adjacent, so within
+    /// a cold batch the first member's stage misses become its
+    /// neighbours' hits instead of racing N workers over the same cold
+    /// key; warm-first lets cached sweep points stream out while cold
+    /// geometry is still being built. Pure scheduling: values are
+    /// bit-identical for any order, and responses return in request
+    /// order regardless.
+    fn schedule(&self, requests: &[EvalRequest]) -> Vec<usize> {
+        let mut order: Vec<(u8, Option<GeometryKey>, usize)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| match request.backend {
+                BackendSpec::Ms(opts) => {
+                    let key = geometry_key(&request.params, &opts);
+                    let rank = u8::from(!self.geometry.contains_key(&key));
+                    (rank, Some(key), i)
+                }
+                _ => (2, None, i),
+            })
+            .collect();
+        order.sort_unstable();
+        order.into_iter().map(|(_, _, i)| i).collect()
     }
 
     /// The faults to inject into a batch of `len` (none unless a chaos
@@ -489,49 +561,69 @@ impl Engine {
         counters: &RequestCounters,
         budget: &ComputeBudget,
     ) -> Result<ReportDistribution, CoreError> {
+        // Validate before touching the geometry layer: a warm entry for
+        // the same `(Rs, V·t, M, caps)` must not mask an invalid `eps`.
+        opts.validate()?;
         let n = params.n_sensors();
-        let geometry_key = GeometryKey {
-            sensing_range: f64_key(params.sensing_range()),
-            step: f64_key(params.step()),
-            m_periods: params.m_periods(),
-            g_eff: opts.g.min(n),
-            gh_eff: opts.gh.min(n),
-        };
-        let inputs = self
-            .geometry
-            .try_get_or_insert_with(geometry_key, counters, || {
+        let inputs = self.geometry.try_get_or_insert_with(
+            geometry_key(params, opts),
+            counters,
+            || {
                 let steps = vec![params.step(); params.m_periods()];
                 ms_approach::stage_inputs(params.sensing_range(), &steps, n, opts)
-            })?;
+            },
+        )?;
 
         let field_area = params.field_area();
         let pd = params.pd();
         let support_cap: usize = inputs.iter().map(StageInput::support_bound).sum();
-        let stages: Vec<(DiscreteDist, f64)> = inputs
-            .iter()
-            .map(|stage| {
-                budget.checkpoint()?;
-                let entry = self.stages.get_or_insert_with(
-                    StageKey {
-                        areas: f64_slice_key(&stage.areas),
-                        field_area: f64_key(field_area),
-                        n_sensors: n,
-                        pd: f64_key(pd),
-                        cap: stage.cap,
-                    },
-                    counters,
-                    || {
-                        (
-                            stage_distribution(&stage.areas, field_area, n, pd, stage.cap),
-                            stage_accuracy(stage.areas.iter().sum(), field_area, n, stage.cap),
-                        )
-                    },
-                );
-                budget.complete_stage();
-                Ok((entry.0.clone(), entry.1))
-            })
-            .collect::<Result<_, CoreError>>()?;
-        Ok(ms_approach::assemble_stages(&stages, support_cap))
+        STAGE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let stages: Vec<(DiscreteDist, f64, f64)> = inputs
+                .iter()
+                .map(|stage| {
+                    budget.checkpoint()?;
+                    let entry = self.stages.get_or_insert_with(
+                        StageKey {
+                            areas: f64_slice_key(&stage.areas),
+                            field_area: f64_key(field_area),
+                            n_sensors: n,
+                            pd: f64_key(pd),
+                            cap: stage.cap,
+                            eps: f64_key(opts.eps),
+                        },
+                        counters,
+                        || {
+                            let (dist, dropped) = stage_distribution_with(
+                                &stage.areas,
+                                field_area,
+                                n,
+                                pd,
+                                stage.cap,
+                                opts.eps,
+                                &mut scratch.qn,
+                                &mut scratch.conv,
+                            );
+                            let accuracy = stage_accuracy_with(
+                                stage.areas.iter().sum(),
+                                field_area,
+                                n,
+                                stage.cap,
+                                &mut scratch.table,
+                            );
+                            (dist, accuracy, dropped)
+                        },
+                    );
+                    budget.complete_stage();
+                    Ok((entry.0.clone(), entry.1, entry.2))
+                })
+                .collect::<Result<_, CoreError>>()?;
+            Ok(ms_approach::assemble_stages_truncated(
+                &stages,
+                support_cap,
+                &mut scratch.chain,
+            ))
+        })
     }
 }
 
@@ -646,6 +738,85 @@ mod tests {
     }
 
     #[test]
+    fn schedule_is_a_permutation_with_warm_geometries_first() {
+        let engine = Engine::with_workers(1);
+        let warm = EvalRequest::new(paper().with_n_sensors(60), BackendSpec::ms_default());
+        engine.evaluate(&warm);
+
+        // Mixed batch: cold geometry (different speed), warm geometry,
+        // and a non-Ms backend. Warm Ms requests must come first, the
+        // non-Ms request last, and every index must appear exactly once.
+        let batch = vec![
+            EvalRequest::new(
+                paper().with_speed(7.0).with_n_sensors(90),
+                BackendSpec::ms_default(),
+            ),
+            EvalRequest::new(paper().with_n_sensors(120), BackendSpec::ms_default()),
+            EvalRequest::new(paper().with_n_sensors(60), BackendSpec::Poisson),
+        ];
+        let order = engine.schedule(&batch);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(order, vec![1, 0, 2]);
+
+        // Scheduling is pure reordering: responses come back in request
+        // order with the values the identity schedule would produce.
+        let responses = engine.evaluate_batch(&batch);
+        for (i, response) in responses.iter().enumerate() {
+            assert_eq!(response.index, i);
+            let alone = engine.evaluate(&batch[i]);
+            assert_eq!(response.outcome, alone.outcome);
+        }
+    }
+
+    #[test]
+    fn eps_is_part_of_the_cache_identity() {
+        let engine = Engine::new();
+        let exact = EvalRequest::new(
+            paper().with_n_sensors(60),
+            BackendSpec::Ms(MsOptions::default()),
+        );
+        let truncated = EvalRequest::new(
+            paper().with_n_sensors(60),
+            BackendSpec::Ms(MsOptions {
+                eps: 1e-6,
+                ..MsOptions::default()
+            }),
+        );
+        let a = engine.evaluate(&exact);
+        let b = engine.evaluate(&truncated);
+        let a = a.outcome.as_ref().unwrap().analysis().unwrap();
+        let b = b.outcome.as_ref().unwrap().analysis().unwrap();
+        assert_eq!(a.truncation_error(), 0.0);
+        assert!(b.truncation_error() > 0.0);
+        assert!(b.truncation_error() <= 1e-6 * paper().m_periods() as f64 + 1e-15);
+        // A warm pass still returns the eps-specific entry.
+        let b2 = engine.evaluate(&truncated);
+        assert_eq!(b, b2.outcome.as_ref().unwrap().analysis().unwrap(),);
+    }
+
+    #[test]
+    fn invalid_eps_is_rejected_even_with_warm_geometry() {
+        let engine = Engine::new();
+        let params = paper().with_n_sensors(60);
+        engine
+            .evaluate(&EvalRequest::new(params, BackendSpec::ms_default()))
+            .outcome
+            .unwrap();
+        for bad in [f64::NAN, -0.25, 1.0] {
+            let response = engine.evaluate(&EvalRequest::new(
+                params,
+                BackendSpec::Ms(MsOptions {
+                    eps: bad,
+                    ..MsOptions::default()
+                }),
+            ));
+            assert!(response.outcome.is_err(), "eps={bad} must be rejected");
+        }
+    }
+
+    #[test]
     fn all_backends_evaluate_the_paper_point() {
         let small = paper().with_m_periods(4).with_n_sensors(60).with_k(2);
         let backends = [
@@ -653,7 +824,11 @@ mod tests {
             BackendSpec::S(SOptions::default()),
             BackendSpec::Exact { saturation_cap: 16 },
             BackendSpec::T {
-                opts: MsOptions { g: 2, gh: 2 },
+                opts: MsOptions {
+                    g: 2,
+                    gh: 2,
+                    eps: 0.0,
+                },
                 max_states: 1_000_000,
             },
             BackendSpec::Poisson,
@@ -715,7 +890,14 @@ mod tests {
     #[test]
     fn errors_propagate_and_are_not_cached() {
         let engine = Engine::new();
-        let bad = EvalRequest::new(paper(), BackendSpec::Ms(MsOptions { g: 0, gh: 3 }));
+        let bad = EvalRequest::new(
+            paper(),
+            BackendSpec::Ms(MsOptions {
+                g: 0,
+                gh: 3,
+                eps: 0.0,
+            }),
+        );
         let response = engine.evaluate(&bad);
         assert!(response.outcome.is_err());
         assert!(response.detection.is_empty());
@@ -782,8 +964,12 @@ mod tests {
     fn fallback_serves_when_primary_fails() {
         let engine = Engine::new();
         // g = 0 is invalid, so the primary always errors; Poisson answers.
-        let chain =
-            BackendSpec::Ms(MsOptions { g: 0, gh: 3 }).with_fallback(BackendSpec::Poisson);
+        let chain = BackendSpec::Ms(MsOptions {
+            g: 0,
+            gh: 3,
+            eps: 0.0,
+        })
+        .with_fallback(BackendSpec::Poisson);
         let response = engine.evaluate(&EvalRequest::new(paper(), chain));
         assert!(response.degraded);
         assert_eq!(response.backend, "ms");
@@ -797,8 +983,16 @@ mod tests {
     #[test]
     fn failed_chain_reports_the_primary_error() {
         let engine = Engine::new();
-        let chain = BackendSpec::Ms(MsOptions { g: 0, gh: 3 })
-            .with_fallback(BackendSpec::Ms(MsOptions { g: 3, gh: 0 }));
+        let chain = BackendSpec::Ms(MsOptions {
+            g: 0,
+            gh: 3,
+            eps: 0.0,
+        })
+        .with_fallback(BackendSpec::Ms(MsOptions {
+            g: 3,
+            gh: 0,
+            eps: 0.0,
+        }));
         let response = engine.evaluate(&EvalRequest::new(paper(), chain));
         assert!(!response.degraded);
         assert_eq!(response.served_by, "ms");

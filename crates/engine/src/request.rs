@@ -298,6 +298,7 @@ pub(crate) enum BackendKey {
     Ms {
         g: usize,
         gh: usize,
+        eps: u64,
     },
     S {
         cap: usize,
@@ -327,6 +328,7 @@ pub(crate) fn result_key(params: &SystemParams, backend: &BackendSpec) -> Result
         BackendSpec::Ms(opts) => BackendKey::Ms {
             g: opts.g,
             gh: opts.gh,
+            eps: f64_key(opts.eps),
         },
         BackendSpec::S(opts) => BackendKey::S {
             cap: opts.cap_sensors,
@@ -390,8 +392,41 @@ mod tests {
         assert_ne!(result_key(&p, &ms), result_key(&p.with_n_sensors(60), &ms));
         assert_ne!(result_key(&p, &ms), result_key(&p, &BackendSpec::Poisson));
         assert_ne!(
-            result_key(&p, &BackendSpec::Ms(MsOptions { g: 3, gh: 4 })),
-            result_key(&p, &BackendSpec::Ms(MsOptions { g: 4, gh: 3 }))
+            result_key(
+                &p,
+                &BackendSpec::Ms(MsOptions {
+                    g: 3,
+                    gh: 4,
+                    eps: 0.0
+                })
+            ),
+            result_key(
+                &p,
+                &BackendSpec::Ms(MsOptions {
+                    g: 4,
+                    gh: 3,
+                    eps: 0.0
+                })
+            )
+        );
+        // eps changes the assembled result, so it must split the key.
+        assert_ne!(
+            result_key(
+                &p,
+                &BackendSpec::Ms(MsOptions {
+                    g: 3,
+                    gh: 3,
+                    eps: 0.0
+                })
+            ),
+            result_key(
+                &p,
+                &BackendSpec::Ms(MsOptions {
+                    g: 3,
+                    gh: 3,
+                    eps: 1e-9
+                })
+            )
         );
     }
 

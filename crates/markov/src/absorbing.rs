@@ -6,6 +6,7 @@
 //! time of the counting chain.
 
 use crate::matrix::TransitionMatrix;
+use crate::scratch::Scratch;
 use gbd_stats::StatsError;
 
 /// Results of analyzing an absorbing chain.
@@ -34,26 +35,61 @@ pub struct AbsorbingAnalysis {
 /// no transient state, or `(I − Q)` is numerically singular (some transient
 /// state cannot reach absorption).
 pub fn analyze_absorbing(t: &TransitionMatrix) -> Result<AbsorbingAnalysis, StatsError> {
+    analyze_absorbing_with(t, &mut Scratch::new())
+}
+
+/// [`analyze_absorbing`] through a reusable [`Scratch`] arena.
+///
+/// The classification mask, the flat `(I − Q)` system and the right-hand
+/// side block all live in the arena, so repeated solves over same-sized
+/// chains (the time-to-detection sweeps) stop allocating intermediates;
+/// only the returned [`AbsorbingAnalysis`] is freshly allocated. Values
+/// are bit-identical to the allocating path: the elimination performs the
+/// same operations in the same order, only the storage layout changed.
+///
+/// # Errors
+///
+/// Same contract as [`analyze_absorbing`].
+pub fn analyze_absorbing_with(
+    t: &TransitionMatrix,
+    scratch: &mut Scratch,
+) -> Result<AbsorbingAnalysis, StatsError> {
     let dim = t.dim();
-    let absorbing: Vec<usize> = (0..dim).filter(|&i| t.get(i, i) >= 1.0 - 1e-12).collect();
-    let transient: Vec<usize> = (0..dim).filter(|i| !absorbing.contains(i)).collect();
-    if absorbing.is_empty() {
+    // O(n) classification: mark absorbing states once, partition by mask
+    // (the seed version re-scanned the absorbing list per state, O(n²)).
+    scratch.mask.clear();
+    scratch.mask.resize(dim, false);
+    scratch.absorbing.clear();
+    scratch.transient.clear();
+    for i in 0..dim {
+        if t.get(i, i) >= 1.0 - 1e-12 {
+            scratch.mask[i] = true;
+            scratch.absorbing.push(i);
+        } else {
+            scratch.transient.push(i);
+        }
+    }
+    if scratch.absorbing.is_empty() {
         return Err(StatsError::InvalidPmf {
             reason: "chain has no absorbing state",
         });
     }
-    if transient.is_empty() {
+    if scratch.transient.is_empty() {
         return Err(StatsError::InvalidPmf {
             reason: "chain has no transient state",
         });
     }
+    let (transient, absorbing) = (&scratch.transient, &scratch.absorbing);
     let nt = transient.len();
+    let na = absorbing.len();
+    let m = na + 1;
 
-    // Build I − Q over the transient states.
-    let mut a = vec![vec![0.0; nt]; nt];
+    // Build I − Q over the transient states, flat row-major.
+    scratch.flat_a.clear();
+    scratch.flat_a.resize(nt * nt, 0.0);
     for (ri, &si) in transient.iter().enumerate() {
         for (rj, &sj) in transient.iter().enumerate() {
-            a[ri][rj] = if ri == rj {
+            scratch.flat_a[ri * nt + rj] = if ri == rj {
                 1.0 - t.get(si, sj)
             } else {
                 -t.get(si, sj)
@@ -63,37 +99,100 @@ pub fn analyze_absorbing(t: &TransitionMatrix) -> Result<AbsorbingAnalysis, Stat
 
     // Right-hand sides: one column per absorbing state (R columns) plus the
     // all-ones column for expected steps.
-    let na = absorbing.len();
-    let mut rhs = vec![vec![0.0; na + 1]; nt];
+    scratch.flat_b.clear();
+    scratch.flat_b.resize(nt * m, 0.0);
     for (ri, &si) in transient.iter().enumerate() {
         for (ci, &sa) in absorbing.iter().enumerate() {
-            rhs[ri][ci] = t.get(si, sa);
+            scratch.flat_b[ri * m + ci] = t.get(si, sa);
         }
-        rhs[ri][na] = 1.0;
+        scratch.flat_b[ri * m + na] = 1.0;
     }
 
-    let solution = solve_multi(a, rhs)?;
+    solve_multi_flat(&mut scratch.flat_a, &mut scratch.flat_b, nt, m)?;
 
+    let solution = &scratch.flat_b;
     let mut absorption_probability = vec![vec![0.0; na]; nt];
     let mut expected_steps = vec![0.0; nt];
     for ri in 0..nt {
         for ci in 0..na {
-            absorption_probability[ri][ci] = solution[ri][ci].clamp(0.0, 1.0);
+            absorption_probability[ri][ci] = solution[ri * m + ci].clamp(0.0, 1.0);
         }
-        expected_steps[ri] = solution[ri][na].max(0.0);
+        expected_steps[ri] = solution[ri * m + na].max(0.0);
     }
     Ok(AbsorbingAnalysis {
-        absorbing_states: absorbing,
+        absorbing_states: absorbing.clone(),
         absorption_probability,
         expected_steps,
-        transient_states: transient,
+        transient_states: transient.clone(),
     })
 }
 
-/// Solves `A·X = B` for multiple right-hand sides by Gaussian elimination
-/// with partial pivoting.
+/// Solves `A·X = B` (A: `n×n`, B: `n×m`, both flat row-major, solved in
+/// place) by Gaussian elimination with partial pivoting.
+///
+/// Performs the same arithmetic in the same order as the seed's
+/// nested-`Vec` solver (kept as the test oracle), so results are
+/// bit-identical; only the storage is flat.
+fn solve_multi_flat(
+    a: &mut [f64],
+    b: &mut [f64],
+    n: usize,
+    m: usize,
+) -> Result<(), StatsError> {
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i * n + col]
+                    .abs()
+                    .partial_cmp(&a[j * n + col].abs())
+                    .unwrap()
+            })
+            .unwrap();
+        if a[pivot_row * n + col].abs() < 1e-13 {
+            return Err(StatsError::InvalidPmf {
+                reason: "singular system: some transient state cannot reach absorption",
+            });
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot_row * n + j);
+            }
+            for j in 0..m {
+                b.swap(col * m + j, pivot_row * m + j);
+            }
+        }
+        let pivot = a[col * n + col];
+        for j in col..n {
+            a[col * n + j] /= pivot;
+        }
+        for j in 0..m {
+            b[col * m + j] /= pivot;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            for j in 0..m {
+                b[row * m + j] -= factor * b[col * m + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The seed's nested-`Vec` Gaussian elimination, kept as the oracle the
+/// flat solver is property-tested against bit for bit.
+#[cfg(test)]
 #[allow(clippy::needless_range_loop)] // double indexing into `a`/`b` rows
-fn solve_multi(
+fn solve_multi_nested(
     mut a: Vec<Vec<f64>>,
     mut b: Vec<Vec<f64>>,
 ) -> Result<Vec<Vec<f64>>, StatsError> {
@@ -183,6 +282,103 @@ mod tests {
         let a = analyze_absorbing(&t).unwrap();
         assert!((a.expected_steps[0] - 4.0).abs() < 1e-10);
         assert!((a.expected_steps[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn large_counting_chain_regression() {
+        // ~1k-state saturating counting chain with the top state absorbing.
+        // The seed's O(n²) `Vec::contains` classification made this scan
+        // quadratic; the boolean mask keeps it linear. Expected absorption
+        // time from state 0 must be (cap / mean increment) within rounding:
+        // increments are 0/1/2 with mean 1, so ~cap steps, and each other
+        // transient start strictly less.
+        let dim = 1001;
+        let cap = dim - 1;
+        let inc = [0.25, 0.5, 0.25];
+        let mut rows = vec![vec![0.0; dim]; dim];
+        for (s, row) in rows.iter_mut().enumerate().take(cap) {
+            for (m, &p) in inc.iter().enumerate() {
+                row[(s + m).min(cap)] += p;
+            }
+        }
+        rows[cap][cap] = 1.0;
+        let t = TransitionMatrix::from_rows(rows).unwrap();
+        let a = analyze_absorbing(&t).unwrap();
+        assert_eq!(a.absorbing_states, vec![cap]);
+        assert_eq!(a.transient_states.len(), cap);
+        // Mean-1 increments: expected time from 0 is ~cap (renewal theory;
+        // the saturating top edge only shaves a fraction of a step).
+        assert!(
+            (a.expected_steps[0] - cap as f64).abs() < 2.0,
+            "expected ~{cap}, got {}",
+            a.expected_steps[0]
+        );
+        // Monotone: starting closer to the cap absorbs sooner.
+        for w in a.expected_steps.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        assert!((a.absorption_probability[0][0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_across_solves_is_bit_identical() {
+        let t1 = TransitionMatrix::from_rows(vec![
+            vec![0.5, 0.25, 0.25],
+            vec![0.1, 0.4, 0.5],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let t2 = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap();
+        let mut scratch = Scratch::new();
+        // Interleave differently-sized solves through one arena.
+        for t in [&t1, &t2, &t1, &t2] {
+            let fresh = analyze_absorbing(t).unwrap();
+            let reused = analyze_absorbing_with(t, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+            for (x, y) in fresh.expected_steps.iter().zip(&reused.expected_steps) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn flat_solver_is_bit_identical_to_nested_oracle() {
+        // Deterministic pseudo-random systems: diagonally dominant so they
+        // are well-conditioned, varied enough to exercise pivoting.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let m = 3;
+            let mut a_nested = vec![vec![0.0; n]; n];
+            let mut b_nested = vec![vec![0.0; m]; n];
+            for i in 0..n {
+                for a in a_nested[i].iter_mut() {
+                    *a = next() - 0.5;
+                }
+                a_nested[i][i] += n as f64; // diagonal dominance
+                for b in b_nested[i].iter_mut() {
+                    *b = next();
+                }
+            }
+            let mut a_flat: Vec<f64> = a_nested.iter().flatten().copied().collect();
+            let mut b_flat: Vec<f64> = b_nested.iter().flatten().copied().collect();
+            let want = solve_multi_nested(a_nested, b_nested).unwrap();
+            solve_multi_flat(&mut a_flat, &mut b_flat, n, m).unwrap();
+            for i in 0..n {
+                for j in 0..m {
+                    assert_eq!(
+                        b_flat[i * m + j].to_bits(),
+                        want[i][j].to_bits(),
+                        "n={n} entry ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

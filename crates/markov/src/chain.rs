@@ -1,6 +1,7 @@
 //! Generic discrete-time Markov chain evolution.
 
 use crate::matrix::TransitionMatrix;
+use crate::scratch::Scratch;
 use gbd_stats::StatsError;
 
 /// A DTMC: a current state distribution plus the machinery to push it
@@ -114,6 +115,25 @@ impl MarkovChain {
         }
     }
 
+    /// [`step`](Self::step) through a reusable [`Scratch`] arena:
+    /// bit-identical values, no per-step allocation after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension does not match the chain.
+    pub fn step_with(&mut self, t: &TransitionMatrix, scratch: &mut Scratch) {
+        t.apply_left_into(&self.dist, &mut scratch.conv);
+        std::mem::swap(&mut self.dist, &mut scratch.conv);
+        self.steps += 1;
+    }
+
+    /// [`run`](Self::run) through a reusable [`Scratch`] arena.
+    pub fn run_with(&mut self, t: &TransitionMatrix, n: usize, scratch: &mut Scratch) {
+        for _ in 0..n {
+            self.step_with(t, scratch);
+        }
+    }
+
     /// Probability currently in states `k ..` (tail mass).
     pub fn tail_mass(&self, k: usize) -> f64 {
         if k >= self.dist.len() {
@@ -148,6 +168,27 @@ mod tests {
         // P[absorbed within 3 steps] = 1 - 0.7^3
         assert!((c.distribution()[1] - (1.0 - 0.7f64.powi(3))).abs() < 1e-12);
         assert_eq!(c.steps_taken(), 3);
+    }
+
+    #[test]
+    fn step_with_matches_step_bitwise() {
+        let t = TransitionMatrix::from_rows(vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.6, 0.3],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let mut plain = MarkovChain::with_initial_state(3, 0).unwrap();
+        let mut arena = plain.clone();
+        let mut scratch = Scratch::new();
+        for _ in 0..5 {
+            plain.step(&t);
+            arena.step_with(&t, &mut scratch);
+        }
+        assert_eq!(plain.steps_taken(), arena.steps_taken());
+        for (a, b) in plain.distribution().iter().zip(arena.distribution()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! agree with the fast path).
 
 use crate::matrix::TransitionMatrix;
+use crate::scratch::Scratch;
 use gbd_stats::discrete::DiscreteDist;
 
 /// Builds the explicit saturating transition matrix of a counting step:
@@ -93,6 +94,21 @@ impl CountingChain {
         }
     }
 
+    /// [`step`](Self::step) through a reusable [`Scratch`] arena:
+    /// bit-identical values, zero heap allocations once the arena has
+    /// warmed up to the chain's support size.
+    pub fn step_with(&mut self, increment: &DiscreteDist, scratch: &mut Scratch) {
+        self.dist
+            .convolve_saturating_in_place(increment, self.cap, &mut scratch.conv);
+    }
+
+    /// [`run`](Self::run) through a reusable [`Scratch`] arena.
+    pub fn run_with(&mut self, increment: &DiscreteDist, n: usize, scratch: &mut Scratch) {
+        for _ in 0..n {
+            self.step_with(increment, scratch);
+        }
+    }
+
     /// The current distribution of accumulated report counts.
     ///
     /// Its total mass is the product of the stage masses — less than 1 when
@@ -149,6 +165,31 @@ mod tests {
 
         for (k, &p) in slow.distribution().iter().enumerate() {
             assert!((fast.distribution().pmf(k) - p).abs() < 1e-12, "state {k}");
+        }
+    }
+
+    #[test]
+    fn step_with_is_bit_identical_to_step() {
+        use crate::scratch::Scratch;
+        let inc_a = dist(&[0.6, 0.25, 0.15]);
+        let inc_b = dist(&[0.3, 0.5, 0.1, 0.1]);
+        let cap = 6;
+
+        let mut plain = CountingChain::new(cap);
+        plain.step(&inc_a);
+        plain.run(&inc_b, 3);
+        plain.step(&inc_a);
+
+        let mut scratch = Scratch::new();
+        let mut arena = CountingChain::new(cap);
+        arena.step_with(&inc_a, &mut scratch);
+        arena.run_with(&inc_b, 3, &mut scratch);
+        arena.step_with(&inc_a, &mut scratch);
+
+        let (p, a) = (plain.distribution(), arena.distribution());
+        assert_eq!(p.as_slice().len(), a.as_slice().len());
+        for (x, y) in p.as_slice().iter().zip(a.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

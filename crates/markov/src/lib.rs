@@ -36,7 +36,13 @@
 //! # }
 //! ```
 
+//! All evolution kernels come in an allocating flavor and a `_with` flavor
+//! threaded through a reusable [`scratch::Scratch`] arena; the `_with`
+//! flavor produces bit-identical values with zero heap allocations after
+//! warm-up, which is what the hot analytical path uses.
+
 pub mod absorbing;
 pub mod chain;
 pub mod counting;
 pub mod matrix;
+pub mod scratch;

@@ -128,6 +128,33 @@ impl TransitionMatrix {
         out
     }
 
+    /// [`apply_left`](Self::apply_left) into a caller-provided buffer.
+    ///
+    /// `out` is cleared and refilled (its allocation is reused); the
+    /// accumulation order is identical to the allocating version, so the
+    /// values are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != dim`.
+    pub fn apply_left_into(&self, u: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            u.len(),
+            self.dim,
+            "vector length must match matrix dimension"
+        );
+        out.clear();
+        out.resize(self.dim, 0.0);
+        for (i, &ui) in u.iter().enumerate() {
+            if ui == 0.0 {
+                continue;
+            }
+            for (j, &tij) in self.row(i).iter().enumerate() {
+                out[j] += ui * tij;
+            }
+        }
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Panics
@@ -187,6 +214,24 @@ mod tests {
         let id = TransitionMatrix::identity(3);
         let u = vec![0.2, 0.3, 0.5];
         assert_eq!(id.apply_left(&u), u);
+    }
+
+    #[test]
+    fn apply_left_into_is_bit_identical() {
+        let t = TransitionMatrix::from_rows(vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.6, 0.3],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let u = [0.25, 0.5, 0.25];
+        let want = t.apply_left(&u);
+        let mut out = vec![9.9; 1]; // stale, wrong-sized buffer
+        t.apply_left_into(&u, &mut out);
+        assert_eq!(out.len(), want.len());
+        for (a, b) in out.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

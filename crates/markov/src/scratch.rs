@@ -1,0 +1,102 @@
+//! Reusable scratch arena for allocation-free chain evolution.
+//!
+//! A full M-S assembly (Head → Body^(M−ms−1) → Tail_1..Tail_ms, Eqs
+//! (12)–(13) of the paper) is a sequence of saturating convolutions plus,
+//! for the time-to-detection extension, one absorbing-chain solve. Each of
+//! those steps needs temporary buffers whose sizes stabilize after the
+//! first assembly; [`Scratch`] owns them so the steady-state hot path
+//! performs zero heap allocations.
+//!
+//! The arena is deliberately dumb: buffers are cleared and refilled by each
+//! kernel, never read across calls, so threading one `Scratch` through an
+//! arbitrary interleaving of counting-chain steps, matrix applications and
+//! absorbing solves is always safe. Every `_with` kernel produces values
+//! bit-identical to its allocating counterpart — the arena changes where
+//! intermediates live, never what is computed.
+
+/// Reusable buffers for the chain-evolution kernels.
+///
+/// Create one per worker (or use a thread-local) and thread it through
+/// [`CountingChain::step_with`](crate::counting::CountingChain::step_with),
+/// [`MarkovChain::step_with`](crate::chain::MarkovChain::step_with) and
+/// [`analyze_absorbing_with`](crate::absorbing::analyze_absorbing_with).
+///
+/// # Example
+///
+/// ```
+/// use gbd_markov::counting::CountingChain;
+/// use gbd_markov::scratch::Scratch;
+/// use gbd_stats::discrete::DiscreteDist;
+///
+/// # fn main() -> Result<(), gbd_stats::StatsError> {
+/// let per_period = DiscreteDist::new(vec![0.5, 0.5])?;
+/// let mut scratch = Scratch::new();
+/// let mut chain = CountingChain::new(8);
+/// for _ in 0..4 {
+///     chain.step_with(&per_period, &mut scratch); // no allocation after warm-up
+/// }
+/// assert!((chain.distribution().tail_sum(2) - 11.0 / 16.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Ping-pong buffer for convolution / matrix-vector products.
+    pub(crate) conv: Vec<f64>,
+    /// Absorbing-state classification mask (one flag per state).
+    pub(crate) mask: Vec<bool>,
+    /// Flat row-major `(I − Q)` system matrix.
+    pub(crate) flat_a: Vec<f64>,
+    /// Flat row-major right-hand-side block.
+    pub(crate) flat_b: Vec<f64>,
+    /// Transient state indices.
+    pub(crate) transient: Vec<usize>,
+    /// Absorbing state indices.
+    pub(crate) absorbing: Vec<usize>,
+}
+
+impl Scratch {
+    /// An empty arena; buffers grow to the working-set size on first use
+    /// and are reused afterwards.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// The convolution ping-pong buffer, for callers that drive
+    /// [`DiscreteDist`](gbd_stats::discrete::DiscreteDist) in-place kernels
+    /// directly (e.g. per-stage report-distribution assembly).
+    pub fn conv_buffer(&mut self) -> &mut Vec<f64> {
+        &mut self.conv
+    }
+
+    /// Total `f64` capacity currently held (diagnostic; used by tests to
+    /// assert the warm path stops growing).
+    pub fn capacity(&self) -> usize {
+        self.conv.capacity() + self.flat_a.capacity() + self.flat_b.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingChain;
+    use gbd_stats::discrete::DiscreteDist;
+
+    #[test]
+    fn warm_scratch_capacity_is_stable() {
+        let inc = DiscreteDist::new(vec![0.25, 0.5, 0.25]).unwrap();
+        let mut scratch = Scratch::new();
+        // Warm up.
+        let mut chain = CountingChain::new(64);
+        for _ in 0..10 {
+            chain.step_with(&inc, &mut scratch);
+        }
+        let warm = scratch.capacity();
+        // Re-run the identical workload: capacity must not grow.
+        let mut chain = CountingChain::new(64);
+        for _ in 0..10 {
+            chain.step_with(&inc, &mut scratch);
+        }
+        assert_eq!(scratch.capacity(), warm);
+    }
+}

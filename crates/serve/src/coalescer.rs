@@ -264,6 +264,10 @@ fn flush(shared: &Shared, batch: Vec<Pending>, cause: &FlushCause) {
         .evaluated
         .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
     let requests: Vec<EvalRequest> = batch.iter().map(|p| p.request.clone()).collect();
+    // Split the end-to-end latency at the flush boundary: everything
+    // before `flushed_at` is queue wait (admission control + coalescing
+    // delay), everything after is engine compute for this batch.
+    let flushed_at = Instant::now();
     // `notify` runs on engine worker threads; `response.index` is the
     // request's position in this batch, which indexes `batch` directly.
     shared.engine.evaluate_batch_with(&requests, |response| {
@@ -271,6 +275,10 @@ fn flush(shared: &Shared, batch: Vec<Pending>, cause: &FlushCause) {
             return;
         };
         metrics.latency.record(pending.enqueued_at.elapsed());
+        metrics
+            .queue_wait
+            .record(flushed_at.saturating_duration_since(pending.enqueued_at));
+        metrics.compute.record(flushed_at.elapsed());
         let rendered = protocol::render_response(pending.id, response);
         // A send only fails when the connection died while the request was
         // in flight; the result is simply dropped.

@@ -104,6 +104,13 @@ pub struct ServerMetrics {
     pub flushes_by_timer: AtomicU64,
     /// End-to-end latency (admission to response ready) of eval requests.
     pub latency: LatencyHistogram,
+    /// Queue-wait component: admission to the batch flush that carried the
+    /// request. Dominated by the flush interval under light load and by
+    /// backlog under heavy load.
+    pub queue_wait: LatencyHistogram,
+    /// Compute component: batch flush to that request's response being
+    /// ready. `latency ≈ queue_wait + compute` per request.
+    pub compute: LatencyHistogram,
 }
 
 impl ServerMetrics {
@@ -136,7 +143,16 @@ impl ServerMetrics {
         } else {
             cache.hits as f64 / lookups as f64
         };
-        let q = |p: f64| self.latency.quantile_us(p).map_or(Json::Null, Json::from);
+        let histogram = |h: &LatencyHistogram| {
+            let q = |p: f64| h.quantile_us(p).map_or(Json::Null, Json::from);
+            Json::obj(vec![
+                ("count".to_string(), Json::from(h.count())),
+                ("p50".to_string(), q(0.50)),
+                ("p95".to_string(), q(0.95)),
+                ("p99".to_string(), q(0.99)),
+                ("max".to_string(), Json::from(h.max_us())),
+            ])
+        };
         Json::obj(vec![
             ("id".to_string(), Json::Int(id as i64)),
             ("ok".to_string(), Json::Bool(true)),
@@ -190,16 +206,9 @@ impl ServerMetrics {
                             ("hit_rate".to_string(), Json::Num(hit_rate)),
                         ]),
                     ),
-                    (
-                        "latency_us".to_string(),
-                        Json::obj(vec![
-                            ("count".to_string(), Json::from(self.latency.count())),
-                            ("p50".to_string(), q(0.50)),
-                            ("p95".to_string(), q(0.95)),
-                            ("p99".to_string(), q(0.99)),
-                            ("max".to_string(), Json::from(self.latency.max_us())),
-                        ]),
-                    ),
+                    ("latency_us".to_string(), histogram(&self.latency)),
+                    ("queue_wait_us".to_string(), histogram(&self.queue_wait)),
+                    ("compute_us".to_string(), histogram(&self.compute)),
                 ]),
             ),
         ])
@@ -268,5 +277,33 @@ mod tests {
         let lat = stats.get("latency_us").unwrap();
         assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
         assert!(lat.get("p99").unwrap().as_u64().is_some());
+        // The queue-wait/compute split has the same shape; unrecorded
+        // histograms render null percentiles, not absent keys.
+        for key in ["queue_wait_us", "compute_us"] {
+            let split = stats.get(key).unwrap();
+            assert_eq!(split.get("count").and_then(Json::as_u64), Some(0));
+            assert_eq!(split.get("p50"), Some(&Json::Null));
+        }
+    }
+
+    #[test]
+    fn queue_wait_and_compute_sum_to_latency() {
+        let m = ServerMetrics::default();
+        m.latency.record(Duration::from_micros(900));
+        m.queue_wait.record(Duration::from_micros(500));
+        m.compute.record(Duration::from_micros(400));
+        let v = m.render(1, 0, CacheStats::default());
+        let stats = v.get("stats").unwrap();
+        let p100 = |key: &str| {
+            stats
+                .get(key)
+                .and_then(|h| h.get("max"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(
+            p100("queue_wait_us") + p100("compute_us"),
+            p100("latency_us")
+        );
     }
 }

@@ -299,11 +299,12 @@ fn backend_from(spec: &Json) -> Result<BackendSpec, String> {
         .ok_or_else(|| "backend needs a string `kind`".to_string())?;
     match kind {
         "ms" => {
-            check_fields(spec, &["kind", "g", "gh"])?;
+            check_fields(spec, &["kind", "g", "gh", "eps"])?;
             let d = MsOptions::default();
             Ok(BackendSpec::Ms(MsOptions {
                 g: get_usize(spec, "g", d.g)?,
                 gh: get_usize(spec, "gh", d.gh)?,
+                eps: get_f64(spec, "eps", d.eps)?,
             }))
         }
         "s" => {
@@ -325,6 +326,7 @@ fn backend_from(spec: &Json) -> Result<BackendSpec, String> {
                 opts: MsOptions {
                     g: get_usize(spec, "g", d.g)?,
                     gh: get_usize(spec, "gh", d.gh)?,
+                    eps: d.eps,
                 },
                 max_states: get_usize(spec, "max_states", 2_000_000)?,
             })

@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use crate::engine::run_trial;
 use gbd_stats::interval::{wilson, ProportionInterval};
 use gbd_stats::summary::Summary;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Aggregated result of a simulation campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,10 +28,29 @@ pub struct SimResult {
     pub dropped_report_counts: Summary,
 }
 
+/// Trial indices claimed per atomic fetch: large enough that the shared
+/// counter stays cold, small enough that a skewed tail of expensive trials
+/// still spreads across workers instead of idling all but one of them.
+const STEAL_BLOCK: u64 = 32;
+
+/// The per-trial facts the aggregation needs, detached from the heavy
+/// [`TrialOutcome`](crate::engine::TrialOutcome) (its report list and
+/// trajectory are dropped as soon as the trial finishes, so the
+/// work-stealing buffer stays a few dozen bytes per trial).
+#[derive(Debug, Clone, Copy)]
+struct TrialCounts {
+    true_reports: usize,
+    false_reports: usize,
+    dropped_reports: usize,
+}
+
 /// Runs `config.trials` independent trials, in parallel, and aggregates.
 ///
-/// Results are a pure function of `config` (trial `i` uses the derived
-/// stream `(seed, i)` regardless of which thread executes it).
+/// Results are a pure function of `config`: trial `i` uses the derived
+/// stream `(seed, i)` regardless of which thread executes it, and the
+/// aggregation below replays the same fixed-chunk reduction for every
+/// scheduling outcome, so the result is byte-stable across runs even
+/// though the *execution* order is work-stealing.
 pub fn run(config: &SimConfig) -> SimResult {
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
@@ -42,39 +62,77 @@ pub fn run(config: &SimConfig) -> SimResult {
     let trials = config.trials;
     let k = config.params.k();
 
-    // Each worker owns a disjoint contiguous range of trial indices.
-    let chunk = trials.div_ceil(threads as u64).max(1);
-    let partials: Vec<(u64, Summary, Summary, Summary)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..threads as u64 {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(trials);
-            if lo >= hi {
-                break;
-            }
-            let cfg = config.clone();
-            handles.push(scope.spawn(move || {
-                let mut detections = 0u64;
-                let mut reports = Summary::new();
-                let mut false_alarms = Summary::new();
-                let mut dropped = Summary::new();
-                for trial in lo..hi {
-                    let out = run_trial(&cfg, trial);
-                    if out.detected(k) {
-                        detections += 1;
+    // Execution: workers claim fixed blocks of trial indices from a shared
+    // counter. Unlike the original one-contiguous-range-per-worker split,
+    // a worker that lands on cheap trials keeps claiming; total wall clock
+    // tracks the sum of trial costs rather than the most expensive range.
+    let counter = AtomicU64::new(0);
+    let mut blocks: Vec<(u64, Vec<TrialCounts>)> = std::thread::scope(|scope| {
+        let counter = &counter;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cfg = config.clone();
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let lo = counter.fetch_add(STEAL_BLOCK, Ordering::Relaxed);
+                        if lo >= trials {
+                            break;
+                        }
+                        let hi = (lo + STEAL_BLOCK).min(trials);
+                        let counts = (lo..hi)
+                            .map(|trial| {
+                                let out = run_trial(&cfg, trial);
+                                TrialCounts {
+                                    true_reports: out.true_reports,
+                                    false_reports: out.false_reports,
+                                    dropped_reports: out.dropped_reports,
+                                }
+                            })
+                            .collect();
+                        mine.push((lo, counts));
                     }
-                    reports.push(out.true_reports as f64);
-                    false_alarms.push(out.false_reports as f64);
-                    dropped.push(out.dropped_reports as f64);
-                }
-                (detections, reports, false_alarms, dropped)
-            }));
-        }
+                    mine
+                })
+            })
+            .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .flat_map(|h| h.join().expect("worker panicked"))
             .collect()
     });
+    // Blocks are disjoint; sorting by start index restores trial order.
+    blocks.sort_unstable_by_key(|&(lo, _)| lo);
+
+    // Aggregation: replay the original fixed-chunk reduction — one Welford
+    // summary per `div_ceil(trials, threads)`-sized range, pushed in trial
+    // order, partials merged in range order. This decouples the summary
+    // bits from which thread actually ran a trial: the result is identical
+    // to the pre-work-stealing implementation at the same thread count.
+    let chunk = trials.div_ceil(threads as u64).max(1);
+    let mut ordered = blocks.iter().flat_map(|(_, counts)| counts.iter());
+    let mut partials: Vec<(u64, Summary, Summary, Summary)> = Vec::new();
+    for w in 0..threads as u64 {
+        let lo = w * chunk;
+        let hi = ((w + 1) * chunk).min(trials);
+        if lo >= hi {
+            break;
+        }
+        let mut detections = 0u64;
+        let mut reports = Summary::new();
+        let mut false_alarms = Summary::new();
+        let mut dropped = Summary::new();
+        for _ in lo..hi {
+            let out = ordered.next().expect("blocks cover every trial");
+            if out.true_reports >= k {
+                detections += 1;
+            }
+            reports.push(out.true_reports as f64);
+            false_alarms.push(out.false_reports as f64);
+            dropped.push(out.dropped_reports as f64);
+        }
+        partials.push((detections, reports, false_alarms, dropped));
+    }
 
     let mut detections = 0u64;
     let mut report_counts = Summary::new();
@@ -123,6 +181,18 @@ mod tests {
             (one.report_counts.sample_variance() - four.report_counts.sample_variance()).abs()
                 < 1e-6
         );
+    }
+
+    #[test]
+    fn work_stealing_schedule_does_not_leak_into_results() {
+        // Repeated multi-threaded runs race differently over the shared
+        // counter, but the replayed fixed-chunk reduction must make every
+        // field — including the merged Welford moments — byte-stable.
+        let cfg = small_config().with_threads(3);
+        let a = run(&cfg);
+        for _ in 0..3 {
+            assert_eq!(a, run(&cfg));
+        }
     }
 
     #[test]

@@ -79,6 +79,15 @@ impl DiscreteDist {
         DiscreteDist { pmf }
     }
 
+    /// Resets `self` to the point mass at `k` in place, reusing the
+    /// existing buffer — the allocation-free counterpart of
+    /// [`point_mass`](Self::point_mass) for scratch distributions.
+    pub fn set_point_mass(&mut self, k: usize) {
+        self.pmf.clear();
+        self.pmf.resize(k + 1, 0.0);
+        self.pmf[k] = 1.0;
+    }
+
     /// The uniform distribution on `0..n`.
     ///
     /// # Errors
@@ -177,6 +186,91 @@ impl DiscreteDist {
             }
         }
         DiscreteDist { pmf: out }
+    }
+
+    /// [`convolve`](Self::convolve) into a caller-provided buffer.
+    ///
+    /// `out` is cleared and refilled; its allocation is reused when large
+    /// enough. The accumulation order is identical to
+    /// [`convolve`](Self::convolve), so the resulting values are
+    /// bit-identical to the allocating version.
+    pub fn convolve_into(&self, other: &DiscreteDist, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.pmf.len() + other.pmf.len() - 1, 0.0);
+        for (i, &a) in self.pmf.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in other.pmf.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+    }
+
+    /// In-place [`convolve`](Self::convolve): replaces `self` with
+    /// `self * other` using `scratch` as the output buffer (the previous
+    /// pmf buffer is swapped into `scratch` for reuse). Allocation-free
+    /// once `scratch` has warmed up to the working support size.
+    pub fn convolve_in_place(&mut self, other: &DiscreteDist, scratch: &mut Vec<f64>) {
+        self.convolve_into(other, scratch);
+        std::mem::swap(&mut self.pmf, scratch);
+    }
+
+    /// [`convolve_saturating`](Self::convolve_saturating) into a
+    /// caller-provided buffer; same bit-identity guarantee as
+    /// [`convolve_into`](Self::convolve_into).
+    pub fn convolve_saturating_into(
+        &self,
+        other: &DiscreteDist,
+        cap: usize,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(cap + 1, 0.0);
+        for (i, &a) in self.pmf.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in other.pmf.iter().enumerate() {
+                out[(i + j).min(cap)] += a * b;
+            }
+        }
+    }
+
+    /// In-place [`convolve_saturating`](Self::convolve_saturating); see
+    /// [`convolve_in_place`](Self::convolve_in_place).
+    pub fn convolve_saturating_in_place(
+        &mut self,
+        other: &DiscreteDist,
+        cap: usize,
+        scratch: &mut Vec<f64>,
+    ) {
+        self.convolve_saturating_into(other, cap, scratch);
+        std::mem::swap(&mut self.pmf, scratch);
+    }
+
+    /// Drops the longest trailing run of support whose total mass is at
+    /// most `eps`, returning the mass actually discarded.
+    ///
+    /// With `eps <= 0` this is a guaranteed no-op (nothing is trimmed, not
+    /// even exact zeros) so the default configuration stays bit-identical.
+    /// At least one entry is always retained.
+    pub fn truncate_tail_mass(&mut self, eps: f64) -> f64 {
+        if eps <= 0.0 {
+            return 0.0;
+        }
+        let mut dropped = 0.0;
+        let mut keep = self.pmf.len();
+        while keep > 1 {
+            let next = dropped + self.pmf[keep - 1];
+            if next > eps {
+                break;
+            }
+            dropped = next;
+            keep -= 1;
+        }
+        self.pmf.truncate(keep);
+        dropped
     }
 
     /// `n`-fold convolution of the distribution with itself, computed by
@@ -299,6 +393,15 @@ mod tests {
     }
 
     #[test]
+    fn set_point_mass_resets_in_place() {
+        let mut d = dist(&[0.2, 0.3, 0.4, 0.1]);
+        d.set_point_mass(0);
+        assert_eq!(d, DiscreteDist::point_mass(0));
+        d.set_point_mass(2);
+        assert_eq!(d, DiscreteDist::point_mass(2));
+    }
+
+    #[test]
     fn convolution_of_point_masses_shifts() {
         let a = DiscreteDist::point_mass(2);
         let b = DiscreteDist::point_mass(5);
@@ -373,6 +476,54 @@ mod tests {
     }
 
     #[test]
+    fn in_place_kernels_are_bit_identical_to_allocating() {
+        let a = dist(&[0.1, 0.0, 0.2, 0.7]);
+        let b = dist(&[0.4, 0.35, 0.25]);
+        let mut scratch = Vec::new();
+
+        let mut x = a.clone();
+        x.convolve_in_place(&b, &mut scratch);
+        let plain = a.convolve(&b);
+        assert_eq!(x.as_slice().len(), plain.as_slice().len());
+        for (got, want) in x.as_slice().iter().zip(plain.as_slice()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+
+        let mut y = a.clone();
+        y.convolve_saturating_in_place(&b, 2, &mut scratch);
+        let sat = a.convolve_saturating(&b, 2);
+        assert_eq!(y.as_slice().len(), sat.as_slice().len());
+        for (got, want) in y.as_slice().iter().zip(sat.as_slice()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncate_tail_mass_zero_eps_is_a_no_op() {
+        let mut d = dist(&[0.5, 0.3, 0.0, 0.0]);
+        let before = d.clone();
+        assert_eq!(d.truncate_tail_mass(0.0), 0.0);
+        assert_eq!(d.truncate_tail_mass(-1.0), 0.0);
+        assert_eq!(d, before);
+        assert_eq!(d.support_max(), 3);
+    }
+
+    #[test]
+    fn truncate_tail_mass_respects_bound_and_keeps_head() {
+        let mut d = dist(&[0.5, 0.3, 0.1, 0.05, 0.04]);
+        let dropped = d.truncate_tail_mass(0.1);
+        assert!((dropped - 0.09).abs() < 1e-15);
+        assert!(dropped <= 0.1);
+        assert_eq!(d.support_max(), 2);
+
+        // eps larger than everything still keeps one entry.
+        let mut p = dist(&[0.2, 0.1]);
+        let gone = p.truncate_tail_mass(10.0);
+        assert!((gone - 0.1).abs() < 1e-15);
+        assert_eq!(p.support_max(), 0);
+    }
+
+    #[test]
     fn saturating_equals_truncate_of_tail_merge() {
         // Saturating convolution == plain convolution with tail merged at cap.
         let a = dist(&[0.3, 0.3, 0.4]);
@@ -443,6 +594,33 @@ mod proptests {
         #[test]
         fn normalized_has_unit_mass(a in arb_dist(10)) {
             prop_assert!((a.normalized().total_mass() - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn truncate_tail_mass_never_exceeds_eps(a in arb_dist(12), eps in 0.0f64..0.5) {
+            let mut t = a.clone();
+            let dropped = t.truncate_tail_mass(eps);
+            prop_assert!(dropped <= eps);
+            prop_assert!((a.total_mass() - t.total_mass() - dropped).abs() < 1e-12);
+            // The trimmed distribution differs from the original by at most
+            // the discarded mass, pointwise.
+            prop_assert!(a.max_abs_diff(&t) <= dropped + 1e-15);
+        }
+
+        #[test]
+        fn in_place_saturating_matches_allocating(
+            a in arb_dist(8),
+            b in arb_dist(8),
+            cap in 0usize..12,
+        ) {
+            let mut x = a.clone();
+            let mut scratch = Vec::new();
+            x.convolve_saturating_in_place(&b, cap, &mut scratch);
+            let want = a.convolve_saturating(&b, cap);
+            prop_assert_eq!(x.as_slice().len(), want.as_slice().len());
+            for (g, w) in x.as_slice().iter().zip(want.as_slice()) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
         }
     }
 }

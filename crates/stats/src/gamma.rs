@@ -58,9 +58,30 @@ pub fn ln_gamma(x: f64) -> f64 {
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
 }
 
+/// Size of the memoized `ln n!` table: covers every sensor count the
+/// paper's sweeps use (`N <= 260`) with a wide margin, while costing only
+/// 32 KiB once.
+const LN_FACT_CACHE_LEN: usize = 4096;
+
+/// Memoized `ln n!` for `n < LN_FACT_CACHE_LEN`, filled on first use.
+///
+/// Every entry is produced by [`ln_factorial_uncached`], so a cache hit is
+/// bit-identical to the direct evaluation — the table changes speed, never
+/// values.
+static LN_FACT_CACHE: std::sync::LazyLock<Box<[f64]>> = std::sync::LazyLock::new(|| {
+    (0..LN_FACT_CACHE_LEN as u64)
+        .map(ln_factorial_uncached)
+        .collect()
+});
+
 /// Natural logarithm of `n!`.
 ///
-/// Exact table lookup for `n <= 20`, Lanczos `ln Γ(n + 1)` beyond.
+/// Exact table lookup for `n <= 20`; for larger `n` a memoized Lanczos
+/// `ln Γ(n + 1)` (bit-identical to evaluating it directly — see
+/// [`ln_factorial_uncached`], which this delegates to beyond the memo
+/// range). The binomial pmf evaluates three of these per mass point, so
+/// the memo turns the hot analytical path's dominant cost into a table
+/// read.
 ///
 /// # Example
 ///
@@ -69,6 +90,17 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// assert!((ln_factorial(4) - 24f64.ln()).abs() < 1e-12);
 /// ```
 pub fn ln_factorial(n: u64) -> f64 {
+    if n < LN_FACT_CACHE_LEN as u64 {
+        return LN_FACT_CACHE[n as usize];
+    }
+    ln_factorial_uncached(n)
+}
+
+/// [`ln_factorial`] without the memo table — the seed implementation,
+/// kept callable so the cache contents (and callers pinned to the
+/// original arithmetic, like the benchmark baselines) can be audited
+/// against it.
+pub fn ln_factorial_uncached(n: u64) -> f64 {
     // Exact factorials representable in f64 without rounding error.
     const EXACT: [f64; 21] = [
         1.0,
@@ -174,6 +206,25 @@ mod tests {
             assert!((ln_factorial(n) - ln_gamma(n as f64 + 1.0)).abs() < 1e-10);
         }
         assert!((ln_factorial(100) - ln_gamma(101.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_cache_is_bit_identical_to_uncached() {
+        // Inside the memo range, at its boundary, and beyond it.
+        for n in (0..LN_FACT_CACHE_LEN as u64 + 10).step_by(37) {
+            assert_eq!(
+                ln_factorial(n).to_bits(),
+                ln_factorial_uncached(n).to_bits(),
+                "n={n}"
+            );
+        }
+        let edge = LN_FACT_CACHE_LEN as u64;
+        for n in [edge - 1, edge, edge + 1] {
+            assert_eq!(
+                ln_factorial(n).to_bits(),
+                ln_factorial_uncached(n).to_bits()
+            );
+        }
     }
 
     #[test]

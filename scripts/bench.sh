@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Benchmark trajectory for the hot analytical path.
+#
+#   scripts/bench.sh                 full run: criterion kernel pairs plus
+#                                    the perf_trajectory legs, writing
+#                                    results/BENCH_pr4.json
+#   scripts/bench.sh --quick         trajectory legs only, reduced grids
+#                                    (the smoke configuration check.sh
+#                                    --bench-smoke uses)
+#   scripts/bench.sh --out <dir>     write BENCH_pr4.json elsewhere
+#
+# The trajectory binary asserts bit-identity between the baseline and
+# optimized legs before reporting any number, so a successful run is also
+# a correctness check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+out=results
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick=1; shift ;;
+    --out) out="${2:?--out needs a directory}"; shift 2 ;;
+    *) echo "unknown argument: $1 (expected --quick or --out <dir>)" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> cargo build --release (trajectory binary)"
+cargo build --release -q -p gbd-bench --bin perf_trajectory
+
+if [ "$quick" -eq 0 ]; then
+  echo "==> criterion kernel pairs (cargo bench --bench kernels)"
+  cargo bench -q -p gbd-bench --bench kernels
+fi
+
+echo "==> perf trajectory (fig8 cold, engine cold/warm, skewed thread scaling)"
+if [ "$quick" -eq 1 ]; then
+  target/release/perf_trajectory --quick --out "$out"
+else
+  target/release/perf_trajectory --out "$out"
+fi

@@ -2,17 +2,25 @@
 # Full local gate: formatting, lints as errors, and the complete test
 # suite. Run before every push; CI mirrors these steps.
 #
-#   scripts/check.sh           the standard gate
-#   scripts/check.sh --chaos   additionally run the fault-injection suite
-#                              under three seeds (deterministic per seed)
+#   scripts/check.sh                the standard gate
+#   scripts/check.sh --chaos        additionally run the fault-injection
+#                                   suite under three seeds (deterministic
+#                                   per seed)
+#   scripts/check.sh --bench-smoke  additionally run the quick benchmark
+#                                   trajectory, validate its JSON schema,
+#                                   and fail on a >25% regression of the
+#                                   derived speedup ratios against the
+#                                   committed results/BENCH_pr4.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 chaos=0
+bench_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
-    *) echo "unknown argument: $arg (expected --chaos)" >&2; exit 2 ;;
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "unknown argument: $arg (expected --chaos or --bench-smoke)" >&2; exit 2 ;;
   esac
 done
 
@@ -31,6 +39,16 @@ for crate in gbd-engine gbd-serve; do
   echo "==> cargo clippy -p $crate (unwrap/expect ban)"
   cargo clippy -p "$crate" --all-targets --no-deps -- \
     -D warnings -W clippy::unwrap_used -W clippy::expect_used
+done
+
+# The hot analytical path promises allocation discipline: no needless
+# intermediate collections, no redundant clones, no oversized stack
+# buffers in the kernels the scratch arenas exist to serve.
+for crate in gbd-core gbd-markov gbd-engine; do
+  echo "==> cargo clippy -p $crate (allocation-discipline lints)"
+  cargo clippy -p "$crate" --all-targets --no-deps -- \
+    -D warnings -W clippy::needless_collect -W clippy::redundant_clone \
+    -W clippy::large_stack_arrays
 done
 
 echo "==> cargo test -q --workspace"
@@ -60,6 +78,68 @@ fi
 target/release/loadgen --addr "$addr" --clients 4 --requests 32 \
   --sim-every 8 --out "$smoke_dir" --assert-coalescing --shutdown
 wait "$serve_pid"
+
+if [ "$bench_smoke" -eq 1 ]; then
+  # Quick trajectory run into the temp dir, then: (1) schema validation,
+  # (2) regression gate on the derived speedup *ratios* — wall-clock
+  # times vary across hosts, but "flat kernels beat the baseline by ≥2×"
+  # and "warm beats cold" are machine-independent claims, so a >25% drop
+  # of either ratio against the committed baseline fails the gate.
+  echo "==> bench smoke (scripts/bench.sh --quick + schema + regression gate)"
+  scripts/bench.sh --quick --out "$smoke_dir"
+  python3 - "$smoke_dir/BENCH_pr4.json" results/BENCH_pr4.json <<'PY'
+import json, sys
+
+current_path, committed_path = sys.argv[1], sys.argv[2]
+with open(current_path) as f:
+    current = json.load(f)
+
+def fail(msg):
+    print(f"bench smoke: FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if current.get("bench") != "pr4_perf_trajectory":
+    fail(f"unexpected bench id {current.get('bench')!r}")
+if not isinstance(current.get("cores"), int) or current["cores"] < 1:
+    fail("cores must be a positive integer")
+entries = current.get("entries")
+if not isinstance(entries, list) or not entries:
+    fail("entries must be a non-empty list")
+for e in entries:
+    for key, kind in (("name", str), ("mode", str), ("impl", str)):
+        if not isinstance(e.get(key), kind):
+            fail(f"entry {e!r}: {key} must be {kind.__name__}")
+    if not (isinstance(e.get("wall_ms"), (int, float)) and e["wall_ms"] > 0):
+        fail(f"entry {e!r}: wall_ms must be positive")
+    if not (isinstance(e.get("points"), int) and e["points"] > 0):
+        fail(f"entry {e!r}: points must be positive")
+names = {(e["name"], e["mode"], e["impl"]) for e in entries}
+for required in (("fig8_sweep", "cold", "baseline"), ("fig8_sweep", "cold", "optimized"),
+                 ("engine_sweep", "cold", "optimized"), ("engine_sweep", "warm", "optimized")):
+    if required not in names:
+        fail(f"missing entry {required}")
+derived = current.get("derived", {})
+for key in ("fig8_cold_speedup", "engine_warm_speedup", "thread_scaling"):
+    if not (isinstance(derived.get(key), (int, float)) and derived[key] > 0):
+        fail(f"derived.{key} must be positive")
+if derived.get("bit_identical") is not True:
+    fail("derived.bit_identical must be true")
+
+try:
+    with open(committed_path) as f:
+        committed = json.load(f)
+except FileNotFoundError:
+    print("bench smoke: no committed baseline yet; schema check only")
+    sys.exit(0)
+for key in ("fig8_cold_speedup", "engine_warm_speedup"):
+    base = committed.get("derived", {}).get(key)
+    now = derived[key]
+    if isinstance(base, (int, float)) and base > 0 and now < 0.75 * base:
+        fail(f"{key} regressed >25%: {now:.2f}x vs committed {base:.2f}x")
+    print(f"bench smoke: {key} {now:.2f}x (committed {base if base else '-'}x)")
+print("bench smoke: ok")
+PY
+fi
 
 if [ "$chaos" -eq 1 ]; then
   for seed in 1 7 2008; do

@@ -27,9 +27,16 @@ fn ms_and_s_agree_with_exact_across_grid() {
     for params in grid() {
         let k = params.k();
         let truth = exact::detection_probability(&params, k);
-        let ms = ms_approach::analyze(&params, &MsOptions { g: 6, gh: 6 })
-            .unwrap()
-            .detection_probability(k);
+        let ms = ms_approach::analyze(
+            &params,
+            &MsOptions {
+                g: 6,
+                gh: 6,
+                eps: 0.0,
+            },
+        )
+        .unwrap()
+        .detection_probability(k);
         let s = s_approach::analyze(&params, &SOptions { cap_sensors: 20 })
             .unwrap()
             .detection_probability(k);
@@ -102,9 +109,16 @@ fn truncation_error_decays_monotonically_in_caps() {
     let truth = exact::detection_probability(&params, 5);
     let mut prev = f64::INFINITY;
     for caps in 1..=6 {
-        let ms = ms_approach::analyze(&params, &MsOptions { g: caps, gh: caps })
-            .unwrap()
-            .detection_probability(5);
+        let ms = ms_approach::analyze(
+            &params,
+            &MsOptions {
+                g: caps,
+                gh: caps,
+                eps: 0.0,
+            },
+        )
+        .unwrap()
+        .detection_probability(5);
         let err = (ms - truth).abs();
         assert!(err <= prev + 1e-9, "caps={caps}");
         prev = err;

@@ -113,7 +113,15 @@ fn dense_network_leaves_sparse_regime_gracefully() {
         .with_k(40);
     let p = exact::detection_probability(&params, 40);
     assert!((0.0..=1.0).contains(&p));
-    let r = ms_approach::analyze(&params, &MsOptions { g: 8, gh: 12 }).unwrap();
+    let r = ms_approach::analyze(
+        &params,
+        &MsOptions {
+            g: 8,
+            gh: 12,
+            eps: 0.0,
+        },
+    )
+    .unwrap();
     assert!((r.detection_probability(40) - p).abs() < 0.05);
 }
 

@@ -61,7 +61,11 @@ fn ms_t_and_exact_agree_at_small_m_via_trait() {
     // T-approach truncate the same state space, and both approximate the
     // exact reference closely.
     let params = tractable_point();
-    let opts = MsOptions { g: 4, gh: 4 };
+    let opts = MsOptions {
+        g: 4,
+        gh: 4,
+        eps: 0.0,
+    };
     let ms = MsModel { opts }.detection_probability(&params).unwrap();
     let t = TModel {
         opts,

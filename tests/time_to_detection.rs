@@ -35,7 +35,11 @@ fn exact_first_passage_matches_simulation() {
         .with_m_periods(8)
         .with_n_sensors(240)
         .with_k(3);
-    let opts = MsOptions { g: 3, gh: 3 };
+    let opts = MsOptions {
+        g: 3,
+        gh: 3,
+        eps: 0.0,
+    };
     let exact = time_to_detection::analyze_exact(&params, &opts, 20_000_000).unwrap();
     let sim = simulated_curve(params, 21);
     for (m, (a, s)) in exact.by_period.iter().zip(&sim).enumerate() {
