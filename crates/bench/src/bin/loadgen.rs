@@ -15,6 +15,13 @@
 //! fails (exit 1) unless the mean coalesced batch size exceeds 1;
 //! `--shutdown` sends the `shutdown` verb once done — together they make
 //! this the smoke driver used by `scripts/check.sh`.
+//!
+//! `--warmstart <path>` switches to a self-contained benchmark that
+//! ignores `--addr`: it boots an in-process server over a fresh store at
+//! `path`, drives the request mix (cold), drains (which snapshots the
+//! store), boots a second server over the same store (warm), and replays
+//! the identical mix. It fails unless every warm response is bit-identical
+//! to its cold counterpart and the warm boot actually loaded records.
 
 use gbd_bench::Csv;
 use gbd_serve::Json;
@@ -44,6 +51,9 @@ struct Options {
     json: bool,
     assert_coalescing: bool,
     shutdown: bool,
+    /// Run the self-contained cold-vs-warm store benchmark against this
+    /// store path instead of driving `--addr`.
+    warmstart: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -61,6 +71,7 @@ impl Default for Options {
             json: false,
             assert_coalescing: false,
             shutdown: false,
+            warmstart: None,
         }
     }
 }
@@ -69,7 +80,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr host:port [--clients n] [--requests n] [--pipeline n]\n\
          \x20              [--rate req/s] [--sim-every n] [--trials n] [--seed n]\n\
-         \x20              [--out dir] [--json] [--assert-coalescing] [--shutdown]"
+         \x20              [--out dir] [--json] [--assert-coalescing] [--shutdown]\n\
+         \x20              [--warmstart store-path]"
     );
     std::process::exit(2);
 }
@@ -130,6 +142,10 @@ fn parse_args() -> Options {
             "--shutdown" => {
                 opts.shutdown = true;
                 i += 1;
+            }
+            "--warmstart" => {
+                opts.warmstart = Some(PathBuf::from(value(&args, i)));
+                i += 2;
             }
             _ => usage(),
         }
@@ -273,10 +289,189 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     sorted_us[rank - 1]
 }
 
+/// What one warm-start pass (boot + sweep) measured.
+struct WarmPass {
+    /// Boot (including store recovery) plus sweep, in seconds. Control
+    /// verbs and drain are excluded.
+    elapsed_s: f64,
+    /// Rendered `detection` arrays in request order — the exact wire
+    /// text, so equality is bit-identity of every probability.
+    detections: Vec<String>,
+    errors: u64,
+    store_loads: u64,
+    store_spills: u64,
+}
+
+/// Boots an in-process server over the store at `path`, drives
+/// `opts.requests` requests on one connection, reads the `store` verb,
+/// and drains (which snapshots the store for the next pass).
+fn warm_pass(opts: &Options, path: &std::path::Path) -> Result<WarmPass, String> {
+    let t = Instant::now();
+    let engine = gbd_engine::Engine::new()
+        .with_store(path)
+        .map_err(|e| format!("cannot open store {}: {e}", path.display()))?;
+    let config = gbd_serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..gbd_serve::ServeConfig::default()
+    };
+    let server = gbd_serve::Server::bind(config, Arc::new(engine))
+        .map_err(|e| format!("cannot bind in-process server: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let run = std::thread::spawn(move || server.run());
+
+    let drive = || -> Result<(Vec<String>, u64), String> {
+        let stream =
+            TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut writer = BufWriter::new(stream);
+        let mut reader = BufReader::new(read_half);
+        let mut detections = Vec::with_capacity(opts.requests);
+        let mut errors = 0u64;
+        for seq in 0..opts.requests {
+            let line = request_line(seq, seq as u64, opts);
+            writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("request {seq}: {e}"))?;
+            let mut reply = String::new();
+            reader
+                .read_line(&mut reply)
+                .map_err(|e| format!("response {seq}: {e}"))?;
+            let response =
+                Json::parse(reply.trim()).map_err(|e| format!("response {seq}: {e}"))?;
+            match response.get("detection") {
+                Some(detection) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    detections.push(detection.render());
+                }
+                _ => {
+                    errors += 1;
+                    detections.push("error".to_string());
+                }
+            }
+        }
+        Ok((detections, errors))
+    };
+    let driven = drive();
+    let elapsed_s = t.elapsed().as_secs_f64();
+
+    let store = control_round_trip(&addr, "store");
+    let store_field = |key: &str| {
+        store
+            .as_ref()
+            .and_then(|s| s.get("store"))
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_u64)
+    };
+    let store_loads = store_field("loads").unwrap_or(0);
+    let store_spills = store_field("spills").unwrap_or(0);
+    let _ = control_round_trip(&addr, "shutdown");
+    let _ = run.join();
+    let (detections, errors) = driven?;
+    Ok(WarmPass {
+        elapsed_s,
+        detections,
+        errors,
+        store_loads,
+        store_spills,
+    })
+}
+
+/// The `--warmstart` benchmark: cold pass over a fresh store, warm pass
+/// over the same store, bit-identity and warm-load assertions, ratio
+/// report.
+fn run_warmstart(opts: &Options, path: &std::path::Path) -> ExitCode {
+    let _ = std::fs::remove_file(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && std::fs::create_dir_all(parent).is_err() {
+            eprintln!("warmstart: cannot create {}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let cold = match warm_pass(opts, path) {
+        Ok(pass) => pass,
+        Err(e) => {
+            eprintln!("warmstart cold pass: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm = match warm_pass(opts, path) {
+        Ok(pass) => pass,
+        Err(e) => {
+            eprintln!("warmstart warm pass: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    if cold.errors > 0 || warm.errors > 0 {
+        eprintln!(
+            "warmstart: FAILED — {} cold / {} warm requests errored",
+            cold.errors, warm.errors
+        );
+        failed = true;
+    }
+    let identical = cold.detections == warm.detections;
+    if !identical {
+        let diverged = cold
+            .detections
+            .iter()
+            .zip(&warm.detections)
+            .position(|(c, w)| c != w);
+        eprintln!(
+            "warmstart: FAILED — warm responses not bit-identical (first divergence at request {diverged:?})"
+        );
+        failed = true;
+    }
+    if warm.store_loads == 0 {
+        eprintln!("warmstart: FAILED — warm boot loaded nothing from the store");
+        failed = true;
+    }
+    let ratio = cold.elapsed_s / warm.elapsed_s.max(1e-9);
+    if opts.json {
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("mode".to_string(), Json::from("warmstart")),
+                ("store".to_string(), Json::from(path.display().to_string()),),
+                ("requests".to_string(), Json::from(opts.requests)),
+                ("cold_s".to_string(), Json::Num(cold.elapsed_s)),
+                ("warm_s".to_string(), Json::Num(warm.elapsed_s)),
+                ("warm_ratio".to_string(), Json::Num(ratio)),
+                ("cold_spills".to_string(), Json::from(cold.store_spills)),
+                ("warm_loads".to_string(), Json::from(warm.store_loads)),
+                ("bit_identical".to_string(), Json::Bool(identical)),
+            ])
+            .render()
+        );
+    } else {
+        println!(
+            "warmstart: {} requests against {}",
+            opts.requests,
+            path.display()
+        );
+        println!(
+            "  cold boot + sweep {:.3} s ({} records spilled)",
+            cold.elapsed_s, cold.store_spills
+        );
+        println!(
+            "  warm boot + sweep {:.3} s ({} records loaded)",
+            warm.elapsed_s, warm.store_loads
+        );
+        println!("  warm ratio {ratio:.2}x, bit-identical: {identical}");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let opts = Arc::new(parse_args());
     if opts.clients == 0 || opts.requests == 0 {
         usage();
+    }
+    if let Some(path) = opts.warmstart.clone() {
+        return run_warmstart(&opts, &path);
     }
     let start = Instant::now();
     let workers: Vec<_> = (0..opts.clients)

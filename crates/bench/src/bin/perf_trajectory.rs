@@ -1,7 +1,8 @@
 //! Baseline → optimized performance trajectory for the hot analytical
-//! path, emitting `results/BENCH_pr4.json`.
+//! path, emitting `results/BENCH_pr4.json` and (for the persistent-store
+//! leg) `results/BENCH_pr5.json`.
 //!
-//! Three legs, each timed as best-of-`repeats` wall clock:
+//! Four legs, each timed as best-of-`repeats` wall clock:
 //!
 //! 1. **fig8 sweep, cold** — the Figure 8 `N` grid through the
 //!    seed-faithful nested kernels ([`gbd_core::baseline`]) and through
@@ -17,6 +18,11 @@
 //!    multi-core host this shows the work-stealing pool absorbing the
 //!    skew; the honest `cores` count is recorded so a single-core
 //!    container's ~1× scaling reads as expected, not as a regression.
+//! 4. **fig8 sweep, cold boot vs store-warmed boot** — a fresh engine
+//!    with an attached `gbd-store` log runs the fig8 grid (computing and
+//!    spilling every stage), then a second fresh engine over the same
+//!    store boots warm and reruns it. Responses are asserted bit-identical
+//!    with zero warm-side misses before the ratio is reported.
 //!
 //! ```text
 //! cargo run --release -p gbd-bench --bin perf_trajectory -- [--quick] [--out dir]
@@ -245,6 +251,85 @@ fn main() {
         parallel_ms,
         skewed.len(),
     ));
+
+    // Leg 4: cold boot vs store-warmed boot over the fig8 grid. Timing
+    // includes `with_store` itself, so the warm number honestly pays for
+    // reading and decoding the log.
+    std::fs::create_dir_all(&opts.out_dir).expect("cannot create output directory");
+    let store_path = opts.out_dir.join("warmstart.gbdstore");
+    let _ = std::fs::remove_file(&store_path);
+    let fig8_requests: Vec<EvalRequest> = n_values
+        .iter()
+        .map(|&n| EvalRequest::new(base.with_n_sensors(n), BackendSpec::ms_default()))
+        .collect();
+    println!(
+        "leg 4: fig8 sweep, {} requests, cold boot vs store-warmed boot",
+        fig8_requests.len()
+    );
+    let t = Instant::now();
+    let spilling = Engine::new()
+        .with_store(&store_path)
+        .expect("open fresh store");
+    let store_cold = spilling.evaluate_batch(&fig8_requests);
+    let store_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    spilling
+        .snapshot_store()
+        .expect("store attached")
+        .expect("snapshot store");
+    drop(spilling);
+    let t = Instant::now();
+    let warmed = Engine::new().with_store(&store_path).expect("reopen store");
+    let store_warm = warmed.evaluate_batch(&fig8_requests);
+    let store_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut warm_misses = 0;
+    for (c, w) in store_cold.iter().zip(&store_warm) {
+        assert_eq!(c.outcome, w.outcome, "store-warmed response diverged");
+        warm_misses += w.cache.misses;
+    }
+    assert_eq!(warm_misses, 0, "store-warmed sweep recomputed a stage");
+    let store_loads = warmed.cache_stats().store_loads;
+    assert!(store_loads > 0, "warm boot loaded nothing from the store");
+    let store_warm_ratio = store_cold_ms / store_warm_ms.max(1e-9);
+    println!(
+        "  cold boot {store_cold_ms:.2} ms, warmed boot {store_warm_ms:.2} ms \
+         ({store_warm_ratio:.1}x, {store_loads} records loaded)"
+    );
+    let store_entries = vec![
+        entry(
+            "fig8_store_boot",
+            "cold",
+            "store_spill",
+            store_cold_ms,
+            fig8_requests.len(),
+        ),
+        entry(
+            "fig8_store_boot",
+            "warm",
+            "store_loaded",
+            store_warm_ms,
+            fig8_requests.len(),
+        ),
+    ];
+    let _ = std::fs::remove_file(&store_path);
+
+    let store_report = Json::obj(vec![
+        ("bench".to_string(), Json::from("pr5_store_warmstart")),
+        ("cores".to_string(), Json::from(cores)),
+        ("quick".to_string(), Json::Bool(opts.quick)),
+        ("entries".to_string(), Json::Arr(store_entries)),
+        (
+            "derived".to_string(),
+            Json::obj(vec![
+                ("store_warm_ratio".to_string(), Json::Num(store_warm_ratio)),
+                ("store_loads".to_string(), Json::from(store_loads)),
+                ("bit_identical".to_string(), Json::Bool(true)),
+            ]),
+        ),
+    ]);
+    let pr5_path = opts.out_dir.join("BENCH_pr5.json");
+    std::fs::write(&pr5_path, format!("{}\n", store_report.render()))
+        .expect("cannot write BENCH_pr5.json");
+    println!("[written] {}", pr5_path.display());
 
     let report = Json::obj(vec![
         ("bench".to_string(), Json::from("pr4_perf_trajectory")),

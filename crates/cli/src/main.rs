@@ -7,6 +7,7 @@
 //! groupdet sweep    [options]          analysis + simulation over N
 //! groupdet caps     [options]          required g/gh/G for an accuracy target
 //! groupdet design   [options]          sensors/range needed for a target probability
+//! groupdet store    <action> [options] inspect/verify/compact/warm a result store
 //! groupdet help                        option reference
 //! ```
 //!
@@ -39,7 +40,7 @@ use std::time::Duration;
 const PERIOD_S: f64 = 60.0;
 
 const COMMANDS: &[&str] = &[
-    "analyze", "simulate", "sweep", "caps", "design", "serve", "help",
+    "analyze", "simulate", "sweep", "caps", "design", "serve", "store", "help",
 ];
 
 // ---------------------------------------------------------------------------
@@ -819,6 +820,7 @@ struct ServeCmd {
     max_line_bytes: usize,
     workers: usize,
     cache_cap: usize,
+    store: Option<String>,
     json: bool,
 }
 
@@ -838,6 +840,7 @@ impl Default for ServeCmd {
             // 64k entries per shard is a generous working set, and eviction
             // only ever causes bit-identical recomputation.
             cache_cap: 1 << 16,
+            store: None,
             json: false,
         }
     }
@@ -886,6 +889,11 @@ impl ServeCmd {
             "int",
             "engine cache entries per shard, 0 = unbounded (65536)",
         ),
+        Flag::value(
+            "--store",
+            "path",
+            "persistent result store: warm-start on boot, spill on compute, snapshot on drain (none)",
+        ),
     ];
     const GROUPS: &'static [&'static [Flag]] = &[Self::FLAGS, JSON_FLAG];
 
@@ -903,6 +911,7 @@ impl ServeCmd {
                 "--max-line-bytes" => cmd.max_line_bytes = cur.take_value(flag)?,
                 "--workers" => cmd.workers = cur.take_value(flag)?,
                 "--cache-cap" => cmd.cache_cap = cur.take_value(flag)?,
+                "--store" => cmd.store = Some(cur.take_value(flag)?),
                 "--json" => cmd.json = true,
                 other => return Err(unknown_flag(other, Self::GROUPS)),
             }
@@ -931,6 +940,11 @@ impl ServeCmd {
         };
         if self.cache_cap > 0 {
             engine = engine.with_cache_capacity(self.cache_cap);
+        }
+        if let Some(path) = &self.store {
+            engine = engine
+                .with_store(path)
+                .map_err(|e| format!("cannot open store {path}: {e}"))?;
         }
         let server = Server::bind(self.config(), Arc::new(engine))
             .map_err(|e| format!("cannot bind {}: {e}", self.addr))?;
@@ -986,6 +1000,263 @@ impl ServeCmd {
     }
 }
 
+/// `groupdet store <info|verify|compact|warm>` — operate on a persistent
+/// result store without starting a server.
+#[derive(Debug)]
+struct StoreCmd {
+    action: String,
+    path: String,
+    params: ParamArgs,
+    n_start: usize,
+    n_end: usize,
+    n_step: usize,
+    json: bool,
+}
+
+impl StoreCmd {
+    const ACTIONS: &'static [&'static str] = &["info", "verify", "compact", "warm"];
+    const FLAGS: &'static [Flag] = &[
+        Flag::value("--path", "file", "store file to operate on (required)"),
+        Flag::value("--n-start", "int", "first sensor count warmed (60)"),
+        Flag::value("--n-end", "int", "last sensor count warmed (240)"),
+        Flag::value("--n-step", "int", "warm sweep step (30)"),
+    ];
+    const GROUPS: &'static [&'static [Flag]] = &[ParamArgs::FLAGS, Self::FLAGS, JSON_FLAG];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cur = Cursor::new(raw);
+        let action = match cur.next() {
+            Some(a) if Self::ACTIONS.contains(&a) => a.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "unknown store action `{other}` (expected info, verify, compact, or warm)"
+                ))
+            }
+            None => {
+                return Err(
+                    "store requires an action: info, verify, compact, or warm".to_string()
+                )
+            }
+        };
+        let mut cmd = StoreCmd {
+            action,
+            path: String::new(),
+            params: ParamArgs::default(),
+            n_start: 60,
+            n_end: 240,
+            n_step: 30,
+            json: false,
+        };
+        while let Some(flag) = cur.next() {
+            if cmd.params.try_set(flag, &mut cur)? {
+                continue;
+            }
+            match flag {
+                "--path" => cmd.path = cur.take_value(flag)?,
+                "--n-start" => cmd.n_start = cur.take_value(flag)?,
+                "--n-end" => cmd.n_end = cur.take_value(flag)?,
+                "--n-step" => cmd.n_step = cur.take_value(flag)?,
+                "--json" => cmd.json = true,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        if cmd.path.is_empty() {
+            return Err("store requires --path <file>".to_string());
+        }
+        if cmd.n_step == 0 {
+            return Err("--n-step must be positive".to_string());
+        }
+        if cmd.n_end < cmd.n_start {
+            return Err("--n-end must be at least --n-start".to_string());
+        }
+        Ok(cmd)
+    }
+
+    fn run(&self) -> Result<(), String> {
+        match self.action.as_str() {
+            "info" => self.info(false),
+            "verify" => self.info(true),
+            "compact" => self.compact(),
+            "warm" => self.warm(),
+            _ => unreachable!("parse admits only known actions"),
+        }
+    }
+
+    /// `info` prints the read-only inspection; `verify` additionally exits
+    /// nonzero when the log carries torn or corrupt bytes past its valid
+    /// prefix.
+    fn info(&self, verify: bool) -> Result<(), String> {
+        let report =
+            gbd_store::Store::inspect(&self.path).map_err(|e| format!("{}: {e}", self.path))?;
+        let intact = report.torn_bytes == 0;
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("command", "store".into()),
+                    ("action", if verify { "verify" } else { "info" }.into()),
+                    ("path", Json::Str(self.path.clone())),
+                    (
+                        "tag",
+                        Json::Str(String::from_utf8_lossy(&report.tag).into_owned()),
+                    ),
+                    ("records", report.records.into()),
+                    ("live_entries", report.live_entries.into()),
+                    ("valid_bytes", report.valid_bytes.into()),
+                    ("torn_bytes", report.torn_bytes.into()),
+                    ("intact", intact.into()),
+                ])
+                .render()
+            );
+        } else {
+            println!("store {}", self.path);
+            println!("  tag          = {}", String::from_utf8_lossy(&report.tag));
+            println!("  records      = {}", report.records);
+            println!("  live entries = {}", report.live_entries);
+            println!("  valid bytes  = {}", report.valid_bytes);
+            println!("  torn bytes   = {}", report.torn_bytes);
+        }
+        if verify && !intact {
+            return Err(format!(
+                "{}: {} torn/corrupt bytes past the valid prefix (recovery will truncate them)",
+                self.path, report.torn_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log to its live entries via the engine's atomic
+    /// snapshot (write temp + rename), dropping duplicate appends.
+    fn compact(&self) -> Result<(), String> {
+        if !std::path::Path::new(&self.path).exists() {
+            return Err(format!("{}: no such store", self.path));
+        }
+        let engine = Engine::new()
+            .with_store(&self.path)
+            .map_err(|e| format!("{}: {e}", self.path))?;
+        let report = engine
+            .snapshot_store()
+            .expect("store attached")
+            .map_err(|e| e.to_string())?;
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("command", "store".into()),
+                    ("action", "compact".into()),
+                    ("path", Json::Str(self.path.clone())),
+                    ("bytes_before", report.bytes_before.into()),
+                    ("bytes_after", report.bytes_after.into()),
+                    ("live_entries", report.live_entries.into()),
+                    ("records_dropped", report.records_dropped.into()),
+                ])
+                .render()
+            );
+        } else {
+            println!(
+                "compacted {}: {} -> {} bytes ({} live entries, {} duplicate records dropped)",
+                self.path,
+                report.bytes_before,
+                report.bytes_after,
+                report.live_entries,
+                report.records_dropped
+            );
+        }
+        Ok(())
+    }
+
+    /// Runs an analytical sweep over N against the store, so a later
+    /// engine or server boot warm-starts from it. Rows are printed with
+    /// full float round-trip precision: two `warm` runs over the same
+    /// store (or one cold, one warm) must render identical rows.
+    fn warm(&self) -> Result<(), String> {
+        let engine = Engine::new()
+            .with_store(&self.path)
+            .map_err(|e| format!("{}: {e}", self.path))?;
+        let counts: Vec<usize> = (self.n_start..=self.n_end).step_by(self.n_step).collect();
+        let mut requests = Vec::new();
+        for &n in &counts {
+            let params = ParamArgs {
+                n,
+                ..self.params.clone()
+            }
+            .build()?;
+            requests.push(EvalRequest::new(params, BackendSpec::ms_default()));
+        }
+        let responses = engine.evaluate_batch(&requests);
+        if let Some(Err(e)) = engine.sync_store() {
+            return Err(format!("store sync failed: {e}"));
+        }
+        let mut failed = 0usize;
+        let mut rows = Vec::new();
+        for (&n, response) in counts.iter().zip(&responses) {
+            if let Err(e) = &response.outcome {
+                failed += 1;
+                eprintln!("error: warm request (n={n}): {e}");
+            }
+            rows.push((n, response.detection_probability()));
+        }
+        let cache = engine.cache_stats();
+        let store = engine.store_stats().expect("store attached");
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("command", "store".into()),
+                    ("action", "warm".into()),
+                    ("path", Json::Str(self.path.clone())),
+                    ("k", self.params.k.into()),
+                    (
+                        "rows",
+                        Json::Arr(
+                            rows.iter()
+                                .map(|&(n, p)| {
+                                    Json::obj(vec![
+                                        ("n", n.into()),
+                                        ("p", p.map_or(Json::Null, Json::from)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "store",
+                        Json::obj(vec![
+                            ("loads", cache.store_loads.into()),
+                            ("spills", cache.store_spills.into()),
+                            ("loaded_records", store.loaded_records.into()),
+                            ("torn_bytes_discarded", store.torn_bytes_discarded.into(),),
+                            ("appended_records", store.appended_records.into()),
+                            ("live_entries", store.live_entries.into()),
+                            ("file_bytes", store.file_bytes.into()),
+                        ]),
+                    ),
+                ])
+                .render()
+            );
+        } else {
+            println!("   N  | P[X >= {}]", self.params.k);
+            for (n, p) in &rows {
+                match p {
+                    Some(p) => println!("  {n:3} |  {p:.6}"),
+                    None => println!("  {n:3} |  error"),
+                }
+            }
+            println!(
+                "store: {} loaded, {} spilled, {} torn bytes discarded, {} live entries",
+                cache.store_loads,
+                cache.store_spills,
+                store.torn_bytes_discarded,
+                store.live_entries
+            );
+        }
+        if failed > 0 {
+            return Err(format!("{failed} of {} warm requests failed", counts.len()));
+        }
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shared output helpers
 // ---------------------------------------------------------------------------
@@ -1020,7 +1291,9 @@ fn params_json(params: &SystemParams) -> Json {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
-        eprintln!("usage: groupdet <analyze|simulate|sweep|caps|design|serve|help> [options]");
+        eprintln!(
+            "usage: groupdet <analyze|simulate|sweep|caps|design|serve|store|help> [options]"
+        );
         return ExitCode::FAILURE;
     };
     if matches!(command, "help" | "--help" | "-h") {
@@ -1035,6 +1308,7 @@ fn main() -> ExitCode {
         "caps" => CapsCmd::parse(rest).and_then(|cmd| cmd.run()),
         "design" => DesignCmd::parse(rest).and_then(|cmd| cmd.run()),
         "serve" => ServeCmd::parse(rest).and_then(|cmd| cmd.run()),
+        "store" => StoreCmd::parse(rest).and_then(|cmd| cmd.run()),
         other => Err(unknown_command(other, COMMANDS)),
     };
     match result {
@@ -1050,7 +1324,7 @@ fn print_help() {
     let mut out = String::from(
         "groupdet — group based detection for sparse sensor networks\n\
          \n\
-         commands: analyze | simulate | sweep | caps | design | serve | help\n\
+         commands: analyze | simulate | sweep | caps | design | serve | store | help\n\
          \n\
          system parameters (all commands; paper defaults in parentheses):\n",
     );
@@ -1063,6 +1337,11 @@ fn print_help() {
     render_flags(&mut out, &[SweepCmd::FLAGS]);
     out.push_str("\nserve options (JSON-lines protocol; see docs/SERVING.md):\n");
     render_flags(&mut out, &[ServeCmd::FLAGS]);
+    out.push_str(
+        "\nstore actions (persistent result store; see docs/STORAGE.md):\n\
+         \x20 info | verify | compact | warm\n",
+    );
+    render_flags(&mut out, &[StoreCmd::FLAGS]);
     out.push_str("\nother options:\n");
     render_flags(&mut out, &[JSON_FLAG, CapsCmd::FLAGS, DesignCmd::FLAGS]);
     out.push_str(
@@ -1072,7 +1351,10 @@ fn print_help() {
          \x20 groupdet simulate --n 120 --trials 2000 --walk\n\
          \x20 groupdet sweep --k 5 --n-step 60 --trials 2000\n\
          \x20 groupdet caps --eta 0.995\n\
-         \x20 groupdet serve --addr 127.0.0.1:0 --batch-max 64 --json",
+         \x20 groupdet serve --addr 127.0.0.1:0 --batch-max 64 --json\n\
+         \x20 groupdet serve --store results/cache.gbdstore\n\
+         \x20 groupdet store warm --path results/cache.gbdstore --n-step 30\n\
+         \x20 groupdet store verify --path results/cache.gbdstore --json",
     );
     println!("{out}");
 }
@@ -1304,6 +1586,63 @@ mod tests {
     fn unknown_fallback_rejected() {
         let cmd = AnalyzeCmd::parse(&strings(&["--fallback", "magic"])).unwrap();
         assert!(cmd.backend.chain().unwrap_err().contains("unknown backend"));
+    }
+
+    #[test]
+    fn store_actions_and_flags_parse() {
+        let cmd = StoreCmd::parse(&strings(&["info", "--path", "a.gbdstore"])).unwrap();
+        assert_eq!(cmd.action, "info");
+        assert_eq!(cmd.path, "a.gbdstore");
+        assert!(!cmd.json);
+        let cmd = StoreCmd::parse(&strings(&[
+            "warm",
+            "--path",
+            "b.gbdstore",
+            "--n-start",
+            "90",
+            "--n-end",
+            "180",
+            "--n-step",
+            "45",
+            "--k",
+            "3",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.action, "warm");
+        assert_eq!((cmd.n_start, cmd.n_end, cmd.n_step), (90, 180, 45));
+        assert_eq!(cmd.params.k, 3);
+        assert!(cmd.json);
+    }
+
+    #[test]
+    fn store_rejects_bad_invocations() {
+        assert!(StoreCmd::parse(&[])
+            .unwrap_err()
+            .contains("requires an action"));
+        assert!(StoreCmd::parse(&strings(&["defrag", "--path", "x"]))
+            .unwrap_err()
+            .contains("unknown store action"));
+        assert!(StoreCmd::parse(&strings(&["info"]))
+            .unwrap_err()
+            .contains("--path"));
+        assert!(
+            StoreCmd::parse(&strings(&["warm", "--path", "x", "--n-step", "0"]))
+                .unwrap_err()
+                .contains("--n-step")
+        );
+        assert!(
+            StoreCmd::parse(&strings(&["info", "--path", "x", "--pth", "y"]))
+                .unwrap_err()
+                .contains("did you mean `--path`")
+        );
+    }
+
+    #[test]
+    fn serve_store_flag_parses() {
+        assert_eq!(ServeCmd::parse(&[]).unwrap().store, None);
+        let cmd = ServeCmd::parse(&strings(&["--store", "cache.gbdstore", "--json"])).unwrap();
+        assert_eq!(cmd.store.as_deref(), Some("cache.gbdstore"));
     }
 
     #[test]

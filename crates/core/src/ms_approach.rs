@@ -126,6 +126,22 @@ impl AnalysisResult {
         }
     }
 
+    /// Rebuilds a result from previously computed parts, for exact
+    /// round-tripping through a persistence layer. The parts are trusted
+    /// as-is (the raw distribution is already validated by construction);
+    /// callers must only feed back values obtained from a real analysis.
+    pub fn from_parts(
+        raw: DiscreteDist,
+        predicted_accuracy: f64,
+        truncation_error: f64,
+    ) -> Self {
+        AnalysisResult {
+            raw,
+            predicted_accuracy,
+            truncation_error,
+        }
+    }
+
     /// Accumulated `eps` tail-trimming error: the total probability mass
     /// dropped by [`MsOptions::eps`] truncation over every stage
     /// application of this run. Zero when `eps = 0` (the default). The raw

@@ -62,6 +62,14 @@ pub struct CacheStats {
     /// Times a poisoned shard lock was recovered instead of propagating
     /// the panic (see [`ShardedCache`]'s poisoning policy).
     pub poisoned_recoveries: u64,
+    /// Entries seeded from a persistent store at engine construction
+    /// ([`crate::Engine::with_store`]). Always zero in per-request stats:
+    /// warm-start happens once, before any request is served.
+    pub store_loads: u64,
+    /// Freshly computed entries spilled to the attached persistent store.
+    /// Always zero in per-request stats (spills are an engine-wide
+    /// side effect, not part of a request's cache walk).
+    pub store_spills: u64,
 }
 
 impl CacheStats {
@@ -77,6 +85,8 @@ impl CacheStats {
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
             poisoned_recoveries: self.poisoned_recoveries + other.poisoned_recoveries,
+            store_loads: self.store_loads + other.store_loads,
+            store_spills: self.store_spills + other.store_spills,
         }
     }
 }
@@ -99,8 +109,7 @@ impl RequestCounters {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            evictions: 0,
-            poisoned_recoveries: 0,
+            ..CacheStats::default()
         }
     }
 }
@@ -339,7 +348,27 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             poisoned_recoveries: self.poisoned.load(Ordering::Relaxed),
+            ..CacheStats::default()
         }
+    }
+
+    /// Inserts an entry without touching the hit/miss counters, for
+    /// warm-starting a cache from a persistent store before any request
+    /// is served. Returns `true` if the entry was inserted, `false` if
+    /// the key was already present (first insert wins, like the compute
+    /// path). Seeding past a shard bound evicts normally — the bound is
+    /// a memory guarantee, so it holds against seeded entries too.
+    pub fn seed(&self, key: K, value: V) -> bool {
+        let shard = self.shard(&key);
+        {
+            let guard = self.read_shard(shard);
+            if guard.map.contains_key(&key) {
+                return false;
+            }
+        }
+        let seeded = Arc::new(value);
+        let cached = self.insert_bounded(shard, key, Arc::clone(&seeded));
+        Arc::ptr_eq(&seeded, &cached)
     }
 
     /// Whether `key` is currently cached. A scheduling probe, not a use:
@@ -539,6 +568,28 @@ mod tests {
         }
         assert_eq!(cache.len(), 500);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn seed_inserts_without_counting_and_first_insert_wins() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        assert!(cache.seed(5, 25));
+        assert!(!cache.seed(5, 99), "re-seed must not overwrite");
+        assert_eq!(cache.stats(), CacheStats::default());
+        let counters = RequestCounters::default();
+        let v = cache.get_or_insert_with(5, &counters, || panic!("must hit"));
+        assert_eq!(*v, 25);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn seeding_respects_the_shard_bound() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_max_entries_per_shard(1);
+        for key in 0..200u64 {
+            cache.seed(key, key);
+        }
+        assert!(cache.len() <= SHARDS, "len = {}", cache.len());
+        assert!(cache.stats().evictions > 0);
     }
 
     #[test]

@@ -85,11 +85,15 @@ pub mod chaos;
 pub mod request;
 pub mod resilience;
 
+mod persist;
 mod pool;
 
 pub use cache::CacheStats;
 #[cfg(feature = "chaos")]
 pub use chaos::ChaosPlan;
+/// Re-exported store types so engine callers can attach and observe a
+/// persistent store without depending on `gbd-store` directly.
+pub use gbd_store::{CompactionReport, StoreError, StoreStats};
 pub use request::{
     BackendSpec, EvalOptions, EvalOutput, EvalRequest, EvalResponse, SimulationSpec,
 };
@@ -105,9 +109,13 @@ use gbd_core::report_dist::{stage_accuracy_with, stage_distribution_with};
 use gbd_markov::scratch::Scratch;
 use gbd_stats::binomial::PmfTable;
 use gbd_stats::discrete::DiscreteDist;
+use gbd_store::Store;
 use request::result_key;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Key of the geometry layer: everything the per-period stage inputs of a
@@ -177,6 +185,15 @@ pub struct Engine {
     geometry: ShardedCache<GeometryKey, Vec<StageInput>>,
     stages: ShardedCache<StageKey, (DiscreteDist, f64, f64)>,
     results: ShardedCache<request::ResultKey, EvalOutput>,
+    /// Optional durable tier under the caches (see [`Engine::with_store`]).
+    store: Option<Arc<Store>>,
+    /// Entries seeded into the caches from the store at construction.
+    store_loads: AtomicU64,
+    /// Freshly computed entries appended to the store.
+    store_spills: AtomicU64,
+    /// Spill attempts that failed with a store error (the computed value
+    /// still serves the request; it is just not durable).
+    store_errors: AtomicU64,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::ChaosPlan>,
 }
@@ -204,9 +221,77 @@ impl Engine {
             geometry: ShardedCache::new(),
             stages: ShardedCache::new(),
             results: ShardedCache::new(),
+            store: None,
+            store_loads: AtomicU64::new(0),
+            store_spills: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
             #[cfg(feature = "chaos")]
             chaos: None,
         }
+    }
+
+    /// Attaches a persistent [`gbd_store::Store`] at `path` and
+    /// warm-starts every cache layer from it.
+    ///
+    /// From then on each freshly *computed* entry (geometry, stage,
+    /// result) is spilled to the store as it is inserted, so the next
+    /// `with_store` open — after a restart, or even after a crash
+    /// mid-append — reloads everything the previous process computed.
+    /// Seeded entries are the bytes the cold computation produced, so a
+    /// store-warmed engine answers bit-identically to a cold one; the
+    /// load and spill counts are surfaced in
+    /// [`CacheStats::store_loads`]/[`CacheStats::store_spills`] via
+    /// [`Engine::cache_stats`].
+    ///
+    /// Records that fail to decode (e.g. written by a future codec) are
+    /// skipped — the entry is recomputed on demand, never served wrong.
+    /// Spill failures (disk full, permissions) degrade the store to
+    /// read-only accounting (`store_errors` in [`Engine::store_stats`])
+    /// without failing any request.
+    ///
+    /// Call last in the builder chain: [`Engine::with_cache_capacity`]
+    /// replaces the caches, which would drop seeded entries.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the file is unreadable, not a store, written
+    /// under a different schema version, or carries a different
+    /// identity tag (a foreign client's cache).
+    pub fn with_store(mut self, path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let store = Store::open(path, persist::STORE_TAG)?;
+        let mut loads = 0u64;
+        store.for_each(|kind, key, value| {
+            let seeded = match kind {
+                persist::KIND_GEOMETRY => match (
+                    persist::decode_geometry_key(key),
+                    persist::decode_stage_inputs(value),
+                ) {
+                    (Some(k), Some(v)) => self.geometry.seed(k, v),
+                    _ => false,
+                },
+                persist::KIND_STAGE => match (
+                    persist::decode_stage_key(key),
+                    persist::decode_stage_value(value),
+                ) {
+                    (Some(k), Some(v)) => self.stages.seed(k, v),
+                    _ => false,
+                },
+                persist::KIND_RESULT => match (
+                    persist::decode_result_key(key),
+                    persist::decode_output(value),
+                ) {
+                    (Some(k), Some(v)) => self.results.seed(k, v),
+                    _ => false,
+                },
+                _ => false,
+            };
+            if seeded {
+                loads += 1;
+            }
+        });
+        self.store_loads.store(loads, Ordering::Relaxed);
+        self.store = Some(Arc::new(store));
+        Ok(self)
     }
 
     /// Bounds every cache layer to `max_entries_per_shard` entries per
@@ -322,12 +407,43 @@ impl Engine {
         BatchFaults::none()
     }
 
-    /// Aggregate hit/miss counters over all three cache layers.
+    /// Aggregate hit/miss counters over all three cache layers, plus the
+    /// store load/spill counts when a store is attached.
     pub fn cache_stats(&self) -> CacheStats {
-        self.geometry
+        let mut stats = self
+            .geometry
             .stats()
             .merged(self.stages.stats())
-            .merged(self.results.stats())
+            .merged(self.results.stats());
+        stats.store_loads = self.store_loads.load(Ordering::Relaxed);
+        stats.store_spills = self.store_spills.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// Counters of the attached store; `None` without one. The
+    /// `append_errors` field here counts store-side failures; the
+    /// engine-side spill failures are in [`Engine::store_spill_errors`].
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|store| store.stats())
+    }
+
+    /// Spill attempts that failed with a store error since construction
+    /// (requests still succeeded; their entries are just not durable).
+    pub fn store_spill_errors(&self) -> u64 {
+        self.store_errors.load(Ordering::Relaxed)
+    }
+
+    /// Flushes spilled entries to stable storage; `None` without a store.
+    pub fn sync_store(&self) -> Option<Result<(), StoreError>> {
+        self.store.as_ref().map(|store| store.sync())
+    }
+
+    /// Compacts the attached store to its live entries via an atomic
+    /// snapshot (write-temp + rename); `None` without a store. Serving
+    /// layers call this on graceful drain so the next boot warm-starts
+    /// from a minimal, cleanly closed log.
+    pub fn snapshot_store(&self) -> Option<Result<CompactionReport, StoreError>> {
+        self.store.as_ref().map(|store| store.compact())
     }
 
     /// Per-layer `(name, stats)` breakdown.
@@ -339,11 +455,36 @@ impl Engine {
         ]
     }
 
-    /// Drops every cached entry and resets all counters.
+    /// Drops every cached entry and resets all counters (including the
+    /// store load/spill counts; the store's own contents are untouched —
+    /// a later [`Engine::with_store`] open still warm-starts from them).
     pub fn clear_caches(&self) {
         self.geometry.clear();
         self.stages.clear();
         self.results.clear();
+        self.store_loads.store(0, Ordering::Relaxed);
+        self.store_spills.store(0, Ordering::Relaxed);
+        self.store_errors.store(0, Ordering::Relaxed);
+    }
+
+    /// Appends one `(key, value)` pair to the attached store, if any.
+    /// Called from compute closures, which run outside every shard lock,
+    /// so spilling serializes on the store mutex only — never on a cache
+    /// shard. Failures are counted, not propagated: durability is an
+    /// optimization, the computed value is already correct.
+    fn spill(&self, kind: u8, encode: impl FnOnce() -> (Vec<u8>, Vec<u8>)) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        let (key, value) = encode();
+        match store.append(kind, &key, &value) {
+            Ok(()) => {
+                self.store_spills.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn evaluate_at(
@@ -478,12 +619,19 @@ impl Engine {
             if request.options.bypass_cache {
                 self.compute_cold(&request.params, backend, budget)
             } else {
+                let key = result_key(&request.params, &backend);
                 self.results
-                    .try_get_or_insert_with(
-                        result_key(&request.params, &backend),
-                        counters,
-                        || self.compute(&request.params, backend, counters, budget),
-                    )
+                    .try_get_or_insert_with(key.clone(), counters, || {
+                        let output =
+                            self.compute(&request.params, backend, counters, budget)?;
+                        self.spill(persist::KIND_RESULT, || {
+                            (
+                                persist::encode_result_key(&key),
+                                persist::encode_output(&output),
+                            )
+                        });
+                        Ok(output)
+                    })
                     .map(|arc| (*arc).clone())
             }
         }));
@@ -565,14 +713,21 @@ impl Engine {
         // the same `(Rs, V·t, M, caps)` must not mask an invalid `eps`.
         opts.validate()?;
         let n = params.n_sensors();
-        let inputs = self.geometry.try_get_or_insert_with(
-            geometry_key(params, opts),
-            counters,
-            || {
+        let geo_key = geometry_key(params, opts);
+        let inputs = self
+            .geometry
+            .try_get_or_insert_with(geo_key.clone(), counters, || {
                 let steps = vec![params.step(); params.m_periods()];
-                ms_approach::stage_inputs(params.sensing_range(), &steps, n, opts)
-            },
-        )?;
+                let inputs =
+                    ms_approach::stage_inputs(params.sensing_range(), &steps, n, opts)?;
+                self.spill(persist::KIND_GEOMETRY, || {
+                    (
+                        persist::encode_geometry_key(&geo_key),
+                        persist::encode_stage_inputs(&inputs),
+                    )
+                });
+                Ok::<_, CoreError>(inputs)
+            })?;
 
         let field_area = params.field_area();
         let pd = params.pd();
@@ -583,37 +738,43 @@ impl Engine {
                 .iter()
                 .map(|stage| {
                     budget.checkpoint()?;
-                    let entry = self.stages.get_or_insert_with(
-                        StageKey {
-                            areas: f64_slice_key(&stage.areas),
-                            field_area: f64_key(field_area),
-                            n_sensors: n,
-                            pd: f64_key(pd),
-                            cap: stage.cap,
-                            eps: f64_key(opts.eps),
-                        },
-                        counters,
-                        || {
-                            let (dist, dropped) = stage_distribution_with(
-                                &stage.areas,
-                                field_area,
-                                n,
-                                pd,
-                                stage.cap,
-                                opts.eps,
-                                &mut scratch.qn,
-                                &mut scratch.conv,
-                            );
-                            let accuracy = stage_accuracy_with(
-                                stage.areas.iter().sum(),
-                                field_area,
-                                n,
-                                stage.cap,
-                                &mut scratch.table,
-                            );
-                            (dist, accuracy, dropped)
-                        },
-                    );
+                    let stage_key = StageKey {
+                        areas: f64_slice_key(&stage.areas),
+                        field_area: f64_key(field_area),
+                        n_sensors: n,
+                        pd: f64_key(pd),
+                        cap: stage.cap,
+                        eps: f64_key(opts.eps),
+                    };
+                    let entry =
+                        self.stages
+                            .get_or_insert_with(stage_key.clone(), counters, || {
+                                let (dist, dropped) = stage_distribution_with(
+                                    &stage.areas,
+                                    field_area,
+                                    n,
+                                    pd,
+                                    stage.cap,
+                                    opts.eps,
+                                    &mut scratch.qn,
+                                    &mut scratch.conv,
+                                );
+                                let accuracy = stage_accuracy_with(
+                                    stage.areas.iter().sum(),
+                                    field_area,
+                                    n,
+                                    stage.cap,
+                                    &mut scratch.table,
+                                );
+                                let value = (dist, accuracy, dropped);
+                                self.spill(persist::KIND_STAGE, || {
+                                    (
+                                        persist::encode_stage_key(&stage_key),
+                                        persist::encode_stage_value(&value),
+                                    )
+                                });
+                                value
+                            });
                     budget.complete_stage();
                     Ok((entry.0.clone(), entry.1, entry.2))
                 })
@@ -1055,6 +1216,141 @@ mod tests {
         for (a, b) in responses.iter().zip(&direct) {
             assert_eq!(a.outcome, b.outcome);
         }
+    }
+
+    fn temp_store(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gbd-engine-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn store_warm_start_is_bit_identical_with_zero_misses() {
+        let path = temp_store("warm.gbdstore");
+        let grid = fig9a_grid();
+        let cold_engine = Engine::with_workers(2).with_store(&path).unwrap();
+        let cold = cold_engine.evaluate_batch(&grid);
+        let cold_stats = cold_engine.cache_stats();
+        assert!(cold_stats.store_spills > 0, "{cold_stats:?}");
+        assert_eq!(cold_stats.store_loads, 0);
+        assert_eq!(cold_engine.store_spill_errors(), 0);
+        cold_engine.sync_store().unwrap().unwrap();
+        drop(cold_engine);
+
+        let warm_engine = Engine::with_workers(2).with_store(&path).unwrap();
+        let stats = warm_engine.cache_stats();
+        assert!(stats.store_loads > 0, "{stats:?}");
+        let warm = warm_engine.evaluate_batch(&grid);
+        let mut hits = 0;
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.outcome, w.outcome);
+            assert_eq!(c.detection, w.detection);
+            assert_eq!(w.cache.misses, 0, "store-warmed request recomputed");
+            hits += w.cache.hits;
+        }
+        // Every request answered straight from the seeded result layer.
+        assert_eq!(hits, grid.len() as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_round_trips_simulation_results() {
+        let path = temp_store("sim.gbdstore");
+        let request = EvalRequest::new(
+            paper().with_n_sensors(60),
+            BackendSpec::Simulation(SimulationSpec {
+                trials: 200,
+                seed: 11,
+                threads: 1,
+                ..SimulationSpec::default()
+            }),
+        );
+        let cold = Engine::new().with_store(&path).unwrap();
+        let a = cold.evaluate(&request);
+        cold.sync_store().unwrap().unwrap();
+        drop(cold);
+        let warm = Engine::new().with_store(&path).unwrap();
+        let b = warm.evaluate(&request);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(
+            b.cache.hits, 1,
+            "simulation must be served from the seeded result layer"
+        );
+        assert_eq!(b.cache.misses, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn evicted_entries_reload_from_store_bit_identically() {
+        // Pathologically tiny cache bound: most entries are evicted right
+        // after they are computed. Every computed entry was spilled first,
+        // so a fresh engine over the same store serves the whole grid from
+        // the seeded result layer, bit-identically.
+        let path = temp_store("evict.gbdstore");
+        let grid = fig9a_grid();
+        let bounded = Engine::with_workers(1)
+            .with_cache_capacity(1)
+            .with_store(&path)
+            .unwrap();
+        let cold = bounded.evaluate_batch(&grid);
+        assert!(bounded.cache_stats().evictions > 0);
+        bounded.sync_store().unwrap().unwrap();
+        drop(bounded);
+
+        let reloaded = Engine::with_workers(1).with_store(&path).unwrap();
+        let warm = reloaded.evaluate_batch(&grid);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.outcome, w.outcome);
+            assert_eq!(c.detection, w.detection);
+            assert_eq!(w.cache.misses, 0, "evicted entry was not reloaded");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_store_compacts_and_preserves_warm_start() {
+        let path = temp_store("snap.gbdstore");
+        let grid = fig9a_grid();
+        let engine = Engine::with_workers(1)
+            .with_cache_capacity(1)
+            .with_store(&path)
+            .unwrap();
+        // Two passes over a bounded cache: evictions force recomputation,
+        // recomputation re-spills, so the log holds duplicates.
+        let cold = engine.evaluate_batch(&grid);
+        engine.evaluate_batch(&grid);
+        let report = engine.snapshot_store().unwrap().unwrap();
+        assert!(report.records_dropped > 0, "{report:?}");
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(engine.store_stats().unwrap().compactions, 1);
+        drop(engine);
+
+        let warm = Engine::with_workers(1).with_store(&path).unwrap();
+        assert_eq!(warm.store_stats().unwrap().torn_bytes_discarded, 0);
+        for (c, w) in cold.iter().zip(&warm.evaluate_batch(&grid)) {
+            assert_eq!(c.outcome, w.outcome);
+            assert_eq!(w.cache.misses, 0);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn errors_are_never_spilled() {
+        let path = temp_store("errors.gbdstore");
+        let engine = Engine::new().with_store(&path).unwrap();
+        let bad = EvalRequest::new(
+            paper(),
+            BackendSpec::Ms(MsOptions {
+                g: 0,
+                gh: 3,
+                eps: 0.0,
+            }),
+        );
+        assert!(engine.evaluate(&bad).outcome.is_err());
+        assert_eq!(engine.store_stats().unwrap().appended_records, 0);
+        assert_eq!(engine.cache_stats().store_spills, 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

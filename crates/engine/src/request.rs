@@ -286,11 +286,11 @@ impl EvalResponse {
 /// computation would be bit-identical.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct ResultKey {
-    params: [u64; 6],
-    n_sensors: usize,
-    m_periods: usize,
-    k: usize,
-    backend: BackendKey,
+    pub(crate) params: [u64; 6],
+    pub(crate) n_sensors: usize,
+    pub(crate) m_periods: usize,
+    pub(crate) k: usize,
+    pub(crate) backend: BackendKey,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

@@ -143,6 +143,7 @@ fn dispatch(
             shared.coalescer.queue_depth(),
             shared.engine.cache_stats(),
         )),
+        Verb::Store => WriteItem::Ready(render_store(id, &shared.engine)),
         Verb::Shutdown => {
             let ack = Json::obj(vec![
                 ("id".to_string(), Json::Int(id as i64)),
@@ -178,6 +179,46 @@ fn dispatch(
             }
         }
     }
+}
+
+/// Renders the `store` verb: persistent-store status, or `attached: false`
+/// when the engine runs memory-only.
+fn render_store(id: u64, engine: &gbd_engine::Engine) -> Json {
+    let store = match engine.store_stats() {
+        None => Json::obj(vec![("attached".to_string(), Json::Bool(false))]),
+        Some(stats) => {
+            let cache = engine.cache_stats();
+            Json::obj(vec![
+                ("attached".to_string(), Json::Bool(true)),
+                ("live_entries".to_string(), Json::from(stats.live_entries)),
+                (
+                    "loaded_records".to_string(),
+                    Json::from(stats.loaded_records),
+                ),
+                (
+                    "torn_bytes_discarded".to_string(),
+                    Json::from(stats.torn_bytes_discarded),
+                ),
+                (
+                    "appended_records".to_string(),
+                    Json::from(stats.appended_records),
+                ),
+                ("compactions".to_string(), Json::from(stats.compactions)),
+                ("file_bytes".to_string(), Json::from(stats.file_bytes)),
+                ("loads".to_string(), Json::from(cache.store_loads)),
+                ("spills".to_string(), Json::from(cache.store_spills)),
+                (
+                    "spill_errors".to_string(),
+                    Json::from(stats.append_errors + engine.store_spill_errors()),
+                ),
+            ])
+        }
+    };
+    Json::obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(true)),
+        ("store".to_string(), store),
+    ])
 }
 
 /// One request line read off the socket.

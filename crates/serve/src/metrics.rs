@@ -265,8 +265,7 @@ mod tests {
             CacheStats {
                 hits: 3,
                 misses: 1,
-                evictions: 0,
-                poisoned_recoveries: 0,
+                ..CacheStats::default()
             },
         );
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(5));

@@ -84,6 +84,8 @@ pub enum Verb {
     Eval(Box<EvalRequest>),
     /// Report server counters and latency percentiles.
     Stats,
+    /// Report the engine's persistent result-store status.
+    Store,
     /// Liveness probe; answers immediately, bypassing the coalescer.
     Ping,
     /// Begin graceful shutdown (drain in-flight batches, then exit).
@@ -156,17 +158,18 @@ pub fn parse_line(line: &str) -> Result<Envelope, WireError> {
             let request = parse_eval(&root).map_err(&fail)?;
             Verb::Eval(Box::new(request))
         }
-        "stats" | "ping" | "shutdown" => {
+        "stats" | "store" | "ping" | "shutdown" => {
             check_fields(&root, &["id", "verb"]).map_err(&fail)?;
             match verb_name {
                 "stats" => Verb::Stats,
+                "store" => Verb::Store,
                 "ping" => Verb::Ping,
                 _ => Verb::Shutdown,
             }
         }
         other => {
             return Err(fail(format!(
-                "unknown verb `{other}` (expected eval, stats, ping, or shutdown)"
+                "unknown verb `{other}` (expected eval, stats, store, ping, or shutdown)"
             )))
         }
     };
@@ -643,6 +646,10 @@ mod tests {
         assert_eq!(
             parse_line(r#"{"id":3,"verb":"ping"}"#).unwrap().verb,
             Verb::Ping
+        );
+        assert_eq!(
+            parse_line(r#"{"id":6,"verb":"store"}"#).unwrap().verb,
+            Verb::Store
         );
         assert_eq!(
             parse_line(r#"{"id":4,"verb":"shutdown"}"#).unwrap().verb,

@@ -256,11 +256,19 @@ impl Server {
     /// The drain sequence. Order matters:
     /// 1. The coalescer drains first, so every admitted request resolves
     ///    its response channel — writers finish their queued tails.
-    /// 2. Sockets are then closed read-side, waking readers blocked in
+    /// 2. The persistent store (if attached) is snapshotted while the
+    ///    engine is quiescent, so a restart warm-starts from a compact,
+    ///    fsynced log.
+    /// 3. Sockets are then closed read-side, waking readers blocked in
     ///    `read` with EOF.
-    /// 3. Connection threads join (their writers already ran dry).
+    /// 4. Connection threads join (their writers already ran dry).
     fn drain(&self) {
         self.shared.coalescer.shutdown();
+        // Non-fatal on failure: every spill already hit the append log, so
+        // the worst case is a warm start from an uncompacted log.
+        if let Some(Err(e)) = self.shared.engine.snapshot_store() {
+            eprintln!("gbd-serve: store snapshot on drain failed: {e}");
+        }
         let mut conns = self
             .conns
             .lock()

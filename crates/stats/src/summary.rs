@@ -93,6 +93,26 @@ impl Summary {
         self.max
     }
 
+    /// The accumulator's internal state `(count, mean, m2, min, max)`,
+    /// for exact serialization. Round-trips bit-identically through
+    /// [`Summary::from_raw_parts`].
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Summary::raw_parts`] state. The
+    /// parts are trusted as-is; passing values that did not come from a
+    /// real accumulator yields a statistically meaningless summary.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {

@@ -1,0 +1,87 @@
+//! In-memory live view of the log: last-wins per `(kind, key)`, with
+//! first-seen insertion order preserved for deterministic iteration and
+//! compaction output.
+
+use std::collections::HashMap;
+
+/// One live entry.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    pub kind: u8,
+    pub key: Vec<u8>,
+    pub value: Vec<u8>,
+}
+
+/// Live `(kind, key) → value` map over an append-only log.
+///
+/// Duplicate appends are expected — the engine's spill path can race two
+/// computations of the same key, and repeated runs re-spill evicted
+/// entries — so the index keeps the latest value per key. Values for one
+/// key are bit-identical by construction (deterministic compute), so
+/// "last wins" is a space rule, not a semantic one.
+#[derive(Debug, Default)]
+pub(crate) struct Index {
+    entries: Vec<Entry>,
+    by_key: HashMap<(u8, Vec<u8>), usize>,
+}
+
+impl Index {
+    /// Applies one record in log order.
+    pub fn apply(&mut self, kind: u8, key: Vec<u8>, value: Vec<u8>) {
+        match self.by_key.get(&(kind, key.clone())) {
+            Some(&at) => self.entries[at].value = value,
+            None => {
+                self.by_key.insert((kind, key.clone()), self.entries.len());
+                self.entries.push(Entry { kind, key, value });
+            }
+        }
+    }
+
+    /// Live entries in first-seen order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of distinct live keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Value for `(kind, key)`, if present.
+    pub fn get(&self, kind: u8, key: &[u8]) -> Option<&[u8]> {
+        self.by_key
+            .get(&(kind, key.to_vec()))
+            .map(|&at| self.entries[at].value.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_wins_and_order_is_first_seen() {
+        let mut idx = Index::default();
+        idx.apply(1, b"a".to_vec(), b"1".to_vec());
+        idx.apply(2, b"a".to_vec(), b"other-kind".to_vec());
+        idx.apply(1, b"b".to_vec(), b"2".to_vec());
+        idx.apply(1, b"a".to_vec(), b"3".to_vec());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get(1, b"a"), Some(b"3".as_slice()));
+        assert_eq!(idx.get(2, b"a"), Some(b"other-kind".as_slice()));
+        assert_eq!(idx.get(1, b"missing"), None);
+        let order: Vec<(u8, &[u8])> = idx
+            .entries()
+            .iter()
+            .map(|e| (e.kind, e.key.as_slice()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1u8, b"a".as_slice()),
+                (2u8, b"a".as_slice()),
+                (1u8, b"b".as_slice())
+            ]
+        );
+    }
+}

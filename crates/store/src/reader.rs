@@ -1,0 +1,132 @@
+//! Recovery scan: validates the header, then walks frames until the
+//! first bad one, yielding the longest valid prefix.
+
+use crate::format::{self, HeaderError, Record};
+use std::io;
+use std::path::Path;
+
+/// Everything a recovery scan learns about a log file.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Identity tag from the (validated) header.
+    pub tag: Vec<u8>,
+    /// Records in the valid prefix, in append order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix (header plus whole frames). The
+    /// file is safe to truncate to this length and append from there.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix — a torn tail or corrupt record run.
+    /// Zero for a cleanly closed log.
+    pub torn_bytes: u64,
+}
+
+/// Why a log could not be opened at all. Record-level damage never
+/// produces an error — it shortens the valid prefix instead — so every
+/// variant here means the header itself cannot be trusted.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Filesystem error reading the log.
+    Io(io::Error),
+    /// The header failed validation.
+    Header(HeaderError),
+}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+/// Scans the log at `path`, returning its valid prefix.
+///
+/// The scan stops at the first frame that is short, oversized, or fails
+/// its CRC: everything after it is untrusted (frame lengths chain each
+/// frame to the next, so later bytes cannot be re-synchronized safely).
+/// This is the "truncate at first bad record" recovery the store
+/// guarantees — a crash mid-append costs at most the torn tail.
+pub fn recover(path: &Path) -> Result<Recovered, RecoverError> {
+    let bytes = std::fs::read(path)?;
+    recover_bytes(&bytes)
+}
+
+/// [`recover`] over in-memory bytes (separated for tests).
+pub fn recover_bytes(bytes: &[u8]) -> Result<Recovered, RecoverError> {
+    let (tag, header_len) = format::parse_header(bytes).map_err(RecoverError::Header)?;
+    let mut records = Vec::new();
+    let mut at = header_len;
+    while let Some((record, next)) = format::decode_frame(bytes, at) {
+        records.push(record);
+        at = next;
+    }
+    Ok(Recovered {
+        tag,
+        records,
+        valid_len: at as u64,
+        torn_bytes: (bytes.len() - at) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{encode_frame, encode_header};
+
+    fn log_with(tag: &[u8], records: &[(u8, &[u8], &[u8])]) -> Vec<u8> {
+        let mut bytes = encode_header(tag);
+        for &(kind, key, value) in records {
+            bytes.extend_from_slice(&encode_frame(kind, key, value));
+        }
+        bytes
+    }
+
+    #[test]
+    fn clean_log_recovers_everything() {
+        let bytes = log_with(b"t", &[(1, b"a", b"1"), (2, b"b", b"2")]);
+        let r = recover_bytes(&bytes).unwrap();
+        assert_eq!(r.tag, b"t");
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.valid_len, bytes.len() as u64);
+        assert_eq!(r.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_longest_valid_prefix() {
+        let clean = log_with(b"t", &[(1, b"a", b"1"), (2, b"b", b"2")]);
+        let clean_len = clean.len();
+        let extra = encode_frame(3, b"c", b"3");
+        // Every partial suffix of a third record still recovers exactly
+        // the first two.
+        for cut in 1..extra.len() {
+            let mut torn = clean.clone();
+            torn.extend_from_slice(&extra[..cut]);
+            let r = recover_bytes(&torn).unwrap();
+            assert_eq!(r.records.len(), 2, "cut={cut}");
+            assert_eq!(r.valid_len, clean_len as u64, "cut={cut}");
+            assert_eq!(r.torn_bytes, cut as u64, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn mid_log_corruption_truncates_there() {
+        let bytes = log_with(b"t", &[(1, b"a", b"1"), (2, b"b", b"2"), (3, b"c", b"3")]);
+        let first_end = recover_bytes(&log_with(b"t", &[(1, b"a", b"1")]))
+            .unwrap()
+            .valid_len as usize;
+        let mut bad = bytes;
+        bad[first_end + 10] ^= 0xFF; // damage the second record's payload
+        let r = recover_bytes(&bad).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.valid_len, first_end as u64);
+        assert!(r.torn_bytes > 0);
+    }
+
+    #[test]
+    fn header_damage_is_fatal_not_recoverable() {
+        let mut bytes = log_with(b"t", &[(1, b"a", b"1")]);
+        bytes[3] ^= 0xFF;
+        assert!(matches!(
+            recover_bytes(&bytes),
+            Err(RecoverError::Header(HeaderError::NotAStore))
+        ));
+    }
+}

@@ -11,16 +11,23 @@
 #                                   and fail on a >25% regression of the
 #                                   derived speedup ratios against the
 #                                   committed results/BENCH_pr4.json
+#   scripts/check.sh --store-smoke  additionally crash (SIGABRT mid-append,
+#                                   via the gbd-store `chaos` feature) a
+#                                   store-backed warm run, then prove the
+#                                   reopened store recovers its valid
+#                                   prefix and serves bit-identical rows
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 chaos=0
 bench_smoke=0
+store_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
     --bench-smoke) bench_smoke=1 ;;
-    *) echo "unknown argument: $arg (expected --chaos or --bench-smoke)" >&2; exit 2 ;;
+    --store-smoke) store_smoke=1 ;;
+    *) echo "unknown argument: $arg (expected --chaos, --bench-smoke, or --store-smoke)" >&2; exit 2 ;;
   esac
 done
 
@@ -32,10 +39,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # The engine hosts the panic-isolation boundary: an unwrap/expect on a lock
 # or join result there would turn one poisoned shard into a crashed batch.
-# The serve crate is a long-lived process fed untrusted bytes, so it gets
+# The serve crate is a long-lived process fed untrusted bytes, and the
+# store crate parses arbitrary on-disk bytes after a crash, so they get
 # the same treatment. Non-test code must stay free of both (tests opt out
 # via cfg_attr(test) in the crate root).
-for crate in gbd-engine gbd-serve; do
+for crate in gbd-engine gbd-serve gbd-store; do
   echo "==> cargo clippy -p $crate (unwrap/expect ban)"
   cargo clippy -p "$crate" --all-targets --no-deps -- \
     -D warnings -W clippy::unwrap_used -W clippy::expect_used
@@ -138,6 +146,59 @@ for key in ("fig8_cold_speedup", "engine_warm_speedup"):
         fail(f"{key} regressed >25%: {now:.2f}x vs committed {base:.2f}x")
     print(f"bench smoke: {key} {now:.2f}x (committed {base if base else '-'}x)")
 print("bench smoke: ok")
+PY
+fi
+
+if [ "$store_smoke" -eq 1 ]; then
+  # Crash-safety proof, end to end through the CLI:
+  #   1. warm a fresh store A; its rows are the ground truth
+  #   2. warm a fresh store B with the chaos hook armed — the process
+  #      SIGABRTs after 3 appends, mid-frame (half a record on disk)
+  #   3. `store verify` must flag B's torn tail and exit nonzero
+  #   4. re-running `store warm` on B must recover the valid prefix
+  #      (partial warm start) and print rows bit-identical to A's
+  #   5. B then verifies clean (recovery truncated the torn tail)
+  # The chaos hook is a cargo feature compiled into this binary only; it
+  # stays inert unless GBD_STORE_CHAOS_ABORT_AFTER is set.
+  echo "==> store smoke (crash mid-append, recover, bit-identical warm start)"
+  cargo build --release -q -p gbd-cli --features gbd-store/chaos --bin groupdet
+  store_a="$smoke_dir/clean.gbdstore"
+  store_b="$smoke_dir/torn.gbdstore"
+  target/release/groupdet store warm --path "$store_a" --json >"$smoke_dir/warm_a.json"
+  if GBD_STORE_CHAOS_ABORT_AFTER=3 target/release/groupdet store warm \
+      --path "$store_b" --json >/dev/null 2>"$smoke_dir/chaos.log"; then
+    echo "store smoke: chaos run unexpectedly survived" >&2
+    exit 1
+  fi
+  if target/release/groupdet store verify --path "$store_b" --json >"$smoke_dir/verify_torn.json"; then
+    echo "store smoke: verify missed the torn tail" >&2
+    exit 1
+  fi
+  target/release/groupdet store warm --path "$store_b" --json >"$smoke_dir/warm_b.json"
+  target/release/groupdet store verify --path "$store_b" --json >"$smoke_dir/verify_clean.json"
+  python3 - "$smoke_dir/warm_a.json" "$smoke_dir/warm_b.json" "$smoke_dir/verify_torn.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f: clean = json.load(f)
+with open(sys.argv[2]) as f: recovered = json.load(f)
+with open(sys.argv[3]) as f: torn = json.load(f)
+
+def fail(msg):
+    print(f"store smoke: FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if torn.get("torn_bytes", 0) <= 0:
+    fail("verify reported no torn bytes on the crashed store")
+store = recovered.get("store", {})
+if store.get("loaded_records", 0) <= 0:
+    fail("recovery loaded nothing — the valid prefix was lost")
+if store.get("torn_bytes_discarded", 0) <= 0:
+    fail("recovery discarded no torn bytes")
+rows_a, rows_b = clean.get("rows"), recovered.get("rows")
+if not rows_a or rows_a != rows_b:
+    fail(f"recovered rows diverge from the clean store's: {rows_a} vs {rows_b}")
+print(f"store smoke: ok ({store['loaded_records']} records recovered, "
+      f"{store['torn_bytes_discarded']} torn bytes discarded, rows bit-identical)")
 PY
 fi
 
