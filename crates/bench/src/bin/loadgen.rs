@@ -13,8 +13,14 @@
 //!
 //! `--assert-coalescing` queries the server's `stats` verb afterwards and
 //! fails (exit 1) unless the mean coalesced batch size exceeds 1;
-//! `--shutdown` sends the `shutdown` verb once done — together they make
-//! this the smoke driver used by `scripts/check.sh`.
+//! `--assert-split` queries the versioned `metrics` verb and fails unless
+//! the queue-wait and compute histograms sum (within 25%) to the latency
+//! histogram; `--watch-windows n` attaches a streaming `watch` client with
+//! replay that reads windows (up to `n` past the ring backlog) until the
+//! run's completed requests appear in them, then fails unless the windowed
+//! deltas telescope to the lifetime totals and cover the whole run;
+//! `--shutdown` sends the `shutdown` verb once done — together
+//! they make this the smoke driver used by `scripts/check.sh`.
 //!
 //! `--warmstart <path>` switches to a self-contained benchmark that
 //! ignores `--addr`: it boots an in-process server over a fresh store at
@@ -50,6 +56,10 @@ struct Options {
     out_dir: PathBuf,
     json: bool,
     assert_coalescing: bool,
+    /// Assert queue_wait + compute ≈ latency from the `metrics` verb.
+    assert_split: bool,
+    /// Attach a `watch` client reading this many windowed deltas (0 = off).
+    watch_windows: u64,
     shutdown: bool,
     /// Run the self-contained cold-vs-warm store benchmark against this
     /// store path instead of driving `--addr`.
@@ -70,6 +80,8 @@ impl Default for Options {
             out_dir: PathBuf::from("results"),
             json: false,
             assert_coalescing: false,
+            assert_split: false,
+            watch_windows: 0,
             shutdown: false,
             warmstart: None,
         }
@@ -80,8 +92,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr host:port [--clients n] [--requests n] [--pipeline n]\n\
          \x20              [--rate req/s] [--sim-every n] [--trials n] [--seed n]\n\
-         \x20              [--out dir] [--json] [--assert-coalescing] [--shutdown]\n\
-         \x20              [--warmstart store-path]"
+         \x20              [--out dir] [--json] [--assert-coalescing] [--assert-split]\n\
+         \x20              [--watch-windows n] [--shutdown] [--warmstart store-path]"
     );
     std::process::exit(2);
 }
@@ -138,6 +150,14 @@ fn parse_args() -> Options {
             "--assert-coalescing" => {
                 opts.assert_coalescing = true;
                 i += 1;
+            }
+            "--assert-split" => {
+                opts.assert_split = true;
+                i += 1;
+            }
+            "--watch-windows" => {
+                opts.watch_windows = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
             }
             "--shutdown" => {
                 opts.shutdown = true;
@@ -279,6 +299,119 @@ fn control_round_trip(addr: &str, verb: &str) -> Option<Json> {
     let mut line = String::new();
     BufReader::new(read_half).read_line(&mut line).ok()?;
     Json::parse(line.trim()).ok()
+}
+
+/// What a `watch` client observed: window count, the first replayed
+/// sequence number, and the telescoping check inputs for `evaluated`.
+struct WatchReport {
+    windows: u64,
+    first_seq: u64,
+    evaluated_delta_sum: u64,
+    evaluated_total_last: u64,
+    lagged: u64,
+}
+
+/// Attaches an unbounded streaming `watch` subscription with replay and
+/// reads window lines until the server's `evaluated` lifetime total
+/// reaches `expected` (the requests this run completed), then sends
+/// `unwatch` and consumes the terminator and ack. Because replay starts at
+/// the first ring window and deltas telescope, the sum of `evaluated`
+/// deltas must equal the last window's `evaluated` total. `max_live`
+/// bounds how many windows past the replay ring we wait for the total to
+/// catch up.
+fn run_watch(addr: &str, max_live: u64, expected: u64) -> Result<WatchReport, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("read timeout: {e}"))?;
+    let read_half = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut writer = BufWriter::new(stream);
+    writer
+        .write_all(b"{\"id\":0,\"verb\":\"watch\",\"replay\":true}\n")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send watch: {e}"))?;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("watch ack: {e}"))?;
+    let ack = Json::parse(line.trim()).map_err(|e| format!("watch ack: {e}"))?;
+    if ack.get("watching").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("watch not acknowledged: {}", line.trim()));
+    }
+    let mut report = WatchReport {
+        windows: 0,
+        first_seq: 0,
+        evaluated_delta_sum: 0,
+        evaluated_total_last: 0,
+        lagged: 0,
+    };
+    // The replay backlog can be as deep as the ring; only windows beyond
+    // that count against the live budget.
+    let budget = 120 + max_live;
+    while report.evaluated_total_last < expected || report.windows == 0 {
+        if report.windows >= budget {
+            return Err(format!(
+                "evaluated total stuck at {} (wanted {expected}) after {} windows",
+                report.evaluated_total_last, report.windows
+            ));
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("stream closed mid-watch".to_string()),
+            Err(e) => return Err(format!("watch stream: {e}")),
+            Ok(_) => {}
+        }
+        let msg = Json::parse(line.trim()).map_err(|e| format!("watch line: {e}"))?;
+        let window = msg
+            .get("window")
+            .ok_or_else(|| format!("unexpected watch line: {}", line.trim()))?;
+        let seq = window
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("window without seq: {}", line.trim()))?;
+        if report.windows == 0 {
+            report.first_seq = seq;
+        }
+        if let Some(evaluated) = window.get("counters").and_then(|c| c.get("evaluated")) {
+            report.evaluated_delta_sum +=
+                evaluated.get("delta").and_then(Json::as_u64).unwrap_or(0);
+            report.evaluated_total_last =
+                evaluated.get("total").and_then(Json::as_u64).unwrap_or(0);
+        }
+        report.lagged += msg.get("lagged").and_then(Json::as_u64).unwrap_or(0);
+        report.windows += 1;
+    }
+    // Cancel the stream: the server ends it with a terminator, then acks.
+    writer
+        .write_all(b"{\"id\":1,\"verb\":\"unwatch\"}\n")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send unwatch: {e}"))?;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("stream closed before watch_end".to_string()),
+            Err(e) => return Err(format!("watch drain: {e}")),
+            Ok(_) => {}
+        }
+        let msg = Json::parse(line.trim()).map_err(|e| format!("watch line: {e}"))?;
+        if msg.get("watch_end").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        // Windows still in flight before the cancel landed.
+        if msg.get("window").is_none() {
+            return Err(format!("unexpected watch line: {}", line.trim()));
+        }
+    }
+    line.clear();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("unwatch ack: {e}"))?;
+    let ack = Json::parse(line.trim()).map_err(|e| format!("unwatch ack: {e}"))?;
+    if ack.get("unwatched").and_then(Json::as_u64) != Some(1) {
+        return Err(format!("unwatch not acknowledged: {}", line.trim()));
+    }
+    Ok(report)
 }
 
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
@@ -635,6 +768,84 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("assert-coalescing: FAILED (factor = {other:?})");
+                failed = true;
+            }
+        }
+    }
+    if opts.assert_split {
+        // Sum-level decomposition from the versioned `metrics` verb: every
+        // request's latency is its queue wait plus its batch compute, so
+        // the histogram sums must agree (within tolerance for timer skew).
+        let metrics = control_round_trip(&opts.addr, "metrics");
+        let hist_sum = |key: &str| {
+            metrics
+                .as_ref()
+                .and_then(|m| m.get("metrics"))
+                .and_then(|m| m.get("histograms"))
+                .and_then(|h| h.get(key))
+                .and_then(|h| h.get("sum_us"))
+                .and_then(Json::as_u64)
+        };
+        match (
+            hist_sum("latency_us"),
+            hist_sum("queue_wait_us"),
+            hist_sum("compute_us"),
+        ) {
+            (Some(latency), Some(wait), Some(compute)) if latency > 0 => {
+                let gap = (wait + compute).abs_diff(latency);
+                if 4 * gap <= latency {
+                    println!(
+                        "assert-split: ok (queue wait {wait} µs + compute {compute} µs ≈ latency {latency} µs)"
+                    );
+                } else {
+                    eprintln!(
+                        "assert-split: FAILED (queue wait {wait} + compute {compute} vs latency {latency} µs)"
+                    );
+                    failed = true;
+                }
+            }
+            other => {
+                eprintln!("assert-split: FAILED (histogram sums unavailable: {other:?})");
+                failed = true;
+            }
+        }
+    }
+    if opts.watch_windows > 0 {
+        match run_watch(&opts.addr, opts.watch_windows, ok) {
+            Ok(report) => {
+                let mut watch_failed = false;
+                if report.first_seq != 1 {
+                    eprintln!(
+                        "watch: FAILED (replay started at seq {}, ring overflowed)",
+                        report.first_seq
+                    );
+                    watch_failed = true;
+                }
+                if report.evaluated_delta_sum != report.evaluated_total_last {
+                    eprintln!(
+                        "watch: FAILED (evaluated deltas sum to {} but lifetime total is {})",
+                        report.evaluated_delta_sum, report.evaluated_total_last
+                    );
+                    watch_failed = true;
+                }
+                if report.evaluated_total_last < ok {
+                    eprintln!(
+                        "watch: FAILED (windows show {} evaluations but the run completed {ok})",
+                        report.evaluated_total_last
+                    );
+                    watch_failed = true;
+                }
+                if watch_failed {
+                    failed = true;
+                } else {
+                    println!(
+                        "watch: ok ({} windows, evaluated deltas telescope to {}, {} lagged)",
+                        report.windows, report.evaluated_total_last, report.lagged
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("watch: FAILED ({e})");
                 failed = true;
             }
         }

@@ -821,6 +821,8 @@ struct ServeCmd {
     workers: usize,
     cache_cap: usize,
     store: Option<String>,
+    metrics_addr: Option<String>,
+    obs_window_ms: u64,
     json: bool,
 }
 
@@ -841,6 +843,8 @@ impl Default for ServeCmd {
             // only ever causes bit-identical recomputation.
             cache_cap: 1 << 16,
             store: None,
+            metrics_addr: None,
+            obs_window_ms: 1000,
             json: false,
         }
     }
@@ -894,6 +898,16 @@ impl ServeCmd {
             "path",
             "persistent result store: warm-start on boot, spill on compute, snapshot on drain (none)",
         ),
+        Flag::value(
+            "--metrics-addr",
+            "host:port",
+            "Prometheus text exposition endpoint; port 0 picks one (disabled)",
+        ),
+        Flag::value(
+            "--obs-window-ms",
+            "ms",
+            "windowed metric delta resolution for watch/ring (1000)",
+        ),
     ];
     const GROUPS: &'static [&'static [Flag]] = &[Self::FLAGS, JSON_FLAG];
 
@@ -912,6 +926,8 @@ impl ServeCmd {
                 "--workers" => cmd.workers = cur.take_value(flag)?,
                 "--cache-cap" => cmd.cache_cap = cur.take_value(flag)?,
                 "--store" => cmd.store = Some(cur.take_value(flag)?),
+                "--metrics-addr" => cmd.metrics_addr = Some(cur.take_value(flag)?),
+                "--obs-window-ms" => cmd.obs_window_ms = cur.take_value(flag)?,
                 "--json" => cmd.json = true,
                 other => return Err(unknown_flag(other, Self::GROUPS)),
             }
@@ -929,6 +945,8 @@ impl ServeCmd {
             max_requests_per_conn: self.conn_limit,
             max_line_bytes: self.max_line_bytes,
             handle_signals: true,
+            metrics_addr: self.metrics_addr.clone(),
+            obs_window: Duration::from_millis(self.obs_window_ms.max(1)),
         }
     }
 
@@ -949,51 +967,54 @@ impl ServeCmd {
         let server = Server::bind(self.config(), Arc::new(engine))
             .map_err(|e| format!("cannot bind {}: {e}", self.addr))?;
         let addr = server.local_addr();
+        let metrics_addr = server.metrics_local_addr();
         let handle = server.handle();
         if self.json {
-            println!(
-                "{}",
-                Json::obj(vec![
-                    ("event", "listening".into()),
-                    ("addr", Json::Str(addr.to_string())),
-                    ("batch_max", self.batch_max.into()),
-                    ("flush_us", self.flush_us.into()),
-                    ("queue_depth", self.queue_depth.into()),
-                ])
-                .render()
-            );
+            let mut fields = vec![
+                ("event", "listening".into()),
+                ("addr", Json::Str(addr.to_string())),
+                ("batch_max", self.batch_max.into()),
+                ("flush_us", self.flush_us.into()),
+                ("queue_depth", self.queue_depth.into()),
+            ];
+            if let Some(m) = metrics_addr {
+                fields.push(("metrics_addr", Json::Str(m.to_string())));
+            }
+            println!("{}", Json::obj(fields).render());
         } else {
             println!(
                 "listening on {addr}  (batch-max {}, flush {} µs, queue {})",
                 self.batch_max, self.flush_us, self.queue_depth
             );
+            if let Some(m) = metrics_addr {
+                println!("metrics exposition on http://{m}/metrics");
+            }
         }
         server.run().map_err(|e| e.to_string())?;
         let metrics = handle.metrics();
-        let read = gbd_serve::ServerMetrics::read;
         if self.json {
             println!(
                 "{}",
                 Json::obj(vec![
                     ("event", "stopped".into()),
-                    ("evaluated", read(&metrics.evaluated).into()),
-                    ("batches_flushed", read(&metrics.batches_flushed).into()),
+                    ("evaluated", metrics.evaluated.get().into()),
+                    ("batches_flushed", metrics.batches_flushed.get().into()),
                     ("coalescing_factor", metrics.coalescing_factor().into()),
-                    ("shed", read(&metrics.shed).into()),
-                    ("rejected", read(&metrics.rejected).into()),
-                    ("connections_total", read(&metrics.connections_total).into()),
+                    ("shed", metrics.shed.get().into()),
+                    ("rejected", metrics.rejected.get().into()),
+                    ("connections_total", metrics.connections_total.get().into()),
                 ])
                 .render()
             );
         } else {
             println!(
                 "stopped: {} requests in {} batches (coalescing {:.2}x), {} shed, {} rejected, {} connections",
-                read(&metrics.evaluated),
-                read(&metrics.batches_flushed),
+                metrics.evaluated.get(),
+                metrics.batches_flushed.get(),
                 metrics.coalescing_factor(),
-                read(&metrics.shed),
-                read(&metrics.rejected),
-                read(&metrics.connections_total),
+                metrics.shed.get(),
+                metrics.rejected.get(),
+                metrics.connections_total.get(),
             );
         }
         Ok(())

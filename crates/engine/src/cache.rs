@@ -78,6 +78,16 @@ impl CacheStats {
         self.hits + self.misses
     }
 
+    /// Fraction of lookups answered from the cache; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
     /// Component-wise sum.
     pub fn merged(self, other: CacheStats) -> CacheStats {
         CacheStats {

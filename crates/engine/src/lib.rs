@@ -455,6 +455,46 @@ impl Engine {
         ]
     }
 
+    /// Registers the engine's cache and store series on an observability
+    /// registry as polled counters, so snapshots and windowed deltas track
+    /// them alongside the serving layer's own instruments. Instrument
+    /// names: `cache_hits`, `cache_misses`, `cache_evictions`,
+    /// `cache_poisoned_recoveries`, `store_loads`, `store_spills`,
+    /// `store_spill_errors`, plus the attached store's own series (see
+    /// [`gbd_store::Store::register_observability`]).
+    ///
+    /// Note: [`Engine::clear_caches`] resets these counters, which breaks
+    /// the monotonicity windowed deltas rely on — long-lived observed
+    /// engines should not clear caches mid-flight.
+    pub fn register_observability(self: &Arc<Self>, registry: &gbd_obs::Registry) {
+        type StatReader = fn(&CacheStats) -> u64;
+        let cache_series: [(&str, StatReader); 4] = [
+            ("cache_hits", |s| s.hits),
+            ("cache_misses", |s| s.misses),
+            ("cache_evictions", |s| s.evictions),
+            ("cache_poisoned_recoveries", |s| s.poisoned_recoveries),
+        ];
+        for (name, read) in cache_series {
+            let engine = Arc::clone(self);
+            registry.polled_counter(name, move || read(&engine.cache_stats()));
+        }
+        let loads = Arc::clone(self);
+        registry.polled_counter("store_loads", move || {
+            loads.store_loads.load(Ordering::Relaxed)
+        });
+        let spills = Arc::clone(self);
+        registry.polled_counter("store_spills", move || {
+            spills.store_spills.load(Ordering::Relaxed)
+        });
+        let errors = Arc::clone(self);
+        registry.polled_counter("store_spill_errors", move || {
+            errors.store_errors.load(Ordering::Relaxed)
+        });
+        if let Some(store) = &self.store {
+            store.register_observability(registry);
+        }
+    }
+
     /// Drops every cached entry and resets all counters (including the
     /// store load/spill counts; the store's own contents are untouched —
     /// a later [`Engine::with_store`] open still warm-starts from them).

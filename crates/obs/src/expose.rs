@@ -1,0 +1,281 @@
+//! Plain-text exposition: renders a [`Snapshot`] in the Prometheus text
+//! format (version 0.0.4) and serves it over a tiny hand-rolled HTTP
+//! endpoint, in the same dependency-free spirit as `serve::json`.
+
+use crate::registry::{Registry, Snapshot};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// How long a scraper may take to deliver its request before the
+/// connection is dropped.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Largest request head we will buffer before answering 400.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// Maps an instrument name to a Prometheus-safe metric name: `gbd_`
+/// prefix, every character outside `[a-zA-Z0-9_:]` folded to `_`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("gbd_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Counter metric name with the conventional `_total` suffix.
+fn counter_name(name: &str) -> String {
+    let base = metric_name(name);
+    if base.ends_with("_total") {
+        base
+    } else {
+        base + "_total"
+    }
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+///
+/// Counters emit a `_total`-suffixed series; histograms emit cumulative
+/// `_bucket{le="..."}` lines (bounds capped at the observed max on the
+/// final occupied bucket via the quantile path), `_sum`, `_count`, and
+/// convenience `_p50`/`_p95`/`_p99` gauges omitted entirely when the
+/// histogram is empty — an absent series is unambiguous where a zero is
+/// not.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, value) in &snapshot.counters {
+        let metric = counter_name(name);
+        out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let metric = metric_name(name);
+        out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let metric = metric_name(name);
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        for (bound, cumulative) in hist.cumulative_buckets() {
+            let le = bound.min(hist.max_us);
+            out.push_str(&format!("{metric}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{metric}_bucket{{le=\"+Inf\"}} {count}\n{metric}_sum {sum}\n{metric}_count {count}\n",
+            count = hist.count,
+            sum = hist.sum_us,
+        ));
+        for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            if let Some(v) = hist.quantile_us(q) {
+                out.push_str(&format!(
+                    "# TYPE {metric}_{label} gauge\n{metric}_{label} {v}\n"
+                ));
+            }
+        }
+    }
+    let watch = snapshot.watch;
+    out.push_str(&format!(
+        "# TYPE gbd_obs_watchers gauge\ngbd_obs_watchers {}\n",
+        watch.watchers
+    ));
+    out.push_str(&format!(
+        "# TYPE gbd_obs_windows_sampled_total counter\ngbd_obs_windows_sampled_total {}\n",
+        watch.windows_sampled
+    ));
+    out.push_str(&format!(
+        "# TYPE gbd_obs_windows_dropped_total counter\ngbd_obs_windows_dropped_total {}\n",
+        watch.windows_dropped
+    ));
+    out
+}
+
+/// A scrape endpoint serving `GET /metrics` from a registry snapshot.
+/// Single-threaded by design: scrapes are rare, tiny, and read-only, so
+/// handling them inline keeps the endpoint at one polling thread.
+pub struct TextEndpoint {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TextEndpoint {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the accept loop.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<TextEndpoint> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-expose".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve_scrape(stream, &registry),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?;
+        Ok(TextEndpoint {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TextEndpoint {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one HTTP request head and answers it. Any I/O failure just drops
+/// the connection — the scraper retries on its next interval.
+fn serve_scrape(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_REQUEST_BYTES {
+            let _ = respond(&mut stream, "400 Bad Request", "request too large\n");
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        let _ = respond(&mut stream, "405 Method Not Allowed", "GET only\n");
+        return;
+    }
+    if path != "/metrics" && path != "/metrics/" {
+        let _ = respond(&mut stream, "404 Not Found", "try /metrics\n");
+        return;
+    }
+    let body = render_prometheus(&registry.snapshot());
+    let _ = respond(&mut stream, "200 OK", &body);
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.counter("evaluated").add(7);
+        r.gauge("queue_depth", || 2.0);
+        let h = r.histogram("latency_us");
+        h.record_us(10);
+        h.record_us(100);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE gbd_evaluated_total counter\ngbd_evaluated_total 7\n"));
+        assert!(text.contains("gbd_queue_depth 2\n"));
+        assert!(text.contains("gbd_latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("gbd_latency_us_sum 110\n"));
+        assert!(text.contains("gbd_latency_us_count 2\n"));
+        // Quantile gauges are capped at the observed max.
+        assert!(text.contains("gbd_latency_us_p99 100\n"));
+        assert!(text.contains("gbd_obs_windows_sampled_total 0\n"));
+    }
+
+    #[test]
+    fn empty_histograms_emit_no_quantile_series() {
+        let r = Registry::new();
+        r.histogram("idle_us");
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("gbd_idle_us_count 0\n"));
+        assert!(!text.contains("gbd_idle_us_p50"));
+        assert!(!text.contains("gbd_idle_us_bucket{le=\"0\"}"));
+    }
+
+    #[test]
+    fn endpoint_serves_metrics_and_rejects_other_paths() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("scraped").add(3);
+        let mut endpoint = TextEndpoint::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = endpoint.local_addr();
+
+        let ok = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.contains("gbd_scraped_total 3\n"));
+
+        let missing = scrape(addr, "GET /other HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let post = scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+
+        endpoint.stop();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly after close on some platforms;
+                // binding the port again proves the listener is gone.
+                TcpListener::bind(addr).is_ok()
+            }
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The instrument primitives every other layer records into: a monotonic
+//! [`Counter`] and a log-bucketed latency [`Histogram`], both lock-free on
+//! the hot path, plus the plain-data [`HistogramSnapshot`] read off a
+//! histogram in one pass.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two microsecond buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` µs (bucket 0 holds `[0, 2)`). 40 buckets cover up to
+/// ~12.7 days, far beyond any deadline the engine accepts.
+pub const BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+///
+/// Incrementing is a single relaxed fetch-add; readers see a value that is
+/// never smaller than any previously observed one, which is what makes
+/// windowed deltas (`current - last_sampled`) telescope exactly to the
+/// lifetime total across any number of windows.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The lifetime total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-bucketed histogram of durations (recorded in microseconds).
+///
+/// Recording is three relaxed atomic ops (bucket, count+sum, max), so the
+/// per-sample cost is negligible next to an engine evaluation. Quantiles
+/// are read as the upper bound of the bucket containing the rank — an
+/// upper estimate with at most 2× resolution error, capped at the observed
+/// maximum so no reported quantile ever exceeds reality.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a microsecond sample falls into.
+fn bucket_index(us: u64) -> usize {
+    (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (µs) of bucket `i`, before capping at the observed max.
+fn bucket_bound(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, latency: Duration) {
+        self.record_us(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one sample already expressed in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Reads every atomic once into a plain-data snapshot. All quantile and
+    /// rendering queries should go through the snapshot so one report is
+    /// internally consistent instead of re-reading live atomics mid-render.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum_us: self.sum_us(),
+            max_us: self.max_us(),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A histogram read once: safe to query repeatedly without tearing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples (µs).
+    pub sum_us: u64,
+    /// Largest sample (µs); meaningless when `count == 0`.
+    pub max_us: u64,
+    /// Per-bucket sample counts (see [`BUCKETS`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The snapshot is empty (nothing recorded at snapshot time).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest recorded sample, or `None` when empty — empty histograms
+    /// are unambiguous instead of reporting a raw `0` that could be a
+    /// genuine zero-microsecond sample.
+    pub fn max(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.max_us)
+        }
+    }
+
+    /// Mean sample (µs), or `None` when empty.
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.sum_us as f64 / self.count as f64)
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`); `None` when empty. Bounds are capped at the
+    /// observed max, so p100 (and every lower quantile) never exceeds
+    /// reality.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Some(bucket_bound(i).min(self.max_us));
+            }
+        }
+        Some(self.max_us)
+    }
+
+    /// Cumulative bucket pairs `(upper_bound_us, count_at_or_below)` for
+    /// exposition, covering only the occupied prefix of the bucket range.
+    /// The final pair always carries the full count (the `+Inf` bucket is
+    /// the caller's to emit).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let last = match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut seen = 0u64;
+        for i in 0..=last {
+            seen += self.buckets[i];
+            out.push((bucket_bound(i), seen));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile_us(0.5), None);
+        for us in [10u64, 20, 40, 80, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_us, 1150);
+        assert_eq!(s.max(), Some(1000));
+        let p50 = s.quantile_us(0.5).unwrap();
+        // The median sample is 40µs; its bucket [32,64) reports 63.
+        assert!((40..=63).contains(&p50), "p50 = {p50}");
+        // p100 is capped at the observed max rather than the bucket bound.
+        assert_eq!(s.quantile_us(1.0), Some(1000));
+        assert!(s.quantile_us(0.0).unwrap() <= p50);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert!(s.quantile_us(0.0).unwrap() <= 1);
+        assert_eq!(s.quantile_us(1.0), Some(100_000_000_000));
+    }
+
+    #[test]
+    fn empty_histogram_is_unambiguous() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean_us(), None);
+        assert_eq!(s.quantile_us(0.99), None);
+        assert!(s.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total_count() {
+        let h = Histogram::new();
+        for us in [1u64, 3, 3, 100, 40_000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 5);
+        // Bounds strictly increase and counts never decrease.
+        for pair in cum.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+}

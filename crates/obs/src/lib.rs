@@ -1,0 +1,43 @@
+//! First-class observability for the GBD serving stack.
+//!
+//! `gbd-obs` promotes ad-hoc atomics into **named, registered
+//! instruments** — [`Counter`]s, polled counters, gauges, and log-bucketed
+//! latency [`Histogram`]s — owned by a [`Registry`]. Every monotonic
+//! series is kept two ways at once:
+//!
+//! * **lifetime totals**, read in one pass via [`Registry::snapshot`], and
+//! * **windowed deltas**: a background [`Ticker`] closes a [`Window`]
+//!   every interval (1 s by default upstream) into a fixed-size ring of
+//!   the last [`DEFAULT_RING_WINDOWS`] windows, and broadcasts it to
+//!   [`Registry::subscribe`]d watchers over bounded channels (slow
+//!   watchers lag, they never buffer unboundedly).
+//!
+//! Because deltas are computed as `current - last_sampled` over monotonic
+//! counters, consecutive windows telescope exactly: the sum of a series'
+//! window deltas always equals its lifetime total, no matter how recording
+//! threads race the sampler.
+//!
+//! [`render_prometheus`] and [`TextEndpoint`] expose a snapshot in the
+//! Prometheus text format over a dependency-free HTTP endpoint; the
+//! JSON-lines `metrics`/`watch` verbs in `gbd-serve` expose the same
+//! registry over the serving protocol.
+//!
+//! The crate is std-only and lock-free on the record path: incrementing a
+//! counter or recording a histogram sample is a handful of relaxed atomic
+//! ops, cheap enough to leave on in production.
+
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+mod expose;
+mod instruments;
+mod registry;
+mod ticker;
+
+pub use expose::{render_prometheus, TextEndpoint};
+pub use instruments::{Counter, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{
+    CancelToken, Registry, Schema, Snapshot, Subscription, WatchMsg, WatchStats, Window,
+    DEFAULT_RING_WINDOWS,
+};
+pub use ticker::Ticker;

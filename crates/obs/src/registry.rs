@@ -1,0 +1,622 @@
+//! The instrument registry: named counters, polled counters, gauges, and
+//! histograms, each kept both as lifetime totals and as a fixed-size ring
+//! of windowed deltas sampled by [`Registry::sample_window`] (usually
+//! driven by a [`Ticker`](crate::Ticker)).
+//!
+//! Sampling computes `current - last_sampled` for every monotonic series
+//! in one pass, so the deltas of consecutive windows telescope exactly to
+//! the lifetime totals — no sample is lost or double-counted regardless of
+//! how recording threads race the sampler (a sample racing the window
+//! boundary lands in exactly one of the two adjacent windows).
+//!
+//! Watchers subscribe with a **bounded** queue: a slow consumer causes the
+//! sampler's `try_send` to fail, the window is counted as dropped for that
+//! watcher, and the lag is reported on its next delivered message — never
+//! unbounded buffering inside the server.
+
+use crate::instruments::{Counter, Histogram, HistogramSnapshot};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Default number of windows the delta ring retains.
+pub const DEFAULT_RING_WINDOWS: usize = 120;
+
+/// Extra live windows a subscription can buffer beyond the ring replay.
+const WATCH_LIVE_CAPACITY: usize = 16;
+
+/// A closure polled for a monotonic cumulative value (e.g. cache hits kept
+/// by another subsystem's own atomics).
+type PollFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
+/// A closure polled for an instantaneous value (e.g. queue depth).
+type GaugeFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+struct Instruments {
+    counters: Vec<(String, Arc<Counter>)>,
+    polled: Vec<(String, PollFn)>,
+    gauges: Vec<(String, GaugeFn)>,
+    histograms: Vec<(String, Arc<Histogram>)>,
+}
+
+/// The instrument names of a window, shared by every window sampled while
+/// the registered set is unchanged. Counter names cover registered
+/// counters first, then polled counters, in registration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Names of the counter series (owned counters, then polled).
+    pub counters: Vec<String>,
+    /// Names of the histogram series.
+    pub histograms: Vec<String>,
+}
+
+/// One sampled window of deltas, plus the lifetime totals at its end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Window {
+    /// 1-based window sequence number since registry creation.
+    pub seq: u64,
+    /// Wall-clock time the window closed, in Unix milliseconds.
+    pub closed_unix_ms: u64,
+    /// Actual elapsed time the window covers, in milliseconds.
+    pub duration_ms: u64,
+    /// Instrument names, index-aligned with the series below.
+    pub schema: Arc<Schema>,
+    /// Per-counter increase during this window.
+    pub counter_deltas: Vec<u64>,
+    /// Per-counter lifetime total at window close.
+    pub counter_totals: Vec<u64>,
+    /// Per-histogram sample-count increase during this window.
+    pub hist_count_deltas: Vec<u64>,
+    /// Per-histogram sample-sum increase (µs) during this window.
+    pub hist_sum_deltas_us: Vec<u64>,
+    /// Per-histogram lifetime sample count at window close.
+    pub hist_count_totals: Vec<u64>,
+}
+
+impl Window {
+    /// The delta of the counter named `name` in this window, if present.
+    pub fn counter_delta(&self, name: &str) -> Option<u64> {
+        let i = self.schema.counters.iter().position(|n| n == name)?;
+        self.counter_deltas.get(i).copied()
+    }
+
+    /// The lifetime total of the counter named `name` at window close.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let i = self.schema.counters.iter().position(|n| n == name)?;
+        self.counter_totals.get(i).copied()
+    }
+}
+
+/// One watch delivery: the window plus how many windows this watcher
+/// missed since the previous delivered message (0 when keeping up).
+#[derive(Debug, Clone)]
+pub struct WatchMsg {
+    /// The sampled window.
+    pub window: Arc<Window>,
+    /// Windows dropped for this watcher immediately before this one.
+    pub lagged: u64,
+}
+
+/// A cancellation token shared between the subscription owner and the
+/// registry; setting it removes the watcher on the next reap or sample.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Marks the subscription cancelled. Call
+    /// [`Registry::reap_cancelled`] afterwards to drop the sender
+    /// immediately (waking a consumer blocked on `recv`).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called — e.g. a
+    /// finished stream marking its subscription dead so teardown paths can
+    /// distinguish live watches from already-completed ones.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A live watch subscription: a bounded receiver of [`WatchMsg`]s plus its
+/// cancellation token.
+pub struct Subscription {
+    /// Delivers one message per sampled window (replayed ring first when
+    /// requested at subscribe time).
+    pub rx: Receiver<WatchMsg>,
+    /// Token to cancel this subscription from another thread.
+    pub token: CancelToken,
+}
+
+struct Watcher {
+    tx: SyncSender<WatchMsg>,
+    token: CancelToken,
+    /// Windows dropped since the last successful delivery.
+    lagged: u64,
+}
+
+struct SampleState {
+    seq: u64,
+    window_opened: Instant,
+    last_counters: Vec<u64>,
+    last_hist: Vec<(u64, u64)>,
+    schema: Arc<Schema>,
+    /// Instrument count the cached schema was built from.
+    schema_len: (usize, usize),
+}
+
+/// Observability side-counters of the registry itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchStats {
+    /// Live subscriptions.
+    pub watchers: usize,
+    /// Windows sampled since registry creation.
+    pub windows_sampled: u64,
+    /// Window deliveries dropped because a watcher's queue was full.
+    pub windows_dropped: u64,
+}
+
+/// A point-in-time reading of every registered instrument, taken in one
+/// pass so a report never mixes values from different moments.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Wall-clock time of the snapshot, Unix milliseconds.
+    pub at_unix_ms: u64,
+    /// `(name, lifetime total)` for owned and polled counters.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, current value)` for gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` for histograms.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Registry self-observation.
+    pub watch: WatchStats,
+}
+
+impl Snapshot {
+    /// The lifetime total of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The snapshot of the histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// The registry (see module docs).
+pub struct Registry {
+    instruments: Mutex<Instruments>,
+    sample: Mutex<SampleState>,
+    ring: Mutex<VecDeque<Arc<Window>>>,
+    watchers: Mutex<Vec<Watcher>>,
+    windows_sampled: Counter,
+    windows_dropped: Counter,
+    ring_cap: usize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Nothing protected here is left half-updated by a panic (plain Vecs
+    // of owned values), so recover the guard instead of propagating
+    // poison.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_ring(DEFAULT_RING_WINDOWS)
+    }
+}
+
+impl Registry {
+    /// A registry retaining [`DEFAULT_RING_WINDOWS`] windows.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A registry retaining `ring_cap` windows (min 1).
+    pub fn with_ring(ring_cap: usize) -> Registry {
+        Registry {
+            instruments: Mutex::new(Instruments {
+                counters: Vec::new(),
+                polled: Vec::new(),
+                gauges: Vec::new(),
+                histograms: Vec::new(),
+            }),
+            sample: Mutex::new(SampleState {
+                seq: 0,
+                window_opened: Instant::now(),
+                last_counters: Vec::new(),
+                last_hist: Vec::new(),
+                schema: Arc::new(Schema {
+                    counters: Vec::new(),
+                    histograms: Vec::new(),
+                }),
+                schema_len: (0, 0),
+            }),
+            ring: Mutex::new(VecDeque::new()),
+            watchers: Mutex::new(Vec::new()),
+            windows_sampled: Counter::new(),
+            windows_dropped: Counter::new(),
+            ring_cap: ring_cap.max(1),
+        }
+    }
+
+    /// Registers (or returns the existing) counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = lock(&self.instruments);
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        inner.counters.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// Registers a polled counter: `poll` is called at sample/snapshot
+    /// time and must be monotonically non-decreasing for windowed deltas
+    /// to be meaningful.
+    pub fn polled_counter(
+        &self,
+        name: &str,
+        poll: impl Fn() -> u64 + Send + Sync + 'static,
+    ) -> &Self {
+        lock(&self.instruments)
+            .polled
+            .push((name.to_string(), Box::new(poll)));
+        self
+    }
+
+    /// Registers a gauge: an instantaneous value sampled at snapshot time
+    /// (not windowed — deltas of non-monotonic values are meaningless).
+    pub fn gauge(&self, name: &str, poll: impl Fn() -> f64 + Send + Sync + 'static) -> &Self {
+        lock(&self.instruments)
+            .gauges
+            .push((name.to_string(), Box::new(poll)));
+        self
+    }
+
+    /// Registers (or returns the existing) histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = lock(&self.instruments);
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        inner.histograms.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Reads every instrument once.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = lock(&self.instruments);
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        counters.extend(inner.polled.iter().map(|(n, f)| (n.clone(), f())));
+        Snapshot {
+            at_unix_ms: unix_ms(),
+            gauges: inner.gauges.iter().map(|(n, f)| (n.clone(), f())).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+            counters,
+            watch: self.watch_stats(),
+        }
+    }
+
+    /// The registry's own side-counters.
+    pub fn watch_stats(&self) -> WatchStats {
+        WatchStats {
+            watchers: lock(&self.watchers).len(),
+            windows_sampled: self.windows_sampled.get(),
+            windows_dropped: self.windows_dropped.get(),
+        }
+    }
+
+    /// Windows currently retained in the ring, oldest first.
+    pub fn windows(&self) -> Vec<Arc<Window>> {
+        lock(&self.ring).iter().cloned().collect()
+    }
+
+    /// Closes the current window: computes all deltas in one pass, appends
+    /// the window to the ring (evicting the oldest past capacity), and
+    /// broadcasts it to every live watcher. Returns the window.
+    ///
+    /// Drives both the [`Ticker`](crate::Ticker) and deterministic tests.
+    pub fn sample_window(&self) -> Arc<Window> {
+        let inner = lock(&self.instruments);
+        let mut state = lock(&self.sample);
+        let n_counters = inner.counters.len() + inner.polled.len();
+        let n_hist = inner.histograms.len();
+        if state.schema_len != (n_counters, n_hist) {
+            state.schema = Arc::new(Schema {
+                counters: inner
+                    .counters
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .chain(inner.polled.iter().map(|(n, _)| n.clone()))
+                    .collect(),
+                histograms: inner.histograms.iter().map(|(n, _)| n.clone()).collect(),
+            });
+            state.schema_len = (n_counters, n_hist);
+        }
+        state.last_counters.resize(n_counters, 0);
+        state.last_hist.resize(n_hist, (0, 0));
+
+        let mut counter_totals = Vec::with_capacity(n_counters);
+        counter_totals.extend(inner.counters.iter().map(|(_, c)| c.get()));
+        counter_totals.extend(inner.polled.iter().map(|(_, f)| f()));
+        let counter_deltas: Vec<u64> = counter_totals
+            .iter()
+            .zip(&state.last_counters)
+            .map(|(&cur, &last)| cur.saturating_sub(last))
+            .collect();
+
+        let hist_now: Vec<(u64, u64)> = inner
+            .histograms
+            .iter()
+            .map(|(_, h)| (h.count(), h.sum_us()))
+            .collect();
+        let hist_count_deltas: Vec<u64> = hist_now
+            .iter()
+            .zip(&state.last_hist)
+            .map(|(&(c, _), &(lc, _))| c.saturating_sub(lc))
+            .collect();
+        let hist_sum_deltas_us: Vec<u64> = hist_now
+            .iter()
+            .zip(&state.last_hist)
+            .map(|(&(_, s), &(_, ls))| s.saturating_sub(ls))
+            .collect();
+        let hist_count_totals: Vec<u64> = hist_now.iter().map(|&(c, _)| c).collect();
+
+        let now = Instant::now();
+        state.seq += 1;
+        let window = Arc::new(Window {
+            seq: state.seq,
+            closed_unix_ms: unix_ms(),
+            duration_ms: u64::try_from(
+                now.saturating_duration_since(state.window_opened)
+                    .as_millis(),
+            )
+            .unwrap_or(u64::MAX),
+            schema: Arc::clone(&state.schema),
+            counter_deltas,
+            counter_totals: counter_totals.clone(),
+            hist_count_deltas,
+            hist_sum_deltas_us,
+            hist_count_totals,
+        });
+        state.last_counters = counter_totals;
+        state.last_hist = hist_now;
+        state.window_opened = now;
+        drop(state);
+        drop(inner);
+
+        {
+            let mut ring = lock(&self.ring);
+            ring.push_back(Arc::clone(&window));
+            while ring.len() > self.ring_cap {
+                ring.pop_front();
+            }
+        }
+        self.windows_sampled.inc();
+        self.broadcast(&window);
+        window
+    }
+
+    fn broadcast(&self, window: &Arc<Window>) {
+        let mut watchers = lock(&self.watchers);
+        watchers.retain_mut(|w| {
+            if w.token.is_cancelled() {
+                return false;
+            }
+            let msg = WatchMsg {
+                window: Arc::clone(window),
+                lagged: w.lagged,
+            };
+            match w.tx.try_send(msg) {
+                Ok(()) => {
+                    w.lagged = 0;
+                    true
+                }
+                Err(TrySendError::Full(_)) => {
+                    w.lagged += 1;
+                    self.windows_dropped.inc();
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        });
+    }
+
+    /// Subscribes to future windows. With `replay`, the current ring
+    /// contents are delivered first (the channel is sized to hold the full
+    /// replay plus a bounded live margin), so a late subscriber still sees
+    /// every window since boot while the ring has not wrapped.
+    pub fn subscribe(&self, replay: bool) -> Subscription {
+        let backlog: Vec<Arc<Window>> = if replay { self.windows() } else { Vec::new() };
+        let (tx, rx) = mpsc::sync_channel(backlog.len() + WATCH_LIVE_CAPACITY);
+        for window in backlog {
+            // Cannot fail: the channel was sized for the whole backlog and
+            // nothing else has the sender yet.
+            let _ = tx.try_send(WatchMsg { window, lagged: 0 });
+        }
+        let token = CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+        };
+        lock(&self.watchers).push(Watcher {
+            tx,
+            token: token.clone(),
+            lagged: 0,
+        });
+        Subscription { rx, token }
+    }
+
+    /// Drops every cancelled watcher now (instead of at the next sample),
+    /// waking consumers blocked on their receivers.
+    pub fn reap_cancelled(&self) {
+        lock(&self.watchers).retain(|w| !w.token.is_cancelled());
+    }
+
+    /// Drops every watcher, cancelled or not — the shutdown path, where
+    /// any consumer still blocked on its receiver must wake with an error.
+    pub fn reap_all(&self) {
+        let mut watchers = lock(&self.watchers);
+        for w in watchers.iter() {
+            w.token.cancel();
+        }
+        watchers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn window_deltas_telescope_to_totals() {
+        let r = Registry::new();
+        let c = r.counter("reqs");
+        let h = r.histogram("lat_us");
+        c.add(3);
+        h.record(Duration::from_micros(10));
+        let w1 = r.sample_window();
+        assert_eq!(w1.seq, 1);
+        assert_eq!(w1.counter_delta("reqs"), Some(3));
+        assert_eq!(w1.counter_total("reqs"), Some(3));
+        c.add(2);
+        h.record(Duration::from_micros(20));
+        h.record(Duration::from_micros(30));
+        let w2 = r.sample_window();
+        assert_eq!(w2.counter_delta("reqs"), Some(2));
+        assert_eq!(w2.counter_total("reqs"), Some(5));
+        assert_eq!(w2.hist_count_deltas, vec![2]);
+        assert_eq!(w2.hist_sum_deltas_us, vec![50]);
+        assert_eq!(w2.hist_count_totals, vec![3]);
+        let sum: u64 = [&w1, &w2]
+            .iter()
+            .filter_map(|w| w.counter_delta("reqs"))
+            .sum();
+        assert_eq!(sum, c.get());
+    }
+
+    #[test]
+    fn polled_counters_window_like_owned_ones() {
+        let shared = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let r = Registry::new();
+        let probe = Arc::clone(&shared);
+        r.polled_counter("ext", move || probe.load(Ordering::Relaxed));
+        shared.store(7, Ordering::Relaxed);
+        let w1 = r.sample_window();
+        assert_eq!(w1.counter_delta("ext"), Some(7));
+        shared.store(9, Ordering::Relaxed);
+        let w2 = r.sample_window();
+        assert_eq!(w2.counter_delta("ext"), Some(2));
+        assert_eq!(w2.counter_total("ext"), Some(9));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let r = Registry::with_ring(3);
+        r.counter("c");
+        for _ in 0..5 {
+            r.sample_window();
+        }
+        let windows = r.windows();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].seq, 3);
+        assert_eq!(windows[2].seq, 5);
+        assert_eq!(r.watch_stats().windows_sampled, 5);
+    }
+
+    #[test]
+    fn subscribe_replays_ring_then_streams_live() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(1);
+        r.sample_window();
+        c.add(4);
+        r.sample_window();
+        let sub = r.subscribe(true);
+        let first = sub.rx.try_recv().unwrap();
+        assert_eq!(first.window.seq, 1);
+        assert_eq!(sub.rx.try_recv().unwrap().window.seq, 2);
+        assert!(sub.rx.try_recv().is_err());
+        c.add(5);
+        r.sample_window();
+        let live = sub.rx.try_recv().unwrap();
+        assert_eq!(live.window.seq, 3);
+        assert_eq!(live.window.counter_total("c"), Some(10));
+        let replayed_plus_live = 1 + 4 + 5;
+        assert_eq!(replayed_plus_live, c.get());
+    }
+
+    #[test]
+    fn slow_watchers_lag_instead_of_buffering_unboundedly() {
+        let r = Registry::new();
+        r.counter("c");
+        let sub = r.subscribe(false);
+        // Overfill the live margin without draining.
+        for _ in 0..(WATCH_LIVE_CAPACITY + 5) {
+            r.sample_window();
+        }
+        assert_eq!(r.watch_stats().windows_dropped, 5);
+        // Drain the buffered prefix: no lag recorded on those.
+        for _ in 0..WATCH_LIVE_CAPACITY {
+            assert_eq!(sub.rx.try_recv().unwrap().lagged, 0);
+        }
+        // The next delivered window reports the 5 dropped before it.
+        r.sample_window();
+        assert_eq!(sub.rx.try_recv().unwrap().lagged, 5);
+    }
+
+    #[test]
+    fn cancel_wakes_and_removes_the_watcher() {
+        let r = Registry::new();
+        r.counter("c");
+        let sub = r.subscribe(false);
+        assert_eq!(r.watch_stats().watchers, 1);
+        sub.token.cancel();
+        r.reap_cancelled();
+        assert_eq!(r.watch_stats().watchers, 0);
+        assert!(sub.rx.recv().is_err(), "sender should be dropped");
+    }
+
+    #[test]
+    fn snapshot_reads_all_instrument_kinds() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.polled_counter("b", || 11);
+        r.gauge("g", || 1.5);
+        r.histogram("h").record(Duration::from_micros(100));
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), Some(2));
+        assert_eq!(s.counter("b"), Some(11));
+        assert_eq!(s.gauges, vec![("g".to_string(), 1.5)]);
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+}

@@ -1,0 +1,91 @@
+//! The background sampler: a thread that closes a registry window every
+//! `interval`, feeding the delta ring and any watch subscriptions.
+
+use crate::registry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest single sleep, so `stop()` is honoured promptly even with a
+/// multi-second window.
+const SLEEP_SLICE: Duration = Duration::from_millis(50);
+
+/// Handle to the background sampling thread; stops (and joins) on drop.
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Spawns a thread calling [`Registry::sample_window`] every
+    /// `interval` (floored at 1ms) until [`Ticker::stop`] or drop.
+    pub fn start(registry: Arc<Registry>, interval: Duration) -> Ticker {
+        let interval = interval.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-ticker".to_string())
+            .spawn(move || {
+                let mut next = Instant::now() + interval;
+                while !stop_flag.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(
+                            next.saturating_duration_since(now).min(SLEEP_SLICE),
+                        );
+                        continue;
+                    }
+                    registry.sample_window();
+                    // Pace off the intended schedule, but never accumulate
+                    // a backlog of instant windows after a long stall.
+                    next += interval;
+                    if next < Instant::now() {
+                        next = Instant::now() + interval;
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("failed to spawn obs-ticker thread: {e}"));
+        Ticker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampling thread and waits for it to exit. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticker_samples_windows_until_stopped() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("c").add(3);
+        let mut ticker = Ticker::start(Arc::clone(&registry), Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while registry.watch_stats().windows_sampled < 3 {
+            assert!(Instant::now() < deadline, "ticker never sampled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        ticker.stop();
+        let sampled = registry.watch_stats().windows_sampled;
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(registry.watch_stats().windows_sampled, sampled);
+        let windows = registry.windows();
+        assert_eq!(windows[0].counter_total("c"), Some(3));
+    }
+}

@@ -148,7 +148,7 @@ impl Coalescer {
             return Err(SubmitError::ShuttingDown);
         }
         if queue.pending.len() >= self.shared.config.queue_depth {
-            ServerMetrics::bump(&self.shared.metrics.shed);
+            self.shared.metrics.shed.inc();
             return Err(SubmitError::Overloaded);
         }
         // Capacity 1 and exactly one send per request: the flusher's send
@@ -160,7 +160,7 @@ impl Coalescer {
             tx,
             enqueued_at: Instant::now(),
         });
-        ServerMetrics::bump(&self.shared.metrics.admitted);
+        self.shared.metrics.admitted.inc();
         drop(queue);
         self.shared.wake.notify_one();
         Ok(rx)
@@ -255,14 +255,12 @@ fn take_batch(queue: &mut Queue, batch_max: usize) -> Vec<Pending> {
 /// the engine finishes it.
 fn flush(shared: &Shared, batch: Vec<Pending>, cause: &FlushCause) {
     let metrics = &shared.metrics;
-    ServerMetrics::bump(&metrics.batches_flushed);
+    metrics.batches_flushed.inc();
     match cause {
-        FlushCause::Size => ServerMetrics::bump(&metrics.flushes_by_size),
-        FlushCause::Timer => ServerMetrics::bump(&metrics.flushes_by_timer),
+        FlushCause::Size => metrics.flushes_by_size.inc(),
+        FlushCause::Timer => metrics.flushes_by_timer.inc(),
     }
-    metrics
-        .evaluated
-        .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    metrics.evaluated.add(batch.len() as u64);
     let requests: Vec<EvalRequest> = batch.iter().map(|p| p.request.clone()).collect();
     // Split the end-to-end latency at the flush boundary: everything
     // before `flushed_at` is queue wait (admission control + coalescing
@@ -279,6 +277,9 @@ fn flush(shared: &Shared, batch: Vec<Pending>, cause: &FlushCause) {
             .queue_wait
             .record(flushed_at.saturating_duration_since(pending.enqueued_at));
         metrics.compute.record(flushed_at.elapsed());
+        if let Some(backend) = metrics.backend_latency(response.served_by) {
+            backend.record(flushed_at.elapsed());
+        }
         let rendered = protocol::render_response(pending.id, response);
         // A send only fails when the connection died while the request was
         // in flight; the result is simply dropped.
@@ -314,7 +315,7 @@ mod tests {
     }
 
     fn start(config: CoalescerConfig) -> (Arc<Coalescer>, Arc<ServerMetrics>) {
-        let metrics = Arc::new(ServerMetrics::default());
+        let metrics = Arc::new(ServerMetrics::new());
         let engine = Arc::new(Engine::with_workers(2));
         (
             Coalescer::start(engine, Arc::clone(&metrics), config),
@@ -339,10 +340,13 @@ mod tests {
             assert_eq!(response.get("id").and_then(Json::as_u64), Some(i as u64));
             assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
         }
-        assert_eq!(ServerMetrics::read(&metrics.batches_flushed), 1);
-        assert_eq!(ServerMetrics::read(&metrics.evaluated), 8);
+        assert_eq!(metrics.batches_flushed.get(), 1);
+        assert_eq!(metrics.evaluated.get(), 8);
         assert_eq!(metrics.coalescing_factor(), 8.0);
-        assert_eq!(ServerMetrics::read(&metrics.flushes_by_size), 1);
+        assert_eq!(metrics.flushes_by_size.get(), 1);
+        // Every request in the batch was served by the poisson backend;
+        // its per-backend histogram saw all 8.
+        assert_eq!(metrics.backend_latency("poisson").unwrap().count(), 8);
         coalescer.shutdown();
     }
 
@@ -356,7 +360,7 @@ mod tests {
         let rx = coalescer.submit(7, request(50)).unwrap();
         let response = rx.recv_timeout(Duration::from_secs(30)).unwrap();
         assert_eq!(response.get("id").and_then(Json::as_u64), Some(7));
-        assert_eq!(ServerMetrics::read(&metrics.flushes_by_timer), 1);
+        assert_eq!(metrics.flushes_by_timer.get(), 1);
         coalescer.shutdown();
     }
 
@@ -375,7 +379,7 @@ mod tests {
             coalescer.submit(99, request(40)).unwrap_err(),
             SubmitError::Overloaded
         );
-        assert_eq!(ServerMetrics::read(&metrics.shed), 1);
+        assert_eq!(metrics.shed.get(), 1);
         assert_eq!(coalescer.queue_depth(), 3);
         // Shutdown drains the admitted three; each still gets its answer.
         coalescer.shutdown();

@@ -12,9 +12,10 @@
 
 use crate::coalescer::SubmitError;
 use crate::json::Json;
-use crate::metrics::ServerMetrics;
+use crate::metrics::render_window;
 use crate::protocol::{self, ErrorCode, Verb};
 use crate::server::ServerShared;
+use gbd_obs::{CancelToken, WatchMsg};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{self, Receiver, SyncSender};
@@ -22,11 +23,23 @@ use std::sync::Arc;
 
 /// One unit of writer work, queued in submission order.
 enum WriteItem {
-    /// A response that is already rendered (errors, ping, stats).
+    /// A response that is already rendered (errors, ping, metrics).
     Ready(Json),
     /// An eval response still being computed; the writer blocks on the
     /// receiver, preserving order.
     Wait { id: u64, rx: Receiver<Json> },
+    /// A `watch` stream: one ack line, then one line per sampled window
+    /// until the limit is reached or the subscription is cancelled.
+    Stream {
+        id: u64,
+        rx: Receiver<WatchMsg>,
+        /// Windows to stream; 0 = until cancel/disconnect.
+        limit: u64,
+        /// Cancelled by the writer once the stream completes, so teardown
+        /// paths (`unwatch`, connection close) can tell live watches from
+        /// finished ones.
+        token: CancelToken,
+    },
 }
 
 /// Serves one accepted connection until EOF, an I/O error, or server
@@ -44,7 +57,17 @@ pub(crate) fn handle(stream: TcpStream, shared: &Arc<ServerShared>) {
     let Ok(writer) = writer else {
         return;
     };
-    reader_loop(stream, shared, &tx);
+    let mut watch_tokens = Vec::new();
+    reader_loop(stream, shared, &tx, &mut watch_tokens);
+    // The connection is going away: cancel its watch subscriptions so the
+    // registry stops broadcasting to them, and reap so their senders drop
+    // (which unblocks a writer still streaming an unbounded watch).
+    if !watch_tokens.is_empty() {
+        for token in &watch_tokens {
+            token.cancel();
+        }
+        shared.metrics.registry().reap_cancelled();
+    }
     // Dropping the sender lets the writer finish the queued tail (including
     // in-flight eval responses) and exit.
     drop(tx);
@@ -54,27 +77,95 @@ pub(crate) fn handle(stream: TcpStream, shared: &Arc<ServerShared>) {
 fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>) {
     let mut out = BufWriter::new(stream);
     while let Ok(item) = rx.recv() {
-        let response = match item {
-            WriteItem::Ready(json) => json,
-            WriteItem::Wait { id, rx } => rx.recv().unwrap_or_else(|_| {
-                // The coalescer guarantees a send for every admitted
-                // request; a closed channel means its flush path died.
-                protocol::error_response(
-                    Some(id),
-                    ErrorCode::EvalFailed,
-                    "response channel closed",
-                )
-            }),
+        let delivered = match item {
+            WriteItem::Ready(json) => write_line(&mut out, &json),
+            WriteItem::Wait { id, rx } => {
+                let response = rx.recv().unwrap_or_else(|_| {
+                    // The coalescer guarantees a send for every admitted
+                    // request; a closed channel means its flush path died.
+                    protocol::error_response(
+                        Some(id),
+                        ErrorCode::EvalFailed,
+                        "response channel closed",
+                    )
+                });
+                write_line(&mut out, &response)
+            }
+            WriteItem::Stream {
+                id,
+                rx,
+                limit,
+                token,
+            } => {
+                let delivered = stream_windows(&mut out, id, &rx, limit);
+                // The subscription is over either way; mark it so that
+                // `unwatch` and connection teardown skip it.
+                token.cancel();
+                delivered
+            }
         };
-        let mut line = response.render();
-        line.push('\n');
-        if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+        if !delivered {
             return;
         }
     }
 }
 
-fn reader_loop(stream: TcpStream, shared: &Arc<ServerShared>, tx: &SyncSender<WriteItem>) {
+fn write_line(out: &mut BufWriter<TcpStream>, response: &Json) -> bool {
+    let mut line = response.render();
+    line.push('\n');
+    out.write_all(line.as_bytes()).is_ok() && out.flush().is_ok()
+}
+
+/// Writes one `watch` stream: ack, window lines, terminator. Returns false
+/// when the socket died mid-stream.
+///
+/// Window lines ride the same writer as every other response, so a slow
+/// consumer exerts backpressure end to end: the socket blocks this writer,
+/// the subscription's bounded channel fills, and the sampler drops windows
+/// for this watcher (reported via `lagged`) instead of buffering them
+/// without bound.
+fn stream_windows(
+    out: &mut BufWriter<TcpStream>,
+    id: u64,
+    rx: &Receiver<WatchMsg>,
+    limit: u64,
+) -> bool {
+    let ack = Json::obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(true)),
+        ("watching".to_string(), Json::Bool(true)),
+        ("windows".to_string(), Json::from(limit)),
+    ]);
+    if !write_line(out, &ack) {
+        return false;
+    }
+    let mut sent: u64 = 0;
+    while limit == 0 || sent < limit {
+        // recv errs when the subscription was cancelled (unwatch, conn
+        // teardown, or server drain reaping watchers): end the stream.
+        let Ok(msg) = rx.recv() else {
+            break;
+        };
+        if !write_line(out, &render_window(id, &msg)) {
+            return false;
+        }
+        sent += 1;
+    }
+    let end = Json::obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(true)),
+        ("watch_end".to_string(), Json::Bool(true)),
+        ("windows".to_string(), Json::from(sent)),
+    ]);
+    write_line(out, &end)
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    shared: &Arc<ServerShared>,
+    tx: &SyncSender<WriteItem>,
+    watch_tokens: &mut Vec<CancelToken>,
+) {
     let mut reader = BufReader::new(stream);
     let limit = shared.config.max_line_bytes.max(1);
     let mut evals_served: u64 = 0;
@@ -85,7 +176,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<ServerShared>, tx: &SyncSender<Wr
             Ok(None) | Err(_) => return,
         };
         if line.truncated {
-            ServerMetrics::bump(&shared.metrics.rejected);
+            shared.metrics.rejected.inc();
             let err = protocol::error_response(
                 None,
                 ErrorCode::LineTooLong,
@@ -97,7 +188,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<ServerShared>, tx: &SyncSender<Wr
             continue;
         }
         let Ok(text) = std::str::from_utf8(&line.bytes) else {
-            ServerMetrics::bump(&shared.metrics.rejected);
+            shared.metrics.rejected.inc();
             let err =
                 protocol::error_response(None, ErrorCode::BadRequest, "request is not UTF-8");
             if tx.send(WriteItem::Ready(err)).is_err() {
@@ -111,7 +202,7 @@ fn reader_loop(stream: TcpStream, shared: &Arc<ServerShared>, tx: &SyncSender<Wr
         let envelope = match protocol::parse_line(text) {
             Ok(envelope) => envelope,
             Err(wire_error) => {
-                ServerMetrics::bump(&shared.metrics.rejected);
+                shared.metrics.rejected.inc();
                 let err = protocol::error_response(
                     wire_error.id,
                     wire_error.code,
@@ -123,7 +214,13 @@ fn reader_loop(stream: TcpStream, shared: &Arc<ServerShared>, tx: &SyncSender<Wr
                 continue;
             }
         };
-        let item = dispatch(envelope.id, envelope.verb, shared, &mut evals_served);
+        let item = dispatch(
+            envelope.id,
+            envelope.verb,
+            shared,
+            &mut evals_served,
+            watch_tokens,
+        );
         if tx.send(item).is_err() {
             return;
         }
@@ -135,16 +232,56 @@ fn dispatch(
     verb: Verb,
     shared: &Arc<ServerShared>,
     evals_served: &mut u64,
+    watch_tokens: &mut Vec<CancelToken>,
 ) -> WriteItem {
     match verb {
-        Verb::Ping => WriteItem::Ready(protocol::pong(id)),
-        Verb::Stats => WriteItem::Ready(shared.metrics.render(
-            id,
-            shared.coalescer.queue_depth(),
-            shared.engine.cache_stats(),
-        )),
-        Verb::Store => WriteItem::Ready(render_store(id, &shared.engine)),
+        Verb::Ping => {
+            shared.metrics.record_verb("ping");
+            WriteItem::Ready(protocol::pong(id))
+        }
+        Verb::Metrics { sections } => {
+            shared.metrics.record_verb("metrics");
+            WriteItem::Ready(shared.metrics_snapshot().render_metrics(id, &sections))
+        }
+        Verb::Stats => {
+            shared.metrics.record_verb("stats");
+            WriteItem::Ready(shared.metrics_snapshot().render_stats(id))
+        }
+        Verb::Store => {
+            shared.metrics.record_verb("store");
+            WriteItem::Ready(shared.metrics_snapshot().render_store(id))
+        }
+        Verb::Watch { windows, replay } => {
+            shared.metrics.record_verb("watch");
+            let sub = shared.metrics.registry().subscribe(replay);
+            watch_tokens.push(sub.token.clone());
+            WriteItem::Stream {
+                id,
+                rx: sub.rx,
+                limit: windows,
+                token: sub.token,
+            }
+        }
+        Verb::Unwatch => {
+            shared.metrics.record_verb("unwatch");
+            // Finished streams cancelled their own tokens; only watches
+            // still live count toward the ack.
+            let cancelled = watch_tokens.iter().filter(|t| !t.is_cancelled()).count();
+            for token in watch_tokens.drain(..) {
+                token.cancel();
+            }
+            // Reap immediately so the cancelled subscriptions' senders
+            // drop, which ends any stream the writer is still blocked on —
+            // and therefore must happen before this ack is queued behind it.
+            shared.metrics.registry().reap_cancelled();
+            WriteItem::Ready(Json::obj(vec![
+                ("id".to_string(), Json::Int(id as i64)),
+                ("ok".to_string(), Json::Bool(true)),
+                ("unwatched".to_string(), Json::from(cancelled)),
+            ]))
+        }
         Verb::Shutdown => {
+            shared.metrics.record_verb("shutdown");
             let ack = Json::obj(vec![
                 ("id".to_string(), Json::Int(id as i64)),
                 ("ok".to_string(), Json::Bool(true)),
@@ -154,9 +291,10 @@ fn dispatch(
             WriteItem::Ready(ack)
         }
         Verb::Eval(request) => {
+            shared.metrics.record_verb("eval");
             let limit = shared.config.max_requests_per_conn;
             if limit > 0 && *evals_served >= limit {
-                ServerMetrics::bump(&shared.metrics.rejected);
+                shared.metrics.rejected.inc();
                 return WriteItem::Ready(protocol::error_response(
                     Some(id),
                     ErrorCode::ConnLimit,
@@ -179,46 +317,6 @@ fn dispatch(
             }
         }
     }
-}
-
-/// Renders the `store` verb: persistent-store status, or `attached: false`
-/// when the engine runs memory-only.
-fn render_store(id: u64, engine: &gbd_engine::Engine) -> Json {
-    let store = match engine.store_stats() {
-        None => Json::obj(vec![("attached".to_string(), Json::Bool(false))]),
-        Some(stats) => {
-            let cache = engine.cache_stats();
-            Json::obj(vec![
-                ("attached".to_string(), Json::Bool(true)),
-                ("live_entries".to_string(), Json::from(stats.live_entries)),
-                (
-                    "loaded_records".to_string(),
-                    Json::from(stats.loaded_records),
-                ),
-                (
-                    "torn_bytes_discarded".to_string(),
-                    Json::from(stats.torn_bytes_discarded),
-                ),
-                (
-                    "appended_records".to_string(),
-                    Json::from(stats.appended_records),
-                ),
-                ("compactions".to_string(), Json::from(stats.compactions)),
-                ("file_bytes".to_string(), Json::from(stats.file_bytes)),
-                ("loads".to_string(), Json::from(cache.store_loads)),
-                ("spills".to_string(), Json::from(cache.store_spills)),
-                (
-                    "spill_errors".to_string(),
-                    Json::from(stats.append_errors + engine.store_spill_errors()),
-                ),
-            ])
-        }
-    };
-    Json::obj(vec![
-        ("id".to_string(), Json::Int(id as i64)),
-        ("ok".to_string(), Json::Bool(true)),
-        ("store".to_string(), store),
-    ])
 }
 
 /// One request line read off the socket.

@@ -41,6 +41,9 @@ pub mod signals;
 
 pub use coalescer::{Coalescer, CoalescerConfig, SubmitError};
 pub use json::{Json, JsonError};
-pub use metrics::{LatencyHistogram, ServerMetrics};
-pub use protocol::{Envelope, ErrorCode, Verb, WireError};
+pub use metrics::{
+    render_window, MetricsSnapshot, ServerMetrics, StoreSnapshot, BACKENDS,
+    METRICS_SCHEMA_VERSION, VERBS,
+};
+pub use protocol::{Envelope, ErrorCode, Section, Verb, WireError};
 pub use server::{ServeConfig, Server, ServerHandle};

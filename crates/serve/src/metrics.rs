@@ -1,274 +1,596 @@
-//! Server-side counters and a lock-free latency histogram, exposed
-//! through the `stats` protocol verb.
+//! Server-side instruments and the typed [`MetricsSnapshot`] every
+//! report renders from.
+//!
+//! The counters and histograms live in a [`gbd_obs::Registry`], so the
+//! same series back the versioned `metrics` verb, the deprecated
+//! `stats`/`store` aliases, the streaming `watch` windows, and the
+//! Prometheus text endpoint. Reports never read live atomics mid-render:
+//! [`ServerMetrics::snapshot`] reads everything once into a plain-data
+//! snapshot, and the renderers are pure functions of it.
 
 use crate::json::Json;
-use gbd_engine::CacheStats;
+use crate::protocol::Section;
+use gbd_engine::{CacheStats, Engine};
+use gbd_obs::{Counter, Histogram, HistogramSnapshot, Registry, WatchMsg, WatchStats};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
 
-/// Power-of-two microsecond buckets: bucket `i` holds latencies in
-/// `[2^i, 2^(i+1))` µs (bucket 0 holds `[0, 2)`). 40 buckets cover up to
-/// ~12.7 days, far beyond any deadline the engine accepts.
-const BUCKETS: usize = 40;
+/// Current `metrics` verb payload schema. Bump on breaking shape changes.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
 
-/// A log-bucketed histogram of request latencies.
-///
-/// Recording is a single relaxed fetch-add, so the per-request cost is
-/// negligible next to an engine evaluation. Percentiles are read as the
-/// upper bound of the bucket containing the rank — an upper estimate with
-/// at most 2× resolution error, which is plenty for load-test reporting.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    max_us: AtomicU64,
-}
+/// Verbs with a per-verb request counter, in registration order.
+pub const VERBS: [&str; 8] = [
+    "eval", "metrics", "stats", "store", "watch", "unwatch", "ping", "shutdown",
+];
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
+/// Engine backends with a per-backend serve-latency histogram.
+pub const BACKENDS: [&str; 6] = ["ms", "s", "exact", "t", "poisson", "sim"];
 
-impl LatencyHistogram {
-    /// Records one latency sample.
-    pub fn record(&self, latency: Duration) {
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Largest recorded sample, in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Upper bound (µs) of the bucket containing the `q`-quantile sample
-    /// (`q` in `[0, 1]`); `None` when nothing was recorded.
-    pub fn quantile_us(&self, q: f64) -> Option<u64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Upper bound of bucket i is 2^(i+1) - 1, capped at the
-                // observed max so p100 never exceeds reality.
-                let bound = if i + 1 >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return Some(bound.min(self.max_us()));
-            }
-        }
-        Some(self.max_us())
-    }
-}
-
-/// All counters the `stats` verb reports.
-#[derive(Debug, Default)]
+/// All instruments the serving layer records into, registered on one
+/// shared [`Registry`].
 pub struct ServerMetrics {
+    registry: Arc<Registry>,
     /// Connections accepted over the server's lifetime.
-    pub connections_total: AtomicU64,
-    /// Connections currently open.
-    pub connections_active: AtomicU64,
+    pub connections_total: Arc<Counter>,
+    /// Connections currently open (inc/dec — registered as a gauge, not a
+    /// windowed counter).
+    pub connections_active: Arc<AtomicU64>,
     /// Eval requests admitted into the coalescer queue.
-    pub admitted: AtomicU64,
+    pub admitted: Arc<Counter>,
     /// Eval requests evaluated by the engine (across all batches).
-    pub evaluated: AtomicU64,
+    pub evaluated: Arc<Counter>,
     /// Eval requests shed by admission control (`overloaded`).
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Request lines rejected before admission (`bad_request`,
     /// `line_too_long`, `conn_limit`, `shutting_down`).
-    pub rejected: AtomicU64,
+    pub rejected: Arc<Counter>,
     /// Batches flushed to the engine.
-    pub batches_flushed: AtomicU64,
+    pub batches_flushed: Arc<Counter>,
     /// Flushes triggered by reaching the batch-size threshold.
-    pub flushes_by_size: AtomicU64,
+    pub flushes_by_size: Arc<Counter>,
     /// Flushes triggered by the flush-interval timer (or drain).
-    pub flushes_by_timer: AtomicU64,
+    pub flushes_by_timer: Arc<Counter>,
     /// End-to-end latency (admission to response ready) of eval requests.
-    pub latency: LatencyHistogram,
+    pub latency: Arc<Histogram>,
     /// Queue-wait component: admission to the batch flush that carried the
     /// request. Dominated by the flush interval under light load and by
     /// backlog under heavy load.
-    pub queue_wait: LatencyHistogram,
+    pub queue_wait: Arc<Histogram>,
     /// Compute component: batch flush to that request's response being
     /// ready. `latency ≈ queue_wait + compute` per request.
-    pub compute: LatencyHistogram,
+    pub compute: Arc<Histogram>,
+    verbs: Vec<(&'static str, Arc<Counter>)>,
+    backends: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
 }
 
 impl ServerMetrics {
-    /// Relaxed increment helper.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Creates the full instrument set on a fresh registry.
+    pub fn new() -> ServerMetrics {
+        let registry = Arc::new(Registry::new());
+        let connections_active = Arc::new(AtomicU64::new(0));
+        let active_probe = Arc::clone(&connections_active);
+        registry.gauge("connections_active", move || {
+            active_probe.load(Ordering::Relaxed) as f64
+        });
+        ServerMetrics {
+            connections_total: registry.counter("connections_total"),
+            connections_active,
+            admitted: registry.counter("admitted"),
+            evaluated: registry.counter("evaluated"),
+            shed: registry.counter("shed"),
+            rejected: registry.counter("rejected"),
+            batches_flushed: registry.counter("batches_flushed"),
+            flushes_by_size: registry.counter("flushes_by_size"),
+            flushes_by_timer: registry.counter("flushes_by_timer"),
+            latency: registry.histogram("latency_us"),
+            queue_wait: registry.histogram("queue_wait_us"),
+            compute: registry.histogram("compute_us"),
+            verbs: VERBS
+                .iter()
+                .map(|&v| (v, registry.counter(&format!("requests_{v}"))))
+                .collect(),
+            backends: BACKENDS
+                .iter()
+                .map(|&b| (b, registry.histogram(&format!("backend_{b}_latency_us"))))
+                .collect(),
+            registry,
+        }
     }
 
-    /// Relaxed read helper.
-    pub fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// The registry behind these instruments — the watch/ticker/exposition
+    /// surface.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Bumps the per-verb request counter for `verb` (a [`VERBS`] name).
+    pub fn record_verb(&self, verb: &str) {
+        if let Some((_, c)) = self.verbs.iter().find(|(v, _)| *v == verb) {
+            c.inc();
+        }
+    }
+
+    /// The serve-latency histogram of the backend that actually served a
+    /// response (`EvalResponse::served_by`).
+    pub fn backend_latency(&self, served_by: &str) -> Option<&Arc<Histogram>> {
+        self.backends
+            .iter()
+            .find(|(b, _)| *b == served_by)
+            .map(|(_, h)| h)
     }
 
     /// Mean requests per flushed batch; 0 when nothing flushed yet.
     pub fn coalescing_factor(&self) -> f64 {
-        let batches = Self::read(&self.batches_flushed);
+        let batches = self.batches_flushed.get();
         if batches == 0 {
             return 0.0;
         }
-        Self::read(&self.evaluated) as f64 / batches as f64
+        self.evaluated.get() as f64 / batches as f64
     }
 
-    /// Renders the `stats` verb's payload. `queue_depth` is sampled by the
-    /// caller (it lives behind the coalescer's lock); `cache` comes from
-    /// the engine.
-    pub fn render(&self, id: u64, queue_depth: usize, cache: CacheStats) -> Json {
-        let lookups = cache.lookups();
-        let hit_rate = if lookups == 0 {
-            0.0
-        } else {
-            cache.hits as f64 / lookups as f64
-        };
-        let histogram = |h: &LatencyHistogram| {
-            let q = |p: f64| h.quantile_us(p).map_or(Json::Null, Json::from);
-            Json::obj(vec![
-                ("count".to_string(), Json::from(h.count())),
-                ("p50".to_string(), q(0.50)),
-                ("p95".to_string(), q(0.95)),
-                ("p99".to_string(), q(0.99)),
-                ("max".to_string(), Json::from(h.max_us())),
-            ])
-        };
+    /// Reads every instrument once into a [`MetricsSnapshot`].
+    /// `queue_depth` is sampled by the caller (it lives behind the
+    /// coalescer's lock); cache and store state come from the engine.
+    pub fn snapshot(&self, queue_depth: usize, engine: &Engine) -> MetricsSnapshot {
+        let cache = engine.cache_stats();
+        let store = engine.store_stats().map(|stats| StoreSnapshot {
+            live_entries: stats.live_entries,
+            loaded_records: stats.loaded_records,
+            torn_bytes_discarded: stats.torn_bytes_discarded,
+            appended_records: stats.appended_records,
+            compactions: stats.compactions,
+            file_bytes: stats.file_bytes,
+            loads: cache.store_loads,
+            spills: cache.store_spills,
+            spill_errors: stats.append_errors + engine.store_spill_errors(),
+        });
+        MetricsSnapshot {
+            queue_depth,
+            connections_total: self.connections_total.get(),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            admitted: self.admitted.get(),
+            evaluated: self.evaluated.get(),
+            shed: self.shed.get(),
+            rejected: self.rejected.get(),
+            batches_flushed: self.batches_flushed.get(),
+            flushes_by_size: self.flushes_by_size.get(),
+            flushes_by_timer: self.flushes_by_timer.get(),
+            coalescing_factor: self.coalescing_factor(),
+            verbs: self.verbs.iter().map(|(v, c)| (*v, c.get())).collect(),
+            cache,
+            store,
+            latency_us: self.latency.snapshot(),
+            queue_wait_us: self.queue_wait.snapshot(),
+            compute_us: self.compute.snapshot(),
+            backends: self
+                .backends
+                .iter()
+                .map(|(b, h)| (*b, h.snapshot()))
+                .collect(),
+            watch: self.registry.watch_stats(),
+        }
+    }
+}
+
+/// Persistent-store status at snapshot time (present when a store is
+/// attached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Distinct results the store currently holds.
+    pub live_entries: u64,
+    /// Records replayed at warm start.
+    pub loaded_records: u64,
+    /// Bytes of torn tail discarded at warm start.
+    pub torn_bytes_discarded: u64,
+    /// Records appended since open.
+    pub appended_records: u64,
+    /// Snapshot compactions performed.
+    pub compactions: u64,
+    /// Current log size in bytes.
+    pub file_bytes: u64,
+    /// Cache entries seeded from the store at engine construction.
+    pub loads: u64,
+    /// Freshly computed entries spilled to the store.
+    pub spills: u64,
+    /// Failed spills (store-side append errors plus engine-side failures).
+    pub spill_errors: u64,
+}
+
+/// Every series the serving layer reports, read once — the single source
+/// all renderers (JSON verbs and tests alike) consume.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests queued in the coalescer at snapshot time.
+    pub queue_depth: usize,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Connections open at snapshot time.
+    pub connections_active: u64,
+    /// Eval requests admitted into the coalescer queue.
+    pub admitted: u64,
+    /// Eval requests evaluated by the engine.
+    pub evaluated: u64,
+    /// Eval requests shed by admission control.
+    pub shed: u64,
+    /// Request lines rejected before admission.
+    pub rejected: u64,
+    /// Batches flushed to the engine.
+    pub batches_flushed: u64,
+    /// Flushes triggered by batch size.
+    pub flushes_by_size: u64,
+    /// Flushes triggered by the timer (or drain).
+    pub flushes_by_timer: u64,
+    /// Mean requests per flushed batch.
+    pub coalescing_factor: f64,
+    /// Per-verb request counts, in [`VERBS`] order.
+    pub verbs: Vec<(&'static str, u64)>,
+    /// Engine cache counters.
+    pub cache: CacheStats,
+    /// Store status; `None` when the engine runs memory-only.
+    pub store: Option<StoreSnapshot>,
+    /// End-to-end eval latency.
+    pub latency_us: HistogramSnapshot,
+    /// Queue-wait component.
+    pub queue_wait_us: HistogramSnapshot,
+    /// Compute component.
+    pub compute_us: HistogramSnapshot,
+    /// Per-backend serve latency, in [`BACKENDS`] order.
+    pub backends: Vec<(&'static str, HistogramSnapshot)>,
+    /// Watch-subscription health.
+    pub watch: WatchStats,
+}
+
+/// `count`/`p50`/`p95`/`p99`/`max` summary — the legacy `stats` histogram
+/// shape. An empty histogram renders every statistic as `null` (`max`
+/// included: a raw `0` was indistinguishable from a genuine 0µs sample).
+fn histogram_brief(h: &HistogramSnapshot) -> Json {
+    let q = |p: f64| h.quantile_us(p).map_or(Json::Null, Json::from);
+    Json::obj(vec![
+        ("count".to_string(), Json::from(h.count)),
+        ("p50".to_string(), q(0.50)),
+        ("p95".to_string(), q(0.95)),
+        ("p99".to_string(), q(0.99)),
+        ("max".to_string(), h.max().map_or(Json::Null, Json::from)),
+    ])
+}
+
+/// The brief shape plus `sum_us`/`mean_us`, for the `histograms` section.
+fn histogram_full(h: &HistogramSnapshot) -> Json {
+    let Json::Obj(mut fields) = histogram_brief(h) else {
+        unreachable!("histogram_brief always renders an object");
+    };
+    fields.insert(1, ("sum_us".to_string(), Json::from(h.sum_us)));
+    fields.insert(
+        2,
+        (
+            "mean_us".to_string(),
+            h.mean_us().map_or(Json::Null, Json::Num),
+        ),
+    );
+    Json::Obj(fields)
+}
+
+fn cache_brief(cache: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits".to_string(), Json::from(cache.hits)),
+        ("misses".to_string(), Json::from(cache.misses)),
+        ("evictions".to_string(), Json::from(cache.evictions)),
+        ("hit_rate".to_string(), Json::Num(cache.hit_rate())),
+    ])
+}
+
+fn store_body(store: Option<&StoreSnapshot>) -> Json {
+    match store {
+        None => Json::obj(vec![("attached".to_string(), Json::Bool(false))]),
+        Some(s) => Json::obj(vec![
+            ("attached".to_string(), Json::Bool(true)),
+            ("live_entries".to_string(), Json::from(s.live_entries)),
+            ("loaded_records".to_string(), Json::from(s.loaded_records)),
+            (
+                "torn_bytes_discarded".to_string(),
+                Json::from(s.torn_bytes_discarded),
+            ),
+            (
+                "appended_records".to_string(),
+                Json::from(s.appended_records),
+            ),
+            ("compactions".to_string(), Json::from(s.compactions)),
+            ("file_bytes".to_string(), Json::from(s.file_bytes)),
+            ("loads".to_string(), Json::from(s.loads)),
+            ("spills".to_string(), Json::from(s.spills)),
+            ("spill_errors".to_string(), Json::from(s.spill_errors)),
+        ]),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the deprecated `stats` verb: the pre-redesign payload, key
+    /// for key, plus the top-level `deprecated` flag. New clients should
+    /// use `metrics` with `sections: ["server", "cache", "histograms"]`.
+    pub fn render_stats(&self, id: u64) -> Json {
         Json::obj(vec![
             ("id".to_string(), Json::Int(id as i64)),
             ("ok".to_string(), Json::Bool(true)),
+            ("deprecated".to_string(), Json::Bool(true)),
             (
                 "stats".to_string(),
                 Json::obj(vec![
-                    ("queue_depth".to_string(), Json::from(queue_depth)),
+                    ("queue_depth".to_string(), Json::from(self.queue_depth)),
                     (
                         "connections_total".to_string(),
-                        Json::from(Self::read(&self.connections_total)),
+                        Json::from(self.connections_total),
                     ),
                     (
                         "connections_active".to_string(),
-                        Json::from(Self::read(&self.connections_active)),
+                        Json::from(self.connections_active),
                     ),
-                    (
-                        "admitted".to_string(),
-                        Json::from(Self::read(&self.admitted)),
-                    ),
-                    (
-                        "evaluated".to_string(),
-                        Json::from(Self::read(&self.evaluated)),
-                    ),
-                    ("shed".to_string(), Json::from(Self::read(&self.shed))),
-                    (
-                        "rejected".to_string(),
-                        Json::from(Self::read(&self.rejected)),
-                    ),
+                    ("admitted".to_string(), Json::from(self.admitted)),
+                    ("evaluated".to_string(), Json::from(self.evaluated)),
+                    ("shed".to_string(), Json::from(self.shed)),
+                    ("rejected".to_string(), Json::from(self.rejected)),
                     (
                         "batches_flushed".to_string(),
-                        Json::from(Self::read(&self.batches_flushed)),
+                        Json::from(self.batches_flushed),
                     ),
                     (
                         "flushes_by_size".to_string(),
-                        Json::from(Self::read(&self.flushes_by_size)),
+                        Json::from(self.flushes_by_size),
                     ),
                     (
                         "flushes_by_timer".to_string(),
-                        Json::from(Self::read(&self.flushes_by_timer)),
+                        Json::from(self.flushes_by_timer),
                     ),
                     (
                         "coalescing_factor".to_string(),
-                        Json::Num(self.coalescing_factor()),
+                        Json::Num(self.coalescing_factor),
                     ),
+                    ("cache".to_string(), cache_brief(&self.cache)),
+                    ("latency_us".to_string(), histogram_brief(&self.latency_us)),
                     (
-                        "cache".to_string(),
-                        Json::obj(vec![
-                            ("hits".to_string(), Json::from(cache.hits)),
-                            ("misses".to_string(), Json::from(cache.misses)),
-                            ("evictions".to_string(), Json::from(cache.evictions)),
-                            ("hit_rate".to_string(), Json::Num(hit_rate)),
-                        ]),
+                        "queue_wait_us".to_string(),
+                        histogram_brief(&self.queue_wait_us),
                     ),
-                    ("latency_us".to_string(), histogram(&self.latency)),
-                    ("queue_wait_us".to_string(), histogram(&self.queue_wait)),
-                    ("compute_us".to_string(), histogram(&self.compute)),
+                    ("compute_us".to_string(), histogram_brief(&self.compute_us)),
                 ]),
             ),
         ])
     }
+
+    /// Renders the deprecated `store` verb: the pre-redesign payload plus
+    /// the `deprecated` flag. New clients should use `metrics` with
+    /// `sections: ["store"]`.
+    pub fn render_store(&self, id: u64) -> Json {
+        Json::obj(vec![
+            ("id".to_string(), Json::Int(id as i64)),
+            ("ok".to_string(), Json::Bool(true)),
+            ("deprecated".to_string(), Json::Bool(true)),
+            ("store".to_string(), store_body(self.store.as_ref())),
+        ])
+    }
+
+    /// Renders the versioned `metrics` verb. `sections` selects which
+    /// sections appear (empty = all), in canonical order regardless of the
+    /// request's order.
+    pub fn render_metrics(&self, id: u64, sections: &[Section]) -> Json {
+        let wants = |s: Section| sections.is_empty() || sections.contains(&s);
+        let mut body = Vec::new();
+        if wants(Section::Server) {
+            body.push((
+                "server".to_string(),
+                Json::obj(vec![
+                    ("queue_depth".to_string(), Json::from(self.queue_depth)),
+                    (
+                        "connections_total".to_string(),
+                        Json::from(self.connections_total),
+                    ),
+                    (
+                        "connections_active".to_string(),
+                        Json::from(self.connections_active),
+                    ),
+                    ("admitted".to_string(), Json::from(self.admitted)),
+                    ("evaluated".to_string(), Json::from(self.evaluated)),
+                    ("shed".to_string(), Json::from(self.shed)),
+                    ("rejected".to_string(), Json::from(self.rejected)),
+                    (
+                        "batches_flushed".to_string(),
+                        Json::from(self.batches_flushed),
+                    ),
+                    (
+                        "flushes_by_size".to_string(),
+                        Json::from(self.flushes_by_size),
+                    ),
+                    (
+                        "flushes_by_timer".to_string(),
+                        Json::from(self.flushes_by_timer),
+                    ),
+                    (
+                        "coalescing_factor".to_string(),
+                        Json::Num(self.coalescing_factor),
+                    ),
+                    (
+                        "verbs".to_string(),
+                        Json::Obj(
+                            self.verbs
+                                .iter()
+                                .map(|&(v, n)| (v.to_string(), Json::from(n)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "watch".to_string(),
+                        Json::obj(vec![
+                            ("watchers".to_string(), Json::from(self.watch.watchers)),
+                            (
+                                "windows_sampled".to_string(),
+                                Json::from(self.watch.windows_sampled),
+                            ),
+                            (
+                                "windows_dropped".to_string(),
+                                Json::from(self.watch.windows_dropped),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
+        if wants(Section::Cache) {
+            body.push((
+                "cache".to_string(),
+                Json::obj(vec![
+                    ("hits".to_string(), Json::from(self.cache.hits)),
+                    ("misses".to_string(), Json::from(self.cache.misses)),
+                    ("evictions".to_string(), Json::from(self.cache.evictions)),
+                    (
+                        "poisoned_recoveries".to_string(),
+                        Json::from(self.cache.poisoned_recoveries),
+                    ),
+                    (
+                        "store_loads".to_string(),
+                        Json::from(self.cache.store_loads),
+                    ),
+                    (
+                        "store_spills".to_string(),
+                        Json::from(self.cache.store_spills),
+                    ),
+                    ("hit_rate".to_string(), Json::Num(self.cache.hit_rate())),
+                ]),
+            ));
+        }
+        if wants(Section::Store) {
+            body.push(("store".to_string(), store_body(self.store.as_ref())));
+        }
+        if wants(Section::Histograms) {
+            body.push((
+                "histograms".to_string(),
+                Json::obj(vec![
+                    ("latency_us".to_string(), histogram_full(&self.latency_us)),
+                    (
+                        "queue_wait_us".to_string(),
+                        histogram_full(&self.queue_wait_us),
+                    ),
+                    ("compute_us".to_string(), histogram_full(&self.compute_us)),
+                    (
+                        "backends".to_string(),
+                        Json::Obj(
+                            self.backends
+                                .iter()
+                                .map(|(b, h)| (b.to_string(), histogram_full(h)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::obj(vec![
+            ("id".to_string(), Json::Int(id as i64)),
+            ("ok".to_string(), Json::Bool(true)),
+            (
+                "schema_version".to_string(),
+                Json::from(METRICS_SCHEMA_VERSION),
+            ),
+            ("metrics".to_string(), Json::Obj(body)),
+        ])
+    }
+}
+
+/// Renders one `watch` stream line: the window's per-series deltas and
+/// totals, plus how many windows this watcher missed right before it.
+pub fn render_window(id: u64, msg: &WatchMsg) -> Json {
+    let w = &msg.window;
+    let counters: Vec<(String, Json)> = w
+        .schema
+        .counters
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            (
+                name.clone(),
+                Json::obj(vec![
+                    ("delta".to_string(), Json::from(w.counter_deltas[i])),
+                    ("total".to_string(), Json::from(w.counter_totals[i])),
+                ]),
+            )
+        })
+        .collect();
+    let histograms: Vec<(String, Json)> = w
+        .schema
+        .histograms
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            (
+                name.clone(),
+                Json::obj(vec![
+                    (
+                        "count_delta".to_string(),
+                        Json::from(w.hist_count_deltas[i]),
+                    ),
+                    (
+                        "sum_delta_us".to_string(),
+                        Json::from(w.hist_sum_deltas_us[i]),
+                    ),
+                    (
+                        "count_total".to_string(),
+                        Json::from(w.hist_count_totals[i]),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(true)),
+        (
+            "window".to_string(),
+            Json::obj(vec![
+                ("seq".to_string(), Json::from(w.seq)),
+                ("duration_ms".to_string(), Json::from(w.duration_ms)),
+                ("counters".to_string(), Json::Obj(counters)),
+                ("histograms".to_string(), Json::Obj(histograms)),
+            ]),
+        ),
+        ("lagged".to_string(), Json::from(msg.lagged)),
+    ])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
-    #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), None);
-        for us in [10u64, 20, 40, 80, 1000] {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.max_us(), 1000);
-        let p50 = h.quantile_us(0.5).unwrap();
-        // The median sample is 40µs; its bucket [32,64) reports 63.
-        assert!((40..=63).contains(&p50), "p50 = {p50}");
-        // p100 is capped at the observed max rather than the bucket bound.
-        assert_eq!(h.quantile_us(1.0), Some(1000));
-        assert!(h.quantile_us(0.0).unwrap() <= p50);
-    }
-
-    #[test]
-    fn histogram_handles_extremes() {
-        let h = LatencyHistogram::default();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(100_000));
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_us(0.0).unwrap() <= 1);
-        assert_eq!(h.quantile_us(1.0), Some(100_000_000_000));
+    fn snapshot(m: &ServerMetrics, queue_depth: usize) -> MetricsSnapshot {
+        let engine = Engine::with_workers(1);
+        m.snapshot(queue_depth, &engine)
     }
 
     #[test]
     fn coalescing_factor_is_requests_per_batch() {
-        let m = ServerMetrics::default();
+        let m = ServerMetrics::new();
         assert_eq!(m.coalescing_factor(), 0.0);
-        m.evaluated.store(12, Ordering::Relaxed);
-        m.batches_flushed.store(3, Ordering::Relaxed);
+        m.evaluated.add(12);
+        m.batches_flushed.add(3);
         assert_eq!(m.coalescing_factor(), 4.0);
     }
 
     #[test]
     fn stats_render_shape() {
-        let m = ServerMetrics::default();
+        let m = ServerMetrics::new();
         m.latency.record(Duration::from_micros(100));
-        let v = m.render(
-            5,
-            2,
-            CacheStats {
-                hits: 3,
-                misses: 1,
-                ..CacheStats::default()
-            },
-        );
+        let mut snap = snapshot(&m, 2);
+        snap.cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        let v = snap.render_stats(5);
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(5));
+        assert_eq!(v.get("deprecated").and_then(Json::as_bool), Some(true));
         let stats = v.get("stats").unwrap();
         assert_eq!(stats.get("queue_depth").and_then(Json::as_usize), Some(2));
         let cache = stats.get("cache").unwrap();
@@ -276,22 +598,23 @@ mod tests {
         let lat = stats.get("latency_us").unwrap();
         assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
         assert!(lat.get("p99").unwrap().as_u64().is_some());
-        // The queue-wait/compute split has the same shape; unrecorded
-        // histograms render null percentiles, not absent keys.
+        // Unrecorded histograms render null percentiles AND a null max —
+        // an empty histogram is unambiguous, not a fake 0µs maximum.
         for key in ["queue_wait_us", "compute_us"] {
             let split = stats.get(key).unwrap();
             assert_eq!(split.get("count").and_then(Json::as_u64), Some(0));
             assert_eq!(split.get("p50"), Some(&Json::Null));
+            assert_eq!(split.get("max"), Some(&Json::Null));
         }
     }
 
     #[test]
     fn queue_wait_and_compute_sum_to_latency() {
-        let m = ServerMetrics::default();
+        let m = ServerMetrics::new();
         m.latency.record(Duration::from_micros(900));
         m.queue_wait.record(Duration::from_micros(500));
         m.compute.record(Duration::from_micros(400));
-        let v = m.render(1, 0, CacheStats::default());
+        let v = snapshot(&m, 0).render_stats(1);
         let stats = v.get("stats").unwrap();
         let p100 = |key: &str| {
             stats
@@ -304,5 +627,61 @@ mod tests {
             p100("queue_wait_us") + p100("compute_us"),
             p100("latency_us")
         );
+    }
+
+    #[test]
+    fn metrics_render_selects_sections() {
+        let m = ServerMetrics::new();
+        m.record_verb("eval");
+        m.record_verb("eval");
+        m.record_verb("ping");
+        if let Some(h) = m.backend_latency("poisson") {
+            h.record(Duration::from_micros(50));
+        }
+        let snap = snapshot(&m, 1);
+        let all = snap.render_metrics(9, &[]);
+        assert_eq!(all.get("schema_version").and_then(Json::as_u64), Some(1));
+        let body = all.get("metrics").unwrap();
+        for section in ["server", "cache", "store", "histograms"] {
+            assert!(body.get(section).is_some(), "missing {section}");
+        }
+        let server = body.get("server").unwrap();
+        let verbs = server.get("verbs").unwrap();
+        assert_eq!(verbs.get("eval").and_then(Json::as_u64), Some(2));
+        assert_eq!(verbs.get("ping").and_then(Json::as_u64), Some(1));
+        let hist = body.get("histograms").unwrap();
+        let poisson = hist.get("backends").and_then(|b| b.get("poisson")).unwrap();
+        assert_eq!(poisson.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(poisson.get("sum_us").and_then(Json::as_u64), Some(50));
+        // No store attached: the section reports that explicitly.
+        let store = body.get("store").unwrap();
+        assert_eq!(store.get("attached").and_then(Json::as_bool), Some(false));
+
+        let only_cache = snap.render_metrics(9, &[Section::Cache]);
+        let body = only_cache.get("metrics").unwrap();
+        assert!(body.get("cache").is_some());
+        assert!(body.get("server").is_none());
+        assert!(body.get("histograms").is_none());
+    }
+
+    #[test]
+    fn window_render_carries_deltas_and_lag() {
+        let m = ServerMetrics::new();
+        m.evaluated.add(4);
+        m.latency.record(Duration::from_micros(30));
+        let window = m.registry().sample_window();
+        let v = render_window(3, &WatchMsg { window, lagged: 2 });
+        assert_eq!(v.get("lagged").and_then(Json::as_u64), Some(2));
+        let w = v.get("window").unwrap();
+        assert_eq!(w.get("seq").and_then(Json::as_u64), Some(1));
+        let evaluated = w.get("counters").and_then(|c| c.get("evaluated")).unwrap();
+        assert_eq!(evaluated.get("delta").and_then(Json::as_u64), Some(4));
+        assert_eq!(evaluated.get("total").and_then(Json::as_u64), Some(4));
+        let lat = w
+            .get("histograms")
+            .and_then(|h| h.get("latency_us"))
+            .unwrap();
+        assert_eq!(lat.get("count_delta").and_then(Json::as_u64), Some(1));
+        assert_eq!(lat.get("sum_delta_us").and_then(Json::as_u64), Some(30));
     }
 }

@@ -77,14 +77,56 @@ impl ErrorCode {
     }
 }
 
+/// A selectable section of the `metrics` verb's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Server counters: admission, batching, connections, per-verb counts.
+    Server,
+    /// Engine cache counters.
+    Cache,
+    /// Persistent-store status.
+    Store,
+    /// Latency/queue-wait/compute and per-backend histograms.
+    Histograms,
+}
+
+impl Section {
+    /// Parses a wire section name.
+    pub fn from_name(name: &str) -> Option<Section> {
+        match name {
+            "server" => Some(Section::Server),
+            "cache" => Some(Section::Cache),
+            "store" => Some(Section::Store),
+            "histograms" => Some(Section::Histograms),
+            _ => None,
+        }
+    }
+}
+
 /// What a well-formed request line asks the server to do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Verb {
     /// Evaluate one detection-probability request through the engine.
     Eval(Box<EvalRequest>),
-    /// Report server counters and latency percentiles.
+    /// Report the versioned metrics payload (selected [`Section`]s; empty
+    /// means all).
+    Metrics {
+        /// Requested sections; empty selects every section.
+        sections: Vec<Section>,
+    },
+    /// Stream windowed metric deltas until cancelled or disconnected.
+    Watch {
+        /// Stop after this many windows; 0 streams until `unwatch` or
+        /// disconnect.
+        windows: u64,
+        /// Replay the retained window ring before streaming live windows.
+        replay: bool,
+    },
+    /// Cancel every `watch` stream on this connection.
+    Unwatch,
+    /// Deprecated alias: the pre-redesign server counters payload.
     Stats,
-    /// Report the engine's persistent result-store status.
+    /// Deprecated alias: the pre-redesign persistent-store payload.
     Store,
     /// Liveness probe; answers immediately, bypassing the coalescer.
     Ping,
@@ -158,18 +200,51 @@ pub fn parse_line(line: &str) -> Result<Envelope, WireError> {
             let request = parse_eval(&root).map_err(&fail)?;
             Verb::Eval(Box::new(request))
         }
-        "stats" | "store" | "ping" | "shutdown" => {
+        "metrics" => {
+            check_fields(&root, &["id", "verb", "sections"]).map_err(&fail)?;
+            let sections = match root.get("sections") {
+                None => Vec::new(),
+                Some(list) => {
+                    let items = list
+                        .as_arr()
+                        .ok_or_else(|| fail("`sections` must be an array".to_string()))?;
+                    items
+                        .iter()
+                        .map(|v| {
+                            v.as_str().and_then(Section::from_name).ok_or_else(|| {
+                                fail(
+                                    "`sections` entries must be one of: server, cache, \
+                                         store, histograms"
+                                        .to_string(),
+                                )
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+            };
+            Verb::Metrics { sections }
+        }
+        "watch" => {
+            check_fields(&root, &["id", "verb", "windows", "replay"]).map_err(&fail)?;
+            Verb::Watch {
+                windows: get_u64(&root, "windows", 0).map_err(&fail)?,
+                replay: get_bool(&root, "replay", false).map_err(&fail)?,
+            }
+        }
+        "stats" | "store" | "ping" | "shutdown" | "unwatch" => {
             check_fields(&root, &["id", "verb"]).map_err(&fail)?;
             match verb_name {
                 "stats" => Verb::Stats,
                 "store" => Verb::Store,
                 "ping" => Verb::Ping,
+                "unwatch" => Verb::Unwatch,
                 _ => Verb::Shutdown,
             }
         }
         other => {
             return Err(fail(format!(
-                "unknown verb `{other}` (expected eval, stats, store, ping, or shutdown)"
+                "unknown verb `{other}` (expected eval, metrics, watch, unwatch, stats, \
+                 store, ping, or shutdown)"
             )))
         }
     };
@@ -655,6 +730,63 @@ mod tests {
             parse_line(r#"{"id":4,"verb":"shutdown"}"#).unwrap().verb,
             Verb::Shutdown
         );
+        assert_eq!(
+            parse_line(r#"{"id":7,"verb":"unwatch"}"#).unwrap().verb,
+            Verb::Unwatch
+        );
+    }
+
+    #[test]
+    fn parses_metrics_sections() {
+        assert_eq!(
+            parse_line(r#"{"id":1,"verb":"metrics"}"#).unwrap().verb,
+            Verb::Metrics {
+                sections: Vec::new()
+            }
+        );
+        assert_eq!(
+            parse_line(r#"{"id":1,"verb":"metrics","sections":["store","server"]}"#)
+                .unwrap()
+                .verb,
+            Verb::Metrics {
+                sections: vec![Section::Store, Section::Server]
+            }
+        );
+        for bad in [
+            r#"{"id":1,"verb":"metrics","sections":"server"}"#,
+            r#"{"id":1,"verb":"metrics","sections":["caches"]}"#,
+            r#"{"id":1,"verb":"metrics","section":[]}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_watch() {
+        assert_eq!(
+            parse_line(r#"{"id":1,"verb":"watch"}"#).unwrap().verb,
+            Verb::Watch {
+                windows: 0,
+                replay: false
+            }
+        );
+        assert_eq!(
+            parse_line(r#"{"id":1,"verb":"watch","windows":5,"replay":true}"#)
+                .unwrap()
+                .verb,
+            Verb::Watch {
+                windows: 5,
+                replay: true
+            }
+        );
+        for bad in [
+            r#"{"id":1,"verb":"watch","windows":-1}"#,
+            r#"{"id":1,"verb":"watch","replay":"yes"}"#,
+            r#"{"id":1,"verb":"watch","interval_ms":100}"#,
+            r#"{"id":1,"verb":"unwatch","windows":1}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use crate::coalescer::{Coalescer, CoalescerConfig};
 use crate::conn;
-use crate::metrics::ServerMetrics;
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::signals;
 use gbd_engine::Engine;
+use gbd_obs::{TextEndpoint, Ticker};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,6 +46,13 @@ pub struct ServeConfig {
     /// Watch for SIGINT/SIGTERM and shut down gracefully when one
     /// arrives.
     pub handle_signals: bool,
+    /// Address for the plain-text Prometheus exposition endpoint
+    /// (`None` disables it; `:0` picks an ephemeral port, reported by
+    /// [`Server::metrics_local_addr`]).
+    pub metrics_addr: Option<String>,
+    /// Windowed-delta resolution: the observability ticker closes one
+    /// window per interval.
+    pub obs_window: Duration,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +66,8 @@ impl Default for ServeConfig {
             max_requests_per_conn: 0,
             max_line_bytes: 1 << 20,
             handle_signals: false,
+            metrics_addr: None,
+            obs_window: Duration::from_secs(1),
         }
     }
 }
@@ -76,6 +86,12 @@ impl ServerShared {
     /// tick and runs the drain sequence.
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Reads every instrument once (see [`ServerMetrics::snapshot`]).
+    pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.coalescer.queue_depth(), &self.engine)
     }
 
     fn shutting_down(&self) -> bool {
@@ -108,6 +124,9 @@ pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
     conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
+    ticker: Mutex<Option<Ticker>>,
+    exposition: Mutex<Option<TextEndpoint>>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl Server {
@@ -125,7 +144,8 @@ impl Server {
         if config.handle_signals {
             signals::install();
         }
-        let metrics = Arc::new(ServerMetrics::default());
+        let metrics = Arc::new(ServerMetrics::new());
+        engine.register_observability(metrics.registry());
         let coalescer = Coalescer::start(
             Arc::clone(&engine),
             Arc::clone(&metrics),
@@ -135,6 +155,19 @@ impl Server {
                 queue_depth: config.queue_depth,
             },
         );
+        let depth_probe = Arc::clone(&coalescer);
+        metrics
+            .registry()
+            .gauge("queue_depth", move || depth_probe.queue_depth() as f64);
+        let ticker = Ticker::start(Arc::clone(metrics.registry()), config.obs_window);
+        let exposition = match &config.metrics_addr {
+            None => None,
+            Some(addr) => Some(TextEndpoint::bind(
+                addr.as_str(),
+                Arc::clone(metrics.registry()),
+            )?),
+        };
+        let metrics_addr = exposition.as_ref().map(TextEndpoint::local_addr);
         Ok(Server {
             listener,
             local_addr,
@@ -146,7 +179,16 @@ impl Server {
                 shutdown: AtomicBool::new(false),
             }),
             conns: Mutex::new(Vec::new()),
+            ticker: Mutex::new(Some(ticker)),
+            exposition: Mutex::new(exposition),
+            metrics_addr,
         })
+    }
+
+    /// The exposition endpoint's bound address (resolves `:0`), when
+    /// [`ServeConfig::metrics_addr`] was set.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The bound address (resolves `:0` to the actual ephemeral port).
@@ -206,8 +248,8 @@ impl Server {
 
     fn spawn_conn(&self, stream: TcpStream) {
         let metrics = &self.shared.metrics;
-        ServerMetrics::bump(&metrics.connections_total);
-        ServerMetrics::bump(&metrics.connections_active);
+        metrics.connections_total.inc();
+        metrics.connections_active.fetch_add(1, Ordering::Relaxed);
         let Ok(track) = stream.try_clone() else {
             metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
             return;
@@ -259,9 +301,13 @@ impl Server {
     /// 2. The persistent store (if attached) is snapshotted while the
     ///    engine is quiescent, so a restart warm-starts from a compact,
     ///    fsynced log.
-    /// 3. Sockets are then closed read-side, waking readers blocked in
+    /// 3. The observability ticker stops after one final window (so the
+    ///    last partial window's deltas are not lost), the exposition
+    ///    endpoint closes, and every watch subscription is reaped — which
+    ///    unblocks writers still streaming unbounded watches.
+    /// 4. Sockets are then closed read-side, waking readers blocked in
     ///    `read` with EOF.
-    /// 4. Connection threads join (their writers already ran dry).
+    /// 5. Connection threads join (their writers already ran dry).
     fn drain(&self) {
         self.shared.coalescer.shutdown();
         // Non-fatal on failure: every spill already hit the append log, so
@@ -269,6 +315,25 @@ impl Server {
         if let Some(Err(e)) = self.shared.engine.snapshot_store() {
             eprintln!("gbd-serve: store snapshot on drain failed: {e}");
         }
+        let registry = self.shared.metrics.registry();
+        registry.sample_window();
+        if let Some(mut ticker) = self
+            .ticker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+        {
+            ticker.stop();
+        }
+        if let Some(mut endpoint) = self
+            .exposition
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+        {
+            endpoint.stop();
+        }
+        registry.reap_all();
         let mut conns = self
             .conns
             .lock()

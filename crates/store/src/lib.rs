@@ -43,7 +43,7 @@ use reader::RecoverError;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use writer::LogWriter;
 
 /// Why a store could not be opened or written.
@@ -327,6 +327,35 @@ impl Store {
             compactions: inner.compactions,
             file_bytes: inner.writer.len(),
         }
+    }
+
+    /// Registers the store's series on an observability registry.
+    /// Monotonic counters (`store_appended_records`, `store_compactions`,
+    /// `store_append_errors`, `store_loaded_records`,
+    /// `store_torn_bytes_discarded`) become polled counters with windowed
+    /// deltas; `store_file_bytes` and `store_live_entries` can shrink on
+    /// compaction, so they register as gauges.
+    pub fn register_observability(self: &Arc<Self>, registry: &gbd_obs::Registry) {
+        type StatReader = fn(&StoreStats) -> u64;
+        let counter_series: [(&str, StatReader); 5] = [
+            ("store_appended_records", |s| s.appended_records),
+            ("store_compactions", |s| s.compactions),
+            ("store_append_errors", |s| s.append_errors),
+            ("store_loaded_records", |s| s.loaded_records),
+            ("store_torn_bytes_discarded", |s| s.torn_bytes_discarded),
+        ];
+        for (name, read) in counter_series {
+            let store = Arc::clone(self);
+            registry.polled_counter(name, move || read(&store.stats()));
+        }
+        let file_bytes = Arc::clone(self);
+        registry.gauge("store_file_bytes", move || {
+            file_bytes.stats().file_bytes as f64
+        });
+        let live = Arc::clone(self);
+        registry.gauge("store_live_entries", move || {
+            live.stats().live_entries as f64
+        });
     }
 
     /// Path of the backing log file.

@@ -16,18 +16,26 @@
 #                                   store-backed warm run, then prove the
 #                                   reopened store recovers its valid
 #                                   prefix and serves bit-identical rows
+#   scripts/check.sh --obs-smoke    additionally drive mixed load against a
+#                                   store-backed server with the Prometheus
+#                                   endpoint bound, assert coalescing, the
+#                                   queue-wait+compute≈latency split, and
+#                                   watch-delta telescoping via loadgen,
+#                                   then scrape /metrics and cross-check it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 chaos=0
 bench_smoke=0
 store_smoke=0
+obs_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --store-smoke) store_smoke=1 ;;
-    *) echo "unknown argument: $arg (expected --chaos, --bench-smoke, or --store-smoke)" >&2; exit 2 ;;
+    --obs-smoke) obs_smoke=1 ;;
+    *) echo "unknown argument: $arg (expected --chaos, --bench-smoke, --store-smoke, or --obs-smoke)" >&2; exit 2 ;;
   esac
 done
 
@@ -39,11 +47,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # The engine hosts the panic-isolation boundary: an unwrap/expect on a lock
 # or join result there would turn one poisoned shard into a crashed batch.
-# The serve crate is a long-lived process fed untrusted bytes, and the
-# store crate parses arbitrary on-disk bytes after a crash, so they get
+# The serve crate is a long-lived process fed untrusted bytes, the store
+# crate parses arbitrary on-disk bytes after a crash, and the obs crate's
+# ticker/exposition threads must outlive any poisoned lock, so they get
 # the same treatment. Non-test code must stay free of both (tests opt out
 # via cfg_attr(test) in the crate root).
-for crate in gbd-engine gbd-serve gbd-store; do
+for crate in gbd-engine gbd-serve gbd-store gbd-obs; do
   echo "==> cargo clippy -p $crate (unwrap/expect ban)"
   cargo clippy -p "$crate" --all-targets --no-deps -- \
     -D warnings -W clippy::unwrap_used -W clippy::expect_used
@@ -200,6 +209,91 @@ if not rows_a or rows_a != rows_b:
 print(f"store smoke: ok ({store['loaded_records']} records recovered, "
       f"{store['torn_bytes_discarded']} torn bytes discarded, rows bit-identical)")
 PY
+fi
+
+if [ "$obs_smoke" -eq 1 ]; then
+  # Observability proof, end to end against the release binary:
+  #   1. boot a store-backed server with the exposition endpoint bound and
+  #      a 250 ms delta window
+  #   2. loadgen drives mixed load and asserts coalescing happened, the
+  #      queue-wait + compute histograms sum to the latency histogram
+  #      (metrics verb), and a replaying watch client's windowed deltas
+  #      telescope exactly to the lifetime totals
+  #   3. scrape /metrics and cross-check the same identities from the
+  #      Prometheus text: nonzero evaluated and store spills, and the
+  #      latency-split sum within 25%
+  #   4. clean drain via the shutdown verb
+  echo "==> obs smoke (metrics verb + watch client + /metrics scrape)"
+  target/release/groupdet serve --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 \
+    --obs-window-ms 250 --store "$smoke_dir/obs.gbdstore" --json \
+    >"$smoke_dir/obs_serve.log" &
+  obs_pid=$!
+  obs_addr=""
+  scrape_addr=""
+  for _ in $(seq 1 100); do
+    obs_addr=$(sed -n 's/.*"event":"listening","addr":"\([^"]*\)".*/\1/p' "$smoke_dir/obs_serve.log")
+    scrape_addr=$(sed -n 's/.*"metrics_addr":"\([^"]*\)".*/\1/p' "$smoke_dir/obs_serve.log")
+    [ -n "$obs_addr" ] && [ -n "$scrape_addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$obs_addr" ] || [ -z "$scrape_addr" ]; then
+    echo "obs smoke: server never reported both listening addresses" >&2
+    kill "$obs_pid" 2>/dev/null || true
+    exit 1
+  fi
+  target/release/loadgen --addr "$obs_addr" --clients 4 --requests 32 \
+    --sim-every 8 --out "$smoke_dir" \
+    --assert-coalescing --assert-split --watch-windows 6
+  python3 - "http://$scrape_addr/metrics" <<'PY'
+import sys, urllib.request
+
+text = urllib.request.urlopen(sys.argv[1], timeout=10).read().decode()
+
+def fail(msg):
+    print(f"obs smoke: FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+values = {}
+for line in text.splitlines():
+    if line.startswith("#") or not line.strip() or "{" in line:
+        continue
+    name, _, value = line.partition(" ")
+    try:
+        values[name] = float(value)
+    except ValueError:
+        pass
+
+evaluated = values.get("gbd_evaluated_total", 0)
+if evaluated <= 0:
+    fail("gbd_evaluated_total is zero — the load never registered")
+if values.get("gbd_store_spills_total", 0) <= 0:
+    fail("gbd_store_spills_total is zero — the store saw no spills")
+latency = values.get("gbd_latency_us_sum", 0)
+wait = values.get("gbd_queue_wait_us_sum", 0)
+compute = values.get("gbd_compute_us_sum", 0)
+if latency <= 0:
+    fail("gbd_latency_us_sum is zero")
+if abs(wait + compute - latency) > 0.25 * latency:
+    fail(f"latency split off: wait {wait} + compute {compute} vs latency {latency}")
+if values.get("gbd_latency_us_count", 0) != evaluated:
+    fail("latency histogram count disagrees with gbd_evaluated_total")
+print(f"obs smoke: scrape ok ({int(evaluated)} evaluated, "
+      f"{int(values['gbd_store_spills_total'])} spills, "
+      f"split {wait:.0f}+{compute:.0f} ≈ {latency:.0f} µs)")
+PY
+  python3 - "$obs_addr" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+with socket.create_connection((host, int(port)), timeout=10) as s:
+    s.sendall(b'{"id":0,"verb":"shutdown"}\n')
+    ack = json.loads(s.makefile().readline())
+if ack.get("shutting_down") is not True:
+    print("obs smoke: FAILED: shutdown not acknowledged", file=sys.stderr)
+    sys.exit(1)
+PY
+  wait "$obs_pid"
+  echo "obs smoke: ok"
 fi
 
 if [ "$chaos" -eq 1 ]; then

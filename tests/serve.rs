@@ -475,6 +475,262 @@ fn shutdown_verb_drains_and_stops_the_server() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability: metrics verb, deprecated aliases, watch, exposition
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metrics_verb_selects_sections_and_aliases_stay_byte_compatible() {
+    let server = start(
+        ServeConfig {
+            flush_interval: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+        Engine::new(),
+    );
+    let mut client = Client::connect(server.addr);
+    client.send(r#"{"id":1,"verb":"eval","params":{"n":60}}"#);
+    assert_eq!(client.recv().get("ok").and_then(Json::as_bool), Some(true));
+
+    // Full payload: versioned, all four sections in canonical order.
+    client.send(r#"{"id":2,"verb":"metrics"}"#);
+    let full = client.recv();
+    assert_eq!(full.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert!(full.get("deprecated").is_none());
+    let body = full.get("metrics").unwrap();
+    let keys: Vec<&str> = match body {
+        Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("metrics body is not an object: {other:?}"),
+    };
+    assert_eq!(keys, ["server", "cache", "store", "histograms"]);
+    assert_eq!(
+        body.get("server")
+            .and_then(|s| s.get("evaluated"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        body.get("server")
+            .and_then(|s| s.get("verbs"))
+            .and_then(|v| v.get("metrics"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // Section selection returns exactly the asked-for sections.
+    client.send(r#"{"id":3,"verb":"metrics","sections":["histograms","cache"]}"#);
+    let subset = client.recv();
+    let body = subset.get("metrics").unwrap();
+    let keys: Vec<&str> = match body {
+        Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("metrics body is not an object: {other:?}"),
+    };
+    assert_eq!(
+        keys,
+        ["cache", "histograms"],
+        "canonical order, not request order"
+    );
+    // The full histograms carry sums; the empty backend histograms render
+    // max as null (the old renderer printed a misleading 0).
+    let sim = body
+        .get("histograms")
+        .and_then(|h| h.get("backends"))
+        .and_then(|b| b.get("sim"))
+        .unwrap();
+    assert_eq!(sim.get("count").and_then(Json::as_u64), Some(0));
+    assert!(matches!(sim.get("max"), Some(Json::Null)));
+
+    client.send(r#"{"id":4,"verb":"metrics","sections":["warp"]}"#);
+    let bad = client.recv();
+    assert_eq!(error_code(&bad), Some("bad_request"));
+
+    // The deprecated `stats` alias answers the pre-redesign payload key
+    // for key, with only the top-level `deprecated` flag added.
+    client.send(r#"{"id":5,"verb":"stats"}"#);
+    let stats = client.recv();
+    assert_eq!(stats.get("deprecated").and_then(Json::as_bool), Some(true));
+    let legacy = stats.get("stats").unwrap();
+    let keys: Vec<&str> = match legacy {
+        Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("stats body is not an object: {other:?}"),
+    };
+    assert_eq!(
+        keys,
+        [
+            "queue_depth",
+            "connections_total",
+            "connections_active",
+            "admitted",
+            "evaluated",
+            "shed",
+            "rejected",
+            "batches_flushed",
+            "flushes_by_size",
+            "flushes_by_timer",
+            "coalescing_factor",
+            "cache",
+            "latency_us",
+            "queue_wait_us",
+            "compute_us",
+        ]
+    );
+    assert_eq!(legacy.get("evaluated").and_then(Json::as_u64), Some(1));
+
+    // Same for the deprecated `store` alias (no store attached here).
+    client.send(r#"{"id":6,"verb":"store"}"#);
+    let store = client.recv();
+    assert_eq!(store.get("deprecated").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        store
+            .get("store")
+            .and_then(|s| s.get("attached"))
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+    server.stop();
+}
+
+#[test]
+fn watch_streams_bounded_windows_and_unwatch_ends_open_streams() {
+    let server = start(
+        ServeConfig {
+            flush_interval: Duration::from_millis(1),
+            obs_window: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+        Engine::new(),
+    );
+    let mut client = Client::connect(server.addr);
+    client.send(r#"{"id":1,"verb":"eval","params":{"n":60}}"#);
+    assert_eq!(client.recv().get("ok").and_then(Json::as_bool), Some(true));
+
+    // Bounded watch with replay: ack, exactly three windows with strictly
+    // increasing seq starting at 1 (replay begins at the ring's origin),
+    // then the terminator. The eval above must appear in the deltas.
+    client.send(r#"{"id":2,"verb":"watch","windows":3,"replay":true}"#);
+    let ack = client.recv();
+    assert_eq!(ack.get("watching").and_then(Json::as_bool), Some(true));
+    assert_eq!(ack.get("windows").and_then(Json::as_u64), Some(3));
+    let mut evaluated_deltas = 0;
+    let mut evaluated_total = 0;
+    let mut last_seq = 0;
+    for i in 0..3 {
+        let line = client.recv();
+        let window = line.get("window").expect("window line");
+        let seq = window.get("seq").and_then(Json::as_u64).unwrap();
+        if i == 0 {
+            assert_eq!(seq, 1, "replay must start at the first ring window");
+        } else {
+            assert_eq!(seq, last_seq + 1);
+        }
+        last_seq = seq;
+        let evaluated = window
+            .get("counters")
+            .and_then(|c| c.get("evaluated"))
+            .expect("evaluated counter in window");
+        evaluated_deltas += evaluated.get("delta").and_then(Json::as_u64).unwrap();
+        evaluated_total = evaluated.get("total").and_then(Json::as_u64).unwrap();
+    }
+    // Deltas from the ring origin telescope to the lifetime total, and
+    // every window here closed after the eval above completed.
+    assert_eq!(evaluated_deltas, evaluated_total);
+    assert_eq!(evaluated_total, 1);
+    let end = client.recv();
+    assert_eq!(end.get("watch_end").and_then(Json::as_bool), Some(true));
+    assert_eq!(end.get("windows").and_then(Json::as_u64), Some(3));
+
+    // Unbounded watch: read a couple of live windows, then `unwatch` from
+    // the same connection must end the stream (terminator) before its ack.
+    client.send(r#"{"id":3,"verb":"watch"}"#);
+    let ack = client.recv();
+    assert_eq!(ack.get("watching").and_then(Json::as_bool), Some(true));
+    for _ in 0..2 {
+        let line = client.recv();
+        assert!(line.get("window").is_some(), "expected a window line");
+    }
+    client.send(r#"{"id":4,"verb":"unwatch"}"#);
+    loop {
+        let line = client.recv();
+        if line.get("watch_end").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        assert!(line.get("window").is_some(), "expected window or watch_end");
+    }
+    let ack = client.recv();
+    assert_eq!(ack.get("id").and_then(Json::as_u64), Some(4));
+    assert_eq!(ack.get("unwatched").and_then(Json::as_u64), Some(1));
+
+    // The connection still serves ordinary work afterwards.
+    client.send(r#"{"id":5,"verb":"ping"}"#);
+    assert_eq!(
+        client.recv().get("pong").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // A connection with an open unbounded watch must not block drain.
+    let mut dangling = Client::connect(server.addr);
+    dangling.send(r#"{"id":1,"verb":"watch","replay":false}"#);
+    let ack = dangling.recv();
+    assert_eq!(ack.get("watching").and_then(Json::as_bool), Some(true));
+    server.stop();
+}
+
+#[test]
+fn metrics_exposition_endpoint_serves_prometheus_text() {
+    let server = Server::bind(
+        ServeConfig {
+            flush_interval: Duration::from_millis(1),
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            obs_window: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+        Arc::new(Engine::new()),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let scrape_addr = server.metrics_local_addr().expect("exposition bound");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr);
+    client.send(r#"{"id":1,"verb":"eval","params":{"n":60}}"#);
+    assert_eq!(client.recv().get("ok").and_then(Json::as_bool), Some(true));
+
+    let scrape = |path: &str| -> String {
+        let mut stream = TcpStream::connect(scrape_addr).expect("connect scrape");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+                    .as_bytes(),
+            )
+            .expect("send request");
+        let mut response = String::new();
+        use std::io::Read as _;
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    };
+
+    let response = scrape("/metrics");
+    assert!(response.starts_with("HTTP/1.1 200"), "got: {response}");
+    assert!(response.contains("text/plain; version=0.0.4"));
+    assert!(response.contains("# TYPE gbd_evaluated_total counter"));
+    assert!(response.contains("gbd_evaluated_total 1"));
+    assert!(response.contains("gbd_latency_us_bucket"));
+    assert!(response.contains("gbd_latency_us_sum"));
+    // Empty histograms export buckets but no percentile gauges.
+    assert!(response.contains("gbd_backend_sim_latency_us_count 0"));
+    assert!(!response.contains("gbd_backend_sim_latency_us_p50"));
+
+    let missing = scrape("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+
+    handle.shutdown();
+    thread.join().expect("server thread").expect("clean exit");
+}
+
+// ---------------------------------------------------------------------------
 // Property: id correlation across K clients × R pipelined requests
 // ---------------------------------------------------------------------------
 
