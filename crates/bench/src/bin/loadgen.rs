@@ -28,6 +28,14 @@
 //! store), boots a second server over the same store (warm), and replays
 //! the identical mix. It fails unless every warm response is bit-identical
 //! to its cold counterpart and the warm boot actually loaded records.
+//!
+//! `--router` points `--addr` at a `gbd-router` front end instead of a
+//! single shard. Clients then retry the two retryable error codes
+//! (`overloaded`, `shard_unavailable`) with bounded attempts — so a shard
+//! killed mid-run (the check.sh chaos stage) costs retries, not wrong
+//! answers — and at the end every routed `detection` is compared against
+//! an in-process single-server evaluation of the same request shape. The
+//! run fails unless all requests were eventually answered bit-identically.
 
 use gbd_bench::Csv;
 use gbd_serve::Json;
@@ -64,6 +72,9 @@ struct Options {
     /// Run the self-contained cold-vs-warm store benchmark against this
     /// store path instead of driving `--addr`.
     warmstart: Option<PathBuf>,
+    /// Treat `--addr` as a gbd-router front end: retry retryable errors
+    /// and verify routed answers bit-identically against a local engine.
+    router: bool,
 }
 
 impl Default for Options {
@@ -84,6 +95,7 @@ impl Default for Options {
             watch_windows: 0,
             shutdown: false,
             warmstart: None,
+            router: false,
         }
     }
 }
@@ -93,7 +105,8 @@ fn usage() -> ! {
         "usage: loadgen --addr host:port [--clients n] [--requests n] [--pipeline n]\n\
          \x20              [--rate req/s] [--sim-every n] [--trials n] [--seed n]\n\
          \x20              [--out dir] [--json] [--assert-coalescing] [--assert-split]\n\
-         \x20              [--watch-windows n] [--shutdown] [--warmstart store-path]"
+         \x20              [--watch-windows n] [--shutdown] [--warmstart store-path]\n\
+         \x20              [--router]"
     );
     std::process::exit(2);
 }
@@ -166,6 +179,10 @@ fn parse_args() -> Options {
             "--warmstart" => {
                 opts.warmstart = Some(PathBuf::from(value(&args, i)));
                 i += 2;
+            }
+            "--router" => {
+                opts.router = true;
+                i += 1;
             }
             _ => usage(),
         }
@@ -285,6 +302,382 @@ fn run_client(client: usize, opts: &Options) -> ClientResult {
         received += 1;
     }
     result
+}
+
+/// The two error codes a client may safely re-send on: backpressure shed
+/// (`overloaded`) and a hash slot with no reachable shard mid-failover
+/// (`shard_unavailable`). Everything else is a permanent answer.
+fn retryable(code: Option<&str>) -> bool {
+    matches!(code, Some("overloaded") | Some("shard_unavailable"))
+}
+
+/// The request shape `request_line` builds for global sequence `seq`:
+/// the sensor count and whether it goes to the simulation backend. Two
+/// requests with the same shape must produce bit-identical detections.
+fn shape_key(seq: usize, opts: &Options) -> (usize, bool) {
+    (
+        60 + 30 * (seq % 7),
+        opts.sim_every > 0 && seq.is_multiple_of(opts.sim_every),
+    )
+}
+
+struct RouterClientResult {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    /// Re-sends (transport failures + retryable error codes).
+    retries: u64,
+    /// `(seq, rendered detection)` for every answered request.
+    detections: Vec<(usize, String)>,
+}
+
+/// One router-mode client: strictly one request in flight, because a
+/// request that fails mid-pipeline (shard killed under it) must be
+/// re-sent without disturbing its neighbours. Transport failures and
+/// retryable error codes re-send the same line with a short ramping
+/// sleep — long enough to ride out a breaker cooldown plus failover.
+fn run_router_client(client: usize, opts: &Options) -> RouterClientResult {
+    const ATTEMPTS: usize = 120;
+    let mut result = RouterClientResult {
+        latencies_us: Vec::with_capacity(opts.requests),
+        ok: 0,
+        errors: 0,
+        retries: 0,
+        detections: Vec::with_capacity(opts.requests),
+    };
+    let mut conn: Option<(BufWriter<TcpStream>, BufReader<TcpStream>)> = None;
+    let per_client_rate = if opts.rate > 0.0 {
+        opts.rate / opts.clients as f64
+    } else {
+        0.0
+    };
+    let start = Instant::now();
+    for i in 0..opts.requests {
+        if per_client_rate > 0.0 {
+            let due = start + Duration::from_secs_f64(i as f64 / per_client_rate);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let seq = client * opts.requests + i;
+        let line = request_line(seq, i as u64, opts);
+        let sent_at = Instant::now();
+        let mut answered = false;
+        for attempt in 0..ATTEMPTS {
+            if attempt > 0 {
+                result.retries += 1;
+                std::thread::sleep(Duration::from_millis(25 * attempt.min(8) as u64));
+            }
+            if conn.is_none() {
+                conn = TcpStream::connect(&opts.addr).ok().and_then(|stream| {
+                    let read_half = stream.try_clone().ok()?;
+                    Some((BufWriter::new(stream), BufReader::new(read_half)))
+                });
+            }
+            let Some((writer, reader)) = conn.as_mut() else {
+                continue;
+            };
+            if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+                conn = None;
+                continue;
+            }
+            let mut reply = String::new();
+            match reader.read_line(&mut reply) {
+                Ok(n) if n > 0 => {}
+                _ => {
+                    conn = None;
+                    continue;
+                }
+            }
+            let Ok(response) = Json::parse(reply.trim()) else {
+                conn = None;
+                continue;
+            };
+            if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                let detection = response
+                    .get("detection")
+                    .map_or_else(|| "missing".to_string(), Json::render);
+                result.detections.push((seq, detection));
+                result.ok += 1;
+                answered = true;
+                break;
+            }
+            let code = response
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str);
+            if !retryable(code) {
+                break;
+            }
+        }
+        if answered {
+            result
+                .latencies_us
+                .push(u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+        } else {
+            result.errors += 1;
+        }
+    }
+    result
+}
+
+/// Evaluates one representative of every distinct request shape this run
+/// will send against an in-process single-server engine — the ground
+/// truth the acceptance criterion names — and returns shape → rendered
+/// `detection`. Going through a real `gbd-serve` instance (rather than
+/// the engine API directly) exercises the identical parse and render
+/// path, so equality is bit-identity of the wire text.
+fn reference_detections(
+    opts: &Options,
+) -> Result<std::collections::HashMap<(usize, bool), String>, String> {
+    let total = opts.clients * opts.requests;
+    let mut seen = std::collections::HashSet::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    for seq in 0..total {
+        if seen.insert(shape_key(seq, opts)) {
+            representatives.push(seq);
+        }
+    }
+    let config = gbd_serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..gbd_serve::ServeConfig::default()
+    };
+    let server = gbd_serve::Server::bind(config, Arc::new(gbd_engine::Engine::new()))
+        .map_err(|e| format!("cannot bind reference server: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let run = std::thread::spawn(move || server.run());
+    let drive = || -> Result<std::collections::HashMap<(usize, bool), String>, String> {
+        let stream =
+            TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut writer = BufWriter::new(stream);
+        let mut reader = BufReader::new(read_half);
+        let mut expected = std::collections::HashMap::new();
+        for &seq in &representatives {
+            let line = request_line(seq, seq as u64, opts);
+            writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("reference request {seq}: {e}"))?;
+            let mut reply = String::new();
+            reader
+                .read_line(&mut reply)
+                .map_err(|e| format!("reference response {seq}: {e}"))?;
+            let response = Json::parse(reply.trim())
+                .map_err(|e| format!("reference response {seq}: {e}"))?;
+            let detection = response
+                .get("detection")
+                .filter(|_| response.get("ok").and_then(Json::as_bool) == Some(true))
+                .ok_or_else(|| format!("reference request {seq} errored: {}", reply.trim()))?;
+            expected.insert(shape_key(seq, opts), detection.render());
+        }
+        Ok(expected)
+    };
+    let driven = drive();
+    let _ = control_round_trip(&addr, "shutdown");
+    let _ = run.join();
+    driven
+}
+
+/// The `--router` driver: clients with per-request retries against the
+/// router address, then a bit-identity sweep of every routed answer
+/// against the in-process reference, then the router's own `metrics`
+/// verb for failover/breaker accounting.
+fn run_router(opts: &Arc<Options>) -> ExitCode {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|client| {
+            let opts = Arc::clone(opts);
+            std::thread::spawn(move || run_router_client(client, &opts))
+        })
+        .collect();
+    let results: Vec<RouterClientResult> = workers
+        .into_iter()
+        .map(|w| {
+            w.join().unwrap_or_else(|_| RouterClientResult {
+                latencies_us: Vec::new(),
+                ok: 0,
+                errors: 1,
+                retries: 0,
+                detections: Vec::new(),
+            })
+        })
+        .collect();
+    let elapsed = start.elapsed();
+
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let retries: u64 = results.iter().map(|r| r.retries).sum();
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let throughput = ok as f64 / elapsed.as_secs_f64();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+
+    let mut failed = false;
+    let expected_total = (opts.clients * opts.requests) as u64;
+    if ok < expected_total || errors > 0 {
+        eprintln!(
+            "router: FAILED — only {ok}/{expected_total} requests answered ({errors} gave up)"
+        );
+        failed = true;
+    }
+
+    // Bit-identity: every routed detection must match the single-process
+    // evaluation of the same request shape, byte for byte.
+    let mut mismatches = 0u64;
+    let mut checked = 0u64;
+    match reference_detections(opts) {
+        Ok(expected) => {
+            for result in &results {
+                for (seq, detection) in &result.detections {
+                    checked += 1;
+                    if expected.get(&shape_key(*seq, opts)) != Some(detection) {
+                        if mismatches == 0 {
+                            eprintln!(
+                                "router: FAILED — request {seq} diverged from the local engine: {detection}"
+                            );
+                        }
+                        mismatches += 1;
+                    }
+                }
+            }
+            if mismatches > 0 {
+                eprintln!("router: FAILED — {mismatches}/{checked} answers not bit-identical");
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("router: FAILED — reference evaluation: {e}");
+            failed = true;
+        }
+    }
+    let bit_identical = mismatches == 0 && checked > 0;
+
+    // The router's own accounting: per-slot failover state and counters.
+    let metrics = control_round_trip(&opts.addr, "metrics");
+    let counter = |key: &str| {
+        metrics
+            .as_ref()
+            .and_then(|m| m.get("router"))
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_u64)
+    };
+    let failovers = counter("failovers");
+    let router_retries = counter("retries");
+    let shed = counter("shed");
+
+    if opts.json {
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("mode".to_string(), Json::from("router")),
+                ("clients".to_string(), Json::from(opts.clients)),
+                ("requests_per_client".to_string(), Json::from(opts.requests)),
+                ("ok".to_string(), Json::from(ok)),
+                ("errors".to_string(), Json::from(errors)),
+                ("client_retries".to_string(), Json::from(retries)),
+                ("elapsed_s".to_string(), Json::Num(elapsed.as_secs_f64())),
+                ("throughput_rps".to_string(), Json::Num(throughput)),
+                ("p50_us".to_string(), Json::from(p50)),
+                ("p95_us".to_string(), Json::from(p95)),
+                ("p99_us".to_string(), Json::from(p99)),
+                (
+                    "router_failovers".to_string(),
+                    failovers.map_or(Json::Null, Json::from),
+                ),
+                (
+                    "router_retries".to_string(),
+                    router_retries.map_or(Json::Null, Json::from),
+                ),
+                (
+                    "router_shed".to_string(),
+                    shed.map_or(Json::Null, Json::from),
+                ),
+                ("bit_identical".to_string(), Json::Bool(bit_identical)),
+            ])
+            .render()
+        );
+    } else {
+        println!(
+            "router: {} clients x {} requests through {}",
+            opts.clients, opts.requests, opts.addr
+        );
+        println!(
+            "  answered {ok}/{expected_total} ({errors} gave up, {retries} client retries) in {:.2} s",
+            elapsed.as_secs_f64()
+        );
+        println!("  throughput {throughput:.1} req/s");
+        println!("  latency p50 {p50} µs, p95 {p95} µs, p99 {p99} µs");
+        if let (Some(failovers), Some(router_retries), Some(shed)) =
+            (failovers, router_retries, shed)
+        {
+            println!("  router: {failovers} failovers, {router_retries} retries, {shed} shed");
+        }
+        println!("  bit-identical to local engine: {bit_identical}");
+    }
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "loadgen_router.csv",
+        &[
+            "clients",
+            "requests_per_client",
+            "ok",
+            "errors",
+            "client_retries",
+            "elapsed_s",
+            "throughput_rps",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "router_failovers",
+            "bit_identical",
+        ],
+    );
+    csv.row(&[
+        opts.clients.to_string(),
+        opts.requests.to_string(),
+        ok.to_string(),
+        errors.to_string(),
+        retries.to_string(),
+        format!("{:.3}", elapsed.as_secs_f64()),
+        format!("{throughput:.1}"),
+        p50.to_string(),
+        p95.to_string(),
+        p99.to_string(),
+        failovers.map_or_else(|| "-".to_string(), |v| v.to_string()),
+        bit_identical.to_string(),
+    ]);
+    csv.finish();
+
+    if opts.shutdown {
+        let ack = control_round_trip(&opts.addr, "shutdown");
+        let acked = ack
+            .as_ref()
+            .and_then(|a| a.get("shutting_down"))
+            .and_then(Json::as_bool)
+            == Some(true);
+        if acked {
+            println!("shutdown: acknowledged");
+        } else {
+            eprintln!("shutdown: no acknowledgement");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Sends one control verb on a fresh connection and returns the reply.
@@ -605,6 +998,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = opts.warmstart.clone() {
         return run_warmstart(&opts, &path);
+    }
+    if opts.router {
+        return run_router(&opts);
     }
     let start = Instant::now();
     let workers: Vec<_> = (0..opts.clients)

@@ -28,6 +28,7 @@ use gbd_core::s_approach::SOptions;
 use gbd_engine::{
     BackendChain, BackendSpec, Engine, EvalRequest, EvalResponse, RetryPolicy, SimulationSpec,
 };
+use gbd_router::{Router, RouterConfig};
 use gbd_serve::{ServeConfig, Server};
 use gbd_sim::config::MotionSpec;
 use json::Json;
@@ -40,7 +41,7 @@ use std::time::Duration;
 const PERIOD_S: f64 = 60.0;
 
 const COMMANDS: &[&str] = &[
-    "analyze", "simulate", "sweep", "caps", "design", "serve", "store", "help",
+    "analyze", "simulate", "sweep", "caps", "design", "serve", "route", "store", "help",
 ];
 
 // ---------------------------------------------------------------------------
@@ -823,6 +824,9 @@ struct ServeCmd {
     store: Option<String>,
     metrics_addr: Option<String>,
     obs_window_ms: u64,
+    shard_id: Option<String>,
+    replicate_to: Option<String>,
+    replica_listen: Option<String>,
     json: bool,
 }
 
@@ -845,6 +849,9 @@ impl Default for ServeCmd {
             store: None,
             metrics_addr: None,
             obs_window_ms: 1000,
+            shard_id: None,
+            replicate_to: None,
+            replica_listen: None,
             json: false,
         }
     }
@@ -908,6 +915,21 @@ impl ServeCmd {
             "ms",
             "windowed metric delta resolution for watch/ring (1000)",
         ),
+        Flag::value(
+            "--shard-id",
+            "name",
+            "shard identity in the cluster metrics section (listen address)",
+        ),
+        Flag::value(
+            "--replicate-to",
+            "host:port",
+            "ship store appends to this standby replica listener (requires --store)",
+        ),
+        Flag::value(
+            "--replica-listen",
+            "host:port",
+            "accept replicated store records here; port 0 picks one (disabled)",
+        ),
     ];
     const GROUPS: &'static [&'static [Flag]] = &[Self::FLAGS, JSON_FLAG];
 
@@ -928,6 +950,9 @@ impl ServeCmd {
                 "--store" => cmd.store = Some(cur.take_value(flag)?),
                 "--metrics-addr" => cmd.metrics_addr = Some(cur.take_value(flag)?),
                 "--obs-window-ms" => cmd.obs_window_ms = cur.take_value(flag)?,
+                "--shard-id" => cmd.shard_id = Some(cur.take_value(flag)?),
+                "--replicate-to" => cmd.replicate_to = Some(cur.take_value(flag)?),
+                "--replica-listen" => cmd.replica_listen = Some(cur.take_value(flag)?),
                 "--json" => cmd.json = true,
                 other => return Err(unknown_flag(other, Self::GROUPS)),
             }
@@ -947,6 +972,9 @@ impl ServeCmd {
             handle_signals: true,
             metrics_addr: self.metrics_addr.clone(),
             obs_window: Duration::from_millis(self.obs_window_ms.max(1)),
+            shard_id: self.shard_id.clone(),
+            replicate_to: self.replicate_to.clone(),
+            replica_listen: self.replica_listen.clone(),
         }
     }
 
@@ -968,6 +996,7 @@ impl ServeCmd {
             .map_err(|e| format!("cannot bind {}: {e}", self.addr))?;
         let addr = server.local_addr();
         let metrics_addr = server.metrics_local_addr();
+        let replica_addr = server.replica_local_addr();
         let handle = server.handle();
         if self.json {
             let mut fields = vec![
@@ -980,6 +1009,9 @@ impl ServeCmd {
             if let Some(m) = metrics_addr {
                 fields.push(("metrics_addr", Json::Str(m.to_string())));
             }
+            if let Some(r) = replica_addr {
+                fields.push(("replica_addr", Json::Str(r.to_string())));
+            }
             println!("{}", Json::obj(fields).render());
         } else {
             println!(
@@ -988,6 +1020,9 @@ impl ServeCmd {
             );
             if let Some(m) = metrics_addr {
                 println!("metrics exposition on http://{m}/metrics");
+            }
+            if let Some(r) = replica_addr {
+                println!("replica listener on {r}");
             }
         }
         server.run().map_err(|e| e.to_string())?;
@@ -1016,6 +1051,194 @@ impl ServeCmd {
                 metrics.rejected.get(),
                 metrics.connections_total.get(),
             );
+        }
+        Ok(())
+    }
+}
+
+/// `groupdet route` — front a cluster of `groupdet serve` shards with a
+/// consistent-hashing router (health checks, retries, breakers,
+/// standby failover).
+#[derive(Debug, Clone)]
+struct RouteCmd {
+    addr: String,
+    shards: Vec<String>,
+    standbys: Vec<(usize, String)>,
+    vnodes: usize,
+    retries: u32,
+    backoff_ms: u64,
+    breaker_threshold: u32,
+    breaker_cooldown_ms: u64,
+    heartbeat_ms: u64,
+    heartbeat_misses: u32,
+    upstream_timeout_ms: u64,
+    json: bool,
+}
+
+impl Default for RouteCmd {
+    fn default() -> Self {
+        let defaults = RouterConfig::default();
+        RouteCmd {
+            addr: "127.0.0.1:7272".to_string(),
+            shards: Vec::new(),
+            standbys: Vec::new(),
+            vnodes: defaults.virtual_nodes,
+            retries: defaults.retries,
+            backoff_ms: defaults.backoff_base.as_millis() as u64,
+            breaker_threshold: defaults.breaker_threshold,
+            breaker_cooldown_ms: defaults.breaker_cooldown.as_millis() as u64,
+            heartbeat_ms: defaults.heartbeat_interval.as_millis() as u64,
+            heartbeat_misses: defaults.heartbeat_misses,
+            upstream_timeout_ms: defaults.upstream_timeout.as_millis() as u64,
+            json: false,
+        }
+    }
+}
+
+impl RouteCmd {
+    const FLAGS: &'static [Flag] = &[
+        Flag::value(
+            "--addr",
+            "host:port",
+            "listen address; port 0 picks one (127.0.0.1:7272)",
+        ),
+        Flag::value(
+            "--shard",
+            "host:port",
+            "shard serving address; repeatable, slot order (required)",
+        ),
+        Flag::value(
+            "--standby",
+            "slot:host:port",
+            "warm standby for a slot, e.g. 0:127.0.0.1:7080; repeatable",
+        ),
+        Flag::value("--vnodes", "int", "hash-ring points per shard (64)"),
+        Flag::value(
+            "--retries",
+            "int",
+            "transport retries per request after the first attempt (3)",
+        ),
+        Flag::value("--backoff-ms", "ms", "first retry backoff, doubling (10)"),
+        Flag::value(
+            "--breaker-threshold",
+            "int",
+            "consecutive failures that open a slot's circuit breaker (3)",
+        ),
+        Flag::value(
+            "--breaker-cooldown-ms",
+            "ms",
+            "how long an open breaker sheds before half-opening (1000)",
+        ),
+        Flag::value("--heartbeat-ms", "ms", "shard health-check cadence (500)"),
+        Flag::value(
+            "--heartbeat-misses",
+            "int",
+            "consecutive misses that declare a shard dead (3)",
+        ),
+        Flag::value(
+            "--upstream-timeout-ms",
+            "ms",
+            "bound on every upstream socket operation (10000)",
+        ),
+    ];
+    const GROUPS: &'static [&'static [Flag]] = &[Self::FLAGS, JSON_FLAG];
+
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut cmd = RouteCmd::default();
+        let mut cur = Cursor::new(raw);
+        while let Some(flag) = cur.next() {
+            match flag {
+                "--addr" => cmd.addr = cur.take_value(flag)?,
+                "--shard" => cmd.shards.push(cur.take_value(flag)?),
+                "--standby" => {
+                    let spec: String = cur.take_value(flag)?;
+                    cmd.standbys.push(Self::parse_standby(&spec)?);
+                }
+                "--vnodes" => cmd.vnodes = cur.take_value(flag)?,
+                "--retries" => cmd.retries = cur.take_value(flag)?,
+                "--backoff-ms" => cmd.backoff_ms = cur.take_value(flag)?,
+                "--breaker-threshold" => cmd.breaker_threshold = cur.take_value(flag)?,
+                "--breaker-cooldown-ms" => cmd.breaker_cooldown_ms = cur.take_value(flag)?,
+                "--heartbeat-ms" => cmd.heartbeat_ms = cur.take_value(flag)?,
+                "--heartbeat-misses" => cmd.heartbeat_misses = cur.take_value(flag)?,
+                "--upstream-timeout-ms" => cmd.upstream_timeout_ms = cur.take_value(flag)?,
+                "--json" => cmd.json = true,
+                other => return Err(unknown_flag(other, Self::GROUPS)),
+            }
+        }
+        if cmd.shards.is_empty() {
+            return Err("route requires at least one --shard <host:port>".to_string());
+        }
+        for (slot, addr) in &cmd.standbys {
+            if *slot >= cmd.shards.len() {
+                return Err(format!(
+                    "--standby {slot}:{addr} names slot {slot}, but only {} shards are configured",
+                    cmd.shards.len()
+                ));
+            }
+        }
+        Ok(cmd)
+    }
+
+    /// Splits `slot:host:port` at the first colon.
+    fn parse_standby(spec: &str) -> Result<(usize, String), String> {
+        let (slot, addr) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("--standby `{spec}` must be slot:host:port"))?;
+        let slot: usize = slot
+            .parse()
+            .map_err(|_| format!("--standby `{spec}`: `{slot}` is not a slot index"))?;
+        if addr.is_empty() {
+            return Err(format!("--standby `{spec}` must name an address"));
+        }
+        Ok((slot, addr.to_string()))
+    }
+
+    fn config(&self) -> RouterConfig {
+        RouterConfig {
+            addr: self.addr.clone(),
+            shards: self.shards.clone(),
+            standbys: self.standbys.clone(),
+            virtual_nodes: self.vnodes,
+            retries: self.retries,
+            backoff_base: Duration::from_millis(self.backoff_ms),
+            breaker_threshold: self.breaker_threshold.max(1),
+            breaker_cooldown: Duration::from_millis(self.breaker_cooldown_ms),
+            heartbeat_interval: Duration::from_millis(self.heartbeat_ms.max(1)),
+            heartbeat_misses: self.heartbeat_misses.max(1),
+            upstream_timeout: Duration::from_millis(self.upstream_timeout_ms.max(1)),
+            handle_signals: true,
+            ..RouterConfig::default()
+        }
+    }
+
+    fn run(&self) -> Result<(), String> {
+        let router = Router::bind(self.config())
+            .map_err(|e| format!("cannot bind {}: {e}", self.addr))?;
+        let addr = router.local_addr();
+        if self.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("event", "listening".into()),
+                    ("addr", Json::Str(addr.to_string())),
+                    ("shards", self.shards.len().into()),
+                    ("standbys", self.standbys.len().into()),
+                ])
+                .render()
+            );
+        } else {
+            println!(
+                "routing on {addr} across {} shards ({} standbys)",
+                self.shards.len(),
+                self.standbys.len()
+            );
+        }
+        router.run().map_err(|e| e.to_string())?;
+        if self.json {
+            println!("{}", Json::obj(vec![("event", "stopped".into())]).render());
+        } else {
+            println!("stopped");
         }
         Ok(())
     }
@@ -1313,7 +1536,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: groupdet <analyze|simulate|sweep|caps|design|serve|store|help> [options]"
+            "usage: groupdet <analyze|simulate|sweep|caps|design|serve|route|store|help> [options]"
         );
         return ExitCode::FAILURE;
     };
@@ -1329,6 +1552,7 @@ fn main() -> ExitCode {
         "caps" => CapsCmd::parse(rest).and_then(|cmd| cmd.run()),
         "design" => DesignCmd::parse(rest).and_then(|cmd| cmd.run()),
         "serve" => ServeCmd::parse(rest).and_then(|cmd| cmd.run()),
+        "route" => RouteCmd::parse(rest).and_then(|cmd| cmd.run()),
         "store" => StoreCmd::parse(rest).and_then(|cmd| cmd.run()),
         other => Err(unknown_command(other, COMMANDS)),
     };
@@ -1345,7 +1569,7 @@ fn print_help() {
     let mut out = String::from(
         "groupdet — group based detection for sparse sensor networks\n\
          \n\
-         commands: analyze | simulate | sweep | caps | design | serve | store | help\n\
+         commands: analyze | simulate | sweep | caps | design | serve | route | store | help\n\
          \n\
          system parameters (all commands; paper defaults in parentheses):\n",
     );
@@ -1358,6 +1582,8 @@ fn print_help() {
     render_flags(&mut out, &[SweepCmd::FLAGS]);
     out.push_str("\nserve options (JSON-lines protocol; see docs/SERVING.md):\n");
     render_flags(&mut out, &[ServeCmd::FLAGS]);
+    out.push_str("\nroute options (sharded cluster; see docs/CLUSTER.md):\n");
+    render_flags(&mut out, &[RouteCmd::FLAGS]);
     out.push_str(
         "\nstore actions (persistent result store; see docs/STORAGE.md):\n\
          \x20 info | verify | compact | warm\n",
@@ -1374,6 +1600,9 @@ fn print_help() {
          \x20 groupdet caps --eta 0.995\n\
          \x20 groupdet serve --addr 127.0.0.1:0 --batch-max 64 --json\n\
          \x20 groupdet serve --store results/cache.gbdstore\n\
+         \x20 groupdet serve --store s0.gbdstore --replicate-to 127.0.0.1:7080\n\
+         \x20 groupdet route --shard 127.0.0.1:7171 --shard 127.0.0.1:7172 \\\n\
+         \x20                --standby 0:127.0.0.1:7180\n\
          \x20 groupdet store warm --path results/cache.gbdstore --n-step 30\n\
          \x20 groupdet store verify --path results/cache.gbdstore --json",
     );
@@ -1664,6 +1893,103 @@ mod tests {
         assert_eq!(ServeCmd::parse(&[]).unwrap().store, None);
         let cmd = ServeCmd::parse(&strings(&["--store", "cache.gbdstore", "--json"])).unwrap();
         assert_eq!(cmd.store.as_deref(), Some("cache.gbdstore"));
+    }
+
+    #[test]
+    fn serve_cluster_flags_parse_into_config() {
+        let cmd = ServeCmd::parse(&[]).unwrap();
+        assert_eq!(cmd.shard_id, None);
+        assert_eq!(cmd.replicate_to, None);
+        assert_eq!(cmd.replica_listen, None);
+        let cmd = ServeCmd::parse(&strings(&[
+            "--shard-id",
+            "shard0",
+            "--store",
+            "s0.gbdstore",
+            "--replicate-to",
+            "127.0.0.1:7080",
+            "--replica-listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        let config = cmd.config();
+        assert_eq!(config.shard_id.as_deref(), Some("shard0"));
+        assert_eq!(config.replicate_to.as_deref(), Some("127.0.0.1:7080"));
+        assert_eq!(config.replica_listen.as_deref(), Some("127.0.0.1:0"));
+        let err = ServeCmd::parse(&strings(&["--replicate-too", "x"])).unwrap_err();
+        assert!(err.contains("did you mean `--replicate-to`"), "{err}");
+    }
+
+    #[test]
+    fn route_flags_parse_into_config() {
+        assert!(RouteCmd::parse(&[])
+            .unwrap_err()
+            .contains("at least one --shard"));
+        let cmd = RouteCmd::parse(&strings(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--shard",
+            "127.0.0.1:7171",
+            "--shard",
+            "127.0.0.1:7172",
+            "--standby",
+            "0:127.0.0.1:7180",
+            "--vnodes",
+            "16",
+            "--retries",
+            "5",
+            "--backoff-ms",
+            "2",
+            "--breaker-threshold",
+            "2",
+            "--breaker-cooldown-ms",
+            "100",
+            "--heartbeat-ms",
+            "50",
+            "--heartbeat-misses",
+            "2",
+            "--upstream-timeout-ms",
+            "3000",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(cmd.json);
+        let config = cmd.config();
+        assert_eq!(config.shards.len(), 2);
+        assert_eq!(config.standbys, vec![(0, "127.0.0.1:7180".to_string())]);
+        assert_eq!(config.virtual_nodes, 16);
+        assert_eq!(config.retries, 5);
+        assert_eq!(config.backoff_base, Duration::from_millis(2));
+        assert_eq!(config.breaker_threshold, 2);
+        assert_eq!(config.breaker_cooldown, Duration::from_millis(100));
+        assert_eq!(config.heartbeat_interval, Duration::from_millis(50));
+        assert_eq!(config.heartbeat_misses, 2);
+        assert_eq!(config.upstream_timeout, Duration::from_millis(3000));
+        assert!(config.handle_signals);
+    }
+
+    #[test]
+    fn route_rejects_bad_standbys() {
+        assert!(
+            RouteCmd::parse(&strings(&["--shard", "a:1", "--standby", "oops"]))
+                .unwrap_err()
+                .contains("slot:host:port")
+        );
+        assert!(
+            RouteCmd::parse(&strings(&["--shard", "a:1", "--standby", "x:127.0.0.1:1"]))
+                .unwrap_err()
+                .contains("not a slot index")
+        );
+        assert!(
+            RouteCmd::parse(&strings(&["--shard", "a:1", "--standby", "3:127.0.0.1:1"]))
+                .unwrap_err()
+                .contains("only 1 shards"),
+        );
+        assert!(
+            RouteCmd::parse(&strings(&["--shard", "a:1", "--standby", "0:"]))
+                .unwrap_err()
+                .contains("must name an address")
+        );
     }
 
     #[test]

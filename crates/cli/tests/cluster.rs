@@ -1,0 +1,400 @@
+//! The cluster acceptance proof: N clients drive a `groupdet route`
+//! front end over two real `groupdet serve` shard processes while one
+//! shard is SIGKILLed mid-batch. Every request must eventually be
+//! answered, every answer must be bit-identical to a single-process
+//! evaluation of the same request, and the warm standby must take over
+//! the dead shard's hash slots having already applied its replicated
+//! store records (`store_loads > 0` — zero recomputed stages for keys
+//! the primary had answered).
+//!
+//! The topology under test:
+//!
+//! ```text
+//! clients ──> router ──> shard0 (primary, --replicate-to standby)
+//!                   ──> shard1
+//!             standby (--replica-listen, --store) <── shipped records
+//! ```
+
+use gbd_serve::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gbd-cluster-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A spawned `groupdet` process that is SIGKILLed on drop so a failing
+/// test never leaks servers.
+struct Proc {
+    child: Child,
+    /// The `addr` field of the `--json` listening event.
+    addr: String,
+    /// The `replica_addr` field, when the process runs a replica listener.
+    replica_addr: Option<String>,
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `groupdet <args> --json` and blocks until its listening event
+/// reports the ephemeral addresses.
+fn spawn_groupdet(args: &[&str]) -> Proc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_groupdet"))
+        .args(args)
+        .arg("--json")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn groupdet");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listening event");
+    let event = Json::parse(line.trim()).expect("parse listening event");
+    assert_eq!(
+        event.get("event").and_then(Json::as_str),
+        Some("listening"),
+        "unexpected first event: {}",
+        line.trim()
+    );
+    let addr = event
+        .get("addr")
+        .and_then(Json::as_str)
+        .expect("listening event has addr")
+        .to_string();
+    let replica_addr = event
+        .get("replica_addr")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    Proc {
+        child,
+        addr,
+        replica_addr,
+    }
+}
+
+/// One request line, one response line, on a fresh connection.
+fn round_trip(addr: &str, line: &str) -> std::io::Result<Json> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let read_half = stream.try_clone()?;
+    let mut writer = stream;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    let mut reply = String::new();
+    BufReader::new(read_half).read_line(&mut reply)?;
+    Json::parse(reply.trim())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// The deterministic request mix: sensor counts cycle over seven values
+/// and every tenth request goes to the (seeded, deterministic)
+/// simulation backend.
+fn request_line(seq: usize) -> String {
+    let n = 60 + 30 * (seq % 7);
+    let mut fields = vec![
+        ("id".to_string(), Json::from(seq as u64)),
+        ("verb".to_string(), Json::from("eval")),
+        (
+            "params".to_string(),
+            Json::obj(vec![("n".to_string(), Json::from(n))]),
+        ),
+    ];
+    if seq.is_multiple_of(10) {
+        fields.push((
+            "backend".to_string(),
+            Json::obj(vec![
+                ("kind".to_string(), Json::from("sim")),
+                ("trials".to_string(), Json::from(20u64)),
+                ("seed".to_string(), Json::from(7u64)),
+            ]),
+        ));
+    }
+    Json::Obj(fields).render()
+}
+
+/// The shape `request_line` builds for `seq`; equal shapes must yield
+/// bit-identical detections.
+fn shape_key(seq: usize) -> (usize, bool) {
+    (60 + 30 * (seq % 7), seq.is_multiple_of(10))
+}
+
+/// Sends `seq`'s request through the router, re-sending on transport
+/// failures and the two retryable error codes until it is answered.
+/// Returns the rendered `detection` — the exact wire text.
+fn drive_one(router_addr: &str, seq: usize) -> Result<String, String> {
+    let line = request_line(seq);
+    for attempt in 0..240u64 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(25 * attempt.min(8)));
+        }
+        let Ok(response) = round_trip(router_addr, &line) else {
+            continue;
+        };
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            return response
+                .get("detection")
+                .map(Json::render)
+                .ok_or_else(|| format!("request {seq}: ok response without detection"));
+        }
+        let code = response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str);
+        if !matches!(code, Some("overloaded") | Some("shard_unavailable")) {
+            return Err(format!(
+                "request {seq}: non-retryable error {:?}",
+                code.unwrap_or("<none>")
+            ));
+        }
+    }
+    Err(format!("request {seq}: never answered"))
+}
+
+/// Drives `seqs` from `clients` threads through the router and returns
+/// every `(seq, detection)` pair, failing if any request gave up.
+fn drive_batch(router_addr: &str, seqs: Vec<usize>, clients: usize) -> Vec<(usize, String)> {
+    let addr = Arc::new(router_addr.to_string());
+    let chunks: Vec<Vec<usize>> = (0..clients)
+        .map(|c| seqs.iter().copied().skip(c).step_by(clients).collect())
+        .collect();
+    let workers: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let addr = Arc::clone(&addr);
+            std::thread::spawn(move || {
+                chunk
+                    .into_iter()
+                    .map(|seq| (seq, drive_one(&addr, seq)))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut out = Vec::new();
+    for worker in workers {
+        for (seq, result) in worker.join().expect("client thread panicked") {
+            match result {
+                Ok(detection) => out.push((seq, detection)),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+    out
+}
+
+/// Scrapes one numeric field out of a shard's `cluster`/`cache` metrics.
+fn metrics_field(addr: &str, section: &str, path: &[&str]) -> Option<u64> {
+    let line = format!("{{\"id\":0,\"verb\":\"metrics\",\"sections\":[\"{section}\"]}}");
+    let response = round_trip(addr, &line).ok()?;
+    let mut node = response.get("metrics")?;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_u64()
+}
+
+/// Evaluates one representative of every shape in-process — the
+/// single-process ground truth the routed answers must match byte for
+/// byte. Going through a real `gbd-serve` instance exercises the same
+/// parse/render path the shards use.
+fn reference_detections(seqs: &[usize]) -> std::collections::HashMap<(usize, bool), String> {
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &seq in seqs {
+        if seen.insert(shape_key(seq)) {
+            representatives.push(seq);
+        }
+    }
+    let server = gbd_serve::Server::bind(
+        gbd_serve::ServeConfig::default(),
+        Arc::new(gbd_engine::Engine::new()),
+    )
+    .expect("bind reference server");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    let mut expected = std::collections::HashMap::new();
+    for seq in representatives {
+        let response = round_trip(&addr, &request_line(seq)).expect("reference round trip");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "reference request {seq} errored"
+        );
+        let detection = response.get("detection").expect("reference detection");
+        expected.insert(shape_key(seq), detection.render());
+    }
+    handle.shutdown();
+    thread
+        .join()
+        .expect("reference server panicked")
+        .expect("reference server failed");
+    expected
+}
+
+// ---------------------------------------------------------------------------
+// The chaos proof
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killing_a_shard_mid_run_fails_over_bit_identically() {
+    let standby_store = temp_path("standby.gbdstore");
+    let shard0_store = temp_path("shard0.gbdstore");
+
+    // Standby: own store, replica listener, not yet routed to.
+    let standby = spawn_groupdet(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--store",
+        standby_store.to_str().expect("utf-8 temp path"),
+        "--replica-listen",
+        "127.0.0.1:0",
+        "--shard-id",
+        "standby0",
+    ]);
+    let replica_addr = standby
+        .replica_addr
+        .clone()
+        .expect("standby listening event carries replica_addr");
+
+    // Shard 0 ships every store append to the standby; shard 1 is plain.
+    let shard0 = spawn_groupdet(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--store",
+        shard0_store.to_str().expect("utf-8 temp path"),
+        "--shard-id",
+        "shard0",
+        "--replicate-to",
+        &replica_addr,
+    ]);
+    let shard1 = spawn_groupdet(&["serve", "--addr", "127.0.0.1:0", "--shard-id", "shard1"]);
+
+    let router = spawn_groupdet(&[
+        "route",
+        "--addr",
+        "127.0.0.1:0",
+        "--shard",
+        &shard0.addr,
+        "--shard",
+        &shard1.addr,
+        "--standby",
+        &format!("0:{}", standby.addr),
+        "--heartbeat-ms",
+        "200",
+    ]);
+
+    let clients = 4;
+    let total = 80usize;
+    let split = 32usize;
+    let expected = reference_detections(&(0..total).collect::<Vec<_>>());
+
+    // Phase A: a clean batch before any failure. Shard 0's appends ship
+    // to the standby as they happen.
+    let before = drive_batch(&router.addr, (0..split).collect(), clients);
+
+    // The standby must have applied replicated records before the kill —
+    // that is what makes its takeover warm rather than cold.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let applied = metrics_field(
+            &standby.addr,
+            "cluster",
+            &["cluster", "replication", "applied_records"],
+        )
+        .unwrap_or(0);
+        if applied > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "standby applied no replicated records"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // SIGKILL shard 0 mid-run: no drain, no snapshot, no goodbye.
+    {
+        let mut shard0 = shard0;
+        shard0.child.kill().expect("SIGKILL shard0");
+        shard0.child.wait().expect("reap shard0");
+    }
+
+    // Phase B: the same mix keeps flowing. Every request must still be
+    // answered — the router sheds, retries, trips the breaker, and
+    // promotes the standby under this load.
+    let after = drive_batch(&router.addr, (split..total).collect(), clients);
+
+    // Bit-identity: every routed answer, before and after the kill,
+    // matches the single-process evaluation of its shape byte for byte.
+    for (seq, detection) in before.iter().chain(&after) {
+        assert_eq!(
+            expected.get(&shape_key(*seq)),
+            Some(detection),
+            "request {seq} diverged from the single-process engine"
+        );
+    }
+    assert_eq!(before.len() + after.len(), total, "a request went missing");
+
+    // The standby now serves shard 0's slots from its replicated store:
+    // records it applied over the wire count as store loads, and the
+    // router records the failover.
+    let store_loads = metrics_field(&standby.addr, "cache", &["cache", "store_loads"]);
+    assert!(
+        store_loads.is_some_and(|loads| loads > 0),
+        "standby served without store loads: {store_loads:?}"
+    );
+    let router_metrics =
+        round_trip(&router.addr, "{\"id\":0,\"verb\":\"metrics\"}").expect("router metrics");
+    let failovers = router_metrics
+        .get("router")
+        .and_then(|r| r.get("counters"))
+        .and_then(|c| c.get("failovers"))
+        .and_then(Json::as_u64);
+    assert!(
+        failovers.is_some_and(|n| n >= 1),
+        "router recorded no failover: {failovers:?}"
+    );
+    let slot0_failed_over = router_metrics
+        .get("router")
+        .and_then(|r| r.get("slots"))
+        .and_then(Json::as_arr)
+        .and_then(<[Json]>::first)
+        .and_then(|slot| slot.get("failed_over"))
+        .and_then(Json::as_bool);
+    assert_eq!(
+        slot0_failed_over,
+        Some(true),
+        "slot 0 did not re-pin to the standby"
+    );
+
+    // Clean drain everywhere that is still alive.
+    for addr in [&router.addr, &shard1.addr, &standby.addr] {
+        let ack = round_trip(addr, "{\"id\":9,\"verb\":\"shutdown\"}").expect("shutdown ack");
+        assert_eq!(
+            ack.get("shutting_down").and_then(Json::as_bool),
+            Some(true),
+            "no shutdown ack from {addr}"
+        );
+    }
+    let _ = std::fs::remove_file(&standby_store);
+    let _ = std::fs::remove_file(&shard0_store);
+}

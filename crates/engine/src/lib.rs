@@ -427,6 +427,77 @@ impl Engine {
         self.store.as_ref().map(|store| store.stats())
     }
 
+    /// The attached store handle, for layers that wire replication (log
+    /// shipping tees) around the engine; `None` without a store.
+    pub fn store_handle(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// The identity tag under which this engine build persists cache
+    /// records (and therefore the tag its replication streams carry).
+    pub fn store_identity() -> &'static [u8] {
+        persist::STORE_TAG
+    }
+
+    /// The routing key of a request: the byte encoding of its
+    /// result-cache key. Two requests with equal routing keys are served
+    /// from the same result-cache entry, so a router that hashes this key
+    /// sends repeats of a request to the shard whose cache is warm for it.
+    pub fn routing_key(request: &EvalRequest) -> Vec<u8> {
+        persist::encode_result_key(&result_key(&request.params, &request.backend))
+    }
+
+    /// Applies one replicated store record to this engine: decodes it
+    /// with the same codec a warm start uses, seeds the matching cache
+    /// layer, and re-appends it to this engine's own store (if attached)
+    /// so the entry survives a restart of the standby itself.
+    ///
+    /// Returns `false` when the record does not decode under this build's
+    /// codec — the caller counts it and moves on; a bad record can degrade
+    /// the warm set, never correctness. Duplicate records return `true`
+    /// without reseeding (cache seeding is first-writer-wins on identical
+    /// bytes, so replays are harmless).
+    pub fn apply_replicated_record(&self, kind: u8, key: &[u8], value: &[u8]) -> bool {
+        let seeded = match kind {
+            persist::KIND_GEOMETRY => match (
+                persist::decode_geometry_key(key),
+                persist::decode_stage_inputs(value),
+            ) {
+                (Some(k), Some(v)) => Some(self.geometry.seed(k, v)),
+                _ => None,
+            },
+            persist::KIND_STAGE => match (
+                persist::decode_stage_key(key),
+                persist::decode_stage_value(value),
+            ) {
+                (Some(k), Some(v)) => Some(self.stages.seed(k, v)),
+                _ => None,
+            },
+            persist::KIND_RESULT => match (
+                persist::decode_result_key(key),
+                persist::decode_output(value),
+            ) {
+                (Some(k), Some(v)) => Some(self.results.seed(k, v)),
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some(fresh) = seeded else {
+            return false;
+        };
+        if fresh {
+            self.store_loads.fetch_add(1, Ordering::Relaxed);
+            // Persist only fresh records: a replay after reconnect would
+            // otherwise grow the standby's log with duplicates.
+            if let Some(store) = &self.store {
+                // Failures are already counted in the store's own
+                // append_errors; the seeded entry still serves requests.
+                let _ = store.append(kind, key, value);
+            }
+        }
+        true
+    }
+
     /// Spill attempts that failed with a store error since construction
     /// (requests still succeeded; their entries are just not durable).
     pub fn store_spill_errors(&self) -> u64 {
@@ -1373,6 +1444,53 @@ mod tests {
             assert_eq!(w.cache.misses, 0);
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replicated_records_warm_a_standby_bit_identically() {
+        let primary_path = temp_store("repl-primary.gbdstore");
+        let standby_path = temp_store("repl-standby.gbdstore");
+        let grid = fig9a_grid();
+        let primary = Engine::with_workers(1).with_store(&primary_path).unwrap();
+        let cold = primary.evaluate_batch(&grid);
+        // Hand every record the primary persisted to a standby engine,
+        // exactly as the serve layer's replica listener does.
+        let standby = Engine::with_workers(1).with_store(&standby_path).unwrap();
+        primary
+            .store_handle()
+            .unwrap()
+            .for_each(|kind, key, value| {
+                assert!(standby.apply_replicated_record(kind, key, value));
+            });
+        assert!(standby.cache_stats().store_loads > 0);
+        let warm = standby.evaluate_batch(&grid);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.outcome, w.outcome);
+            assert_eq!(c.detection, w.detection);
+            assert_eq!(w.cache.misses, 0, "standby recomputed a replicated entry");
+        }
+        // The standby re-persisted what it applied: a restart over its own
+        // store warm-starts without the primary.
+        standby.sync_store().unwrap().unwrap();
+        drop(standby);
+        let restarted = Engine::with_workers(1).with_store(&standby_path).unwrap();
+        assert!(restarted.cache_stats().store_loads > 0);
+        // Undecodable records are rejected, not applied.
+        assert!(!restarted.apply_replicated_record(9, b"junk", b"junk"));
+        assert!(!restarted.apply_replicated_record(persist::KIND_RESULT, b"short", b""));
+        std::fs::remove_file(&primary_path).unwrap();
+        std::fs::remove_file(&standby_path).unwrap();
+    }
+
+    #[test]
+    fn routing_keys_follow_result_cache_identity() {
+        let a = EvalRequest::new(paper().with_n_sensors(60), BackendSpec::ms_default());
+        let same = EvalRequest::new(paper().with_n_sensors(60), BackendSpec::ms_default());
+        let other_n = EvalRequest::new(paper().with_n_sensors(90), BackendSpec::ms_default());
+        let other_backend = EvalRequest::new(paper().with_n_sensors(60), BackendSpec::Poisson);
+        assert_eq!(Engine::routing_key(&a), Engine::routing_key(&same));
+        assert_ne!(Engine::routing_key(&a), Engine::routing_key(&other_n));
+        assert_ne!(Engine::routing_key(&a), Engine::routing_key(&other_backend));
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! `gbd-router` — the cluster routing layer of the group-based-detection
+//! stack: a std-only TCP proxy that consistent-hashes
+//! [`EvalRequest`](gbd_engine::EvalRequest) keys across N `gbd-serve`
+//! shards speaking the same JSON-lines protocol.
+//!
+//! The paper's base station answers `P_M[X ≥ k]` queries; one engine
+//! process already scales across cores, and the router scales across
+//! *processes*: each request's cache identity
+//! ([`Engine::routing_key`](gbd_engine::Engine::routing_key)) places it
+//! on a consistent-hash ring, so every shard owns a disjoint share of
+//! the key space and its warm caches never duplicate another shard's
+//! work. Around that core, the production concerns:
+//!
+//! - **Health**: a heartbeat pings every shard and scrapes replication
+//!   progress from the `cluster` metrics section.
+//! - **Retries**: transport failures retry with jittered exponential
+//!   backoff, bounded per request.
+//! - **Circuit breakers**: a failure streak opens the slot's breaker so
+//!   a dead shard sheds fast (`shard_unavailable`, safe to retry)
+//!   instead of making every client wait out connect timeouts.
+//! - **Failover**: when a shard with a configured standby is declared
+//!   dead, the router promotes the standby — the hash slot re-pins, and
+//!   the standby's replicated store answers with the warm cache the
+//!   primary built (see `gbd_store`'s shipper / `gbd-serve`'s
+//!   `replica_listen`).
+//!
+//! Responses are relayed byte-for-byte, so an answer through the router
+//! is bit-identical to the shard's (and, by the serve layer's float
+//! round-trip guarantee, to a local evaluation).
+//!
+//! ```no_run
+//! use gbd_router::{Router, RouterConfig};
+//!
+//! let router = Router::bind(RouterConfig {
+//!     shards: vec!["127.0.0.1:7070".into(), "127.0.0.1:7071".into()],
+//!     standbys: vec![(0, "127.0.0.1:7080".into())],
+//!     ..RouterConfig::default()
+//! })?;
+//! println!("routing on {}", router.local_addr());
+//! router.run()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod ring;
+pub mod server;
+pub mod slots;
+pub mod upstream;
+
+pub use ring::Ring;
+pub use server::{Router, RouterConfig, RouterHandle};
+pub use slots::{Route, RouterCounters, Slot, SlotSnapshot};

@@ -1,0 +1,92 @@
+//! The consistent-hash ring mapping routing keys to hash slots.
+//!
+//! Every slot contributes `virtual_nodes` points to the ring (FNV-1a of
+//! the slot index and vnode number); a key routes to the owner of the
+//! first point at or after its own hash, wrapping at the top. Virtual
+//! nodes smooth the per-slot share of the key space, and because slots
+//! are *logical* (the active address behind a slot can change on
+//! failover), promoting a standby never moves any key.
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty uniform for placing
+/// vnode points and keys on the ring.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An immutable consistent-hash ring over `slots` logical slots.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, slot)` sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Builds a ring with `virtual_nodes` points per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` or `virtual_nodes` is zero — an empty ring
+    /// cannot route anything, so this is a configuration bug, not a
+    /// runtime condition.
+    pub fn new(slots: usize, virtual_nodes: usize) -> Ring {
+        assert!(slots > 0, "ring needs at least one slot");
+        assert!(virtual_nodes > 0, "ring needs at least one vnode per slot");
+        let mut points = Vec::with_capacity(slots * virtual_nodes);
+        for slot in 0..slots {
+            for vnode in 0..virtual_nodes {
+                let mut seed = [0u8; 16];
+                seed[..8].copy_from_slice(&(slot as u64).to_le_bytes());
+                seed[8..].copy_from_slice(&(vnode as u64).to_le_bytes());
+                points.push((fnv1a64(&seed), slot));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The slot owning `key`.
+    pub fn slot_for(&self, key: &[u8]) -> usize {
+        let hash = fnv1a64(key);
+        let idx = self.points.partition_point(|&(point, _)| point < hash);
+        let (_, slot) = self.points[idx % self.points.len()];
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_slot_owns_a_share_of_the_key_space() {
+        let slots = 4;
+        let ring = Ring::new(slots, 64);
+        let mut counts = vec![0usize; slots];
+        for i in 0..10_000u32 {
+            counts[ring.slot_for(&i.to_le_bytes())] += 1;
+        }
+        for (slot, &count) in counts.iter().enumerate() {
+            // With 64 vnodes the share should be within a loose factor of
+            // fair (10000/4 = 2500).
+            assert!(
+                count > 800 && count < 5_000,
+                "slot {slot} owns {count} of 10000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let a = Ring::new(3, 64);
+        let b = Ring::new(3, 64);
+        for i in 0..1_000u32 {
+            let key = i.to_le_bytes();
+            assert_eq!(a.slot_for(&key), b.slot_for(&key));
+        }
+    }
+}

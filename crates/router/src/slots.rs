@@ -1,0 +1,306 @@
+//! Per-slot serving state: the active address, circuit breaker, health
+//! bookkeeping, and failover.
+//!
+//! A slot is a *logical* owner of a share of the hash ring. It starts
+//! pinned to its primary shard; when the primary is declared dead (by
+//! request failures tripping the breaker or by missed heartbeats) and a
+//! standby is configured, the slot promotes the standby — the ring never
+//! changes, only the address behind the slot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Mutable state behind one slot's mutex.
+#[derive(Debug)]
+struct SlotState {
+    /// Address currently serving this slot's keys.
+    active: String,
+    /// The standby was promoted; there is nothing left to fail over to.
+    failed_over: bool,
+    /// Consecutive request-transport failures against `active`.
+    consecutive_failures: u32,
+    /// While set (and in the future), requests skip `active` entirely.
+    breaker_open_until: Option<Instant>,
+    /// Consecutive heartbeat misses against `active`.
+    heartbeat_misses: u32,
+    /// Last heartbeat verdict.
+    healthy: bool,
+    /// Last `shipped_records` observed from the primary's cluster metrics.
+    shipped_records: u64,
+    /// Last `applied_records` observed from the standby's cluster metrics.
+    applied_records: u64,
+}
+
+/// What a request path should do about a slot right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Forward to this address.
+    Forward(String),
+    /// Breaker open and no standby left: shed with `shard_unavailable`.
+    Shed,
+}
+
+/// A point-in-time copy of one slot's state for the metrics payload.
+#[derive(Debug, Clone)]
+pub struct SlotSnapshot {
+    /// Configured primary address.
+    pub primary: String,
+    /// Configured standby address, if any.
+    pub standby: Option<String>,
+    /// Address currently serving the slot.
+    pub active: String,
+    /// Whether the standby has been promoted.
+    pub failed_over: bool,
+    /// Last heartbeat verdict.
+    pub healthy: bool,
+    /// Whether the circuit breaker is currently open.
+    pub breaker_open: bool,
+    /// Consecutive heartbeat misses.
+    pub heartbeat_misses: u32,
+    /// Last observed primary `shipped_records`.
+    pub shipped_records: u64,
+    /// Last observed standby `applied_records`.
+    pub applied_records: u64,
+}
+
+/// One hash slot: a primary, an optional standby, and the live state.
+#[derive(Debug)]
+pub struct Slot {
+    primary: String,
+    standby: Option<String>,
+    state: Mutex<SlotState>,
+}
+
+fn lock(state: &Mutex<SlotState>) -> std::sync::MutexGuard<'_, SlotState> {
+    state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Slot {
+    /// A healthy slot pinned to `primary`.
+    pub fn new(primary: String, standby: Option<String>) -> Slot {
+        let active = primary.clone();
+        Slot {
+            primary,
+            standby,
+            state: Mutex::new(SlotState {
+                active,
+                failed_over: false,
+                consecutive_failures: 0,
+                breaker_open_until: None,
+                heartbeat_misses: 0,
+                healthy: true,
+                shipped_records: 0,
+                applied_records: 0,
+            }),
+        }
+    }
+
+    /// Where a request for this slot should go right now. An expired
+    /// breaker half-opens: the next request probes the active address and
+    /// either closes the breaker (success) or re-opens it (failure).
+    pub fn route(&self, now: Instant) -> Route {
+        let mut state = lock(&self.state);
+        if let Some(until) = state.breaker_open_until {
+            if now < until {
+                return Route::Shed;
+            }
+            // Half-open: let one request through as the probe.
+            state.breaker_open_until = None;
+        }
+        Route::Forward(state.active.clone())
+    }
+
+    /// Records a successful round trip against `addr`: closes the breaker
+    /// and clears the failure streak (if `addr` is still the active one —
+    /// a success against a since-demoted address proves nothing).
+    pub fn record_success(&self, addr: &str) {
+        let mut state = lock(&self.state);
+        if state.active == addr {
+            state.consecutive_failures = 0;
+            state.breaker_open_until = None;
+            state.healthy = true;
+        }
+    }
+
+    /// Records a transport failure against `addr`. Opens the breaker once
+    /// the streak reaches `threshold`. Returns `true` when the caller
+    /// should attempt a failover (the failing address is the active one
+    /// and a standby is still available).
+    pub fn record_failure(&self, addr: &str, threshold: u32, cooldown: Duration) -> bool {
+        let mut state = lock(&self.state);
+        if state.active != addr {
+            return false;
+        }
+        state.consecutive_failures += 1;
+        if state.consecutive_failures >= threshold {
+            state.breaker_open_until = Some(Instant::now() + cooldown);
+        }
+        !state.failed_over && self.standby.is_some()
+    }
+
+    /// Promotes the standby: the slot's keys re-pin to it, the breaker
+    /// closes, and the failure streak resets. Returns `false` when there
+    /// is no standby or it was already promoted (the slot is on its last
+    /// address either way).
+    pub fn promote_standby(&self) -> bool {
+        let Some(standby) = &self.standby else {
+            return false;
+        };
+        let mut state = lock(&self.state);
+        if state.failed_over {
+            return false;
+        }
+        state.active = standby.clone();
+        state.failed_over = true;
+        state.consecutive_failures = 0;
+        state.breaker_open_until = None;
+        state.heartbeat_misses = 0;
+        state.healthy = true;
+        true
+    }
+
+    /// Records a heartbeat verdict for `addr`. Returns `true` when the
+    /// miss streak against the active address crossed `max_misses` and a
+    /// failover should be attempted.
+    pub fn record_heartbeat(&self, addr: &str, alive: bool, max_misses: u32) -> bool {
+        let mut state = lock(&self.state);
+        if state.active != addr {
+            return false;
+        }
+        if alive {
+            state.heartbeat_misses = 0;
+            state.healthy = true;
+            return false;
+        }
+        state.heartbeat_misses += 1;
+        if state.heartbeat_misses >= max_misses {
+            state.healthy = false;
+            return !state.failed_over && self.standby.is_some();
+        }
+        false
+    }
+
+    /// Stores the replication figures the heartbeat scraped.
+    pub fn record_replication(&self, shipped: Option<u64>, applied: Option<u64>) {
+        let mut state = lock(&self.state);
+        if let Some(shipped) = shipped {
+            state.shipped_records = shipped;
+        }
+        if let Some(applied) = applied {
+            state.applied_records = applied;
+        }
+    }
+
+    /// The configured primary address.
+    pub fn primary(&self) -> &str {
+        &self.primary
+    }
+
+    /// The configured standby address.
+    pub fn standby(&self) -> Option<&str> {
+        self.standby.as_deref()
+    }
+
+    /// The address currently serving the slot.
+    pub fn active(&self) -> String {
+        lock(&self.state).active.clone()
+    }
+
+    /// A point-in-time copy for the metrics payload.
+    pub fn snapshot(&self, now: Instant) -> SlotSnapshot {
+        let state = lock(&self.state);
+        SlotSnapshot {
+            primary: self.primary.clone(),
+            standby: self.standby.clone(),
+            active: state.active.clone(),
+            failed_over: state.failed_over,
+            healthy: state.healthy,
+            breaker_open: state.breaker_open_until.is_some_and(|until| now < until),
+            heartbeat_misses: state.heartbeat_misses,
+            shipped_records: state.shipped_records,
+            applied_records: state.applied_records,
+        }
+    }
+}
+
+/// Router-wide counters surfaced in the metrics payload.
+#[derive(Debug, Default)]
+pub struct RouterCounters {
+    /// Eval requests forwarded to a shard (first attempts and retries).
+    pub forwarded: AtomicU64,
+    /// Retry attempts after a transport failure.
+    pub retries: AtomicU64,
+    /// Standby promotions.
+    pub failovers: AtomicU64,
+    /// Requests shed with `shard_unavailable`.
+    pub shed: AtomicU64,
+}
+
+impl RouterCounters {
+    /// Relaxed increment (counters are monotonic and independently read).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens_after_cooldown() {
+        let slot = Slot::new("a".to_string(), None);
+        let cooldown = Duration::from_millis(20);
+        for _ in 0..2 {
+            slot.record_failure("a", 3, cooldown);
+        }
+        assert_eq!(slot.route(Instant::now()), Route::Forward("a".to_string()));
+        slot.record_failure("a", 3, cooldown);
+        assert_eq!(slot.route(Instant::now()), Route::Shed);
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        // Half-open probe goes through; its failure re-opens immediately.
+        assert_eq!(slot.route(Instant::now()), Route::Forward("a".to_string()));
+        slot.record_failure("a", 1, cooldown);
+        assert_eq!(slot.route(Instant::now()), Route::Shed);
+        // And a success closes it for good.
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert_eq!(slot.route(Instant::now()), Route::Forward("a".to_string()));
+        slot.record_success("a");
+        assert_eq!(slot.route(Instant::now()), Route::Forward("a".to_string()));
+    }
+
+    #[test]
+    fn failover_promotes_once_and_repins_the_slot() {
+        let slot = Slot::new("a".to_string(), Some("b".to_string()));
+        assert!(slot.record_failure("a", 5, Duration::from_secs(1)));
+        assert!(slot.promote_standby());
+        assert_eq!(slot.active(), "b");
+        assert!(slot.snapshot(Instant::now()).failed_over);
+        // Second promotion is a no-op; failures against b find no standby.
+        assert!(!slot.promote_standby());
+        assert!(!slot.record_failure("b", 5, Duration::from_secs(1)));
+        // Stale failures against the demoted primary are ignored.
+        assert!(!slot.record_failure("a", 1, Duration::from_secs(1)));
+        assert_eq!(slot.route(Instant::now()), Route::Forward("b".to_string()));
+    }
+
+    #[test]
+    fn heartbeat_misses_trigger_failover_only_past_threshold() {
+        let slot = Slot::new("a".to_string(), Some("b".to_string()));
+        assert!(!slot.record_heartbeat("a", false, 3));
+        assert!(!slot.record_heartbeat("a", false, 3));
+        assert!(!slot.record_heartbeat("a", true, 3));
+        assert!(!slot.record_heartbeat("a", false, 3));
+        assert!(!slot.record_heartbeat("a", false, 3));
+        assert!(slot.record_heartbeat("a", false, 3));
+        assert!(!slot.snapshot(Instant::now()).healthy);
+    }
+}

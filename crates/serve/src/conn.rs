@@ -15,7 +15,7 @@ use crate::json::Json;
 use crate::metrics::render_window;
 use crate::protocol::{self, ErrorCode, Verb};
 use crate::server::ServerShared;
-use gbd_obs::{CancelToken, WatchMsg};
+use gbd_obs::{CancelToken, Counter, WatchMsg};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{self, Receiver, SyncSender};
@@ -51,9 +51,10 @@ pub(crate) fn handle(stream: TcpStream, shared: &Arc<ServerShared>) {
     };
     let inflight = shared.config.max_inflight_per_conn.max(1);
     let (tx, rx) = mpsc::sync_channel::<WriteItem>(inflight);
+    let write_errors = Arc::clone(&shared.metrics.write_errors);
     let writer = std::thread::Builder::new()
         .name("gbd-conn-writer".to_string())
-        .spawn(move || writer_loop(write_half, &rx));
+        .spawn(move || writer_loop(write_half, &rx, &write_errors));
     let Ok(writer) = writer else {
         return;
     };
@@ -74,11 +75,11 @@ pub(crate) fn handle(stream: TcpStream, shared: &Arc<ServerShared>) {
     let _ = writer.join();
 }
 
-fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>) {
+fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>, write_errors: &Counter) {
     let mut out = BufWriter::new(stream);
     while let Ok(item) = rx.recv() {
         let delivered = match item {
-            WriteItem::Ready(json) => write_line(&mut out, &json),
+            WriteItem::Ready(json) => write_line(&mut out, &json, write_errors),
             WriteItem::Wait { id, rx } => {
                 let response = rx.recv().unwrap_or_else(|_| {
                     // The coalescer guarantees a send for every admitted
@@ -89,7 +90,7 @@ fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>) {
                         "response channel closed",
                     )
                 });
-                write_line(&mut out, &response)
+                write_line(&mut out, &response, write_errors)
             }
             WriteItem::Stream {
                 id,
@@ -97,7 +98,7 @@ fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>) {
                 limit,
                 token,
             } => {
-                let delivered = stream_windows(&mut out, id, &rx, limit);
+                let delivered = stream_windows(&mut out, id, &rx, limit, write_errors);
                 // The subscription is over either way; mark it so that
                 // `unwatch` and connection teardown skip it.
                 token.cancel();
@@ -110,10 +111,16 @@ fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>) {
     }
 }
 
-fn write_line(out: &mut BufWriter<TcpStream>, response: &Json) -> bool {
+/// Writes one response line, counting a failure into `server_write_errors`
+/// before the caller drops the connection (a silent drop left no trace).
+fn write_line(out: &mut BufWriter<TcpStream>, response: &Json, write_errors: &Counter) -> bool {
     let mut line = response.render();
     line.push('\n');
-    out.write_all(line.as_bytes()).is_ok() && out.flush().is_ok()
+    let delivered = out.write_all(line.as_bytes()).is_ok() && out.flush().is_ok();
+    if !delivered {
+        write_errors.inc();
+    }
+    delivered
 }
 
 /// Writes one `watch` stream: ack, window lines, terminator. Returns false
@@ -129,6 +136,7 @@ fn stream_windows(
     id: u64,
     rx: &Receiver<WatchMsg>,
     limit: u64,
+    write_errors: &Counter,
 ) -> bool {
     let ack = Json::obj(vec![
         ("id".to_string(), Json::Int(id as i64)),
@@ -136,7 +144,7 @@ fn stream_windows(
         ("watching".to_string(), Json::Bool(true)),
         ("windows".to_string(), Json::from(limit)),
     ]);
-    if !write_line(out, &ack) {
+    if !write_line(out, &ack, write_errors) {
         return false;
     }
     let mut sent: u64 = 0;
@@ -146,7 +154,7 @@ fn stream_windows(
         let Ok(msg) = rx.recv() else {
             break;
         };
-        if !write_line(out, &render_window(id, &msg)) {
+        if !write_line(out, &render_window(id, &msg), write_errors) {
             return false;
         }
         sent += 1;
@@ -157,7 +165,7 @@ fn stream_windows(
         ("watch_end".to_string(), Json::Bool(true)),
         ("windows".to_string(), Json::from(sent)),
     ]);
-    write_line(out, &end)
+    write_line(out, &end, write_errors)
 }
 
 fn reader_loop(
@@ -245,10 +253,12 @@ fn dispatch(
         }
         Verb::Stats => {
             shared.metrics.record_verb("stats");
+            shared.metrics.deprecated_verb_calls.inc();
             WriteItem::Ready(shared.metrics_snapshot().render_stats(id))
         }
         Verb::Store => {
             shared.metrics.record_verb("store");
+            shared.metrics.deprecated_verb_calls.inc();
             WriteItem::Ready(shared.metrics_snapshot().render_store(id))
         }
         Verb::Watch { windows, replay } => {

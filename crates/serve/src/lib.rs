@@ -36,13 +36,14 @@ pub mod conn;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+mod replica;
 pub mod server;
 pub mod signals;
 
 pub use coalescer::{Coalescer, CoalescerConfig, SubmitError};
 pub use json::{Json, JsonError};
 pub use metrics::{
-    render_window, MetricsSnapshot, ServerMetrics, StoreSnapshot, BACKENDS,
+    render_window, ClusterSnapshot, MetricsSnapshot, ServerMetrics, StoreSnapshot, BACKENDS,
     METRICS_SCHEMA_VERSION, VERBS,
 };
 pub use protocol::{Envelope, ErrorCode, Section, Verb, WireError};

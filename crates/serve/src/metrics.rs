@@ -59,6 +59,18 @@ pub struct ServerMetrics {
     /// Compute component: batch flush to that request's response being
     /// ready. `latency ≈ queue_wait + compute` per request.
     pub compute: Arc<Histogram>,
+    /// Response lines that failed to reach the client (write or flush I/O
+    /// error in the per-connection writer). Before this counter existed a
+    /// failed write silently dropped the connection with no metric.
+    pub write_errors: Arc<Counter>,
+    /// Calls to the byte-compatible deprecated `stats`/`store` aliases,
+    /// so the migration documented in docs/SERVING.md is observable.
+    pub deprecated_verb_calls: Arc<Counter>,
+    /// Replicated store records applied by this process's replica
+    /// listener (standby role).
+    pub replica_applied: Arc<Counter>,
+    /// Replicated records that failed to decode or re-append.
+    pub replica_apply_errors: Arc<Counter>,
     verbs: Vec<(&'static str, Arc<Counter>)>,
     backends: Vec<(&'static str, Arc<Histogram>)>,
 }
@@ -91,6 +103,10 @@ impl ServerMetrics {
             latency: registry.histogram("latency_us"),
             queue_wait: registry.histogram("queue_wait_us"),
             compute: registry.histogram("compute_us"),
+            write_errors: registry.counter("server_write_errors"),
+            deprecated_verb_calls: registry.counter("deprecated_verb_calls"),
+            replica_applied: registry.counter("replica_applied_records"),
+            replica_apply_errors: registry.counter("replica_apply_errors"),
             verbs: VERBS
                 .iter()
                 .map(|&v| (v, registry.counter(&format!("requests_{v}"))))
@@ -136,8 +152,15 @@ impl ServerMetrics {
 
     /// Reads every instrument once into a [`MetricsSnapshot`].
     /// `queue_depth` is sampled by the caller (it lives behind the
-    /// coalescer's lock); cache and store state come from the engine.
-    pub fn snapshot(&self, queue_depth: usize, engine: &Engine) -> MetricsSnapshot {
+    /// coalescer's lock); cache and store state come from the engine;
+    /// `cluster` is this process's shard identity and replication state
+    /// (None outside cluster mode).
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        engine: &Engine,
+        cluster: Option<ClusterSnapshot>,
+    ) -> MetricsSnapshot {
         let cache = engine.cache_stats();
         let store = engine.store_stats().map(|stats| StoreSnapshot {
             live_entries: stats.live_entries,
@@ -174,8 +197,32 @@ impl ServerMetrics {
                 .map(|(b, h)| (*b, h.snapshot()))
                 .collect(),
             watch: self.registry.watch_stats(),
+            cluster,
         }
     }
+}
+
+/// Shard identity and store-replication state at snapshot time, rendered
+/// as the `cluster` section when a client requests it explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// This process's shard identity (`--shard-id`, or the listen address
+    /// when unset).
+    pub shard_id: String,
+    /// `"primary"` when shipping appends to a follower, `"standby"` when
+    /// applying a primary's log, `"single"` otherwise.
+    pub role: &'static str,
+    /// Records shipped to the follower (initial sync included).
+    pub shipped_records: u64,
+    /// Records that could not be shipped (queue overflow or a dead
+    /// follower past the reconnect budget).
+    pub ship_errors: u64,
+    /// Times the shipper (re)connected to the follower.
+    pub ship_connects: u64,
+    /// Replicated records applied by this process's replica listener.
+    pub applied_records: u64,
+    /// Replicated records that failed to decode or re-append.
+    pub apply_errors: u64,
 }
 
 /// Persistent-store status at snapshot time (present when a store is
@@ -244,6 +291,8 @@ pub struct MetricsSnapshot {
     pub backends: Vec<(&'static str, HistogramSnapshot)>,
     /// Watch-subscription health.
     pub watch: WatchStats,
+    /// Shard identity and replication state; `None` outside cluster mode.
+    pub cluster: Option<ClusterSnapshot>,
 }
 
 /// `count`/`p50`/`p95`/`p99`/`max` summary — the legacy `stats` histogram
@@ -487,6 +536,30 @@ impl MetricsSnapshot {
                 ]),
             ));
         }
+        // The cluster section is opt-in only: an empty selector means "all
+        // pre-cluster sections", so default payloads keep their shape and
+        // single-process deployments never see cluster noise.
+        if sections.contains(&Section::Cluster) {
+            let fields = match &self.cluster {
+                None => vec![("enabled".to_string(), Json::Bool(false))],
+                Some(c) => vec![
+                    ("enabled".to_string(), Json::Bool(true)),
+                    ("shard_id".to_string(), Json::from(c.shard_id.as_str())),
+                    ("role".to_string(), Json::from(c.role)),
+                    (
+                        "replication".to_string(),
+                        Json::obj(vec![
+                            ("shipped_records".to_string(), Json::from(c.shipped_records)),
+                            ("ship_errors".to_string(), Json::from(c.ship_errors)),
+                            ("ship_connects".to_string(), Json::from(c.ship_connects)),
+                            ("applied_records".to_string(), Json::from(c.applied_records)),
+                            ("apply_errors".to_string(), Json::from(c.apply_errors)),
+                        ]),
+                    ),
+                ],
+            };
+            body.push(("cluster".to_string(), Json::obj(fields)));
+        }
         Json::obj(vec![
             ("id".to_string(), Json::Int(id as i64)),
             ("ok".to_string(), Json::Bool(true)),
@@ -566,7 +639,7 @@ mod tests {
 
     fn snapshot(m: &ServerMetrics, queue_depth: usize) -> MetricsSnapshot {
         let engine = Engine::with_workers(1);
-        m.snapshot(queue_depth, &engine)
+        m.snapshot(queue_depth, &engine, None)
     }
 
     #[test]
@@ -662,6 +735,39 @@ mod tests {
         assert!(body.get("cache").is_some());
         assert!(body.get("server").is_none());
         assert!(body.get("histograms").is_none());
+    }
+
+    #[test]
+    fn cluster_section_renders_only_when_requested() {
+        let m = ServerMetrics::new();
+        let mut snap = snapshot(&m, 0);
+        // Empty selector means "all pre-cluster sections" — no cluster key.
+        let all = snap.render_metrics(1, &[]);
+        assert!(all.get("metrics").unwrap().get("cluster").is_none());
+        // Explicit request outside cluster mode reports enabled: false.
+        let v = snap.render_metrics(1, &[Section::Cluster]);
+        let cluster = v.get("metrics").unwrap().get("cluster").unwrap();
+        assert_eq!(cluster.get("enabled").and_then(Json::as_bool), Some(false));
+        snap.cluster = Some(ClusterSnapshot {
+            shard_id: "shard0".to_string(),
+            role: "primary",
+            shipped_records: 7,
+            ship_errors: 1,
+            ship_connects: 2,
+            applied_records: 0,
+            apply_errors: 0,
+        });
+        let v = snap.render_metrics(1, &[Section::Cluster]);
+        let cluster = v.get("metrics").unwrap().get("cluster").unwrap();
+        assert_eq!(cluster.get("enabled").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            cluster.get("shard_id").and_then(Json::as_str),
+            Some("shard0")
+        );
+        assert_eq!(cluster.get("role").and_then(Json::as_str), Some("primary"));
+        let rep = cluster.get("replication").unwrap();
+        assert_eq!(rep.get("shipped_records").and_then(Json::as_u64), Some(7));
+        assert_eq!(rep.get("ship_connects").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

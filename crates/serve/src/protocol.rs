@@ -59,6 +59,9 @@ pub enum ErrorCode {
     WorkerPanicked,
     /// The request's deadline passed before evaluation finished.
     DeadlineExceeded,
+    /// The shard this request hashes to is down and no standby could
+    /// serve it; the request was shed unevaluated and is safe to retry.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -73,6 +76,7 @@ impl ErrorCode {
             ErrorCode::EvalFailed => "eval_failed",
             ErrorCode::WorkerPanicked => "worker_panicked",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
         }
     }
 }
@@ -88,6 +92,10 @@ pub enum Section {
     Store,
     /// Latency/queue-wait/compute and per-backend histograms.
     Histograms,
+    /// Cluster membership: shard identity and store replication. Rendered
+    /// only when requested explicitly, so the default payload keeps its
+    /// pre-cluster shape.
+    Cluster,
 }
 
 impl Section {
@@ -98,6 +106,7 @@ impl Section {
             "cache" => Some(Section::Cache),
             "store" => Some(Section::Store),
             "histograms" => Some(Section::Histograms),
+            "cluster" => Some(Section::Cluster),
             _ => None,
         }
     }
@@ -214,7 +223,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, WireError> {
                             v.as_str().and_then(Section::from_name).ok_or_else(|| {
                                 fail(
                                     "`sections` entries must be one of: server, cache, \
-                                         store, histograms"
+                                         store, histograms, cluster"
                                         .to_string(),
                                 )
                             })

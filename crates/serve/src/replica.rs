@@ -1,0 +1,143 @@
+//! The standby side of store replication: a TCP listener that accepts
+//! log-shipping connections from primaries and applies every record to
+//! this process's engine.
+//!
+//! Each connection is one [`gbd_store::Follower`] stream: the store
+//! header's schema version and identity tag are validated against this
+//! engine's codec before a single record is applied, then records warm
+//! the cache layers (and this process's own store) through
+//! [`Engine::apply_replicated_record`]. A standby promoted by the router
+//! therefore serves the dead shard's keys from a warm cache — zero cold
+//! stages — and `store_loads` counts exactly what replication delivered.
+//!
+//! Multiple primaries may feed one standby: the engine's key space is
+//! global (keys carry the full request identity), so the union of several
+//! shards' records is simply a broader warm set.
+
+use gbd_engine::Engine;
+use gbd_obs::Counter;
+use gbd_store::{Follower, FollowerError};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running replica listener; stop on drain via
+/// [`ReplicaListener::stop`].
+pub(crate) struct ReplicaListener {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ReplicaListener {
+    /// Binds `addr` (`:0` picks an ephemeral port) and starts accepting
+    /// replication streams in the background, applying records to
+    /// `engine` and counting into `applied`/`apply_errors`.
+    pub(crate) fn bind(
+        addr: &str,
+        engine: Arc<Engine>,
+        applied: Arc<Counter>,
+        apply_errors: Arc<Counter>,
+    ) -> io::Result<ReplicaListener> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("gbd-replica-accept".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &accept_stop, &engine, &applied, &apply_errors);
+            })?;
+        Ok(ReplicaListener {
+            local_addr,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound address (resolves `:0`).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting new streams. Streams already connected finish on
+    /// their own when their primary disconnects; records they apply after
+    /// this point are harmless (cache seeding is idempotent).
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let handle = self
+            .accept_thread
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    engine: &Arc<Engine>,
+    applied: &Arc<Counter>,
+    apply_errors: &Arc<Counter>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(engine);
+                let applied = Arc::clone(applied);
+                let apply_errors = Arc::clone(apply_errors);
+                let spawned = std::thread::Builder::new()
+                    .name("gbd-replica-apply".to_string())
+                    .spawn(move || apply_stream(stream, &engine, &applied, &apply_errors));
+                if spawned.is_err() {
+                    // Could not spawn; drop the stream — the primary will
+                    // reconnect and replay.
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Applies one primary's stream until it ends. Header or identity
+/// failures reject the whole stream (one apply error); a corrupt frame
+/// ends it (the primary reconnects and replays); a clean disconnect is
+/// the normal end of a primary's life.
+fn apply_stream(stream: TcpStream, engine: &Engine, applied: &Counter, apply_errors: &Counter) {
+    let reader = BufReader::new(stream);
+    let mut follower = match Follower::accept(reader, Engine::store_identity()) {
+        Ok(follower) => follower,
+        Err(FollowerError::Io(_)) => return,
+        Err(_) => {
+            apply_errors.inc();
+            return;
+        }
+    };
+    loop {
+        match follower.next_record() {
+            Ok(Some(record)) => {
+                if engine.apply_replicated_record(record.kind, &record.key, &record.value) {
+                    applied.inc();
+                } else {
+                    apply_errors.inc();
+                }
+            }
+            Ok(None) | Err(FollowerError::Io(_)) => return,
+            Err(_) => {
+                apply_errors.inc();
+                return;
+            }
+        }
+    }
+}

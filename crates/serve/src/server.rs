@@ -9,10 +9,12 @@
 
 use crate::coalescer::{Coalescer, CoalescerConfig};
 use crate::conn;
-use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::metrics::{ClusterSnapshot, MetricsSnapshot, ServerMetrics};
+use crate::replica::ReplicaListener;
 use crate::signals;
 use gbd_engine::Engine;
 use gbd_obs::{TextEndpoint, Ticker};
+use gbd_store::Shipper;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +55,17 @@ pub struct ServeConfig {
     /// Windowed-delta resolution: the observability ticker closes one
     /// window per interval.
     pub obs_window: Duration,
+    /// Stable shard identity reported in the `metrics` verb's `cluster`
+    /// section (defaults to the bound address when unset). Setting any of
+    /// the three cluster fields enables the section.
+    pub shard_id: Option<String>,
+    /// Ship every store append to a standby's replica listener at this
+    /// address (requires the engine to have a store attached).
+    pub replicate_to: Option<String>,
+    /// Accept replicated store records on this address and apply them to
+    /// this engine (`:0` picks an ephemeral port, reported by
+    /// [`Server::replica_local_addr`]).
+    pub replica_listen: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -68,8 +81,20 @@ impl Default for ServeConfig {
             handle_signals: false,
             metrics_addr: None,
             obs_window: Duration::from_secs(1),
+            shard_id: None,
+            replicate_to: None,
+            replica_listen: None,
         }
     }
+}
+
+/// Cluster-mode state a shard carries when any of the cluster config
+/// fields is set: identity, role, and the outbound shipper (when this
+/// shard replicates to a standby).
+pub(crate) struct ClusterState {
+    shard_id: String,
+    role: &'static str,
+    shipper: Option<Arc<Shipper>>,
 }
 
 /// State shared by the accept loop, the connections, and the coalescer.
@@ -78,6 +103,7 @@ pub(crate) struct ServerShared {
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) coalescer: Arc<Coalescer>,
     pub(crate) config: ServeConfig,
+    cluster: Option<ClusterState>,
     shutdown: AtomicBool,
 }
 
@@ -90,8 +116,24 @@ impl ServerShared {
 
     /// Reads every instrument once (see [`ServerMetrics::snapshot`]).
     pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let cluster = self.cluster.as_ref().map(|state| {
+            let ship = state
+                .shipper
+                .as_deref()
+                .map(Shipper::stats)
+                .unwrap_or_default();
+            ClusterSnapshot {
+                shard_id: state.shard_id.clone(),
+                role: state.role,
+                shipped_records: ship.shipped_records,
+                ship_errors: ship.dropped_records,
+                ship_connects: ship.connects,
+                applied_records: self.metrics.replica_applied.get(),
+                apply_errors: self.metrics.replica_apply_errors.get(),
+            }
+        });
         self.metrics
-            .snapshot(self.coalescer.queue_depth(), &self.engine)
+            .snapshot(self.coalescer.queue_depth(), &self.engine, cluster)
     }
 
     fn shutting_down(&self) -> bool {
@@ -127,6 +169,8 @@ pub struct Server {
     ticker: Mutex<Option<Ticker>>,
     exposition: Mutex<Option<TextEndpoint>>,
     metrics_addr: Option<SocketAddr>,
+    replica: Mutex<Option<ReplicaListener>>,
+    replica_addr: Option<SocketAddr>,
 }
 
 impl Server {
@@ -168,6 +212,72 @@ impl Server {
             )?),
         };
         let metrics_addr = exposition.as_ref().map(TextEndpoint::local_addr);
+
+        let replica = match &config.replica_listen {
+            None => None,
+            Some(addr) => Some(ReplicaListener::bind(
+                addr.as_str(),
+                Arc::clone(&engine),
+                Arc::clone(&metrics.replica_applied),
+                Arc::clone(&metrics.replica_apply_errors),
+            )?),
+        };
+        let replica_addr = replica.as_ref().map(ReplicaListener::local_addr);
+
+        let shipper = match &config.replicate_to {
+            None => None,
+            Some(target) => {
+                let Some(store) = engine.store_handle() else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "replicate-to requires the engine to have a store attached",
+                    ));
+                };
+                let shipper = Shipper::start(Arc::clone(store), target.as_str(), 4096)?;
+                // The tee catches appends from here on; the resync request
+                // makes the shipper replay the live index on its next pass,
+                // closing the race with appends that landed before the tee.
+                let tee = Arc::clone(&shipper);
+                store.set_tee(move |kind, key, value| tee.ship(kind, key, value));
+                shipper.request_resync();
+                let probe = Arc::clone(&shipper);
+                metrics
+                    .registry()
+                    .polled_counter("replica_shipped_records", move || {
+                        probe.stats().shipped_records
+                    });
+                let probe = Arc::clone(&shipper);
+                metrics
+                    .registry()
+                    .polled_counter("replica_dropped_records", move || {
+                        probe.stats().dropped_records
+                    });
+                let probe = Arc::clone(&shipper);
+                metrics
+                    .registry()
+                    .polled_counter("replica_connects", move || probe.stats().connects);
+                Some(shipper)
+            }
+        };
+
+        let in_cluster = config.shard_id.is_some()
+            || config.replicate_to.is_some()
+            || config.replica_listen.is_some();
+        let cluster = in_cluster.then(|| ClusterState {
+            shard_id: config
+                .shard_id
+                .clone()
+                .unwrap_or_else(|| local_addr.to_string()),
+            role: if shipper.is_some() {
+                "primary"
+            } else if replica.is_some() {
+                "standby"
+            } else {
+                "single"
+            },
+            shipper,
+        });
+
         Ok(Server {
             listener,
             local_addr,
@@ -176,13 +286,22 @@ impl Server {
                 metrics,
                 coalescer,
                 config,
+                cluster,
                 shutdown: AtomicBool::new(false),
             }),
             conns: Mutex::new(Vec::new()),
             ticker: Mutex::new(Some(ticker)),
             exposition: Mutex::new(exposition),
             metrics_addr,
+            replica: Mutex::new(replica),
+            replica_addr,
         })
+    }
+
+    /// The replica listener's bound address (resolves `:0`), when
+    /// [`ServeConfig::replica_listen`] was set.
+    pub fn replica_local_addr(&self) -> Option<SocketAddr> {
+        self.replica_addr
     }
 
     /// The exposition endpoint's bound address (resolves `:0`), when
@@ -301,19 +420,42 @@ impl Server {
     /// 2. The persistent store (if attached) is snapshotted while the
     ///    engine is quiescent, so a restart warm-starts from a compact,
     ///    fsynced log.
-    /// 3. The observability ticker stops after one final window (so the
+    /// 3. Replication winds down: the shipper's queued tail is flushed to
+    ///    the standby (bounded), the store tee detaches, and the replica
+    ///    listener (if any) stops accepting.
+    /// 4. The observability ticker stops after one final window (so the
     ///    last partial window's deltas are not lost), the exposition
     ///    endpoint closes, and every watch subscription is reaped — which
     ///    unblocks writers still streaming unbounded watches.
-    /// 4. Sockets are then closed read-side, waking readers blocked in
+    /// 5. Sockets are then closed read-side, waking readers blocked in
     ///    `read` with EOF.
-    /// 5. Connection threads join (their writers already ran dry).
+    /// 6. Connection threads join (their writers already ran dry).
     fn drain(&self) {
         self.shared.coalescer.shutdown();
         // Non-fatal on failure: every spill already hit the append log, so
         // the worst case is a warm start from an uncompacted log.
         if let Some(Err(e)) = self.shared.engine.snapshot_store() {
             eprintln!("gbd-serve: store snapshot on drain failed: {e}");
+        }
+        // Replication winds down after the last batch resolved: push the
+        // queued tail to the standby (bounded wait — a dead standby must
+        // not stall the drain), detach the tee, then stop both ends.
+        if let Some(cluster) = &self.shared.cluster {
+            if let Some(shipper) = &cluster.shipper {
+                let _ = shipper.flush(Duration::from_secs(2));
+                if let Some(store) = self.shared.engine.store_handle() {
+                    store.clear_tee();
+                }
+                shipper.stop();
+            }
+        }
+        if let Some(replica) = self
+            .replica
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+        {
+            replica.stop();
         }
         let registry = self.shared.metrics.registry();
         registry.sample_window();

@@ -32,10 +32,12 @@
 pub mod format;
 mod index;
 pub mod reader;
+pub mod ship;
 mod snapshot;
 mod writer;
 
 pub use format::{ByteReader, ByteWriter, HeaderError, SCHEMA_VERSION};
+pub use ship::{Follower, FollowerError, Shipper, ShipperStats};
 pub use snapshot::CompactionReport;
 
 use index::Index;
@@ -169,6 +171,20 @@ pub struct Store {
     path: PathBuf,
     tag: Vec<u8>,
     inner: Mutex<Inner>,
+    /// Observer of successful appends (see [`Store::set_tee`]); called
+    /// under the inner lock so a replication follower sees appends in
+    /// exactly the order the log does.
+    tee: Mutex<Option<Tee>>,
+}
+
+type TeeFn = Box<dyn Fn(u8, &[u8], &[u8]) + Send + Sync>;
+
+struct Tee(TeeFn);
+
+impl fmt::Debug for Tee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Tee(..)")
+    }
 }
 
 #[derive(Debug)]
@@ -208,6 +224,7 @@ impl Store {
                     append_errors: 0,
                     compactions: 0,
                 }),
+                tee: Mutex::new(None),
             });
         }
         let recovered = reader::recover(&path).map_err(recover_error)?;
@@ -233,6 +250,7 @@ impl Store {
                 append_errors: 0,
                 compactions: 0,
             }),
+            tee: Mutex::new(None),
         })
     }
 
@@ -262,6 +280,12 @@ impl Store {
         match inner.writer.append(kind, key, value) {
             Ok(_) => {
                 inner.index.apply(kind, key.to_vec(), value.to_vec());
+                // Still under the inner lock: concurrent appends reach the
+                // tee in log order, so a follower can never apply a stale
+                // value after a fresh one.
+                if let Some(Tee(tee)) = &*lock_tee(&self.tee) {
+                    tee(kind, key, value);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -269,6 +293,24 @@ impl Store {
                 Err(StoreError::Io(e))
             }
         }
+    }
+
+    /// Installs an observer called after every successful append with the
+    /// record just written (replacing any previous observer). The hook is
+    /// invoked under the store's write lock and must not call back into
+    /// this store — log shipping enqueues and returns.
+    pub fn set_tee(&self, tee: impl Fn(u8, &[u8], &[u8]) + Send + Sync + 'static) {
+        *lock_tee(&self.tee) = Some(Tee(Box::new(tee)));
+    }
+
+    /// Removes the append observer installed by [`Store::set_tee`].
+    pub fn clear_tee(&self) {
+        *lock_tee(&self.tee) = None;
+    }
+
+    /// The identity tag this store was opened under.
+    pub fn tag(&self) -> &[u8] {
+        &self.tag
     }
 
     /// Flushes appended records to stable storage (`fdatasync`).
@@ -370,6 +412,13 @@ impl Store {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+}
+
+fn lock_tee(tee: &Mutex<Option<Tee>>) -> std::sync::MutexGuard<'_, Option<Tee>> {
+    match tee.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 

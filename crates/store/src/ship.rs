@@ -1,0 +1,542 @@
+//! Log shipping: stream a store's CRC-framed records to a follower over
+//! TCP, so a warm standby holds everything the primary computed.
+//!
+//! The wire format is exactly the on-disk format: one store header
+//! (magic, schema version, identity tag) per connection, then raw append
+//! frames. The follower therefore gets the same identity and corruption
+//! gates a local recovery does — a frame that would be rejected on disk
+//! is rejected on the wire.
+//!
+//! Delivery is at-least-once, never silently lossy:
+//!
+//! - every (re)connect replays the store's full live index before the
+//!   streamed tail, so a follower that was down catches up on attach;
+//! - a record dropped because the bounded queue was full is counted and
+//!   triggers a live-index replay on the same connection, so the
+//!   follower converges even under overload;
+//! - applying a record twice is harmless (last-writer-wins on identical
+//!   values), which is what makes both of the above safe.
+
+use crate::format::{self, Record};
+use crate::{HeaderError, Store};
+use std::fmt;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Initial reconnect backoff; doubles per failed attempt up to
+/// [`MAX_BACKOFF`].
+const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
+/// Reconnect backoff cap.
+const MAX_BACKOFF: Duration = Duration::from_secs(1);
+/// Idle poll interval of the shipping thread: pending bytes are flushed
+/// and the resync flag is honored at least this often.
+const IDLE_FLUSH: Duration = Duration::from_millis(100);
+
+/// Counters describing a [`Shipper`]'s progress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipperStats {
+    /// Records written to the follower connection (live-index replays
+    /// included, so this can exceed the primary's append count).
+    pub shipped_records: u64,
+    /// Records dropped because the queue was full or no connection was
+    /// up. Each drop schedules a live-index replay, so dropped records
+    /// still reach the follower — this counts deferrals, not data loss.
+    pub dropped_records: u64,
+    /// Successful (re)connects to the follower.
+    pub connects: u64,
+}
+
+enum ShipMsg {
+    Frame(Vec<u8>),
+    Flush(SyncSender<()>),
+}
+
+struct Shared {
+    shipped: AtomicU64,
+    dropped: AtomicU64,
+    connects: AtomicU64,
+    resync: AtomicBool,
+    stopped: AtomicBool,
+}
+
+/// Ships a store's append stream to a follower address in the
+/// background. Create with [`Shipper::start`], feed it from a
+/// [`Store::set_tee`] hook, and [`Shipper::stop`] it on drain.
+pub struct Shipper {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<SyncSender<ShipMsg>>>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Shipper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shipper")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Shipper {
+    /// Starts the shipping thread for `store`, targeting the follower at
+    /// `addr`. Connection failures are retried with capped backoff
+    /// forever (a follower may come up later); every successful connect
+    /// sends the store header and replays the live index before the
+    /// streamed tail.
+    ///
+    /// # Errors
+    ///
+    /// Only thread-spawn failure; the first connect happens in the
+    /// background.
+    pub fn start(
+        store: Arc<Store>,
+        addr: impl Into<String>,
+        queue_cap: usize,
+    ) -> io::Result<Arc<Shipper>> {
+        let addr = addr.into();
+        let (tx, rx) = mpsc::sync_channel::<ShipMsg>(queue_cap.max(1));
+        let shared = Arc::new(Shared {
+            shipped: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            resync: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("gbd-store-shipper".to_string())
+            .spawn(move || run(&store, &addr, &rx, &thread_shared))?;
+        Ok(Arc::new(Shipper {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            thread: Mutex::new(Some(thread)),
+        }))
+    }
+
+    /// Enqueues one record for shipping. Non-blocking: a full queue (or a
+    /// stopped shipper) counts a drop and schedules a live-index replay
+    /// instead of stalling the append path.
+    pub fn ship(&self, kind: u8, key: &[u8], value: &[u8]) {
+        let frame = format::encode_frame(kind, key, value);
+        let sent = match &*lock(&self.tx) {
+            Some(tx) => tx.try_send(ShipMsg::Frame(frame)).is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            self.shared.resync.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Schedules a live-index replay on the current (or next) connection.
+    /// Callers use this after attaching the append tee, closing the race
+    /// between the initial replay and the first teed append.
+    pub fn request_resync(&self) {
+        self.shared.resync.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until every queued record has been written and flushed to
+    /// the follower connection, or `timeout` elapses. Returns `false` on
+    /// timeout or when no connection could be flushed.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        // Clone the sender out of the mutex before the (blocking) send:
+        // holding the lock across it would stall appenders' `ship` calls.
+        let tx = lock(&self.tx).clone();
+        let sent = match tx {
+            Some(tx) => tx.send(ShipMsg::Flush(ack_tx)).is_ok(),
+            None => false,
+        };
+        sent && ack_rx.recv_timeout(timeout).is_ok()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ShipperStats {
+        ShipperStats {
+            shipped_records: self.shared.shipped.load(Ordering::Relaxed),
+            dropped_records: self.shared.dropped.load(Ordering::Relaxed),
+            connects: self.shared.connects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the shipping thread after it writes out the queued tail.
+    /// Idempotent.
+    pub fn stop(&self) {
+        self.shared.stopped.store(true, Ordering::Relaxed);
+        // Dropping the sender ends the thread's recv loop once the queue
+        // is drained.
+        lock(&self.tx).take();
+        let handle = lock(&self.thread).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Shipper {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The shipping thread: connect (with backoff), header + live replay,
+/// then stream the queue; any I/O error tears the connection down and
+/// reconnects, which replays the live index again — at-least-once.
+fn run(store: &Store, addr: &str, rx: &Receiver<ShipMsg>, shared: &Shared) {
+    let mut backoff = INITIAL_BACKOFF;
+    'connect: loop {
+        if shared.stopped.load(Ordering::Relaxed) {
+            // Drain the queue as drops so flush() callers are not left
+            // hanging on a dead connection.
+            while let Ok(msg) = rx.try_recv() {
+                match msg {
+                    ShipMsg::Frame(_) => {
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ShipMsg::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                }
+            }
+            return;
+        }
+        let stream = match TcpStream::connect(addr) {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Keep consuming while disconnected so the bounded queue
+                // does not wedge the tee; a replay covers these records.
+                match rx.recv_timeout(backoff) {
+                    Ok(ShipMsg::Frame(_)) => {
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.resync.store(true, Ordering::Relaxed);
+                    }
+                    Ok(ShipMsg::Flush(ack)) => {
+                        let _ = ack.send(());
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
+            }
+        };
+        backoff = INITIAL_BACKOFF;
+        shared.connects.fetch_add(1, Ordering::Relaxed);
+        let mut out = BufWriter::new(stream);
+        if out.write_all(&format::encode_header(store.tag())).is_err() {
+            continue;
+        }
+        shared.resync.store(false, Ordering::Relaxed);
+        if write_live(store, &mut out, shared).is_err() {
+            continue;
+        }
+        loop {
+            if shared.resync.swap(false, Ordering::Relaxed)
+                && write_live(store, &mut out, shared).is_err()
+            {
+                continue 'connect;
+            }
+            match rx.recv_timeout(IDLE_FLUSH) {
+                Ok(ShipMsg::Frame(frame)) => {
+                    if out.write_all(&frame).is_err() {
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.resync.store(true, Ordering::Relaxed);
+                        continue 'connect;
+                    }
+                    shared.shipped.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(ShipMsg::Flush(ack)) => {
+                    let flushed = out.flush().is_ok();
+                    let _ = ack.send(());
+                    if !flushed {
+                        continue 'connect;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if out.flush().is_err() {
+                        continue 'connect;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let _ = out.flush();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Replays every live `(kind, key, value)` entry onto the connection.
+fn write_live(
+    store: &Store,
+    out: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+) -> io::Result<()> {
+    let mut result = Ok(());
+    let mut replayed = 0u64;
+    store.for_each(|kind, key, value| {
+        if result.is_ok() {
+            result = out.write_all(&format::encode_frame(kind, key, value));
+            if result.is_ok() {
+                replayed += 1;
+            }
+        }
+    });
+    shared.shipped.fetch_add(replayed, Ordering::Relaxed);
+    result?;
+    out.flush()
+}
+
+/// Why a follower rejected or lost its feed.
+#[derive(Debug)]
+pub enum FollowerError {
+    /// The connection died (normal when the primary exits).
+    Io(io::Error),
+    /// The stream does not start with a valid store header.
+    Header(HeaderError),
+    /// The primary ships records for a different identity tag; applying
+    /// them could serve values computed under different semantics.
+    IdentityMismatch {
+        /// Tag found in the stream header (lossy UTF-8 for display).
+        found: String,
+    },
+    /// A frame failed its length or CRC check mid-stream.
+    Corrupt,
+}
+
+impl fmt::Display for FollowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FollowerError::Io(e) => write!(f, "replication stream i/o error: {e}"),
+            FollowerError::Header(e) => write!(f, "replication stream header invalid: {e:?}"),
+            FollowerError::IdentityMismatch { found } => {
+                write!(
+                    f,
+                    "replication stream carries foreign identity tag `{found}`"
+                )
+            }
+            FollowerError::Corrupt => write!(f, "replication frame corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for FollowerError {}
+
+impl From<io::Error> for FollowerError {
+    fn from(e: io::Error) -> Self {
+        FollowerError::Io(e)
+    }
+}
+
+/// The receiving half of log shipping: validates the per-connection
+/// header, then yields records one frame at a time. Works over any
+/// [`Read`] (a `TcpStream`, a `BufReader`, a test cursor).
+pub struct Follower<R: Read> {
+    input: R,
+}
+
+impl<R: Read> Follower<R> {
+    /// Reads and validates the stream header. The schema version and
+    /// `expected_tag` gate compatibility exactly as [`Store::open`] does
+    /// for a local file.
+    ///
+    /// # Errors
+    ///
+    /// [`FollowerError::Io`] when the header could not be read,
+    /// [`FollowerError::Header`] when it is not a valid store header, and
+    /// [`FollowerError::IdentityMismatch`] when the tag is foreign.
+    pub fn accept(mut input: R, expected_tag: &[u8]) -> Result<Follower<R>, FollowerError> {
+        // magic(8) + version(4) + tag_len(4), then tag + header crc(4).
+        let mut head = [0u8; 16];
+        input.read_exact(&mut head)?;
+        let tag_len = u32::from_le_bytes([head[12], head[13], head[14], head[15]]);
+        if tag_len > format::MAX_TAG_LEN {
+            return Err(FollowerError::Header(HeaderError::Corrupt));
+        }
+        let mut buf = head.to_vec();
+        let rest_at = buf.len();
+        buf.resize(rest_at + tag_len as usize + 4, 0);
+        input.read_exact(&mut buf[rest_at..])?;
+        let (tag, _) = format::parse_header(&buf).map_err(FollowerError::Header)?;
+        if tag != expected_tag {
+            return Err(FollowerError::IdentityMismatch {
+                found: String::from_utf8_lossy(&tag).into_owned(),
+            });
+        }
+        Ok(Follower { input })
+    }
+
+    /// Reads the next record. `Ok(None)` on a clean end of stream at a
+    /// frame boundary (the primary closed the connection); an EOF inside
+    /// a frame is [`FollowerError::Corrupt`] — the torn frame is
+    /// discarded exactly as disk recovery discards a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`FollowerError::Io`] on transport failure,
+    /// [`FollowerError::Corrupt`] on a bad length or CRC.
+    pub fn next_record(&mut self) -> Result<Option<Record>, FollowerError> {
+        let mut frame_head = [0u8; 8];
+        match read_full(&mut self.input, &mut frame_head)? {
+            0 => return Ok(None),
+            n if n < frame_head.len() => return Err(FollowerError::Corrupt),
+            _ => {}
+        }
+        let payload_len =
+            u32::from_le_bytes([frame_head[0], frame_head[1], frame_head[2], frame_head[3]]);
+        if !(5..=format::MAX_PAYLOAD_LEN).contains(&payload_len) {
+            return Err(FollowerError::Corrupt);
+        }
+        let mut frame = frame_head.to_vec();
+        let payload_at = frame.len();
+        frame.resize(payload_at + payload_len as usize, 0);
+        if self.input.read_exact(&mut frame[payload_at..]).is_err() {
+            return Err(FollowerError::Corrupt);
+        }
+        match format::decode_frame(&frame, 0) {
+            Some((record, _)) => Ok(Some(record)),
+            None => Err(FollowerError::Corrupt),
+        }
+    }
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read (a short
+/// count means EOF landed mid-buffer).
+fn read_full(input: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::net::TcpListener;
+    use std::path::PathBuf;
+
+    fn temp_store(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gbd-store-ship-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn stream_of(tag: &[u8], records: &[(u8, &[u8], &[u8])]) -> Vec<u8> {
+        let mut bytes = format::encode_header(tag);
+        for (kind, key, value) in records {
+            bytes.extend_from_slice(&format::encode_frame(*kind, key, value));
+        }
+        bytes
+    }
+
+    #[test]
+    fn follower_yields_records_and_ends_cleanly() {
+        let bytes = stream_of(b"tag", &[(1, b"k1", b"v1"), (2, b"k2", b"v2")]);
+        let mut follower = Follower::accept(Cursor::new(bytes), b"tag").unwrap();
+        let r1 = follower.next_record().unwrap().unwrap();
+        assert_eq!(
+            (r1.kind, r1.key.as_slice(), r1.value.as_slice()),
+            (1, &b"k1"[..], &b"v1"[..])
+        );
+        let r2 = follower.next_record().unwrap().unwrap();
+        assert_eq!(r2.kind, 2);
+        assert!(follower.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn follower_rejects_foreign_tag_and_bad_header() {
+        let bytes = stream_of(b"theirs", &[]);
+        assert!(matches!(
+            Follower::accept(Cursor::new(bytes), b"ours"),
+            Err(FollowerError::IdentityMismatch { found }) if found == "theirs"
+        ));
+        assert!(matches!(
+            Follower::accept(Cursor::new(b"not a store header".to_vec()), b"ours"),
+            Err(FollowerError::Header(_) | FollowerError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_rejected_not_applied() {
+        // EOF inside a frame.
+        let mut bytes = stream_of(b"t", &[(1, b"key", b"value")]);
+        bytes.truncate(bytes.len() - 3);
+        let mut follower = Follower::accept(Cursor::new(bytes), b"t").unwrap();
+        assert!(matches!(
+            follower.next_record(),
+            Err(FollowerError::Corrupt)
+        ));
+
+        // Flipped payload byte fails the CRC.
+        let mut bytes = stream_of(b"t", &[(1, b"key", b"value")]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let mut follower = Follower::accept(Cursor::new(bytes), b"t").unwrap();
+        assert!(matches!(
+            follower.next_record(),
+            Err(FollowerError::Corrupt)
+        ));
+    }
+
+    #[test]
+    fn shipper_replicates_appends_over_tcp() {
+        let path = temp_store("ship.gbdstore");
+        let store = Arc::new(Store::open(&path, b"ship-test").unwrap());
+        // Pre-connect content exercises the initial live replay.
+        store.append(1, b"early", b"e").unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let collector = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            let mut follower =
+                Follower::accept(std::io::BufReader::new(conn), b"ship-test").unwrap();
+            let mut got = Vec::new();
+            while let Ok(Some(record)) = follower.next_record() {
+                got.push((record.kind, record.key, record.value));
+            }
+            got
+        });
+
+        let shipper = Shipper::start(Arc::clone(&store), addr.to_string(), 64).unwrap();
+        let tee = Arc::clone(&shipper);
+        store.set_tee(move |kind, key, value| tee.ship(kind, key, value));
+        shipper.request_resync();
+        store.append(2, b"late", b"l").unwrap();
+        assert!(shipper.flush(Duration::from_secs(5)));
+        let stats = shipper.stats();
+        assert!(stats.connects >= 1, "{stats:?}");
+        assert!(stats.shipped_records >= 2, "{stats:?}");
+        shipper.stop();
+
+        let got = collector.join().unwrap();
+        assert!(
+            got.iter().any(|(k, key, _)| *k == 1 && key == b"early"),
+            "initial replay missing: {got:?}"
+        );
+        assert!(
+            got.iter().any(|(k, key, _)| *k == 2 && key == b"late"),
+            "teed append missing: {got:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

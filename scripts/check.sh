@@ -22,6 +22,14 @@
 #                                   queue-wait+compute≈latency split, and
 #                                   watch-delta telescoping via loadgen,
 #                                   then scrape /metrics and cross-check it
+#   scripts/check.sh --cluster-smoke additionally boot a router over two
+#                                   shards plus a replicated standby on
+#                                   ephemeral ports, drive mixed load
+#                                   through the router, SIGKILL one shard
+#                                   mid-run, and require zero wrong
+#                                   answers (bit-identity against a local
+#                                   engine), at least one failover, and a
+#                                   clean drain of every survivor
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,13 +37,15 @@ chaos=0
 bench_smoke=0
 store_smoke=0
 obs_smoke=0
+cluster_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --store-smoke) store_smoke=1 ;;
     --obs-smoke) obs_smoke=1 ;;
-    *) echo "unknown argument: $arg (expected --chaos, --bench-smoke, --store-smoke, or --obs-smoke)" >&2; exit 2 ;;
+    --cluster-smoke) cluster_smoke=1 ;;
+    *) echo "unknown argument: $arg (expected --chaos, --bench-smoke, --store-smoke, --obs-smoke, or --cluster-smoke)" >&2; exit 2 ;;
   esac
 done
 
@@ -51,8 +61,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # crate parses arbitrary on-disk bytes after a crash, and the obs crate's
 # ticker/exposition threads must outlive any poisoned lock, so they get
 # the same treatment. Non-test code must stay free of both (tests opt out
-# via cfg_attr(test) in the crate root).
-for crate in gbd-engine gbd-serve gbd-store gbd-obs; do
+# via cfg_attr(test) in the crate root). The router fronts every shard, so
+# a panic there takes down the whole cluster's ingress — same ban.
+for crate in gbd-engine gbd-serve gbd-store gbd-obs gbd-router; do
   echo "==> cargo clippy -p $crate (unwrap/expect ban)"
   cargo clippy -p "$crate" --all-targets --no-deps -- \
     -D warnings -W clippy::unwrap_used -W clippy::expect_used
@@ -294,6 +305,144 @@ if ack.get("shutting_down") is not True:
 PY
   wait "$obs_pid"
   echo "obs smoke: ok"
+fi
+
+if [ "$cluster_smoke" -eq 1 ]; then
+  # Failover proof, end to end against the release binaries:
+  #   1. boot a standby (own store + replica listener), a shard that
+  #      replicates its store appends to it, a second plain shard, and a
+  #      router hashing across both with the standby pinned to slot 0
+  #   2. loadgen --router drives paced mixed load through the router
+  #   3. once the standby has applied replicated records, SIGKILL the
+  #      replicating shard mid-run — no drain, no snapshot
+  #   4. loadgen must exit clean: every request answered, every answer
+  #      bit-identical to an in-process single-server evaluation
+  #   5. the router must have recorded a failover, and every surviving
+  #      process must drain cleanly on the shutdown verb
+  echo "==> cluster smoke (router + 2 shards + standby, SIGKILL mid-run)"
+  target/release/groupdet serve --addr 127.0.0.1:0 \
+    --store "$smoke_dir/standby.gbdstore" --replica-listen 127.0.0.1:0 \
+    --shard-id standby0 --json >"$smoke_dir/standby.log" &
+  standby_pid=$!
+  standby_addr=""
+  replica_addr=""
+  for _ in $(seq 1 100); do
+    standby_addr=$(sed -n 's/.*"event":"listening","addr":"\([^"]*\)".*/\1/p' "$smoke_dir/standby.log")
+    replica_addr=$(sed -n 's/.*"replica_addr":"\([^"]*\)".*/\1/p' "$smoke_dir/standby.log")
+    [ -n "$standby_addr" ] && [ -n "$replica_addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$standby_addr" ] || [ -z "$replica_addr" ]; then
+    echo "cluster smoke: standby never reported its addresses" >&2
+    kill "$standby_pid" 2>/dev/null || true
+    exit 1
+  fi
+  target/release/groupdet serve --addr 127.0.0.1:0 \
+    --store "$smoke_dir/shard0.gbdstore" --shard-id shard0 \
+    --replicate-to "$replica_addr" --json >"$smoke_dir/shard0.log" &
+  shard0_pid=$!
+  target/release/groupdet serve --addr 127.0.0.1:0 --shard-id shard1 \
+    --json >"$smoke_dir/shard1.log" &
+  shard1_pid=$!
+  shard0_addr=""
+  shard1_addr=""
+  for _ in $(seq 1 100); do
+    shard0_addr=$(sed -n 's/.*"event":"listening","addr":"\([^"]*\)".*/\1/p' "$smoke_dir/shard0.log")
+    shard1_addr=$(sed -n 's/.*"event":"listening","addr":"\([^"]*\)".*/\1/p' "$smoke_dir/shard1.log")
+    [ -n "$shard0_addr" ] && [ -n "$shard1_addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$shard0_addr" ] || [ -z "$shard1_addr" ]; then
+    echo "cluster smoke: a shard never reported its address" >&2
+    kill "$standby_pid" "$shard0_pid" "$shard1_pid" 2>/dev/null || true
+    exit 1
+  fi
+  target/release/groupdet route --addr 127.0.0.1:0 \
+    --shard "$shard0_addr" --shard "$shard1_addr" \
+    --standby "0:$standby_addr" --heartbeat-ms 200 \
+    --json >"$smoke_dir/router.log" &
+  router_pid=$!
+  router_addr=""
+  for _ in $(seq 1 100); do
+    router_addr=$(sed -n 's/.*"event":"listening","addr":"\([^"]*\)".*/\1/p' "$smoke_dir/router.log")
+    [ -n "$router_addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$router_addr" ]; then
+    echo "cluster smoke: router never reported its address" >&2
+    kill "$standby_pid" "$shard0_pid" "$shard1_pid" "$router_pid" 2>/dev/null || true
+    exit 1
+  fi
+  # Paced so the kill lands mid-run (4x200 @ 500 req/s ≈ 1.6 s of load).
+  target/release/loadgen --addr "$router_addr" --router --clients 4 \
+    --requests 200 --rate 500 --sim-every 10 --out "$smoke_dir" \
+    --json >"$smoke_dir/cluster_load.json" &
+  load_pid=$!
+  # Kill only once the standby holds replicated records, so the takeover
+  # is provably warm.
+  python3 - "$standby_addr" <<'PY'
+import json, socket, sys, time
+
+host, port = sys.argv[1].rsplit(":", 1)
+deadline = time.monotonic() + 20
+while True:
+    with socket.create_connection((host, int(port)), timeout=5) as s:
+        s.sendall(b'{"id":0,"verb":"metrics","sections":["cluster"]}\n')
+        reply = json.loads(s.makefile().readline())
+    applied = (reply.get("metrics", {}).get("cluster", {})
+               .get("replication", {}).get("applied_records", 0))
+    if applied > 0:
+        print(f"cluster smoke: standby applied {applied} replicated records")
+        break
+    if time.monotonic() > deadline:
+        print("cluster smoke: FAILED: standby applied nothing", file=sys.stderr)
+        sys.exit(1)
+    time.sleep(0.05)
+PY
+  kill -9 "$shard0_pid"
+  # loadgen exits nonzero on any unanswered request or any answer that is
+  # not bit-identical to the local engine — that is the zero-wrong-answers
+  # gate.
+  wait "$load_pid"
+  python3 - "$smoke_dir/cluster_load.json" <<'PY'
+import json, sys
+
+# The report is the first line; the CSV-written notice follows it.
+with open(sys.argv[1]) as f:
+    report = json.loads(f.readline())
+
+def fail(msg):
+    print(f"cluster smoke: FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if report.get("errors", 1) != 0:
+    fail(f"{report.get('errors')} requests gave up")
+if report.get("ok") != report.get("clients", 0) * report.get("requests_per_client", 0):
+    fail(f"only {report.get('ok')} requests answered")
+if report.get("bit_identical") is not True:
+    fail("routed answers were not bit-identical to the local engine")
+if not report.get("router_failovers"):
+    fail("the router recorded no failover")
+print(f"cluster smoke: ok ({report['ok']} answered, "
+      f"{report.get('client_retries', 0)} client retries, "
+      f"{report['router_failovers']} failover(s), bit-identical)")
+PY
+  for addr in "$router_addr" "$shard1_addr" "$standby_addr"; do
+    python3 - "$addr" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+with socket.create_connection((host, int(port)), timeout=10) as s:
+    s.sendall(b'{"id":0,"verb":"shutdown"}\n')
+    ack = json.loads(s.makefile().readline())
+if ack.get("shutting_down") is not True:
+    print(f"cluster smoke: FAILED: no shutdown ack from {sys.argv[1]}", file=sys.stderr)
+    sys.exit(1)
+PY
+  done
+  wait "$router_pid" "$shard1_pid" "$standby_pid"
+  wait "$shard0_pid" 2>/dev/null || true
+  echo "cluster smoke: ok"
 fi
 
 if [ "$chaos" -eq 1 ]; then

@@ -134,7 +134,7 @@ proptest! {
         shed in 0u64..1_000,
         batches in 0u64..10_000,
         latencies in proptest::collection::vec(1u64..10_000_000, 0..40),
-        section_mask in 0usize..16,
+        section_mask in 0usize..32,
     ) {
         let metrics = ServerMetrics::new();
         let registry = metrics.registry();
@@ -158,6 +158,7 @@ proptest! {
             Section::Cache,
             Section::Store,
             Section::Histograms,
+            Section::Cluster,
         ];
         let sections: Vec<Section> = all
             .iter()
@@ -167,7 +168,7 @@ proptest! {
             .collect();
 
         let engine = Engine::new();
-        let snapshot = metrics.snapshot(3, &engine);
+        let snapshot = metrics.snapshot(3, &engine, None);
         let rendered = snapshot.render_metrics(42, &sections).render();
         let parsed = Json::parse(&rendered).expect("strict parse accepts the payload");
         prop_assert_eq!(parsed.render(), rendered);

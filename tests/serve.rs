@@ -244,15 +244,22 @@ fn queue_overflow_sheds_with_structured_errors_and_keeps_serving() {
     let mut probe = Client::connect(server.addr);
     probe.send(r#"{"id":1,"verb":"ping"}"#);
     assert_eq!(probe.recv().get("pong").and_then(Json::as_bool), Some(true));
-    probe.send(r#"{"id":2,"verb":"stats"}"#);
-    let stats = probe.recv();
-    assert_eq!(
-        stats
+    // The 20 pipelined sends race the server's reader thread, so poll until
+    // the shed count converges rather than asserting on the first scrape.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let shed = loop {
+        probe.send(r#"{"id":2,"verb":"stats"}"#);
+        let shed = probe
+            .recv()
             .get("stats")
             .and_then(|s| s.get("shed"))
-            .and_then(Json::as_u64),
-        Some(18)
-    );
+            .and_then(Json::as_u64);
+        if shed == Some(18) || std::time::Instant::now() >= deadline {
+            break shed;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(shed, Some(18));
 
     // Drain: the two admitted requests must still complete.
     server.handle.shutdown();

@@ -322,6 +322,79 @@ fn torn_tail_recovers_to_longest_valid_prefix_through_the_engine() {
 }
 
 // ---------------------------------------------------------------------------
+// Torn tail, exhaustively: every byte offset of the final frame
+// ---------------------------------------------------------------------------
+
+/// Crash safety is a per-byte property: a power cut can stop the file at
+/// *any* offset inside the frame being written — mid-length, mid-CRC,
+/// mid-payload. This sweep truncates the log at every byte offset of the
+/// final frame and requires, for each one, that recovery (a) succeeds,
+/// (b) keeps exactly the records before the torn frame, byte-identical,
+/// (c) never resurrects any part of the torn record, and (d) accounts
+/// for every discarded byte in `torn_bytes_discarded`.
+#[test]
+fn truncation_at_every_byte_of_the_final_frame_recovers_the_prefix() {
+    let path = temp_store("sweep.gbdstore");
+    const TAG: &[u8] = b"sweep-test-v1";
+
+    let store = gbd_store::Store::open(&path, TAG).expect("create store");
+    for i in 0..4u8 {
+        store
+            .append(i, format!("key-{i}").as_bytes(), &[i; 9])
+            .expect("append");
+    }
+    store.sync().expect("sync prefix");
+    let prefix_len = std::fs::metadata(&path).expect("stat").len();
+    store
+        .append(9, b"key-final", b"final-value")
+        .expect("append final");
+    store.sync().expect("sync final");
+    drop(store);
+    let original = std::fs::read(&path).expect("read log");
+    let full_len = original.len() as u64;
+    assert!(prefix_len < full_len, "final frame must occupy bytes");
+
+    for torn_len in prefix_len..full_len {
+        std::fs::write(&path, &original[..torn_len as usize]).expect("write torn copy");
+        let reopened = gbd_store::Store::open(&path, TAG).unwrap_or_else(|e| {
+            panic!("torn at byte {torn_len}/{full_len}: recovery failed: {e}")
+        });
+        let stats = reopened.stats();
+        assert_eq!(
+            stats.loaded_records, 4,
+            "torn at byte {torn_len}/{full_len}: wrong survivor count: {stats:?}"
+        );
+        assert_eq!(
+            stats.torn_bytes_discarded,
+            torn_len - prefix_len,
+            "torn at byte {torn_len}/{full_len}: discarded bytes unaccounted: {stats:?}"
+        );
+        for i in 0..4u8 {
+            assert_eq!(
+                reopened.get(i, format!("key-{i}").as_bytes()).as_deref(),
+                Some(&[i; 9][..]),
+                "torn at byte {torn_len}: record {i} did not survive intact"
+            );
+        }
+        assert!(
+            reopened.get(9, b"key-final").is_none(),
+            "torn at byte {torn_len}: a partial frame must never decode"
+        );
+    }
+
+    // The untorn log, for contrast, loads everything.
+    std::fs::write(&path, &original).expect("restore intact log");
+    let intact = gbd_store::Store::open(&path, TAG).expect("reopen intact");
+    assert_eq!(intact.stats().loaded_records, 5);
+    assert_eq!(intact.stats().torn_bytes_discarded, 0);
+    assert_eq!(
+        intact.get(9, b"key-final").as_deref(),
+        Some(&b"final-value"[..])
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+// ---------------------------------------------------------------------------
 // Identity: a foreign store never shadows results
 // ---------------------------------------------------------------------------
 
