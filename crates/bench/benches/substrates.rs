@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gbd_field::deployment::{Deployer, UniformRandom};
 use gbd_field::field::{BoundaryPolicy, SensorField};
+use gbd_field::oracle::NestedGridField;
 use gbd_geometry::circle::lens_area;
 use gbd_geometry::point::{Aabb, Point};
 use gbd_geometry::stadium::Stadium;
@@ -53,6 +54,51 @@ fn bench_field_queries(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_large_field(c: &mut Criterion) {
+    // CSR grid vs the retained nested-Vec oracle at N = 10^5, paper
+    // density (side scales with sqrt N). The pair keeps the speedup
+    // measurable by `cargo bench` alone; the committed regression
+    // numbers live in results/BENCH_pr9.json (perf_trajectory leg 5).
+    let n = 100_000usize;
+    let side = 32_000.0 * (n as f64 / 240.0).sqrt();
+    let extent = Aabb::from_extent(side, side);
+    let mut rng = rng_from_seed(5);
+    let positions = UniformRandom.deploy(n, &extent, &mut rng);
+    let dr = Stadium::new(
+        Point::new(side * 0.5, side * 0.5),
+        Point::new(side * 0.5 + 600.0, side * 0.5),
+        1_000.0,
+    );
+    let mut group = c.benchmark_group("stadium_query_100k");
+    let csr = SensorField::new(extent, positions.clone(), BoundaryPolicy::Torus);
+    let oracle = NestedGridField::new(extent, positions.clone(), BoundaryPolicy::Torus);
+    group.bench_function("csr_alloc_free", |b| {
+        let mut hits = Vec::new();
+        b.iter(|| {
+            csr.query_stadium_into(black_box(&dr), &mut hits);
+            hits.len()
+        })
+    });
+    group.bench_function("csr_allocating", |b| {
+        b.iter(|| csr.query_stadium(black_box(&dr)))
+    });
+    group.bench_function("oracle_nested", |b| {
+        b.iter(|| oracle.query_stadium(black_box(&dr)))
+    });
+    group.finish();
+
+    // The per-trial cost floor at large N: one focused rebuild over the
+    // full position set (filter scan + counting sort of the corridor).
+    let focus = dr.bounding_box().inflated(600.0);
+    let mut warm = SensorField::new(extent, positions, BoundaryPolicy::Torus);
+    c.bench_function("refocus_100k", |b| {
+        b.iter(|| {
+            warm.refocus(black_box(focus));
+            warm.len()
+        })
+    });
+}
+
 fn bench_counting_chain(c: &mut Criterion) {
     let inc = DiscreteDist::new(vec![0.9, 0.06, 0.03, 0.01]).unwrap();
     c.bench_function("counting_chain_20_steps_cap60", |b| {
@@ -97,6 +143,7 @@ criterion_group!(
     benches,
     bench_geometry,
     bench_field_queries,
+    bench_large_field,
     bench_counting_chain,
     bench_routing
 );

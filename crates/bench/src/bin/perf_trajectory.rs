@@ -23,9 +23,15 @@
 //!    spilling every stage), then a second fresh engine over the same
 //!    store boots warm and reruns it. Responses are asserted bit-identical
 //!    with zero warm-side misses before the ratio is reported.
+//! 5. **sim grid, CSR + focus vs nested oracle** (`results/BENCH_pr9.json`)
+//!    — per N in {10^4, 10^5, 10^6}, the per-trial field work of one
+//!    simulated track (index build + the M Detectable-Region queries)
+//!    through the retained nested-`Vec` oracle and through the focused CSR
+//!    field. Query answers are asserted identical id-for-id before any
+//!    ratio is reported; deployment ingest is excluded on both sides.
 //!
 //! ```text
-//! cargo run --release -p gbd-bench --bin perf_trajectory -- [--quick] [--out dir]
+//! cargo run --release -p gbd-bench --bin perf_trajectory -- [--quick] [--sim-only] [--out dir]
 //! ```
 
 use gbd_bench::figure8_n_values;
@@ -39,12 +45,14 @@ use std::time::Instant;
 
 struct Options {
     quick: bool,
+    sim_only: bool,
     out_dir: PathBuf,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
+        sim_only: false,
         out_dir: PathBuf::from("results"),
     };
     let args: Vec<String> = std::env::args().collect();
@@ -55,12 +63,18 @@ fn parse_args() -> Options {
                 opts.quick = true;
                 i += 1;
             }
+            "--sim-only" => {
+                opts.sim_only = true;
+                i += 1;
+            }
             "--out" => {
                 opts.out_dir = PathBuf::from(args.get(i + 1).expect("--out needs a directory"));
                 i += 2;
             }
             other => {
-                eprintln!("usage: perf_trajectory [--quick] [--out dir] (got {other})");
+                eprintln!(
+                    "usage: perf_trajectory [--quick] [--sim-only] [--out dir] (got {other})"
+                );
                 std::process::exit(2);
             }
         }
@@ -108,8 +122,213 @@ fn entry(name: &str, mode: &str, impl_name: &str, wall_ms: f64, points: usize) -
     ])
 }
 
+/// Median of the samples (destructive: sorts in place).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Leg 5: the per-trial field work of one simulated track — index build
+/// plus the M Detectable-Region stadium queries — through the retained
+/// nested-`Vec` oracle and through the focused CSR field, per N. Writes
+/// `BENCH_pr9.json`.
+fn run_sim_grid_leg(opts: &Options) {
+    use gbd_field::field::{BoundaryPolicy, SensorField};
+    use gbd_field::oracle::NestedGridField;
+    use gbd_field::sensor::SensorId;
+    use gbd_geometry::point::{Aabb, Point};
+    use gbd_geometry::stadium::Stadium;
+    use rand::Rng as _;
+    use rand::SeedableRng as _;
+    use std::hint::black_box;
+
+    let n_values: &[usize] = if opts.quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let reps: usize = if opts.quick { 3 } else { 5 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let m_periods = 20usize;
+    let rs = 1_000.0f64;
+    let step = 600.0f64;
+    println!(
+        "leg 5: sim grid, CSR + focus vs nested oracle, N = {n_values:?}, median of {reps}"
+    );
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut derived: Vec<(String, Json)> = Vec::new();
+    let mut query_medians: Vec<(usize, f64)> = Vec::new();
+    let mut last_speedup = 0.0f64;
+    for &n in n_values {
+        // Paper-density field: side scales with sqrt(N) so every N sees
+        // the same 240-sensors-per-(32 km)^2 density the paper uses.
+        let side = 32_000.0 * (n as f64 / 240.0).sqrt();
+        let extent = Aabb::from_extent(side, side);
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(0x9E0 + n as u64);
+        let mut positions: Vec<Point> = Vec::with_capacity(n);
+        for _ in 0..n {
+            positions.push(Point::new(
+                rng.gen_range(extent.min.x..extent.max.x),
+                rng.gen_range(extent.min.y..extent.max.y),
+            ));
+        }
+        // Mid-field straight track: exactly the query shape one engine
+        // trial issues (M consecutive stadium queries of radius Rs).
+        let heading = 0.37f64;
+        let (dx, dy) = (heading.cos(), heading.sin());
+        let track_len = m_periods as f64 * step;
+        let start = Point::new(
+            side * 0.5 - dx * track_len * 0.5,
+            side * 0.5 - dy * track_len * 0.5,
+        );
+        let drs: Vec<Stadium> = (1..=m_periods)
+            .map(|p| {
+                let a = Point::new(
+                    start.x + dx * step * (p - 1) as f64,
+                    start.y + dy * step * (p - 1) as f64,
+                );
+                let b = Point::new(
+                    start.x + dx * step * p as f64,
+                    start.y + dy * step * p as f64,
+                );
+                Stadium::new(a, b, rs)
+            })
+            .collect();
+        let mut focus = drs[0].bounding_box();
+        for dr in &drs[1..] {
+            focus = focus.union(&dr.bounding_box());
+        }
+
+        // The CSR field ingests the positions once, untimed: deployment
+        // ingest is excluded on both sides (the oracle receives its Vec
+        // pre-cloned outside the timed region too). The timed CSR work —
+        // refocus (corridor filter + index) plus the M queries — is what
+        // a warm TrialScratch pays per trial.
+        let mut field = SensorField::new(extent, positions.clone(), BoundaryPolicy::Torus);
+        let mut hits: Vec<SensorId> = Vec::new();
+
+        let mut oracle_samples = Vec::new();
+        let mut csr_samples = Vec::new();
+        let mut csr_query_samples = Vec::new();
+        let mut oracle_ids: Vec<Vec<SensorId>> = Vec::new();
+        for rep in 0..reps {
+            // Interleaved A/B so drift hits both sides equally.
+            let cloned = positions.clone();
+            let t = Instant::now();
+            let oracle = NestedGridField::new(extent, cloned, BoundaryPolicy::Torus);
+            let mut ids: Vec<Vec<SensorId>> = Vec::with_capacity(m_periods);
+            for dr in &drs {
+                ids.push(oracle.query_stadium(dr));
+            }
+            drop(oracle);
+            oracle_samples.push(t.elapsed().as_secs_f64() * 1e3);
+            if rep == 0 {
+                oracle_ids = ids;
+            }
+
+            let t = Instant::now();
+            field.refocus(focus);
+            let mut total = 0usize;
+            for dr in &drs {
+                field.query_stadium_into(dr, &mut hits);
+                total += hits.len();
+            }
+            csr_samples.push(t.elapsed().as_secs_f64() * 1e3);
+            black_box(total);
+
+            // Queries alone (index already focused): the steady-state
+            // per-period cost whose growth in N must be sub-linear.
+            let t = Instant::now();
+            let mut total = 0usize;
+            for dr in &drs {
+                field.query_stadium_into(dr, &mut hits);
+                total += hits.len();
+            }
+            csr_query_samples.push(t.elapsed().as_secs_f64() * 1e3);
+            black_box(total);
+        }
+        // Same answers, id for id, before any ratio is reported.
+        let csr_ids: Vec<Vec<SensorId>> =
+            drs.iter().map(|dr| field.query_stadium(dr)).collect();
+        assert_eq!(
+            oracle_ids, csr_ids,
+            "CSR answers diverged from the oracle at N = {n}"
+        );
+
+        let oracle_ms = median(&mut oracle_samples);
+        let csr_ms = median(&mut csr_samples);
+        let query_ms = median(&mut csr_query_samples);
+        let speedup = oracle_ms / csr_ms.max(1e-9);
+        last_speedup = speedup;
+        println!(
+            "  N = {n:>9}: oracle {oracle_ms:8.2} ms, csr+focus {csr_ms:7.2} ms \
+             ({speedup:5.1}x), queries alone {query_ms:6.3} ms"
+        );
+        let mode = format!("n{n}");
+        entries.push(entry(
+            "sim_grid",
+            &mode,
+            "oracle_nested",
+            oracle_ms,
+            m_periods,
+        ));
+        entries.push(entry("sim_grid", &mode, "csr_focus", csr_ms, m_periods));
+        entries.push(entry(
+            "sim_grid",
+            &mode,
+            "csr_query_only",
+            query_ms,
+            m_periods,
+        ));
+        derived.push((format!("sim_speedup_n{n}"), Json::Num(speedup)));
+        query_medians.push((n, query_ms));
+    }
+
+    // Sub-linearity of the steady-state query path: N grows by
+    // `n_ratio`, the per-track query time must grow by strictly less.
+    let (n_lo, q_lo) = query_medians[0];
+    let (n_hi, q_hi) = query_medians[query_medians.len() - 1];
+    let n_ratio = n_hi as f64 / n_lo as f64;
+    let query_growth = q_hi / q_lo.max(1e-9);
+    println!(
+        "  query growth {n_lo} -> {n_hi}: {query_growth:.2}x over a {n_ratio:.0}x N increase"
+    );
+    assert!(
+        query_growth < n_ratio,
+        "steady-state query cost grew super-linearly: {query_growth:.2}x over {n_ratio:.0}x"
+    );
+    if !opts.quick {
+        assert!(
+            last_speedup >= 10.0,
+            "per-trial speedup at N = 10^6 fell below 10x: {last_speedup:.2}x"
+        );
+    }
+    derived.push(("query_growth".to_string(), Json::Num(query_growth)));
+    derived.push(("query_growth_n_ratio".to_string(), Json::Num(n_ratio)));
+    derived.push(("bit_identical".to_string(), Json::Bool(true)));
+
+    let report = Json::obj(vec![
+        ("bench".to_string(), Json::from("pr9_sim_grid")),
+        ("cores".to_string(), Json::from(cores)),
+        ("quick".to_string(), Json::Bool(opts.quick)),
+        ("repeats".to_string(), Json::from(reps)),
+        ("entries".to_string(), Json::Arr(entries)),
+        ("derived".to_string(), Json::obj(derived)),
+    ]);
+    std::fs::create_dir_all(&opts.out_dir).expect("cannot create output directory");
+    let path = opts.out_dir.join("BENCH_pr9.json");
+    std::fs::write(&path, format!("{}\n", report.render()))
+        .expect("cannot write BENCH_pr9.json");
+    println!("[written] {}", path.display());
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.sim_only {
+        run_sim_grid_leg(&opts);
+        return;
+    }
     let repeats = if opts.quick { 2 } else { 3 };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut entries: Vec<Json> = Vec::new();
@@ -352,4 +571,6 @@ fn main() {
     std::fs::write(&path, format!("{}\n", report.render()))
         .expect("cannot write BENCH_pr4.json");
     println!("\n[written] {}", path.display());
+
+    run_sim_grid_leg(&opts);
 }

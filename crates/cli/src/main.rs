@@ -433,6 +433,12 @@ impl SimulateCmd {
             Ok(output) => output.simulation().expect("simulation backend"),
             Err(e) => return Err(e.to_string()),
         };
+        let wall_ms = duration_ms(&response);
+        let trials_per_sec = if wall_ms > 0.0 {
+            result.trials as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
         if self.json {
             println!(
                 "{}",
@@ -447,7 +453,8 @@ impl SimulateCmd {
                     ("confidence_hi", result.confidence.hi.into()),
                     ("mean_reports", result.report_counts.mean().into()),
                     ("mean_false_alarms", result.false_alarm_counts.mean().into()),
-                    ("duration_ms", duration_ms(&response).into()),
+                    ("duration_ms", wall_ms.into()),
+                    ("trials_per_sec", trials_per_sec.into()),
                     ("cache", cache_json(&response)),
                 ])
                 .render()
@@ -465,6 +472,10 @@ impl SimulateCmd {
             println!(
                 "mean reports per window   = {:.2}",
                 result.report_counts.mean()
+            );
+            println!(
+                "wall clock                = {:.1} ms  ({:.0} trials/sec)",
+                wall_ms, trials_per_sec
             );
         }
         Ok(())

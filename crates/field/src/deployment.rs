@@ -11,8 +11,23 @@ use rand::Rng;
 
 /// A strategy for placing `n` sensors inside a field extent.
 pub trait Deployer {
+    /// Appends `n` sensor positions inside `extent` to `out`, drawing from
+    /// `rng` in exactly the order [`Deployer::deploy`] would (so a reused
+    /// buffer reproduces the same deployment bit for bit).
+    fn deploy_into<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        extent: &Aabb,
+        rng: &mut R,
+        out: &mut Vec<Point>,
+    );
+
     /// Produces `n` sensor positions inside `extent`.
-    fn deploy<R: Rng + ?Sized>(&self, n: usize, extent: &Aabb, rng: &mut R) -> Vec<Point>;
+    fn deploy<R: Rng + ?Sized>(&self, n: usize, extent: &Aabb, rng: &mut R) -> Vec<Point> {
+        let mut out = Vec::with_capacity(n);
+        self.deploy_into(n, extent, rng, &mut out);
+        out
+    }
 }
 
 /// Independent uniform random placement — the paper's assumption.
@@ -20,15 +35,20 @@ pub trait Deployer {
 pub struct UniformRandom;
 
 impl Deployer for UniformRandom {
-    fn deploy<R: Rng + ?Sized>(&self, n: usize, extent: &Aabb, rng: &mut R) -> Vec<Point> {
-        (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.gen_range(extent.min.x..extent.max.x),
-                    rng.gen_range(extent.min.y..extent.max.y),
-                )
-            })
-            .collect()
+    fn deploy_into<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        extent: &Aabb,
+        rng: &mut R,
+        out: &mut Vec<Point>,
+    ) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(Point::new(
+                rng.gen_range(extent.min.x..extent.max.x),
+                rng.gen_range(extent.min.y..extent.max.y),
+            ));
+        }
     }
 }
 
@@ -61,9 +81,15 @@ impl JitteredGrid {
 }
 
 impl Deployer for JitteredGrid {
-    fn deploy<R: Rng + ?Sized>(&self, n: usize, extent: &Aabb, rng: &mut R) -> Vec<Point> {
+    fn deploy_into<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        extent: &Aabb,
+        rng: &mut R,
+        out: &mut Vec<Point>,
+    ) {
         if n == 0 {
-            return Vec::new();
+            return;
         }
         // Choose rows x cols covering n with near-square cells.
         let aspect = extent.width() / extent.height();
@@ -71,12 +97,14 @@ impl Deployer for JitteredGrid {
         let cols = n.div_ceil(rows);
         let dx = extent.width() / cols as f64;
         let dy = extent.height() / rows as f64;
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
+        let mut placed = 0usize;
         'outer: for r in 0..rows {
             for c in 0..cols {
-                if out.len() == n {
+                if placed == n {
                     break 'outer;
                 }
+                placed += 1;
                 let cx = extent.min.x + (c as f64 + 0.5) * dx;
                 let cy = extent.min.y + (r as f64 + 0.5) * dy;
                 let jx = if self.jitter > 0.0 {
@@ -95,7 +123,6 @@ impl Deployer for JitteredGrid {
                 ));
             }
         }
-        out
     }
 }
 
@@ -166,6 +193,21 @@ mod tests {
     #[should_panic(expected = "jitter")]
     fn jitter_out_of_range_panics() {
         JitteredGrid::new(0.9);
+    }
+
+    #[test]
+    fn deploy_into_matches_deploy_bit_for_bit() {
+        let extent = Aabb::from_extent(100.0, 80.0);
+        let owned = UniformRandom.deploy(64, &extent, &mut rng(9));
+        let mut buf = vec![Point::new(-1.0, -1.0)];
+        buf.clear();
+        UniformRandom.deploy_into(64, &extent, &mut rng(9), &mut buf);
+        assert_eq!(owned, buf);
+
+        let owned = JitteredGrid::new(0.4).deploy(37, &extent, &mut rng(9));
+        buf.clear();
+        JitteredGrid::new(0.4).deploy_into(37, &extent, &mut rng(9), &mut buf);
+        assert_eq!(owned, buf);
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! * [`sensor`] — sensor identities and positions;
 //! * [`deployment`] — deployment strategies (uniform random as assumed by
 //!   the paper, plus grid and jittered-grid comparators);
-//! * [`field`] — [`field::SensorField`]: a spatial-hash indexed sensor set
-//!   with circle and stadium range queries under either a bounded or a
-//!   toroidal boundary policy;
+//! * [`field`] — [`field::SensorField`]: a CSR spatial-hash indexed sensor
+//!   set with circle and stadium range queries under either a bounded or a
+//!   toroidal boundary policy, rebuildable in place and focusable on a
+//!   query corridor for large-N simulation;
+//! * [`oracle`] — [`oracle::NestedGridField`]: the pre-CSR nested-`Vec`
+//!   field, retained as the correctness and performance oracle the CSR
+//!   path is benchmarked and bit-identity-tested against;
 //! * [`coverage`] — coverage statistics: covered-area fraction, k-coverage,
 //!   and the analytic Poisson approximation they are tested against.
 //!
@@ -38,4 +42,5 @@
 pub mod coverage;
 pub mod deployment;
 pub mod field;
+pub mod oracle;
 pub mod sensor;

@@ -64,6 +64,41 @@ impl Stadium {
     pub fn bounding_box(&self) -> Aabb {
         Aabb::new(self.segment.a, self.segment.b).inflated(self.radius)
     }
+
+    /// The x-range the stadium can occupy inside the horizontal band
+    /// `lo <= y <= hi`, or `None` if the stadium misses the band entirely.
+    ///
+    /// Every stadium point with `y` in the band is within `radius` of a
+    /// segment point whose own `y` lies in the expanded band
+    /// `[lo - radius, hi + radius]`; clipping the segment's parameter
+    /// range to that band and inflating its x-extent by `radius` therefore
+    /// covers all such points. The range is a tight-enough superset for
+    /// grid-row pruning, not the exact intersection (the cap circles round
+    /// the true shape off).
+    pub fn x_span_within_y_band(&self, lo: f64, hi: f64) -> Option<(f64, f64)> {
+        let (a, b) = (self.segment.a, self.segment.b);
+        let (band_lo, band_hi) = (lo - self.radius, hi + self.radius);
+        let dy = b.y - a.y;
+        let (t0, t1) = if dy == 0.0 {
+            // Horizontal (or degenerate) segment: all of it or none of it.
+            if a.y < band_lo || a.y > band_hi {
+                return None;
+            }
+            (0.0, 1.0)
+        } else {
+            // Parameter values where the segment crosses the band edges.
+            let ta = (band_lo - a.y) / dy;
+            let tb = (band_hi - a.y) / dy;
+            let (s0, s1) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+            if s1 < 0.0 || s0 > 1.0 {
+                return None;
+            }
+            (s0.max(0.0), s1.min(1.0))
+        };
+        let x0 = a.x + t0 * (b.x - a.x);
+        let x1 = a.x + t1 * (b.x - a.x);
+        Some((x0.min(x1) - self.radius, x0.max(x1) + self.radius))
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +145,66 @@ mod tests {
         let b = s.bounding_box();
         assert_eq!(b.min, Point::new(0.5, 1.5));
         assert_eq!(b.max, Point::new(4.5, 2.5));
+    }
+
+    #[test]
+    fn x_span_covers_band_points() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(21);
+        for _ in 0..300 {
+            let a = Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            let b = Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            let st = Stadium::new(a, b, rng.gen_range(0.1..4.0));
+            let lo = rng.gen_range(-12.0..12.0);
+            let hi = lo + rng.gen_range(0.0..5.0);
+            // Sample points; any stadium point inside the band must fall in
+            // the reported x-span.
+            let bbox = st.bounding_box();
+            for _ in 0..40 {
+                let p = Point::new(
+                    rng.gen_range(bbox.min.x..bbox.max.x),
+                    rng.gen_range(bbox.min.y..bbox.max.y),
+                );
+                if !st.contains(p) || p.y < lo || p.y > hi {
+                    continue;
+                }
+                let (x0, x1) = st
+                    .x_span_within_y_band(lo, hi)
+                    .expect("band holds a stadium point");
+                assert!(
+                    (x0 - 1e-9..=x1 + 1e-9).contains(&p.x),
+                    "point {p:?} outside span [{x0}, {x1}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x_span_misses_disjoint_band() {
+        let st = Stadium::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 1.0);
+        assert_eq!(st.x_span_within_y_band(2.0, 3.0), None);
+        assert_eq!(st.x_span_within_y_band(-5.0, -1.5), None);
+        // Band touching the stadium's top edge still reports a span.
+        let (x0, x1) = st.x_span_within_y_band(1.0, 2.0).expect("touching band");
+        assert!(x0 <= -1.0 && x1 >= 11.0);
+    }
+
+    #[test]
+    fn x_span_tracks_a_slanted_segment() {
+        // Segment from (0,0) to (10,10), radius 1: the band y in [4,6]
+        // clips the segment to x in [3,7], inflated by 1.
+        let st = Stadium::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0), 1.0);
+        let (x0, x1) = st.x_span_within_y_band(4.0, 6.0).expect("crossing band");
+        assert!((x0 - 2.0).abs() < 1e-12, "x0={x0}");
+        assert!((x1 - 8.0).abs() < 1e-12, "x1={x1}");
+    }
+
+    #[test]
+    fn x_span_degenerate_stadium() {
+        let st = Stadium::new(Point::new(3.0, 4.0), Point::new(3.0, 4.0), 2.0);
+        let (x0, x1) = st.x_span_within_y_band(5.0, 9.0).expect("disk meets band");
+        assert_eq!((x0, x1), (1.0, 5.0));
+        assert_eq!(st.x_span_within_y_band(6.1, 9.0), None);
     }
 
     #[test]

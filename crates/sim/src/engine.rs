@@ -7,10 +7,11 @@
 //! locations of all sensor nodes" — each covered sensor then reports with
 //! probability `Pd`.
 
-use crate::config::{DeploymentSpec, MotionSpec, SimConfig};
+use crate::config::{DeploymentSpec, FalseAlarmSampler, MotionSpec, SimConfig};
 use crate::reports::{DetectionReport, ReportKind};
 use gbd_field::deployment::{Deployer, JitteredGrid, UniformRandom};
-use gbd_field::field::SensorField;
+use gbd_field::field::{BoundaryPolicy, SensorField};
+use gbd_field::sensor::SensorId;
 use gbd_geometry::point::{Aabb, Point};
 use gbd_motion::random_walk::RandomWalk;
 use gbd_motion::straight::StraightLine;
@@ -67,30 +68,86 @@ impl TrialOutcome {
     }
 }
 
+/// Reusable per-worker buffers for [`run_trial_in`]: the sensor field
+/// (positions, CSR index, build scratch) and the query-hit buffer. A
+/// warm scratch makes the whole per-trial loop allocation-free apart from
+/// the outcome's report list.
+#[derive(Debug, Clone)]
+pub struct TrialScratch {
+    field: SensorField,
+    hits: Vec<SensorId>,
+}
+
+impl TrialScratch {
+    /// Creates an empty (cold) scratch.
+    pub fn new() -> Self {
+        TrialScratch {
+            field: SensorField::new(
+                Aabb::from_extent(1.0, 1.0),
+                Vec::new(),
+                BoundaryPolicy::Bounded,
+            ),
+            hits: Vec::new(),
+        }
+    }
+}
+
+impl Default for TrialScratch {
+    fn default() -> Self {
+        TrialScratch::new()
+    }
+}
+
 /// Runs a single trial. Deterministic in `(config.seed, trial_index)`.
 pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
+    run_trial_in(config, trial_index, &mut TrialScratch::new())
+}
+
+/// Runs a single trial inside a reusable [`TrialScratch`]. Identical in
+/// every byte of output to [`run_trial`] — the scratch only recycles
+/// buffers between trials.
+pub fn run_trial_in(
+    config: &SimConfig,
+    trial_index: u64,
+    scratch: &mut TrialScratch,
+) -> TrialOutcome {
     let mut rng = rng_stream(config.seed, trial_index);
     let params = &config.params;
     let extent = Aabb::from_extent(params.field_width(), params.field_height());
+    let TrialScratch { field, hits } = scratch;
 
-    // Deployment.
-    let positions = match config.deployment {
-        DeploymentSpec::UniformRandom => {
-            UniformRandom.deploy(params.n_sensors(), &extent, &mut rng)
+    // Deployment and target track, drawn in the fixed stream order
+    // (positions, then start, then heading, then per-period motion), then
+    // indexed focused on the track corridor: the field only grids the
+    // sensors inside the union of the M Detectable-Region bounding boxes,
+    // which is all the sensing loop below ever queries. The index build
+    // consumes no randomness, so focusing cannot shift the RNG stream.
+    let rng_ref = &mut rng;
+    let trajectory = field.rebuild_focused(extent, config.boundary, move |buf| {
+        match config.deployment {
+            DeploymentSpec::UniformRandom => {
+                UniformRandom.deploy_into(params.n_sensors(), &extent, rng_ref, buf)
+            }
+            DeploymentSpec::Grid { jitter } => {
+                JitteredGrid::new(jitter).deploy_into(params.n_sensors(), &extent, rng_ref, buf)
+            }
         }
-        DeploymentSpec::Grid { jitter } => {
-            JitteredGrid::new(jitter).deploy(params.n_sensors(), &extent, &mut rng)
+        let start = Point::new(
+            rng_ref.gen_range(extent.min.x..extent.max.x),
+            rng_ref.gen_range(extent.min.y..extent.max.y),
+        );
+        let heading = rng_ref.gen_range(0.0..std::f64::consts::TAU);
+        let trajectory = generate_trajectory(config, start, heading, rng_ref);
+        let mut focus = Aabb {
+            min: start,
+            max: start,
+        };
+        for period in 1..=params.m_periods() {
+            let dr = trajectory.detectable_region(period, params.sensing_range());
+            focus = focus.union(&dr.bounding_box());
         }
-    };
-    let field = SensorField::new(extent, positions, config.boundary);
-
-    // Target track: uniform start, uniform heading.
-    let start = Point::new(
-        rng.gen_range(extent.min.x..extent.max.x),
-        rng.gen_range(extent.min.y..extent.max.y),
-    );
-    let heading = rng.gen_range(0.0..std::f64::consts::TAU);
-    let trajectory = generate_trajectory(config, start, heading, &mut rng);
+        (focus, trajectory)
+    });
 
     // Sensing: per period, every covered *awake* sensor flips a Pd coin.
     // Duty cycling composes multiplicatively with Pd, which the tests
@@ -107,7 +164,8 @@ pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
     let mut dropped_reports = 0;
     for period in 1..=params.m_periods() {
         let dr = trajectory.detectable_region(period, params.sensing_range());
-        for id in field.query_stadium(&dr) {
+        field.query_stadium_into(&dr, hits);
+        for &id in hits.iter() {
             if config.awake_probability < 1.0 && !rng.gen_bool(config.awake_probability) {
                 continue;
             }
@@ -137,9 +195,10 @@ pub fn run_trial(config: &SimConfig, trial_index: u64) -> TrialOutcome {
     let mut false_reports = 0;
     if config.false_alarm_rate > 0.0 {
         false_reports = inject_false_alarms(
-            &field,
+            field,
             params.m_periods(),
             config.false_alarm_rate,
+            config.false_alarm_sampler,
             &mut rng,
             &mut reports,
             faults.as_ref().map(|plan| (plan, trial_index)),
@@ -183,11 +242,55 @@ fn generate_trajectory(
     }
 }
 
-/// Adds Bernoulli false alarms for every sensor-period pair; returns how
-/// many were injected. The coin is drawn before the fault check (keeping
+/// Adds false alarms for the `N × M` sensor-period grid; returns how many
+/// were injected. The randomness is drawn before the fault check (keeping
 /// the RNG stream fault-invariant), and a dead node's misfires are
 /// suppressed.
 pub(crate) fn inject_false_alarms(
+    field: &SensorField,
+    m_periods: usize,
+    rate: f64,
+    sampler: FalseAlarmSampler,
+    rng: &mut Rng,
+    reports: &mut Vec<DetectionReport>,
+    faults: Option<(&crate::faults::FaultPlan, u64)>,
+) -> usize {
+    match sampler {
+        FalseAlarmSampler::Bernoulli => {
+            let mut injected = 0;
+            for period in 1..=m_periods {
+                for s in field.sensors() {
+                    if rng.gen_bool(rate) {
+                        if let Some((plan, trial)) = faults {
+                            if plan.node_failed(trial, s.id.0) {
+                                continue;
+                            }
+                        }
+                        reports.push(DetectionReport::new(
+                            s.id,
+                            period,
+                            s.pos,
+                            ReportKind::FalseAlarm,
+                        ));
+                        injected += 1;
+                    }
+                }
+            }
+            injected
+        }
+        FalseAlarmSampler::GeometricSkip => {
+            inject_false_alarms_geometric(field, m_periods, rate, rng, reports, faults)
+        }
+    }
+}
+
+/// Geometric skip-ahead sampling over the flattened period-major
+/// sensor-period grid: instead of one coin per slot, draw the gap to the
+/// next firing slot directly (`floor(ln(U) / ln(1 - rate))` is geometric
+/// with success probability `rate`), so cost is proportional to the number
+/// of alarms. Same firing distribution as the Bernoulli scan, different
+/// RNG stream layout.
+fn inject_false_alarms_geometric(
     field: &SensorField,
     m_periods: usize,
     rate: f64,
@@ -195,26 +298,143 @@ pub(crate) fn inject_false_alarms(
     reports: &mut Vec<DetectionReport>,
     faults: Option<(&crate::faults::FaultPlan, u64)>,
 ) -> usize {
+    let n = field.len();
+    let total = m_periods as u64 * n as u64;
+    if total == 0 {
+        return 0;
+    }
+    // ln(1 - 1.0) = -inf makes every skip 0, so rate = 1 needs no special
+    // case: every slot fires.
+    let ln_q = (1.0 - rate).ln();
     let mut injected = 0;
-    for period in 1..=m_periods {
-        for s in field.sensors() {
-            if rng.gen_bool(rate) {
-                if let Some((plan, trial)) = faults {
-                    if plan.node_failed(trial, s.id.0) {
-                        continue;
-                    }
-                }
-                reports.push(DetectionReport::new(
-                    s.id,
-                    period,
-                    s.pos,
-                    ReportKind::FalseAlarm,
-                ));
-                injected += 1;
-            }
+    let mut idx: u64 = 0;
+    loop {
+        // U in (0, 1]: 1 - gen::<f64>() avoids ln(0).
+        let u = 1.0 - rng.gen::<f64>();
+        let skip = (u.ln() / ln_q).floor();
+        // NaN-safe: an over-large or non-finite skip means no further
+        // slot fires.
+        if !skip.is_finite() || skip >= (total - idx) as f64 {
+            break;
+        }
+        idx += skip as u64;
+        let period = (idx / n as u64) as usize + 1;
+        let sensor = SensorId((idx % n as u64) as usize);
+        let alive = match faults {
+            Some((plan, trial)) => !plan.node_failed(trial, sensor.0),
+            None => true,
+        };
+        if alive {
+            reports.push(DetectionReport::new(
+                sensor,
+                period,
+                field.sensor(sensor).pos,
+                ReportKind::FalseAlarm,
+            ));
+            injected += 1;
+        }
+        idx += 1;
+        if idx >= total {
+            break;
         }
     }
     injected
+}
+
+#[cfg(test)]
+pub(crate) mod oracle_support {
+    //! The pre-CSR trial loop, replayed verbatim over the retained
+    //! nested-`Vec` [`NestedGridField`] — the reference side of the
+    //! engine's bit-identity tests. Every RNG draw, query, and report push
+    //! happens in exactly the order the engine shipped with before the CSR
+    //! rewrite.
+    use super::*;
+    use gbd_field::oracle::NestedGridField;
+
+    /// The engine's pre-CSR `run_trial`, byte for byte.
+    pub(crate) fn run_trial_oracle(config: &SimConfig, trial_index: u64) -> TrialOutcome {
+        let mut rng = rng_stream(config.seed, trial_index);
+        let params = &config.params;
+        let extent = Aabb::from_extent(params.field_width(), params.field_height());
+
+        let positions = match config.deployment {
+            DeploymentSpec::UniformRandom => {
+                UniformRandom.deploy(params.n_sensors(), &extent, &mut rng)
+            }
+            DeploymentSpec::Grid { jitter } => {
+                JitteredGrid::new(jitter).deploy(params.n_sensors(), &extent, &mut rng)
+            }
+        };
+        let field = NestedGridField::new(extent, positions, config.boundary);
+
+        let start = Point::new(
+            rng.gen_range(extent.min.x..extent.max.x),
+            rng.gen_range(extent.min.y..extent.max.y),
+        );
+        let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        let trajectory = generate_trajectory(config, start, heading, &mut rng);
+
+        let faults = config.faults.filter(|f| !f.is_inert());
+        let mut reports = Vec::new();
+        let mut true_reports = 0;
+        let mut dropped_reports = 0;
+        for period in 1..=params.m_periods() {
+            let dr = trajectory.detectable_region(period, params.sensing_range());
+            for id in field.query_stadium(&dr) {
+                if config.awake_probability < 1.0 && !rng.gen_bool(config.awake_probability) {
+                    continue;
+                }
+                if rng.gen_bool(params.pd()) {
+                    if let Some(plan) = &faults {
+                        if plan.node_failed(trial_index, id.0)
+                            || plan.report_dropped(trial_index, id.0, period)
+                        {
+                            dropped_reports += 1;
+                            continue;
+                        }
+                    }
+                    reports.push(DetectionReport::new(
+                        id,
+                        period,
+                        field.sensor(id).pos,
+                        ReportKind::TrueDetection,
+                    ));
+                    true_reports += 1;
+                }
+            }
+        }
+
+        let mut false_reports = 0;
+        if config.false_alarm_rate > 0.0 {
+            for period in 1..=params.m_periods() {
+                for s in field.sensors() {
+                    if rng.gen_bool(config.false_alarm_rate) {
+                        if let Some(plan) = &faults {
+                            if plan.node_failed(trial_index, s.id.0) {
+                                continue;
+                            }
+                        }
+                        reports.push(DetectionReport::new(
+                            s.id,
+                            period,
+                            s.pos,
+                            ReportKind::FalseAlarm,
+                        ));
+                        false_reports += 1;
+                    }
+                }
+            }
+            reports.sort_by_key(|r| r.period);
+        }
+
+        TrialOutcome {
+            reports,
+            true_reports,
+            false_reports,
+            dropped_reports,
+            trajectory,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +581,155 @@ mod tests {
         for s in out.trajectory.step_lengths() {
             assert!((240.0 - 1e-6..=600.0 + 1e-6).contains(&s));
         }
+    }
+
+    #[test]
+    fn trial_matches_the_nested_grid_oracle_bit_for_bit() {
+        use crate::faults::FaultPlan;
+        // Every knob that touches the per-trial loop: boundary policy,
+        // deployment, motion, duty cycling, noise, faults.
+        let configs = [
+            config(),
+            config().with_boundary(crate::config::BoundaryPolicy::Bounded),
+            config().with_deployment(DeploymentSpec::Grid { jitter: 0.3 }),
+            config().with_paper_random_walk(),
+            config().with_awake_probability(0.6),
+            config().with_false_alarm_rate(0.01),
+            config().with_false_alarm_rate(0.02).with_faults(
+                FaultPlan::new(77)
+                    .with_node_failure_rate(0.2)
+                    .with_report_drop_rate(0.1),
+            ),
+        ];
+        for (ci, c) in configs.iter().enumerate() {
+            for trial in 0..5 {
+                let new = run_trial(c, trial);
+                let old = oracle_support::run_trial_oracle(c, trial);
+                assert_eq!(new, old, "config {ci} trial {trial}");
+                assert_eq!(
+                    format!("{new:?}"),
+                    format!("{old:?}"),
+                    "config {ci} trial {trial} debug repr"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state_between_trials() {
+        let a = config().with_false_alarm_rate(0.01).with_seed(14);
+        let b = a
+            .clone()
+            .with_boundary(crate::config::BoundaryPolicy::Bounded);
+        let mut scratch = TrialScratch::new();
+        // Interleave configs and trial indices through ONE scratch; each
+        // outcome must equal a cold run.
+        for trial in 0..6 {
+            let cfg = if trial % 2 == 0 { &a } else { &b };
+            assert_eq!(
+                run_trial_in(cfg, trial, &mut scratch),
+                run_trial(cfg, trial),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_skip_agrees_with_bernoulli_statistically() {
+        use gbd_field::field::{BoundaryPolicy, SensorField};
+        use gbd_stats::interval::wilson;
+        // Same Bernoulli(rate) firing distribution, different stream
+        // layout: compare the two samplers' injected-count proportions
+        // over seeded campaigns with 95% Wilson intervals.
+        let extent = Aabb::from_extent(100.0, 100.0);
+        let positions: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 10) as f64 * 10.0 + 5.0, (i / 10) as f64 * 10.0 + 5.0))
+            .collect();
+        let field = SensorField::new(extent, positions, BoundaryPolicy::Bounded);
+        let (m, rate, campaigns) = (20usize, 0.01f64, 400u64);
+        let slots = campaigns * (m as u64) * (field.len() as u64);
+        let mut fired = [0u64; 2];
+        for (si, sampler) in [
+            FalseAlarmSampler::Bernoulli,
+            FalseAlarmSampler::GeometricSkip,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut reports = Vec::new();
+            for c in 0..campaigns {
+                let mut rng = rng_stream(0xA1A3, c);
+                reports.clear();
+                fired[si] +=
+                    inject_false_alarms(&field, m, rate, sampler, &mut rng, &mut reports, None)
+                        as u64;
+            }
+        }
+        let bern = wilson(fired[0], slots, 1.96).unwrap();
+        let geom = wilson(fired[1], slots, 1.96).unwrap();
+        assert!(bern.contains(rate), "Bernoulli interval misses the rate");
+        assert!(geom.contains(rate), "geometric interval misses the rate");
+        assert!(
+            bern.lo <= geom.hi && geom.lo <= bern.hi,
+            "sampler intervals disagree: [{}, {}] vs [{}, {}]",
+            bern.lo,
+            bern.hi,
+            geom.lo,
+            geom.hi
+        );
+    }
+
+    #[test]
+    fn geometric_skip_fires_every_slot_at_rate_one() {
+        use gbd_field::field::{BoundaryPolicy, SensorField};
+        let extent = Aabb::from_extent(10.0, 10.0);
+        let field = SensorField::new(
+            extent,
+            vec![Point::new(2.0, 2.0), Point::new(8.0, 8.0)],
+            BoundaryPolicy::Bounded,
+        );
+        let mut rng = rng_stream(1, 0);
+        let mut reports = Vec::new();
+        let injected = inject_false_alarms(
+            &field,
+            3,
+            1.0,
+            FalseAlarmSampler::GeometricSkip,
+            &mut rng,
+            &mut reports,
+            None,
+        );
+        assert_eq!(injected, 6);
+        // Period-major order over the flattened grid.
+        let seen: Vec<(usize, usize)> =
+            reports.iter().map(|r| (r.period, r.sensor.0)).collect();
+        assert_eq!(seen, vec![(1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn geometric_skip_respects_dead_nodes() {
+        use crate::faults::FaultPlan;
+        let clean = config()
+            .with_seed(21)
+            .with_false_alarm_rate(0.05)
+            .with_false_alarm_sampler(FalseAlarmSampler::GeometricSkip);
+        let faulted = clean
+            .clone()
+            .with_faults(FaultPlan::new(5).with_node_failure_rate(0.5));
+        let a = run_trial(&clean, 4);
+        let b = run_trial(&faulted, 4);
+        assert!(
+            b.false_reports < a.false_reports,
+            "{} vs {}",
+            b.false_reports,
+            a.false_reports
+        );
+        let false_ids: Vec<_> = b
+            .reports
+            .iter()
+            .filter(|r| !r.is_true_detection())
+            .collect();
+        assert!(false_ids.iter().all(|r| a.reports.contains(r)));
     }
 }
 

@@ -99,24 +99,38 @@ pub fn simulate_exposure(config: &SimConfig, ell: f64) -> f64 {
     let extent = Aabb::from_extent(w, h);
     let model = StraightLine::new(params.speed());
     let mut detections = 0u64;
+    let mut field = SensorField::new(extent, Vec::new(), config.boundary);
+    let mut hits = Vec::new();
     for trial in 0..config.trials {
         let mut rng: Rng = rng_stream(config.seed, trial);
-        let positions = UniformRandom.deploy(params.n_sensors(), &extent, &mut rng);
-        let field = SensorField::new(extent, positions, config.boundary);
-        let start = Point::new(rng.gen_range(0.0..w), rng.gen_range(0.0..h));
-        let heading = rng.gen_range(0.0..std::f64::consts::TAU);
-        let traj = model.generate(
-            start,
-            heading,
-            params.period_s(),
-            params.m_periods(),
-            &mut rng,
-        );
+        let rng_ref = &mut rng;
+        let traj = field.rebuild_focused(extent, config.boundary, |buf| {
+            UniformRandom.deploy_into(params.n_sensors(), &extent, rng_ref, buf);
+            let start = Point::new(rng_ref.gen_range(0.0..w), rng_ref.gen_range(0.0..h));
+            let heading = rng_ref.gen_range(0.0..std::f64::consts::TAU);
+            let traj = model.generate(
+                start,
+                heading,
+                params.period_s(),
+                params.m_periods(),
+                rng_ref,
+            );
+            let mut focus = Aabb {
+                min: start,
+                max: start,
+            };
+            for period in 1..=params.m_periods() {
+                let dr = traj.detectable_region(period, params.sensing_range());
+                focus = focus.union(&dr.bounding_box());
+            }
+            (focus, traj)
+        });
         let mut reports = 0usize;
         for period in 1..=params.m_periods() {
             let seg = traj.segment(period);
             let dr = traj.detectable_region(period, params.sensing_range());
-            for id in field.query_stadium(&dr) {
+            field.query_stadium_into(&dr, &mut hits);
+            for &id in hits.iter() {
                 let pos = field.sensor(id).pos;
                 // Use the periodic image of the sensor actually inside the DR.
                 let overlap = best_image_overlap(&seg, pos, w, h, params.sensing_range());

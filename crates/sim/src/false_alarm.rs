@@ -7,7 +7,7 @@
 //! These runners make both claims measurable.
 
 use crate::config::SimConfig;
-use crate::engine::{inject_false_alarms, run_trial};
+use crate::engine::{inject_false_alarms, run_trial_in, TrialScratch};
 use crate::group_filter::{group_detects, TrackRule};
 use gbd_field::deployment::{Deployer, UniformRandom};
 use gbd_field::field::SensorField;
@@ -53,8 +53,9 @@ pub fn run_with_filter(config: &SimConfig) -> FilteredSimResult {
     let rule = track_rule(config);
     let mut detections_true_only = 0;
     let mut detections_filtered = 0;
+    let mut scratch = TrialScratch::new();
     for trial in 0..config.trials {
-        let out = run_trial(config, trial);
+        let out = run_trial_in(config, trial, &mut scratch);
         if out.detected(params.k()) {
             detections_true_only += 1;
         }
@@ -96,15 +97,22 @@ pub fn run_no_target(config: &SimConfig) -> NoTargetResult {
     let mut naive_alarms = 0;
     let mut filtered_alarms = 0;
     let mut total_false = 0u64;
+    let mut field = SensorField::new(extent, Vec::new(), config.boundary);
+    let mut reports = Vec::new();
     for trial in 0..config.trials {
         let mut rng = rng_stream(config.seed, trial);
-        let positions = UniformRandom.deploy(params.n_sensors(), &extent, &mut rng);
-        let field = SensorField::new(extent, positions, config.boundary);
-        let mut reports = Vec::new();
+        {
+            let rng = &mut rng;
+            field.rebuild_with(extent, config.boundary, |buf| {
+                UniformRandom.deploy_into(params.n_sensors(), &extent, rng, buf);
+            });
+        }
+        reports.clear();
         let injected = inject_false_alarms(
             &field,
             params.m_periods(),
             config.false_alarm_rate,
+            config.false_alarm_sampler,
             &mut rng,
             &mut reports,
             config.faults.as_ref().map(|plan| (plan, trial)),
@@ -168,6 +176,32 @@ mod tests {
             r.naive_alarms
         );
         assert!(r.filtered_alarms < r.naive_alarms, "filter did not help");
+    }
+
+    #[test]
+    fn geometric_sampler_matches_bernoulli_no_target_means() {
+        use crate::config::FalseAlarmSampler;
+        // Different RNG stream layouts, same distribution: the mean
+        // injected count per trial must agree closely over a campaign.
+        let base = SimConfig::new(SystemParams::paper_defaults())
+            .with_trials(200)
+            .with_seed(17)
+            .with_false_alarm_rate(0.002);
+        let bern = run_no_target(&base);
+        let geom = run_no_target(
+            &base
+                .clone()
+                .with_false_alarm_sampler(FalseAlarmSampler::GeometricSkip),
+        );
+        // Expected mean 240 * 20 * 0.002 = 9.6 with a per-trial sd of
+        // ~3.1; over 200 trials the two means differ by ~0.3 (1 sigma).
+        assert!((bern.mean_false_reports - 9.6).abs() < 1.0, "{bern:?}");
+        assert!(
+            (bern.mean_false_reports - geom.mean_false_reports).abs() < 1.0,
+            "{} vs {}",
+            bern.mean_false_reports,
+            geom.mean_false_reports
+        );
     }
 
     #[test]

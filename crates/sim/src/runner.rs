@@ -1,7 +1,7 @@
 //! Parallel trial execution.
 
 use crate::config::SimConfig;
-use crate::engine::run_trial;
+use crate::engine::{run_trial_in, TrialOutcome, TrialScratch};
 use gbd_stats::interval::{wilson, ProportionInterval};
 use gbd_stats::summary::Summary;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +52,26 @@ struct TrialCounts {
 /// scheduling outcome, so the result is byte-stable across runs even
 /// though the *execution* order is work-stealing.
 pub fn run(config: &SimConfig) -> SimResult {
+    // One TrialScratch per worker thread: the field's position, index, and
+    // query buffers are recycled across every trial the worker claims, so
+    // the steady-state campaign allocates only each trial's report list.
+    run_with(config, || {
+        let mut scratch = TrialScratch::new();
+        move |cfg: &SimConfig, trial: u64| run_trial_in(cfg, trial, &mut scratch)
+    })
+}
+
+/// [`run`] with a caller-supplied trial function. `make_worker` is called
+/// once per worker thread; the returned closure runs every trial that
+/// thread claims, so it can own per-worker state (arenas, instrumentation,
+/// an alternative engine). The aggregation is the same replayed
+/// fixed-chunk reduction, so two workers that produce byte-identical
+/// [`TrialOutcome`]s produce byte-identical [`SimResult`]s.
+pub fn run_with<W, F>(config: &SimConfig, make_worker: F) -> SimResult
+where
+    F: Fn() -> W + Sync,
+    W: FnMut(&SimConfig, u64) -> TrialOutcome,
+{
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -69,10 +89,12 @@ pub fn run(config: &SimConfig) -> SimResult {
     let counter = AtomicU64::new(0);
     let mut blocks: Vec<(u64, Vec<TrialCounts>)> = std::thread::scope(|scope| {
         let counter = &counter;
+        let make_worker = &make_worker;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let cfg = config.clone();
                 scope.spawn(move || {
+                    let mut worker = make_worker();
                     let mut mine = Vec::new();
                     loop {
                         let lo = counter.fetch_add(STEAL_BLOCK, Ordering::Relaxed);
@@ -82,7 +104,7 @@ pub fn run(config: &SimConfig) -> SimResult {
                         let hi = (lo + STEAL_BLOCK).min(trials);
                         let counts = (lo..hi)
                             .map(|trial| {
-                                let out = run_trial(&cfg, trial);
+                                let out = worker(&cfg, trial);
                                 TrialCounts {
                                     true_reports: out.true_reports,
                                     false_reports: out.false_reports,
@@ -250,6 +272,38 @@ mod tests {
                     .with_report_drop_rate(0.2),
             ))
         );
+    }
+
+    #[test]
+    fn campaign_is_bit_identical_to_the_nested_grid_oracle() {
+        use crate::engine::oracle_support::run_trial_oracle;
+        // The CSR field, the focused rebuild, the per-worker arenas, and
+        // the allocation-free query path must not change a single bit of
+        // any SimResult: replay whole campaigns through the retained
+        // pre-CSR engine and compare, at the paper's defaults and at
+        // N = 10^4 sensors, across thread counts.
+        let paper = SimConfig::new(SystemParams::paper_defaults())
+            .with_trials(64)
+            .with_seed(0x1D);
+        let large = SimConfig::new(SystemParams::paper_defaults().with_n_sensors(10_000))
+            .with_trials(32)
+            .with_seed(0x1D);
+        for cfg in [paper, large] {
+            for threads in [1usize, 2, 4] {
+                let cfg = cfg.clone().with_threads(threads);
+                let new = run(&cfg);
+                let oracle = run_with(&cfg, || run_trial_oracle);
+                assert_eq!(new, oracle, "threads {threads}");
+                // PartialEq on f64 fields is exact, but make byte-level
+                // intent explicit: the printed representation (every bit
+                // of every float) matches too.
+                assert_eq!(
+                    format!("{new:?}"),
+                    format!("{oracle:?}"),
+                    "threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,11 +3,12 @@
 #
 #   scripts/bench.sh                 full run: criterion kernel pairs plus
 #                                    the perf_trajectory legs, writing
-#                                    results/BENCH_pr4.json
+#                                    results/BENCH_pr4.json and the
+#                                    sim-grid leg's results/BENCH_pr9.json
 #   scripts/bench.sh --quick         trajectory legs only, reduced grids
 #                                    (the smoke configuration check.sh
 #                                    --bench-smoke uses)
-#   scripts/bench.sh --out <dir>     write BENCH_pr4.json elsewhere
+#   scripts/bench.sh --out <dir>     write the JSON reports elsewhere
 #
 # The trajectory binary asserts bit-identity between the baseline and
 # optimized legs before reporting any number, so a successful run is also
@@ -33,7 +34,7 @@ if [ "$quick" -eq 0 ]; then
   cargo bench -q -p gbd-bench --bench kernels
 fi
 
-echo "==> perf trajectory (fig8 cold, engine cold/warm, skewed thread scaling)"
+echo "==> perf trajectory (fig8 cold, engine cold/warm, thread scaling, sim grid)"
 if [ "$quick" -eq 1 ]; then
   target/release/perf_trajectory --quick --out "$out"
 else
