@@ -36,6 +36,17 @@
 //! answers — and at the end every routed `detection` is compared against
 //! an in-process single-server evaluation of the same request shape. The
 //! run fails unless all requests were eventually answered bit-identically.
+//!
+//! `--report-stream` switches to the streaming workload: each client
+//! opens a detection session (`stream_open`), replays simulator-generated
+//! intruder trials as per-period report bursts — thinned by the delivery
+//! ratio the committed `results/comm_burst.csv` measured for the
+//! scenario's sensor count, since a sensing burst contends for the radio
+//! — and reads back pushed `detection` events, measuring per-event
+//! report→detection latency percentiles. `--assert-stream` then queries
+//! the server's `stream` metrics section and fails unless every report
+//! and event the clients counted is accounted for there, at least one
+//! detection fired, and no session was left open.
 
 use gbd_bench::Csv;
 use gbd_serve::Json;
@@ -75,6 +86,13 @@ struct Options {
     /// Treat `--addr` as a gbd-router front end: retry retryable errors
     /// and verify routed answers bit-identically against a local engine.
     router: bool,
+    /// Drive streaming detection sessions instead of eval requests:
+    /// each client opens one session and replays `--requests` simulated
+    /// intruder trials as per-period report bursts.
+    report_stream: bool,
+    /// After a `--report-stream` run, verify the server's `stream`
+    /// metrics section accounts every report and event.
+    assert_stream: bool,
 }
 
 impl Default for Options {
@@ -96,6 +114,8 @@ impl Default for Options {
             shutdown: false,
             warmstart: None,
             router: false,
+            report_stream: false,
+            assert_stream: false,
         }
     }
 }
@@ -106,7 +126,7 @@ fn usage() -> ! {
          \x20              [--rate req/s] [--sim-every n] [--trials n] [--seed n]\n\
          \x20              [--out dir] [--json] [--assert-coalescing] [--assert-split]\n\
          \x20              [--watch-windows n] [--shutdown] [--warmstart store-path]\n\
-         \x20              [--router]"
+         \x20              [--router] [--report-stream] [--assert-stream]"
     );
     std::process::exit(2);
 }
@@ -182,6 +202,14 @@ fn parse_args() -> Options {
             }
             "--router" => {
                 opts.router = true;
+                i += 1;
+            }
+            "--report-stream" => {
+                opts.report_stream = true;
+                i += 1;
+            }
+            "--assert-stream" => {
+                opts.assert_stream = true;
                 i += 1;
             }
             _ => usage(),
@@ -682,16 +710,414 @@ fn run_router(opts: &Arc<Options>) -> ExitCode {
 
 /// Sends one control verb on a fresh connection and returns the reply.
 fn control_round_trip(addr: &str, verb: &str) -> Option<Json> {
+    control_line(addr, &format!("{{\"id\":0,\"verb\":\"{verb}\"}}"))
+}
+
+/// Sends one request line on a fresh connection and returns the reply.
+fn control_line(addr: &str, line: &str) -> Option<Json> {
     let stream = TcpStream::connect(addr).ok()?;
     let read_half = stream.try_clone().ok()?;
     let mut writer = BufWriter::new(stream);
-    writer
-        .write_all(format!("{{\"id\":0,\"verb\":\"{verb}\"}}\n").as_bytes())
-        .ok()?;
+    writer.write_all(line.as_bytes()).ok()?;
+    writer.write_all(b"\n").ok()?;
     writer.flush().ok()?;
+    let mut reply = String::new();
+    BufReader::new(read_half).read_line(&mut reply).ok()?;
+    Json::parse(reply.trim()).ok()
+}
+
+/// The streaming scenario: the `results/time_to_detection.csv` operating
+/// point (M = 10, N = 240, k = 3), so replayed trials carry the same
+/// report streams the simulator's figures are built from.
+const STREAM_N: usize = 240;
+const STREAM_M: usize = 10;
+const STREAM_K: usize = 3;
+
+/// The delivery ratio `results/comm_burst.csv` measured for the sensor
+/// count closest to `n` — the fraction of a sensing burst that survives
+/// radio contention. Missing or malformed CSV degrades to full delivery.
+fn burst_delivery_ratio(opts: &Options, n: usize) -> f64 {
+    let Ok(text) = std::fs::read_to_string(opts.out_dir.join("comm_burst.csv")) else {
+        return 1.0;
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for line in text.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 2 {
+            continue;
+        }
+        let (Ok(row_n), Ok(ratio)) = (fields[0].parse::<usize>(), fields[1].parse::<f64>())
+        else {
+            continue;
+        };
+        let distance = row_n.abs_diff(n);
+        if best.is_none_or(|(b, _)| distance < b) {
+            best = Some((distance, ratio));
+        }
+    }
+    best.map_or(1.0, |(_, ratio)| ratio.clamp(0.0, 1.0))
+}
+
+/// Deterministic per-report delivery coin flip (splitmix-style hash of
+/// seed/trial/index), so reruns thin the same reports.
+fn delivered(seed: u64, trial: u64, index: u64, ratio: f64) -> bool {
+    if ratio >= 1.0 {
+        return true;
+    }
+    let mut x = seed
+        ^ trial.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ index.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    ((x >> 11) as f64 / (1u64 << 53) as f64) < ratio
+}
+
+#[derive(Default)]
+struct StreamClientResult {
+    reports: u64,
+    events: u64,
+    trials: u64,
+    trials_detected: u64,
+    event_latencies_us: Vec<u64>,
+}
+
+/// One streaming client: opens a session, replays `opts.requests`
+/// simulated trials as per-period report bursts (periods offset per
+/// trial by more than the window M, so tracks can never chain across
+/// trials), reads back pushed detection events, and closes. The close
+/// ack's totals must match what the client counted.
+fn drive_stream_session(
+    client: usize,
+    ratio: f64,
+    opts: &Options,
+) -> Result<StreamClientResult, String> {
+    use gbd_core::params::SystemParams;
+    let params = SystemParams::paper_defaults()
+        .with_m_periods(STREAM_M)
+        .with_n_sensors(STREAM_N)
+        .with_k(STREAM_K);
+    let config = gbd_sim::config::SimConfig::new(params).with_seed(opts.seed);
+
+    let stream =
+        TcpStream::connect(&opts.addr).map_err(|e| format!("client {client} connect: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut writer = BufWriter::new(stream);
+    let mut reader = BufReader::new(read_half);
     let mut line = String::new();
-    BufReader::new(read_half).read_line(&mut line).ok()?;
-    Json::parse(line.trim()).ok()
+    let recv = |reader: &mut BufReader<TcpStream>, line: &mut String| -> Result<Json, String> {
+        line.clear();
+        match reader.read_line(line) {
+            Ok(0) => Err("session closed by server".to_string()),
+            Err(e) => Err(format!("session read: {e}")),
+            Ok(_) => Json::parse(line.trim()).map_err(|e| format!("session line: {e}")),
+        }
+    };
+
+    let open = format!(
+        "{{\"id\":1,\"verb\":\"stream_open\",\"params\":{{\"n\":{STREAM_N},\"m\":{STREAM_M},\"k\":{STREAM_K}}},\"boundary\":\"torus\"}}\n"
+    );
+    writer
+        .write_all(open.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("stream_open: {e}"))?;
+    let ack = recv(&mut reader, &mut line)?;
+    if ack.get("streaming").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("stream_open rejected: {}", line.trim()));
+    }
+
+    let per_client_rate = if opts.rate > 0.0 {
+        opts.rate / opts.clients as f64
+    } else {
+        0.0
+    };
+    let start = Instant::now();
+    let mut result = StreamClientResult::default();
+    // Gap between trials exceeds the window M, so a track from one trial
+    // can never extend a chain into the next.
+    let stride = 2 * STREAM_M;
+    let mut next_id = 10u64;
+    let mut bursts = 0u64;
+    for i in 0..opts.requests {
+        let trial = (client * opts.requests + i) as u64;
+        let outcome = gbd_sim::engine::run_trial(&config, trial);
+        let offset = i * stride;
+        let mut trial_events = 0u64;
+        let mut index = 0u64;
+        let reports = &outcome.reports;
+        let mut r = 0;
+        while r < reports.len() {
+            let period = reports[r].period;
+            let mut burst = Vec::new();
+            while r < reports.len() && reports[r].period == period {
+                if delivered(opts.seed, trial, index, ratio) {
+                    let report = &reports[r];
+                    burst.push(Json::obj(vec![
+                        ("sensor".to_string(), Json::from(report.sensor.0)),
+                        ("period".to_string(), Json::from(report.period + offset)),
+                        ("x".to_string(), Json::Num(report.position.x)),
+                        ("y".to_string(), Json::Num(report.position.y)),
+                    ]));
+                }
+                index += 1;
+                r += 1;
+            }
+            if burst.is_empty() {
+                continue;
+            }
+            if per_client_rate > 0.0 {
+                let due = start + Duration::from_secs_f64(bursts as f64 / per_client_rate);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+            }
+            let burst_len = burst.len() as u64;
+            let request = Json::obj(vec![
+                ("id".to_string(), Json::from(next_id)),
+                ("verb".to_string(), Json::from("report")),
+                ("reports".to_string(), Json::Arr(burst)),
+            ]);
+            writer
+                .write_all(request.render().as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("report burst: {e}"))?;
+            let sent_at = Instant::now();
+            let ack = recv(&mut reader, &mut line)?;
+            if ack.get("id").and_then(Json::as_u64) != Some(next_id)
+                || ack.get("ok").and_then(Json::as_bool) != Some(true)
+            {
+                return Err(format!("burst {next_id} not acked: {}", line.trim()));
+            }
+            let ingested = ack.get("ingested").and_then(Json::as_u64).unwrap_or(0);
+            if ingested != burst_len {
+                return Err(format!(
+                    "burst {next_id}: sent {burst_len} reports, server ingested {ingested}"
+                ));
+            }
+            result.reports += ingested;
+            let events = ack.get("events").and_then(Json::as_u64).unwrap_or(0);
+            for _ in 0..events {
+                let event = recv(&mut reader, &mut line)?;
+                if event.get("event").is_none() {
+                    return Err(format!("expected event line, got: {}", line.trim()));
+                }
+                result
+                    .event_latencies_us
+                    .push(u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+                result.events += 1;
+                trial_events += 1;
+            }
+            next_id += 1;
+            bursts += 1;
+        }
+        result.trials += 1;
+        if trial_events > 0 {
+            result.trials_detected += 1;
+        }
+    }
+
+    writer
+        .write_all(format!("{{\"id\":{next_id},\"verb\":\"stream_close\"}}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("stream_close: {e}"))?;
+    let end = recv(&mut reader, &mut line)?;
+    if end.get("stream_end").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("stream_close not acked: {}", line.trim()));
+    }
+    let closed_reports = end.get("reports").and_then(Json::as_u64);
+    let closed_events = end.get("events").and_then(Json::as_u64);
+    if closed_reports != Some(result.reports) || closed_events != Some(result.events) {
+        return Err(format!(
+            "close ack counts {closed_reports:?}/{closed_events:?} disagree with client {}/{}",
+            result.reports, result.events
+        ));
+    }
+    Ok(result)
+}
+
+/// The `--report-stream` driver: one session per client, simulator-fed
+/// report bursts, per-event report→detection latency percentiles, and
+/// (with `--assert-stream`) reconciliation against the server's `stream`
+/// metrics section.
+fn run_report_stream(opts: &Arc<Options>) -> ExitCode {
+    let ratio = burst_delivery_ratio(opts, STREAM_N);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|client| {
+            let opts = Arc::clone(opts);
+            std::thread::spawn(move || drive_stream_session(client, ratio, &opts))
+        })
+        .collect();
+    let mut failed = false;
+    let mut total = StreamClientResult::default();
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(result)) => {
+                total.reports += result.reports;
+                total.events += result.events;
+                total.trials += result.trials;
+                total.trials_detected += result.trials_detected;
+                total.event_latencies_us.extend(result.event_latencies_us);
+            }
+            Ok(Err(e)) => {
+                eprintln!("report-stream: FAILED — {e}");
+                failed = true;
+            }
+            Err(_) => {
+                eprintln!("report-stream: FAILED — client thread panicked");
+                failed = true;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    total.event_latencies_us.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&total.event_latencies_us, 0.50),
+        percentile(&total.event_latencies_us, 0.95),
+        percentile(&total.event_latencies_us, 0.99),
+    );
+    let throughput = total.reports as f64 / elapsed.as_secs_f64();
+
+    if opts.json {
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("mode".to_string(), Json::from("report-stream")),
+                ("sessions".to_string(), Json::from(opts.clients)),
+                ("trials_per_session".to_string(), Json::from(opts.requests)),
+                ("delivery_ratio".to_string(), Json::Num(ratio)),
+                ("reports".to_string(), Json::from(total.reports)),
+                ("events".to_string(), Json::from(total.events)),
+                ("trials".to_string(), Json::from(total.trials)),
+                (
+                    "trials_detected".to_string(),
+                    Json::from(total.trials_detected),
+                ),
+                ("elapsed_s".to_string(), Json::Num(elapsed.as_secs_f64())),
+                ("reports_per_s".to_string(), Json::Num(throughput)),
+                ("event_p50_us".to_string(), Json::from(p50)),
+                ("event_p95_us".to_string(), Json::from(p95)),
+                ("event_p99_us".to_string(), Json::from(p99)),
+            ])
+            .render()
+        );
+    } else {
+        println!(
+            "report-stream: {} sessions x {} trials against {} (delivery ratio {ratio:.2})",
+            opts.clients, opts.requests, opts.addr
+        );
+        println!(
+            "  {} reports, {} detection events ({} of {} trials detected) in {:.2} s",
+            total.reports,
+            total.events,
+            total.trials_detected,
+            total.trials,
+            elapsed.as_secs_f64()
+        );
+        println!("  ingest {throughput:.0} reports/s");
+        println!("  report→detection latency p50 {p50} µs, p95 {p95} µs, p99 {p99} µs");
+    }
+
+    let mut csv = Csv::create(
+        &opts.out_dir,
+        "loadgen_stream.csv",
+        &[
+            "sessions",
+            "trials_per_session",
+            "delivery_ratio",
+            "reports",
+            "events",
+            "trials_detected",
+            "elapsed_s",
+            "reports_per_s",
+            "event_p50_us",
+            "event_p95_us",
+            "event_p99_us",
+        ],
+    );
+    csv.row(&[
+        opts.clients.to_string(),
+        opts.requests.to_string(),
+        format!("{ratio:.4}"),
+        total.reports.to_string(),
+        total.events.to_string(),
+        total.trials_detected.to_string(),
+        format!("{:.3}", elapsed.as_secs_f64()),
+        format!("{throughput:.1}"),
+        p50.to_string(),
+        p95.to_string(),
+        p99.to_string(),
+    ]);
+    csv.finish();
+
+    if opts.assert_stream {
+        let metrics = control_line(
+            &opts.addr,
+            "{\"id\":0,\"verb\":\"metrics\",\"sections\":[\"stream\"]}",
+        );
+        let field = |key: &str| {
+            metrics
+                .as_ref()
+                .and_then(|m| m.get("metrics"))
+                .and_then(|m| m.get("stream"))
+                .and_then(|s| s.get(key))
+                .and_then(Json::as_u64)
+        };
+        let check = |key: &str, expected: u64| {
+            let got = field(key);
+            if got != Some(expected) {
+                eprintln!("assert-stream: FAILED — {key} = {got:?}, wanted {expected}");
+                true
+            } else {
+                false
+            }
+        };
+        let mut stream_failed = false;
+        stream_failed |= check("reports", total.reports);
+        stream_failed |= check("events", total.events);
+        stream_failed |= check("sessions_opened", opts.clients as u64);
+        stream_failed |= check("sessions_closed", opts.clients as u64);
+        stream_failed |= check("open_sessions", 0);
+        if total.events == 0 {
+            eprintln!("assert-stream: FAILED — no detection events fired");
+            stream_failed = true;
+        }
+        if stream_failed {
+            failed = true;
+        } else {
+            println!(
+                "assert-stream: ok ({} reports and {} events reconciled, sessions drained)",
+                total.reports, total.events
+            );
+        }
+    }
+    if opts.shutdown {
+        let ack = control_round_trip(&opts.addr, "shutdown");
+        let acked = ack
+            .as_ref()
+            .and_then(|a| a.get("shutting_down"))
+            .and_then(Json::as_bool)
+            == Some(true);
+        if acked {
+            println!("shutdown: acknowledged");
+        } else {
+            eprintln!("shutdown: no acknowledgement");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// What a `watch` client observed: window count, the first replayed
@@ -1001,6 +1427,9 @@ fn main() -> ExitCode {
     }
     if opts.router {
         return run_router(&opts);
+    }
+    if opts.report_stream {
+        return run_report_stream(&opts);
     }
     let start = Instant::now();
     let workers: Vec<_> = (0..opts.clients)

@@ -1591,7 +1591,11 @@ fn print_help() {
     render_flags(&mut out, &[SimArgs::FLAGS]);
     out.push_str("\nsweep range options:\n");
     render_flags(&mut out, &[SweepCmd::FLAGS]);
-    out.push_str("\nserve options (JSON-lines protocol; see docs/SERVING.md):\n");
+    out.push_str(
+        "\nserve options (JSON-lines protocol; see docs/SERVING.md; streaming\n\
+         detection sessions via stream_open/report/stream_close, see\n\
+         docs/STREAMING.md):\n",
+    );
     render_flags(&mut out, &[ServeCmd::FLAGS]);
     out.push_str("\nroute options (sharded cluster; see docs/CLUSTER.md):\n");
     render_flags(&mut out, &[RouteCmd::FLAGS]);

@@ -280,6 +280,44 @@ mod tests {
     }
 
     #[test]
+    fn estimator_edge_cases() {
+        // Empty pmf (zero mass everywhere): no mean, and only target 0.0
+        // has a quantile (period 1, trivially reached).
+        let empty = TimeToDetection {
+            by_period: vec![0.0; 4],
+            period_pmf: vec![0.0; 4],
+        };
+        assert!(empty.mean_period_given_detected().is_none());
+        assert_eq!(empty.period_quantile(0.0), Some(1));
+        assert!(empty.period_quantile(0.5).is_none());
+        assert!(empty.period_quantile(1.0).is_none());
+
+        // All mass in one period: the conditional mean is that period
+        // exactly, and every positive target at or below the endpoint
+        // resolves to it.
+        let spike = TimeToDetection {
+            by_period: vec![0.0, 0.0, 0.4, 0.4],
+            period_pmf: vec![0.0, 0.0, 0.4, 0.0],
+        };
+        let spike_mean = spike.mean_period_given_detected().unwrap();
+        assert!((spike_mean - 3.0).abs() < 1e-12, "mean {spike_mean}");
+        assert_eq!(spike.period_quantile(0.4), Some(3));
+        assert_eq!(spike.period_quantile(1e-9), Some(3));
+        assert!(spike.period_quantile(0.400001).is_none());
+
+        // Certain detection: target 1.0 is the period where the curve
+        // saturates; target 0.0 is always period 1.
+        let certain = TimeToDetection {
+            by_period: vec![0.25, 1.0, 1.0],
+            period_pmf: vec![0.25, 0.75, 0.0],
+        };
+        assert_eq!(certain.period_quantile(1.0), Some(2));
+        assert_eq!(certain.period_quantile(0.0), Some(1));
+        let mean = certain.mean_period_given_detected().unwrap();
+        assert!((mean - 1.75).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
     fn pmf_sums_to_curve_endpoint() {
         let t = analyze(&paper(), &MsOptions::default()).unwrap();
         let total: f64 = t.period_pmf.iter().sum();

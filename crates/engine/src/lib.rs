@@ -427,6 +427,13 @@ impl Engine {
         self.store.as_ref().map(|store| store.stats())
     }
 
+    /// Order-independent CRC digest of the attached store's live index
+    /// (see [`Store::digest`]); `None` without a store. A standby whose
+    /// digest matches its primary's has provably converged.
+    pub fn store_digest(&self) -> Option<u32> {
+        self.store.as_ref().map(|store| store.digest())
+    }
+
     /// The attached store handle, for layers that wire replication (log
     /// shipping tees) around the engine; `None` without a store.
     pub fn store_handle(&self) -> Option<&Arc<Store>> {

@@ -107,6 +107,15 @@ pub struct CancelToken {
 }
 
 impl CancelToken {
+    /// Creates a fresh, uncancelled token not yet tied to a registry —
+    /// for callers that reuse the cancel/reap idiom for their own streams
+    /// (e.g. serve-side detection sessions).
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Marks the subscription cancelled. Call
     /// [`Registry::reap_cancelled`] afterwards to drop the sender
     /// immediately (waking a consumer blocked on `recv`).
@@ -119,6 +128,12 @@ impl CancelToken {
     /// distinguish live watches from already-completed ones.
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
     }
 }
 

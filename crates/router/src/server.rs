@@ -5,11 +5,11 @@
 use crate::ring::Ring;
 use crate::slots::{Route, RouterCounters, Slot};
 use crate::upstream::{probe, UpstreamPool};
-use gbd_engine::Engine;
+use gbd_engine::{BackendSpec, Engine, EvalRequest};
 use gbd_serve::protocol::{self, ErrorCode, Verb};
 use gbd_serve::{Json, METRICS_SCHEMA_VERSION};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -234,6 +234,10 @@ impl Router {
     }
 
     fn spawn_conn(&self, stream: TcpStream) {
+        // Relayed responses and tunneled stream events are small
+        // single-line writes; Nagle would park each behind the client's
+        // delayed ACK.
+        let _ = stream.set_nodelay(true);
         let Ok(track) = stream.try_clone() else {
             return;
         };
@@ -309,25 +313,43 @@ fn handle_conn(stream: TcpStream, shared: &Arc<RouterShared>) {
             Ok(0) | Err(_) => return,
             Ok(_) => {}
         }
-        let response = if line.len() > shared.config.max_line_bytes {
-            protocol::error_response(
-                None,
-                ErrorCode::LineTooLong,
-                &format!(
-                    "request line exceeds {} bytes",
-                    shared.config.max_line_bytes
-                ),
+        let routed = if line.len() > shared.config.max_line_bytes {
+            Routed::Reply(
+                protocol::error_response(
+                    None,
+                    ErrorCode::LineTooLong,
+                    &format!(
+                        "request line exceeds {} bytes",
+                        shared.config.max_line_bytes
+                    ),
+                )
+                .render(),
             )
-            .render()
         } else {
-            let line = line.trim_end_matches(['\n', '\r']);
-            dispatch(line, shared, &mut pool)
+            dispatch(line.trim_end_matches(['\n', '\r']), shared, &mut pool)
         };
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
-            return;
+        match routed {
+            Routed::Reply(response) => {
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+            }
+            Routed::OpenStream { id, slot } => {
+                // The connection becomes a session tunnel for the rest of
+                // its life; `tunnel_stream` consumes both halves.
+                tunnel_stream(
+                    id,
+                    slot,
+                    line.trim_end_matches(['\n', '\r']),
+                    reader,
+                    writer,
+                    shared,
+                );
+                return;
+            }
         }
         if shared.shutting_down() {
             return;
@@ -335,14 +357,24 @@ fn handle_conn(stream: TcpStream, shared: &Arc<RouterShared>) {
     }
 }
 
+/// What `dispatch` decided to do with a request line.
+enum Routed {
+    /// A rendered response line to write back.
+    Reply(String),
+    /// A `stream_open`: pin `slot` and tunnel the connection to it.
+    OpenStream { id: u64, slot: usize },
+}
+
 /// Routes one request line to its response line.
-fn dispatch(line: &str, shared: &Arc<RouterShared>, pool: &mut UpstreamPool) -> String {
+fn dispatch(line: &str, shared: &Arc<RouterShared>, pool: &mut UpstreamPool) -> Routed {
     let envelope = match protocol::parse_line(line) {
         Ok(envelope) => envelope,
-        Err(e) => return protocol::error_response(e.id, e.code, &e.message).render(),
+        Err(e) => {
+            return Routed::Reply(protocol::error_response(e.id, e.code, &e.message).render())
+        }
     };
     let id = envelope.id;
-    match envelope.verb {
+    Routed::Reply(match envelope.verb {
         Verb::Ping => protocol::pong(id).render(),
         Verb::Shutdown => {
             let ack = Json::obj(vec![
@@ -355,6 +387,21 @@ fn dispatch(line: &str, shared: &Arc<RouterShared>, pool: &mut UpstreamPool) -> 
         }
         Verb::Metrics { .. } => render_router_metrics(id, shared).render(),
         Verb::Eval(request) => forward(id, line, &request, shared, pool),
+        Verb::StreamOpen(spec) => {
+            // Sessions are stateful, so the slot is pinned by the same
+            // routing key evals use for these params: the session lands
+            // where that operating point's caches are warm, and every
+            // report for it follows the open down one tunnel.
+            let request = EvalRequest::new(spec.params, BackendSpec::ms_default());
+            let slot = shared.ring.slot_for(&Engine::routing_key(&request));
+            return Routed::OpenStream { id, slot };
+        }
+        Verb::Report { .. } | Verb::StreamClose => protocol::error_response(
+            Some(id),
+            ErrorCode::BadRequest,
+            "no stream session is open on this connection; send stream_open first",
+        )
+        .render(),
         Verb::Watch { .. } | Verb::Unwatch | Verb::Stats | Verb::Store => {
             protocol::error_response(
                 Some(id),
@@ -363,6 +410,128 @@ fn dispatch(line: &str, shared: &Arc<RouterShared>, pool: &mut UpstreamPool) -> 
             )
             .render()
         }
+    })
+}
+
+/// Connects the upstream leg of a session tunnel. The connect itself is
+/// bounded, but the socket then carries a long-lived session that may
+/// idle between reports, so it gets no read timeout — teardown comes
+/// from either side closing, not from a clock.
+fn connect_tunnel(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Turns the client connection into a transparent byte tunnel to the
+/// pinned slot: the raw `stream_open` line is forwarded, then both
+/// directions are relayed verbatim until either side closes. Failover
+/// and retries apply only to establishing the tunnel — the detector
+/// state lives on the shard, so a mid-session transport failure ends the
+/// session (the shard's abort accounting covers it) instead of silently
+/// re-routing to a shard with empty state.
+fn tunnel_stream(
+    id: u64,
+    slot_index: usize,
+    open_line: &str,
+    mut reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    shared: &Arc<RouterShared>,
+) {
+    let Ok(client) = writer.into_inner() else {
+        return;
+    };
+    let slot = &shared.slots[slot_index];
+    let config = &shared.config;
+    let attempts = config.retries.saturating_add(1);
+    let mut upstream = None;
+    for _ in 0..attempts {
+        let addr = match slot.route(Instant::now()) {
+            Route::Forward(addr) => addr,
+            Route::Shed => {
+                if slot.promote_standby() {
+                    RouterCounters::bump(&shared.counters.failovers);
+                    slot.active()
+                } else {
+                    break;
+                }
+            }
+        };
+        RouterCounters::bump(&shared.counters.forwarded);
+        match connect_tunnel(&addr, config.upstream_timeout) {
+            Ok(mut stream) => {
+                if stream.write_all(open_line.as_bytes()).is_err()
+                    || stream.write_all(b"\n").is_err()
+                {
+                    // Nothing session-stateful happened upstream yet (the
+                    // open line never arrived), so retrying is safe.
+                    let failed = slot.record_failure(
+                        &addr,
+                        config.breaker_threshold,
+                        config.breaker_cooldown,
+                    );
+                    if failed && slot.promote_standby() {
+                        RouterCounters::bump(&shared.counters.failovers);
+                    }
+                    continue;
+                }
+                slot.record_success(&addr);
+                upstream = Some(stream);
+                break;
+            }
+            Err(_) => {
+                let failed = slot.record_failure(
+                    &addr,
+                    config.breaker_threshold,
+                    config.breaker_cooldown,
+                );
+                if failed && slot.promote_standby() {
+                    RouterCounters::bump(&shared.counters.failovers);
+                }
+            }
+        }
+    }
+    let Some(mut shard) = upstream else {
+        RouterCounters::bump(&shared.counters.shed);
+        let err = protocol::error_response(
+            Some(id),
+            ErrorCode::ShardUnavailable,
+            &format!("slot {slot_index} has no reachable shard; safe to retry"),
+        );
+        let mut client = client;
+        let _ = client.write_all(err.render().as_bytes());
+        let _ = client.write_all(b"\n");
+        return;
+    };
+    // Shard → client relays on a helper thread; this thread relays
+    // client → shard, starting with any lines the client already
+    // pipelined into the BufReader. Shutting both sockets down when
+    // either direction ends unblocks the other copy.
+    let Ok(shard_read) = shard.try_clone() else {
+        let _ = shard.shutdown(Shutdown::Both);
+        return;
+    };
+    let Ok(client_write) = client.try_clone() else {
+        let _ = shard.shutdown(Shutdown::Both);
+        return;
+    };
+    let downstream = std::thread::Builder::new()
+        .name("gbd-router-tunnel".to_string())
+        .spawn(move || {
+            let mut from = shard_read;
+            let mut to = client_write;
+            let _ = io::copy(&mut from, &mut to);
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+        });
+    let _ = io::copy(&mut reader, &mut shard);
+    let _ = shard.shutdown(Shutdown::Both);
+    let _ = client.shutdown(Shutdown::Both);
+    if let Ok(handle) = downstream {
+        let _ = handle.join();
     }
 }
 

@@ -15,6 +15,7 @@ use crate::json::Json;
 use crate::metrics::render_window;
 use crate::protocol::{self, ErrorCode, Verb};
 use crate::server::ServerShared;
+use crate::stream_session::{self, SessionFlow, StreamSession};
 use gbd_obs::{CancelToken, Counter, WatchMsg};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::TcpStream;
@@ -22,7 +23,7 @@ use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 
 /// One unit of writer work, queued in submission order.
-enum WriteItem {
+pub(crate) enum WriteItem {
     /// A response that is already rendered (errors, ping, metrics).
     Ready(Json),
     /// An eval response still being computed; the writer blocks on the
@@ -39,6 +40,14 @@ enum WriteItem {
         /// paths (`unwatch`, connection close) can tell live watches from
         /// finished ones.
         token: CancelToken,
+    },
+    /// A detection session: one `stream_open` ack, then every line the
+    /// reader pushes (report acks, detection events, control replies)
+    /// until the reader drops the channel on `stream_close` or teardown.
+    Session {
+        /// The rendered `stream_open` acknowledgement.
+        ack: Json,
+        rx: Receiver<Json>,
     },
 }
 
@@ -102,6 +111,20 @@ fn writer_loop(stream: TcpStream, rx: &Receiver<WriteItem>, write_errors: &Count
                 // The subscription is over either way; mark it so that
                 // `unwatch` and connection teardown skip it.
                 token.cancel();
+                delivered
+            }
+            WriteItem::Session { ack, rx } => {
+                // Relay the session: the reader ends it by dropping its
+                // sender (after queueing the final `stream_close` ack). A
+                // write failure drops `rx`, which the reader observes as a
+                // failed send and treats as a dead connection.
+                let mut delivered = write_line(&mut out, &ack, write_errors);
+                while delivered {
+                    let Ok(line) = rx.recv() else {
+                        break;
+                    };
+                    delivered = write_line(&mut out, &line, write_errors);
+                }
                 delivered
             }
         };
@@ -177,12 +200,12 @@ fn reader_loop(
     let mut reader = BufReader::new(stream);
     let limit = shared.config.max_line_bytes.max(1);
     let mut evals_served: u64 = 0;
-    loop {
-        let line = match read_line_bounded(&mut reader, limit) {
-            Ok(Some(line)) => line,
-            // EOF or a dead socket (including the shutdown path closing it).
-            Ok(None) | Err(_) => return,
-        };
+    // At most one streaming detection session per connection, owned here
+    // by the reader; while it is open, responses flow through its channel
+    // (see `stream_session` for the ordering invariant).
+    let mut session: Option<StreamSession> = None;
+    // Reads until EOF or a dead socket (incl. the shutdown path closing it).
+    while let Ok(Some(line)) = read_line_bounded(&mut reader, limit) {
         if line.truncated {
             shared.metrics.rejected.inc();
             let err = protocol::error_response(
@@ -190,8 +213,8 @@ fn reader_loop(
                 ErrorCode::LineTooLong,
                 &format!("request line exceeds {limit} bytes"),
             );
-            if tx.send(WriteItem::Ready(err)).is_err() {
-                return;
+            if send_flat(&err, &session, tx).is_err() {
+                break;
             }
             continue;
         }
@@ -199,8 +222,8 @@ fn reader_loop(
             shared.metrics.rejected.inc();
             let err =
                 protocol::error_response(None, ErrorCode::BadRequest, "request is not UTF-8");
-            if tx.send(WriteItem::Ready(err)).is_err() {
-                return;
+            if send_flat(&err, &session, tx).is_err() {
+                break;
             }
             continue;
         };
@@ -216,22 +239,59 @@ fn reader_loop(
                     wire_error.code,
                     &wire_error.message,
                 );
-                if tx.send(WriteItem::Ready(err)).is_err() {
-                    return;
+                if send_flat(&err, &session, tx).is_err() {
+                    break;
                 }
                 continue;
             }
         };
-        let item = dispatch(
-            envelope.id,
-            envelope.verb,
-            shared,
-            &mut evals_served,
-            watch_tokens,
-        );
-        if tx.send(item).is_err() {
-            return;
+        if session.is_some() {
+            match stream_session::handle_in_session(
+                envelope.id,
+                envelope.verb,
+                &mut session,
+                shared,
+                watch_tokens,
+            ) {
+                SessionFlow::Continue => continue,
+                SessionFlow::Dead => break,
+            }
         }
+        let item = match envelope.verb {
+            Verb::StreamOpen(spec) => {
+                shared.metrics.record_verb("stream_open");
+                let inflight = shared.config.max_inflight_per_conn.max(1);
+                let (opened, item) =
+                    StreamSession::open(envelope.id, &spec, inflight, &shared.metrics);
+                session = Some(opened);
+                item
+            }
+            verb => dispatch(envelope.id, verb, shared, &mut evals_served, watch_tokens),
+        };
+        if tx.send(item).is_err() {
+            break;
+        }
+    }
+    // Connection teardown with a session still open: the client vanished
+    // (or the server is draining) without `stream_close`. Account the
+    // abort so every opened session stays accounted for in metrics.
+    if let Some(open) = session {
+        open.abort(&shared.metrics);
+    }
+}
+
+/// Routes a response line generated outside `dispatch` (transport-level
+/// errors) to wherever this connection currently writes: the session
+/// channel while a session is open, the writer queue otherwise. `Err`
+/// means the writer is gone and the reader should stop.
+fn send_flat(
+    response: &Json,
+    session: &Option<StreamSession>,
+    tx: &SyncSender<WriteItem>,
+) -> Result<(), ()> {
+    match session {
+        Some(open) => open.push(response.clone()),
+        None => tx.send(WriteItem::Ready(response.clone())).map_err(|_| ()),
     }
 }
 
@@ -325,6 +385,34 @@ fn dispatch(
                     "server is draining",
                 )),
             }
+        }
+        Verb::Report { .. } => {
+            shared.metrics.record_verb("report");
+            shared.metrics.rejected.inc();
+            WriteItem::Ready(protocol::error_response(
+                Some(id),
+                ErrorCode::BadRequest,
+                "no stream session is open on this connection; send stream_open first",
+            ))
+        }
+        Verb::StreamClose => {
+            shared.metrics.record_verb("stream_close");
+            shared.metrics.rejected.inc();
+            WriteItem::Ready(protocol::error_response(
+                Some(id),
+                ErrorCode::BadRequest,
+                "no stream session is open on this connection; send stream_open first",
+            ))
+        }
+        Verb::StreamOpen(_) => {
+            // The reader loop intercepts stream_open before dispatch (it
+            // owns the session slot); this arm only keeps the match total.
+            shared.metrics.rejected.inc();
+            WriteItem::Ready(protocol::error_response(
+                Some(id),
+                ErrorCode::BadRequest,
+                "stream_open is handled by the connection reader",
+            ))
         }
     }
 }

@@ -39,12 +39,13 @@ pub mod protocol;
 mod replica;
 pub mod server;
 pub mod signals;
+mod stream_session;
 
 pub use coalescer::{Coalescer, CoalescerConfig, SubmitError};
 pub use json::{Json, JsonError};
 pub use metrics::{
-    render_window, ClusterSnapshot, MetricsSnapshot, ServerMetrics, StoreSnapshot, BACKENDS,
-    METRICS_SCHEMA_VERSION, VERBS,
+    render_window, ClusterSnapshot, MetricsSnapshot, ServerMetrics, StoreSnapshot,
+    StreamSnapshot, BACKENDS, METRICS_SCHEMA_VERSION, VERBS,
 };
-pub use protocol::{Envelope, ErrorCode, Section, Verb, WireError};
+pub use protocol::{Envelope, ErrorCode, Section, StreamOpenSpec, Verb, WireError};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -19,8 +19,18 @@ use std::sync::Arc;
 pub const METRICS_SCHEMA_VERSION: u64 = 1;
 
 /// Verbs with a per-verb request counter, in registration order.
-pub const VERBS: [&str; 8] = [
-    "eval", "metrics", "stats", "store", "watch", "unwatch", "ping", "shutdown",
+pub const VERBS: [&str; 11] = [
+    "eval",
+    "metrics",
+    "stats",
+    "store",
+    "watch",
+    "unwatch",
+    "ping",
+    "shutdown",
+    "stream_open",
+    "report",
+    "stream_close",
 ];
 
 /// Engine backends with a per-backend serve-latency histogram.
@@ -71,6 +81,30 @@ pub struct ServerMetrics {
     pub replica_applied: Arc<Counter>,
     /// Replicated records that failed to decode or re-append.
     pub replica_apply_errors: Arc<Counter>,
+    /// Streaming detection sessions opened (`stream_open`).
+    pub stream_sessions_opened: Arc<Counter>,
+    /// Sessions closed cleanly by `stream_close`.
+    pub stream_sessions_closed: Arc<Counter>,
+    /// Sessions torn down by disconnect or server drain instead of a
+    /// `stream_close`.
+    pub stream_sessions_aborted: Arc<Counter>,
+    /// Node reports accepted into session detectors.
+    pub stream_reports: Arc<Counter>,
+    /// Reports dropped because they predated their session's frontier.
+    pub stream_reports_late: Arc<Counter>,
+    /// Detection events emitted across all sessions.
+    pub stream_events: Arc<Counter>,
+    /// DP entries reaped by the sliding window (lossless).
+    pub stream_tracks_expired: Arc<Counter>,
+    /// DP entries evicted by the per-session track cap (counted
+    /// degradation).
+    pub stream_tracks_evicted: Arc<Counter>,
+    /// Sessions open right now (inc/dec gauge).
+    pub stream_open_sessions: Arc<AtomicU64>,
+    /// Live DP entries across all open sessions (gauge).
+    pub stream_tracks_live: Arc<AtomicU64>,
+    /// Report ingestion → detection-event emission latency.
+    pub stream_event_latency: Arc<Histogram>,
     verbs: Vec<(&'static str, Arc<Counter>)>,
     backends: Vec<(&'static str, Arc<Histogram>)>,
 }
@@ -90,6 +124,16 @@ impl ServerMetrics {
         registry.gauge("connections_active", move || {
             active_probe.load(Ordering::Relaxed) as f64
         });
+        let stream_open_sessions = Arc::new(AtomicU64::new(0));
+        let open_probe = Arc::clone(&stream_open_sessions);
+        registry.gauge("stream_open_sessions", move || {
+            open_probe.load(Ordering::Relaxed) as f64
+        });
+        let stream_tracks_live = Arc::new(AtomicU64::new(0));
+        let tracks_probe = Arc::clone(&stream_tracks_live);
+        registry.gauge("stream_tracks_live", move || {
+            tracks_probe.load(Ordering::Relaxed) as f64
+        });
         ServerMetrics {
             connections_total: registry.counter("connections_total"),
             connections_active,
@@ -107,6 +151,17 @@ impl ServerMetrics {
             deprecated_verb_calls: registry.counter("deprecated_verb_calls"),
             replica_applied: registry.counter("replica_applied_records"),
             replica_apply_errors: registry.counter("replica_apply_errors"),
+            stream_sessions_opened: registry.counter("stream_sessions_opened"),
+            stream_sessions_closed: registry.counter("stream_sessions_closed"),
+            stream_sessions_aborted: registry.counter("stream_sessions_aborted"),
+            stream_reports: registry.counter("stream_reports"),
+            stream_reports_late: registry.counter("stream_reports_late"),
+            stream_events: registry.counter("stream_events"),
+            stream_tracks_expired: registry.counter("stream_tracks_expired"),
+            stream_tracks_evicted: registry.counter("stream_tracks_evicted"),
+            stream_open_sessions,
+            stream_tracks_live,
+            stream_event_latency: registry.histogram("stream_event_latency_us"),
             verbs: VERBS
                 .iter()
                 .map(|&v| (v, registry.counter(&format!("requests_{v}"))))
@@ -162,6 +217,7 @@ impl ServerMetrics {
         cluster: Option<ClusterSnapshot>,
     ) -> MetricsSnapshot {
         let cache = engine.cache_stats();
+        let digest = engine.store_digest();
         let store = engine.store_stats().map(|stats| StoreSnapshot {
             live_entries: stats.live_entries,
             loaded_records: stats.loaded_records,
@@ -172,6 +228,7 @@ impl ServerMetrics {
             loads: cache.store_loads,
             spills: cache.store_spills,
             spill_errors: stats.append_errors + engine.store_spill_errors(),
+            digest: digest.unwrap_or(0),
         });
         MetricsSnapshot {
             queue_depth,
@@ -198,8 +255,49 @@ impl ServerMetrics {
                 .collect(),
             watch: self.registry.watch_stats(),
             cluster,
+            stream: StreamSnapshot {
+                open_sessions: self.stream_open_sessions.load(Ordering::Relaxed),
+                sessions_opened: self.stream_sessions_opened.get(),
+                sessions_closed: self.stream_sessions_closed.get(),
+                sessions_aborted: self.stream_sessions_aborted.get(),
+                reports: self.stream_reports.get(),
+                reports_late: self.stream_reports_late.get(),
+                events: self.stream_events.get(),
+                tracks_live: self.stream_tracks_live.load(Ordering::Relaxed),
+                tracks_expired: self.stream_tracks_expired.get(),
+                tracks_evicted: self.stream_tracks_evicted.get(),
+                event_latency_us: self.stream_event_latency.snapshot(),
+            },
         }
     }
+}
+
+/// Streaming-session state at snapshot time, rendered as the `stream`
+/// section when a client requests it explicitly.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// Sessions open at snapshot time.
+    pub open_sessions: u64,
+    /// Sessions opened over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed cleanly by `stream_close`.
+    pub sessions_closed: u64,
+    /// Sessions torn down by disconnect or drain.
+    pub sessions_aborted: u64,
+    /// Reports accepted into session detectors.
+    pub reports: u64,
+    /// Reports dropped as late.
+    pub reports_late: u64,
+    /// Detection events emitted.
+    pub events: u64,
+    /// Live DP entries across open sessions at snapshot time.
+    pub tracks_live: u64,
+    /// Entries reaped by the sliding window.
+    pub tracks_expired: u64,
+    /// Entries evicted by the track cap.
+    pub tracks_evicted: u64,
+    /// Report ingestion → event emission latency.
+    pub event_latency_us: HistogramSnapshot,
 }
 
 /// Shard identity and store-replication state at snapshot time, rendered
@@ -247,6 +345,11 @@ pub struct StoreSnapshot {
     pub spills: u64,
     /// Failed spills (store-side append errors plus engine-side failures).
     pub spill_errors: u64,
+    /// CRC32 digest of the live index (order-independent XOR over entry
+    /// records) — anti-entropy groundwork: a standby proves convergence by
+    /// matching its primary's digest instead of inferring it from applied
+    /// counts.
+    pub digest: u32,
 }
 
 /// Every series the serving layer reports, read once — the single source
@@ -293,6 +396,8 @@ pub struct MetricsSnapshot {
     pub watch: WatchStats,
     /// Shard identity and replication state; `None` outside cluster mode.
     pub cluster: Option<ClusterSnapshot>,
+    /// Streaming-session state.
+    pub stream: StreamSnapshot,
 }
 
 /// `count`/`p50`/`p95`/`p99`/`max` summary — the legacy `stats` histogram
@@ -354,6 +459,7 @@ fn store_body(store: Option<&StoreSnapshot>) -> Json {
             ("loads".to_string(), Json::from(s.loads)),
             ("spills".to_string(), Json::from(s.spills)),
             ("spill_errors".to_string(), Json::from(s.spill_errors)),
+            ("digest".to_string(), Json::from(u64::from(s.digest))),
         ]),
     }
 }
@@ -559,6 +665,34 @@ impl MetricsSnapshot {
                 ],
             };
             body.push(("cluster".to_string(), Json::obj(fields)));
+        }
+        // The stream section is opt-in only, for the same reason as
+        // `cluster`: default payloads keep their shape and non-streaming
+        // deployments never see session noise.
+        if sections.contains(&Section::Stream) {
+            let s = &self.stream;
+            body.push((
+                "stream".to_string(),
+                Json::obj(vec![
+                    ("open_sessions".to_string(), Json::from(s.open_sessions)),
+                    ("sessions_opened".to_string(), Json::from(s.sessions_opened)),
+                    ("sessions_closed".to_string(), Json::from(s.sessions_closed)),
+                    (
+                        "sessions_aborted".to_string(),
+                        Json::from(s.sessions_aborted),
+                    ),
+                    ("reports".to_string(), Json::from(s.reports)),
+                    ("reports_late".to_string(), Json::from(s.reports_late)),
+                    ("events".to_string(), Json::from(s.events)),
+                    ("tracks_live".to_string(), Json::from(s.tracks_live)),
+                    ("tracks_expired".to_string(), Json::from(s.tracks_expired)),
+                    ("tracks_evicted".to_string(), Json::from(s.tracks_evicted)),
+                    (
+                        "event_latency_us".to_string(),
+                        histogram_full(&s.event_latency_us),
+                    ),
+                ]),
+            ));
         }
         Json::obj(vec![
             ("id".to_string(), Json::Int(id as i64)),
@@ -768,6 +902,65 @@ mod tests {
         let rep = cluster.get("replication").unwrap();
         assert_eq!(rep.get("shipped_records").and_then(Json::as_u64), Some(7));
         assert_eq!(rep.get("ship_connects").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn stream_section_renders_only_when_requested() {
+        let m = ServerMetrics::new();
+        m.stream_sessions_opened.inc();
+        m.stream_reports.add(12);
+        m.stream_events.add(3);
+        m.stream_open_sessions.store(1, Ordering::Relaxed);
+        m.stream_tracks_live.store(12, Ordering::Relaxed);
+        m.stream_event_latency.record(Duration::from_micros(40));
+        let snap = snapshot(&m, 0);
+        // Empty selector means "all pre-stream sections" — no stream key.
+        let all = snap.render_metrics(1, &[]);
+        assert!(all.get("metrics").unwrap().get("stream").is_none());
+        let v = snap.render_metrics(1, &[Section::Stream]);
+        let stream = v.get("metrics").unwrap().get("stream").unwrap();
+        assert_eq!(stream.get("open_sessions").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            stream.get("sessions_opened").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(stream.get("reports").and_then(Json::as_u64), Some(12));
+        assert_eq!(stream.get("events").and_then(Json::as_u64), Some(3));
+        assert_eq!(stream.get("tracks_live").and_then(Json::as_u64), Some(12));
+        let lat = stream.get("event_latency_us").unwrap();
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(lat.get("sum_us").and_then(Json::as_u64), Some(40));
+    }
+
+    #[test]
+    fn store_digest_rides_the_store_section() {
+        let m = ServerMetrics::new();
+        let mut snap = snapshot(&m, 0);
+        snap.store = Some(StoreSnapshot {
+            live_entries: 2,
+            loaded_records: 0,
+            torn_bytes_discarded: 0,
+            appended_records: 2,
+            compactions: 0,
+            file_bytes: 64,
+            loads: 0,
+            spills: 2,
+            spill_errors: 0,
+            digest: 0xDEAD_BEEF,
+        });
+        let v = snap.render_metrics(4, &[Section::Store]);
+        let store = v.get("metrics").unwrap().get("store").unwrap();
+        assert_eq!(
+            store.get("digest").and_then(Json::as_u64),
+            Some(0xDEAD_BEEF)
+        );
+        // The deprecated store verb carries it too (same body renderer).
+        let v = snap.render_store(4);
+        let store = v.get("store").unwrap();
+        assert_eq!(
+            store.get("digest").and_then(Json::as_u64),
+            Some(0xDEAD_BEEF)
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ use gbd_core::s_approach::SOptions;
 use gbd_engine::{
     BackendSpec, EvalError, EvalOptions, EvalRequest, EvalResponse, RetryPolicy, SimulationSpec,
 };
+use gbd_field::sensor::SensorId;
+use gbd_geometry::point::Point;
 use gbd_sim::config::{BoundaryPolicy, DeploymentSpec, MotionSpec};
+use gbd_sim::reports::{DetectionReport, ReportKind};
 use std::time::Duration;
 
 /// Paper-default system parameters a request's `params` object overrides
@@ -96,6 +99,10 @@ pub enum Section {
     /// only when requested explicitly, so the default payload keeps its
     /// pre-cluster shape.
     Cluster,
+    /// Streaming detection sessions: open sessions, reports ingested,
+    /// live/expired/evicted tracks, events emitted, report→event latency.
+    /// Rendered only when requested explicitly, like [`Section::Cluster`].
+    Stream,
 }
 
 impl Section {
@@ -107,6 +114,7 @@ impl Section {
             "store" => Some(Section::Store),
             "histograms" => Some(Section::Histograms),
             "cluster" => Some(Section::Cluster),
+            "stream" => Some(Section::Stream),
             _ => None,
         }
     }
@@ -141,6 +149,31 @@ pub enum Verb {
     Ping,
     /// Begin graceful shutdown (drain in-flight batches, then exit).
     Shutdown,
+    /// Open a streaming detection session on this connection.
+    StreamOpen(Box<StreamOpenSpec>),
+    /// Ingest a batch of node reports into this connection's open session.
+    Report {
+        /// The batched reports (kind is always `TrueDetection` on the wire:
+        /// a base station has no ground truth — filtering clutter is the
+        /// detector's job).
+        reports: Vec<DetectionReport>,
+    },
+    /// Close this connection's open streaming session.
+    StreamClose,
+}
+
+/// Parameters of a `stream_open` request: the system parameters define the
+/// velocity-feasibility rule (`speed`, `period_s`, `rs`), the group size
+/// `k`, and the window `m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOpenSpec {
+    /// System parameters (same `params` object as `eval`).
+    pub params: SystemParams,
+    /// Whether track distances wrap around the field torus (matches the
+    /// simulator's default boundary policy).
+    pub torus: bool,
+    /// Cap on live DP entries for the session; 0 selects the default.
+    pub max_tracks: usize,
 }
 
 /// A parsed request line: client-chosen correlation id plus the verb.
@@ -223,7 +256,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, WireError> {
                             v.as_str().and_then(Section::from_name).ok_or_else(|| {
                                 fail(
                                     "`sections` entries must be one of: server, cache, \
-                                         store, histograms, cluster"
+                                         store, histograms, cluster, stream"
                                         .to_string(),
                                 )
                             })
@@ -240,24 +273,90 @@ pub fn parse_line(line: &str) -> Result<Envelope, WireError> {
                 replay: get_bool(&root, "replay", false).map_err(&fail)?,
             }
         }
-        "stats" | "store" | "ping" | "shutdown" | "unwatch" => {
+        "stream_open" => {
+            check_fields(&root, &["id", "verb", "params", "boundary", "max_tracks"])
+                .map_err(&fail)?;
+            let params = match root.get("params") {
+                None => params_from(&Json::Obj(Vec::new())).map_err(&fail)?,
+                Some(obj) => params_from(obj).map_err(&fail)?,
+            };
+            let torus = match root.get("boundary").map(Json::as_str) {
+                None | Some(Some("torus")) => true,
+                Some(Some("bounded")) => false,
+                Some(_) => {
+                    return Err(fail(
+                        "`boundary` must be \"bounded\" or \"torus\"".to_string(),
+                    ))
+                }
+            };
+            Verb::StreamOpen(Box::new(StreamOpenSpec {
+                params,
+                torus,
+                max_tracks: get_usize(&root, "max_tracks", 0).map_err(&fail)?,
+            }))
+        }
+        "report" => {
+            check_fields(&root, &["id", "verb", "reports"]).map_err(&fail)?;
+            let items = root
+                .get("reports")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| fail("`reports` must be an array".to_string()))?;
+            let reports = items
+                .iter()
+                .map(parse_report)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(&fail)?;
+            Verb::Report { reports }
+        }
+        "stats" | "store" | "ping" | "shutdown" | "unwatch" | "stream_close" => {
             check_fields(&root, &["id", "verb"]).map_err(&fail)?;
             match verb_name {
                 "stats" => Verb::Stats,
                 "store" => Verb::Store,
                 "ping" => Verb::Ping,
                 "unwatch" => Verb::Unwatch,
+                "stream_close" => Verb::StreamClose,
                 _ => Verb::Shutdown,
             }
         }
         other => {
             return Err(fail(format!(
                 "unknown verb `{other}` (expected eval, metrics, watch, unwatch, stats, \
-                 store, ping, or shutdown)"
+                 store, ping, shutdown, stream_open, report, or stream_close)"
             )))
         }
     };
     Ok(Envelope { id, verb })
+}
+
+/// Parses one wire report: `{"sensor":<id>,"period":<p>,"x":<m>,"y":<m>}`.
+/// All four fields are required — a report with a defaulted position or
+/// period would silently corrupt the track state.
+fn parse_report(obj: &Json) -> Result<DetectionReport, String> {
+    check_fields(obj, &["sensor", "period", "x", "y"])?;
+    let sensor = obj
+        .get("sensor")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| "report `sensor` must be a non-negative integer".to_string())?;
+    let period = obj
+        .get("period")
+        .and_then(Json::as_usize)
+        .filter(|&p| p > 0)
+        .ok_or_else(|| "report `period` must be a positive integer".to_string())?;
+    let coord = |key: &str| {
+        obj.get(key)
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| format!("report `{key}` must be a finite number"))
+    };
+    let x = coord("x")?;
+    let y = coord("y")?;
+    Ok(DetectionReport::new(
+        SensorId(sensor),
+        period,
+        Point::new(x, y),
+        ReportKind::TrueDetection,
+    ))
 }
 
 /// Rejects any object key outside `allowed`, so client typos surface as
@@ -793,6 +892,60 @@ mod tests {
             r#"{"id":1,"verb":"watch","replay":"yes"}"#,
             r#"{"id":1,"verb":"watch","interval_ms":100}"#,
             r#"{"id":1,"verb":"unwatch","windows":1}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_stream_verbs() {
+        let env = parse_line(
+            r#"{"id":1,"verb":"stream_open","params":{"k":3,"m":10},"boundary":"bounded","max_tracks":128}"#,
+        )
+        .unwrap();
+        let Verb::StreamOpen(spec) = env.verb else {
+            panic!("expected stream_open");
+        };
+        assert_eq!(spec.params.k(), 3);
+        assert_eq!(spec.params.m_periods(), 10);
+        assert!(!spec.torus);
+        assert_eq!(spec.max_tracks, 128);
+
+        let env = parse_line(r#"{"id":1,"verb":"stream_open"}"#).unwrap();
+        let Verb::StreamOpen(spec) = env.verb else {
+            panic!("expected stream_open");
+        };
+        assert!(spec.torus, "torus is the default boundary");
+        assert_eq!(spec.max_tracks, 0, "0 selects the server default");
+
+        let env = parse_line(
+            r#"{"id":2,"verb":"report","reports":[{"sensor":7,"period":1,"x":100.5,"y":-3.0}]}"#,
+        )
+        .unwrap();
+        let Verb::Report { reports } = env.verb else {
+            panic!("expected report");
+        };
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].sensor, SensorId(7));
+        assert_eq!(reports[0].period, 1);
+        assert_eq!(reports[0].position, Point::new(100.5, -3.0));
+
+        assert_eq!(
+            parse_line(r#"{"id":3,"verb":"stream_close"}"#)
+                .unwrap()
+                .verb,
+            Verb::StreamClose
+        );
+
+        for bad in [
+            r#"{"id":1,"verb":"stream_open","boundary":"spherical"}"#,
+            r#"{"id":1,"verb":"stream_open","window":5}"#,
+            r#"{"id":1,"verb":"report"}"#,
+            r#"{"id":1,"verb":"report","reports":{}}"#,
+            r#"{"id":1,"verb":"report","reports":[{"sensor":1,"period":0,"x":0,"y":0}]}"#,
+            r#"{"id":1,"verb":"report","reports":[{"sensor":1,"period":1,"x":0}]}"#,
+            r#"{"id":1,"verb":"report","reports":[{"sensor":1,"period":1,"x":0,"y":0,"kind":"t"}]}"#,
+            r#"{"id":1,"verb":"stream_close","force":true}"#,
         ] {
             assert!(parse_line(bad).is_err(), "accepted: {bad}");
         }

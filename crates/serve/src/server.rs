@@ -366,6 +366,9 @@ impl Server {
     }
 
     fn spawn_conn(&self, stream: TcpStream) {
+        // Responses and pushed stream events are small single-line writes;
+        // Nagle would park each behind the peer's delayed ACK.
+        let _ = stream.set_nodelay(true);
         let metrics = &self.shared.metrics;
         metrics.connections_total.inc();
         metrics.connections_active.fetch_add(1, Ordering::Relaxed);

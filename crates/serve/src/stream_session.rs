@@ -1,0 +1,326 @@
+//! Stateful streaming detection sessions over the JSON-lines transport.
+//!
+//! A `stream_open` turns the connection into a detection session: the
+//! reader thread owns a [`StreamDetector`] and a bounded channel into the
+//! writer, which queues a [`WriteItem::Session`] and then relays every
+//! line the reader pushes — report acks, detection events, and control
+//! replies — until the reader drops the channel (on `stream_close` or
+//! connection teardown).
+//!
+//! **Ordering invariant:** while a session is open, *every* response on
+//! the connection flows through the session channel. The writer is
+//! parked on the session item, so a [`WriteItem::Ready`] queued behind it
+//! would never be written — and the reader, blocked pushing it, would
+//! deadlock the connection. Control verbs (`ping`, `metrics`, `unwatch`,
+//! `shutdown`, …) are answered through the session; verbs that would
+//! enqueue their own writer items (`eval`, `watch`, a second
+//! `stream_open`) are rejected until the session closes.
+//!
+//! Backpressure works the same way it does for eval traffic: the session
+//! channel is bounded, so a client that stops draining events blocks the
+//! reader, which stops reading reports off the socket.
+
+use crate::conn::WriteItem;
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, ErrorCode, StreamOpenSpec, Verb};
+use crate::server::ServerShared;
+use gbd_obs::CancelToken;
+use gbd_sim::group_filter::TrackRule;
+use gbd_sim::reports::DetectionReport;
+use gbd_stream::{DetectionEvent, StreamConfig, StreamDetector, DEFAULT_MAX_TRACKS};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What the reader loop should do after a verb was handled in-session.
+pub(crate) enum SessionFlow {
+    /// Handled (response lines pushed through the session channel); keep
+    /// reading.
+    Continue,
+    /// The session channel's consumer is gone (writer exited on a dead
+    /// socket): drop the connection.
+    Dead,
+}
+
+/// One open streaming session, owned by the connection's reader thread.
+pub(crate) struct StreamSession {
+    detector: StreamDetector,
+    tx: SyncSender<Json>,
+    /// The `stream_open` id — detection events are tagged with it so a
+    /// pipelining client can tell pushed events from report acks.
+    open_id: u64,
+    reports: u64,
+    events: u64,
+    /// Live-track count last published to the shared gauge.
+    published_tracks: u64,
+}
+
+impl StreamSession {
+    /// Opens a session: builds the detector from the spec and returns the
+    /// session plus the [`WriteItem::Session`] to queue. Also accounts the
+    /// open on `metrics`.
+    pub(crate) fn open(
+        id: u64,
+        spec: &StreamOpenSpec,
+        inflight: usize,
+        metrics: &ServerMetrics,
+    ) -> (StreamSession, WriteItem) {
+        let p = &spec.params;
+        let mut rule = TrackRule::new(p.speed(), p.period_s(), p.sensing_range());
+        if spec.torus {
+            rule = rule.with_wrap(p.field_width(), p.field_height());
+        }
+        let max_tracks = if spec.max_tracks == 0 {
+            DEFAULT_MAX_TRACKS
+        } else {
+            spec.max_tracks
+        };
+        let config = StreamConfig::new(rule, p.k(), p.m_periods()).with_max_tracks(max_tracks);
+        let (tx, rx) = mpsc::sync_channel::<Json>(inflight.max(1));
+        metrics.stream_sessions_opened.inc();
+        metrics.stream_open_sessions.fetch_add(1, Ordering::Relaxed);
+        let ack = Json::obj(vec![
+            ("id".to_string(), Json::Int(id as i64)),
+            ("ok".to_string(), Json::Bool(true)),
+            ("streaming".to_string(), Json::Bool(true)),
+            ("k".to_string(), Json::from(p.k())),
+            ("m".to_string(), Json::from(p.m_periods())),
+            ("max_tracks".to_string(), Json::from(max_tracks)),
+            ("torus".to_string(), Json::Bool(spec.torus)),
+        ]);
+        let session = StreamSession {
+            detector: StreamDetector::new(config),
+            tx,
+            open_id: id,
+            reports: 0,
+            events: 0,
+            published_tracks: 0,
+        };
+        (session, WriteItem::Session { ack, rx })
+    }
+
+    fn send(&self, line: Json) -> SessionFlow {
+        if self.tx.send(line).is_err() {
+            return SessionFlow::Dead;
+        }
+        SessionFlow::Continue
+    }
+
+    /// Pushes a response generated outside the session verbs (transport
+    /// errors) through the session channel. `Err` means the writer died.
+    pub(crate) fn push(&self, line: Json) -> Result<(), ()> {
+        self.tx.send(line).map_err(|_| ())
+    }
+
+    /// Folds the detector's live-track count into the cross-session gauge.
+    fn publish_tracks(&mut self, metrics: &ServerMetrics) {
+        let now = self.detector.live_tracks() as u64;
+        let prev = self.published_tracks;
+        if now >= prev {
+            metrics
+                .stream_tracks_live
+                .fetch_add(now - prev, Ordering::Relaxed);
+        } else {
+            metrics
+                .stream_tracks_live
+                .fetch_sub(prev - now, Ordering::Relaxed);
+        }
+        self.published_tracks = now;
+    }
+
+    fn ingest(
+        &mut self,
+        id: u64,
+        reports: &[DetectionReport],
+        metrics: &ServerMetrics,
+    ) -> SessionFlow {
+        let received = Instant::now();
+        let before = self.detector.stats();
+        let events = self.detector.ingest(reports);
+        let after = self.detector.stats();
+        let ingested = after.reports_ingested - before.reports_ingested;
+        let late = after.reports_late - before.reports_late;
+        metrics.stream_reports.add(ingested);
+        metrics.stream_reports_late.add(late);
+        metrics.stream_events.add(events.len() as u64);
+        metrics
+            .stream_tracks_expired
+            .add(after.tracks_expired - before.tracks_expired);
+        metrics
+            .stream_tracks_evicted
+            .add(after.tracks_evicted - before.tracks_evicted);
+        self.publish_tracks(metrics);
+        self.reports += ingested;
+        self.events += events.len() as u64;
+        let ack = Json::obj(vec![
+            ("id".to_string(), Json::Int(id as i64)),
+            ("ok".to_string(), Json::Bool(true)),
+            ("ingested".to_string(), Json::from(ingested)),
+            ("late".to_string(), Json::from(late)),
+            ("events".to_string(), Json::from(events.len())),
+        ]);
+        if let SessionFlow::Dead = self.send(ack) {
+            return SessionFlow::Dead;
+        }
+        for event in &events {
+            let line = render_event(self.open_id, event);
+            if let SessionFlow::Dead = self.send(line) {
+                return SessionFlow::Dead;
+            }
+            // Report receipt → event handed to the writer; the wire adds
+            // only socket time on top.
+            metrics.stream_event_latency.record(received.elapsed());
+        }
+        SessionFlow::Continue
+    }
+
+    /// Books the session out of the open-session and live-track gauges.
+    fn retire(&mut self, metrics: &ServerMetrics) {
+        metrics.stream_open_sessions.fetch_sub(1, Ordering::Relaxed);
+        let live = self.published_tracks;
+        metrics
+            .stream_tracks_live
+            .fetch_sub(live, Ordering::Relaxed);
+        self.published_tracks = 0;
+    }
+
+    /// Clean close: final ack through the session channel, then the
+    /// channel drops, ending the writer's session item.
+    fn close(mut self, id: u64, metrics: &ServerMetrics) -> SessionFlow {
+        self.retire(metrics);
+        metrics.stream_sessions_closed.inc();
+        let ack = Json::obj(vec![
+            ("id".to_string(), Json::Int(id as i64)),
+            ("ok".to_string(), Json::Bool(true)),
+            ("stream_end".to_string(), Json::Bool(true)),
+            ("reports".to_string(), Json::from(self.reports)),
+            ("events".to_string(), Json::from(self.events)),
+        ]);
+        self.send(ack)
+    }
+
+    /// Teardown without a `stream_close` (disconnect or server drain):
+    /// account the abort so every opened session is still accounted for.
+    pub(crate) fn abort(mut self, metrics: &ServerMetrics) {
+        self.retire(metrics);
+        metrics.stream_sessions_aborted.inc();
+    }
+}
+
+fn render_event(open_id: u64, event: &DetectionEvent) -> Json {
+    Json::obj(vec![
+        ("id".to_string(), Json::Int(open_id as i64)),
+        ("ok".to_string(), Json::Bool(true)),
+        (
+            "event".to_string(),
+            Json::obj(vec![
+                ("seq".to_string(), Json::from(event.seq)),
+                ("period".to_string(), Json::from(event.period)),
+                ("sensor".to_string(), Json::from(event.sensor.0)),
+                ("chain_len".to_string(), Json::from(event.chain_len)),
+                ("first_period".to_string(), Json::from(event.first_period)),
+            ]),
+        ),
+    ])
+}
+
+/// Handles a verb on a connection whose session is open. Every response
+/// goes through the session channel (see the module docs for why).
+pub(crate) fn handle_in_session(
+    id: u64,
+    verb: Verb,
+    session_slot: &mut Option<StreamSession>,
+    shared: &Arc<ServerShared>,
+    watch_tokens: &mut Vec<CancelToken>,
+) -> SessionFlow {
+    let Some(session) = session_slot.as_mut() else {
+        // Callers only route here with an open session.
+        return SessionFlow::Continue;
+    };
+    let metrics = &shared.metrics;
+    match verb {
+        Verb::Report { reports } => {
+            metrics.record_verb("report");
+            session.ingest(id, &reports, metrics)
+        }
+        Verb::StreamClose => {
+            metrics.record_verb("stream_close");
+            match session_slot.take() {
+                Some(active) => active.close(id, metrics),
+                None => SessionFlow::Continue,
+            }
+        }
+        Verb::Ping => {
+            metrics.record_verb("ping");
+            session.send(protocol::pong(id))
+        }
+        Verb::Metrics { sections } => {
+            metrics.record_verb("metrics");
+            session.send(shared.metrics_snapshot().render_metrics(id, &sections))
+        }
+        Verb::Stats => {
+            metrics.record_verb("stats");
+            metrics.deprecated_verb_calls.inc();
+            session.send(shared.metrics_snapshot().render_stats(id))
+        }
+        Verb::Store => {
+            metrics.record_verb("store");
+            metrics.deprecated_verb_calls.inc();
+            session.send(shared.metrics_snapshot().render_store(id))
+        }
+        Verb::Unwatch => {
+            metrics.record_verb("unwatch");
+            let cancelled = watch_tokens.iter().filter(|t| !t.is_cancelled()).count();
+            for token in watch_tokens.drain(..) {
+                token.cancel();
+            }
+            metrics.registry().reap_cancelled();
+            session.send(Json::obj(vec![
+                ("id".to_string(), Json::Int(id as i64)),
+                ("ok".to_string(), Json::Bool(true)),
+                ("unwatched".to_string(), Json::from(cancelled)),
+            ]))
+        }
+        Verb::Shutdown => {
+            metrics.record_verb("shutdown");
+            let ack = Json::obj(vec![
+                ("id".to_string(), Json::Int(id as i64)),
+                ("ok".to_string(), Json::Bool(true)),
+                ("shutting_down".to_string(), Json::Bool(true)),
+            ]);
+            shared.begin_shutdown();
+            session.send(ack)
+        }
+        Verb::StreamOpen(_) => {
+            metrics.record_verb("stream_open");
+            metrics.rejected.inc();
+            session.send(protocol::error_response(
+                Some(id),
+                ErrorCode::BadRequest,
+                "a stream session is already open on this connection",
+            ))
+        }
+        Verb::Eval(_) => {
+            metrics.record_verb("eval");
+            metrics.rejected.inc();
+            session.send(protocol::error_response(
+                Some(id),
+                ErrorCode::BadRequest,
+                "eval is not available while a stream session is open; \
+                 send stream_close first",
+            ))
+        }
+        Verb::Watch { .. } => {
+            metrics.record_verb("watch");
+            metrics.rejected.inc();
+            session.send(protocol::error_response(
+                Some(id),
+                ErrorCode::BadRequest,
+                "watch is not available while a stream session is open; \
+                 send stream_close first",
+            ))
+        }
+    }
+}

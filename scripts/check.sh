@@ -38,6 +38,15 @@
 #                                   answers (bit-identity against a local
 #                                   engine), at least one failover, and a
 #                                   clean drain of every survivor
+#   scripts/check.sh --stream-smoke additionally boot a server on an
+#                                   ephemeral port, drive streaming
+#                                   detection sessions via loadgen
+#                                   --report-stream, require at least one
+#                                   detection event with report/event
+#                                   counts reconciled against the stream
+#                                   metrics section, then prove a drain
+#                                   with a session still open reaps it
+#                                   and exits cleanly
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +56,7 @@ sim_bench_smoke=0
 store_smoke=0
 obs_smoke=0
 cluster_smoke=0
+stream_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) chaos=1 ;;
@@ -55,7 +65,8 @@ for arg in "$@"; do
     --store-smoke) store_smoke=1 ;;
     --obs-smoke) obs_smoke=1 ;;
     --cluster-smoke) cluster_smoke=1 ;;
-    *) echo "unknown argument: $arg (expected --chaos, --bench-smoke, --sim-bench-smoke, --store-smoke, --obs-smoke, or --cluster-smoke)" >&2; exit 2 ;;
+    --stream-smoke) stream_smoke=1 ;;
+    *) echo "unknown argument: $arg (expected --chaos, --bench-smoke, --sim-bench-smoke, --store-smoke, --obs-smoke, --cluster-smoke, or --stream-smoke)" >&2; exit 2 ;;
   esac
 done
 
@@ -72,8 +83,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # ticker/exposition threads must outlive any poisoned lock, so they get
 # the same treatment. Non-test code must stay free of both (tests opt out
 # via cfg_attr(test) in the crate root). The router fronts every shard, so
-# a panic there takes down the whole cluster's ingress — same ban.
-for crate in gbd-engine gbd-serve gbd-store gbd-obs gbd-router; do
+# a panic there takes down the whole cluster's ingress — same ban. The
+# stream crate's detector runs inside long-lived serving sessions fed
+# arbitrary report sequences, so it joins too.
+for crate in gbd-engine gbd-serve gbd-store gbd-obs gbd-router gbd-stream; do
   echo "==> cargo clippy -p $crate (unwrap/expect ban)"
   cargo clippy -p "$crate" --all-targets --no-deps -- \
     -D warnings -W clippy::unwrap_used -W clippy::expect_used
@@ -523,6 +536,65 @@ PY
   wait "$router_pid" "$shard1_pid" "$standby_pid"
   wait "$shard0_pid" 2>/dev/null || true
   echo "cluster smoke: ok"
+fi
+
+if [ "$stream_smoke" -eq 1 ]; then
+  # Streaming-session proof, end to end against the release binaries:
+  #   1. boot a plain server on an ephemeral port
+  #   2. loadgen --report-stream replays simulator trials over streaming
+  #      sessions and, via --assert-stream, requires at least one pushed
+  #      detection event and report/event counts that reconcile exactly
+  #      with the server's `stream` metrics section (all sessions closed,
+  #      none left open)
+  #   3. open one more session, leave it open, and send the shutdown verb
+  #      through it: the drain must answer through the session channel,
+  #      reap the still-open session (accounted as aborted, zero live
+  #      tracks), and exit cleanly — no hang, no SIGKILL
+  echo "==> stream smoke (loadgen --report-stream + drain with open session)"
+  target/release/groupdet serve --addr 127.0.0.1:0 --json \
+    >"$smoke_dir/stream_serve.log" &
+  stream_pid=$!
+  stream_addr=""
+  for _ in $(seq 1 100); do
+    stream_addr=$(sed -n 's/.*"event":"listening","addr":"\([^"]*\)".*/\1/p' "$smoke_dir/stream_serve.log")
+    [ -n "$stream_addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$stream_addr" ]; then
+    echo "stream smoke: server never reported a listening address" >&2
+    kill "$stream_pid" 2>/dev/null || true
+    exit 1
+  fi
+  cp results/comm_burst.csv "$smoke_dir/" 2>/dev/null || true
+  target/release/loadgen --addr "$stream_addr" --clients 4 --requests 8 \
+    --out "$smoke_dir" --report-stream --assert-stream
+  python3 - "$stream_addr" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+with socket.create_connection((host, int(port)), timeout=10) as s:
+    f = s.makefile()
+    s.sendall(b'{"id":1,"verb":"stream_open","params":{"k":3,"m":10}}\n')
+    ack = json.loads(f.readline())
+    if ack.get("streaming") is not True:
+        print(f"stream smoke: FAILED: stream_open rejected: {ack}", file=sys.stderr)
+        sys.exit(1)
+    s.sendall(b'{"id":2,"verb":"report","reports":[{"sensor":1,"period":1,"x":500.0,"y":500.0}]}\n')
+    if json.loads(f.readline()).get("ingested") != 1:
+        print("stream smoke: FAILED: report not ingested", file=sys.stderr)
+        sys.exit(1)
+    # Shutdown with the session still open: the ack must arrive through
+    # the session channel, and the server must reap the session to drain.
+    s.sendall(b'{"id":3,"verb":"shutdown"}\n')
+    ack = json.loads(f.readline())
+    if ack.get("shutting_down") is not True:
+        print("stream smoke: FAILED: shutdown not acknowledged in-session", file=sys.stderr)
+        sys.exit(1)
+print("stream smoke: drain requested with a session open")
+PY
+  # A hung drain would hang this wait — the gate's hard failure mode.
+  wait "$stream_pid"
+  echo "stream smoke: ok"
 fi
 
 if [ "$chaos" -eq 1 ]; then
